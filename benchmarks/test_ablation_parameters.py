@@ -1,0 +1,85 @@
+"""Ablation — the (a, N) trade-off surface behind the paper's constants.
+
+The paper picks a = 0.35, N = 1.05 "to balance the detection
+sensitivity and false alarm time" and shows one tuned alternative
+(0.2, 0.6).  This bench sweeps the whole neighbourhood at UNC and
+verifies the structure that justifies both choices:
+
+* the false-alarm region lives at low a (the drift must clear the
+  normal mean plus congestion-episode bursts);
+* sensitivity (the Eq. 8 floor) improves linearly as a drops;
+* the paper's default sits inside the zero-false-alarm region, and the
+  paper's tuned point is exactly what the operator procedure
+  (most sensitive cell within a zero false-alarm budget) recommends.
+"""
+
+from conftest import emit
+
+from repro.experiments.report import render_table
+from repro.experiments.sensitivity import recommend_parameters, sweep_parameters
+from repro.trace.profiles import UNC
+
+DRIFTS = (0.05, 0.10, 0.20, 0.35, 0.50)
+THRESHOLDS = (0.30, 0.60, 1.05, 2.00)
+REFERENCE_FLOOD = 25.0  # SYN/s: between the tuned and default floors
+
+
+def test_parameter_surface(benchmark):
+    cells = sweep_parameters(
+        UNC,
+        drifts=DRIFTS,
+        thresholds=THRESHOLDS,
+        flood_rate=REFERENCE_FLOOD,
+        num_normal_traces=6,
+        num_attack_trials=4,
+        base_seed=0,
+    )
+    by_key = {(c.drift, c.threshold): c for c in cells}
+    rows = [
+        [
+            cell.drift,
+            cell.threshold,
+            round(cell.f_min, 1),
+            cell.false_alarm_onsets,
+            cell.detection_probability,
+            (round(cell.mean_delay_periods, 1)
+             if cell.mean_delay_periods is not None else None),
+        ]
+        for cell in cells
+    ]
+    emit(render_table(
+        ["a", "N", "f_min (SYN/s)", "false alarms",
+         f"P(detect {REFERENCE_FLOOD}/s)", "delay (t0)"],
+        rows,
+        title="(a, N) trade-off surface at UNC (6 normal + 4 attacked traces)",
+    ))
+
+    # The paper's default is quiet.
+    assert by_key[(0.35, 1.05)].false_alarm_onsets == 0
+    # Hair-trigger drifts false-alarm (a = 0.05 sits below routine
+    # congestion-episode bursts).
+    assert by_key[(0.05, 0.30)].false_alarm_onsets > 0
+    # Sensitivity is linear in a (Eq. 8): floor at a=0.2 is 4x floor at
+    # a=0.05... i.e. floor ratio equals drift ratio.
+    assert by_key[(0.20, 0.60)].f_min == 4 * by_key[(0.05, 0.60)].f_min
+    # Larger N never *increases* false alarms at fixed a.
+    for drift in DRIFTS:
+        onsets = [by_key[(drift, n)].false_alarm_onsets for n in THRESHOLDS]
+        assert onsets == sorted(onsets, reverse=True)
+    # The operator procedure recovers (essentially) the paper's tuned
+    # point: the most sensitive zero-false-alarm cell has a <= 0.2.
+    best = recommend_parameters(cells, max_false_alarm_rate=0.0)
+    assert best is not None
+    assert best.drift <= 0.20
+    assert best.detection_probability == 1.0
+    emit(f"operator recommendation within zero-false-alarm budget: "
+         f"a = {best.drift}, N = {best.threshold} "
+         f"(f_min = {best.f_min:.1f} SYN/s, "
+         f"delay = {best.mean_delay_periods:.1f} periods)")
+
+    benchmark(
+        lambda: sweep_parameters(
+            UNC, drifts=(0.35,), thresholds=(1.05,), flood_rate=REFERENCE_FLOOD,
+            num_normal_traces=1, num_attack_trials=1, base_seed=9,
+        )
+    )

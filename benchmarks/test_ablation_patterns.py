@@ -1,0 +1,94 @@
+"""Ablation — flooding-pattern insensitivity (Section 4.2).
+
+The paper asserts that "the flooding traffic pattern or its transient
+behavior (bursty or not) does not affect the detection sensitivity.
+The detection sensitivity depends only on the total volume of flooding
+traffic", and then runs everything at a constant rate "without loss of
+generality".  This bench *tests* that assertion: four shapes configured
+for the identical mean rate (and thus identical volume) at Auckland,
+detection probability and delay compared.
+"""
+
+from conftest import emit
+
+from repro.attack.patterns import (
+    ConstantRate,
+    PulseTrainRate,
+    RampRate,
+    SquareWaveRate,
+)
+from repro.experiments.report import render_table
+from repro.experiments.runner import DetectionTrialConfig, run_detection_trial
+from repro.trace.profiles import AUCKLAND
+
+MEAN_RATE = 5.0  # SYN/s, Table 3's comfortable middle
+DURATION = 600.0
+ATTACK_START = 3600.0
+
+PATTERNS = {
+    "constant": ConstantRate(MEAN_RATE),
+    "square (25% duty)": SquareWaveRate(high=20.0, on_time=5.0, off_time=15.0),
+    "ramp 0->10": RampRate(start_rate=0.0, end_rate=10.0, ramp_time=DURATION),
+    "pulse (10% duty)": PulseTrainRate(pulse_rate=50.0, pulse_width=2.0, interval=20.0),
+}
+
+
+def test_pattern_insensitivity(benchmark):
+    rows = []
+    delays = {}
+    for name, pattern in PATTERNS.items():
+        assert pattern.integral(0.0, DURATION) == MEAN_RATE * DURATION
+        outcomes = []
+        for seed in range(8):
+            outcomes.append(
+                run_detection_trial(
+                    DetectionTrialConfig(
+                        profile=AUCKLAND,
+                        flood_rate=MEAN_RATE,
+                        seed=seed,
+                        attack_start=ATTACK_START,
+                        attack_duration=DURATION,
+                        pattern=pattern,
+                    )
+                )
+            )
+        detected = [o for o in outcomes if o.detected]
+        probability = len(detected) / len(outcomes)
+        mean_delay = (
+            sum(o.delay_periods for o in detected) / len(detected)
+            if detected
+            else None
+        )
+        delays[name] = mean_delay
+        rows.append([name, probability, round(mean_delay, 2) if mean_delay else None])
+    emit(render_table(
+        ["pattern (equal volume)", "P(detect)", "mean delay (t0)"],
+        rows,
+        title=f"Pattern-insensitivity ablation at {MEAN_RATE} SYN/s mean",
+    ))
+
+    # Every equal-volume shape is detected every time...
+    assert all(row[1] == 1.0 for row in rows)
+    # ...and the *stationary* shapes (constant, square, pulse) detect in
+    # the same number of periods despite 10x differences in peak rate:
+    # the cumulative statistic integrates volume, exactly the paper's
+    # claim.
+    stationary = [delays["constant"], delays["square (25% duty)"],
+                  delays["pulse (10% duty)"]]
+    assert max(stationary) - min(stationary) <= 1.5
+    # The ramp is the honest nuance: it emits the same total volume but
+    # back-loads it, so the first crossing is later.  Analytically, y(T)
+    # crosses N = 1.05 when the integrated normalized excess does:
+    # solve  (r_end/(2*T_ramp*K_rate)) * t^2 - a*t/t0 = N  with
+    # r_end = 10/s, T_ramp = 600 s, K-rate = 85/20 s -> t ~ 9-10
+    # periods.  Check the measured delay sits in that analytic band.
+    assert 6.0 <= delays["ramp 0->10"] <= 14.0
+
+    benchmark(
+        lambda: run_detection_trial(
+            DetectionTrialConfig(
+                profile=AUCKLAND, flood_rate=MEAN_RATE, seed=0,
+                attack_start=ATTACK_START, pattern=PATTERNS["square (25% duty)"],
+            )
+        )
+    )

@@ -1,0 +1,110 @@
+"""Extension experiment — the cost of IP traceback vs first-mile
+localization, measured.
+
+The paper's motivating contrast: victim-side defenses "must rely on the
+expensive IP traceback" to find the sources.  Here the canonical
+traceback scheme it cites (Savage et al.'s probabilistic packet marking
+[23]) runs against the same attacks SYN-dog handles, and the bill is
+itemized:
+
+* **packets required** — PPM must *receive* hundreds of attack packets
+  per path before reconstruction converges (and this full-address model
+  is a lower bound: the deployable fragment-encoded variant needs
+  thousands); SYN-dog needs two counters and 1–3 observation periods;
+* **granularity** — PPM yields a router-level path that still ends one
+  hop short of the host; SYN-dog's alarm names the stub network and the
+  MAC localization names the machine;
+* **deployment** — PPM needs marking support on every path router;
+  SYN-dog is incrementally deployable one leaf router at a time
+  (Section 1).
+
+For a 1000-source DDoS the victim must reconstruct 1000 distinct paths;
+the per-path packet costs multiply accordingly, while each SYN-dog only
+ever watches its own stub network.
+"""
+
+import random
+
+from conftest import emit
+
+from repro.attack import FloodSource
+from repro.core import SynDog
+from repro.experiments.report import render_table
+from repro.trace import AUCKLAND, AttackWindow, generate_count_trace, mix_flood_into_counts
+from repro.traceback.ppm import (
+    AttackPath,
+    PPMCollector,
+    expected_packets_for_full_path,
+    mark_along_path,
+)
+
+PATH_LENGTHS = (5, 10, 15, 20, 25)
+TRIALS = 8
+
+
+def ppm_cost(length: int) -> float:
+    """Mean packets to full-path reconstruction over TRIALS runs."""
+    rng = random.Random(1000 + length)
+    totals = []
+    for trial in range(TRIALS):
+        path = AttackPath.random(random.Random(length * 100 + trial), length)
+        collector = PPMCollector()
+        while not collector.has_full_path(path):
+            collector.collect(mark_along_path(path, rng))
+        totals.append(collector.packets_seen)
+    return sum(totals) / len(totals)
+
+
+def syndog_cost() -> float:
+    """Flood SYNs emitted before the first-mile alarm (10 SYN/s flood at
+    Auckland — Table 3's easy case; the paper's point is that even this
+    modest evidence suffices)."""
+    background = generate_count_trace(AUCKLAND, seed=9)
+    mixed = mix_flood_into_counts(
+        background, FloodSource(pattern=10.0), AttackWindow(3600.0, 600.0)
+    )
+    result = SynDog().observe_counts(mixed.counts)
+    delay_periods = result.detection_delay_periods(3600.0)
+    return 10.0 * 20.0 * delay_periods  # SYNs emitted before the alarm
+
+
+def test_traceback_cost(benchmark):
+    rows = []
+    for length in PATH_LENGTHS:
+        measured = ppm_cost(length)
+        bound = expected_packets_for_full_path(length)
+        rows.append([
+            length,
+            round(measured),
+            round(bound),
+            "router path, 1 hop short of host",
+        ])
+        # The measured cost tracks Savage's bound.
+        assert 0.3 * bound <= measured <= 3.0 * bound, length
+    dog_packets = syndog_cost()
+    rows.append([
+        "-", round(dog_packets), "-",
+        "stub network + host MAC (SYN-dog, first mile)",
+    ])
+    emit(render_table(
+        ["path length (hops)", "attack packets needed", "Savage bound",
+         "what you learn"],
+        rows,
+        title="Traceback cost: PPM at the victim vs SYN-dog at the source",
+    ))
+    emit(
+        "notes: the PPM numbers are the victim's cost PER PATH — a\n"
+        "1000-slave campaign multiplies them by 1000; the full-address\n"
+        "model here lower-bounds the deployable fragment-encoded scheme\n"
+        "(which needs thousands per path).  PPM also requires marking\n"
+        "support on every transit router, while SYN-dog deploys one\n"
+        "leaf router at a time."
+    )
+
+    # Cost ordering the paper asserts: PPM's per-path cost grows with
+    # path length; SYN-dog's is flat and comparable to the *shortest*
+    # paths even in this generous comparison.
+    assert ppm_cost(25) > ppm_cost(5)
+    assert dog_packets <= 3 * 10.0 * 20.0  # <= 3 periods of a 10/s flood
+
+    benchmark(lambda: ppm_cost(10))

@@ -1,0 +1,36 @@
+"""Figure 3 — the dynamics of SYN and SYN/ACK packets at LBL and
+Harvard (bi-directional sites, per-minute bins).
+
+Anchors from the paper's plot axes: LBL oscillates in the tens of SYNs
+per minute (Fig. 3a shows ~5–50), Harvard in the hundreds (Fig. 3b
+shows ~100–700), and the two series visually track each other —
+quantified here as Pearson correlation.
+"""
+
+from conftest import emit
+
+from repro.experiments.figures import dynamics_figure, figure3
+from repro.trace.profiles import HARVARD, LBL
+from repro.trace.stats import pearson_correlation
+
+
+def test_figure3(benchmark):
+    panels = figure3(seed=0)
+    for panel in panels:
+        emit(panel.render())
+
+    lbl, harvard = panels
+
+    lbl_syns = lbl.series["SYN"]
+    assert 5.0 <= sum(lbl_syns) / len(lbl_syns) <= 80.0  # tens per minute
+    harvard_syns = harvard.series["SYN"]
+    assert 100.0 <= sum(harvard_syns) / len(harvard_syns) <= 900.0
+
+    # Consistent synchronization between SYN and SYN/ACK at both sites.
+    for panel in panels:
+        syn, synack = panel.series.values()
+        assert pearson_correlation(list(syn), list(synack)) > 0.9
+        # SYN/ACKs never (meaningfully) exceed SYNs in aggregate.
+        assert sum(synack) <= sum(syn)
+
+    benchmark(lambda: dynamics_figure(LBL, seed=2, duration=600.0))

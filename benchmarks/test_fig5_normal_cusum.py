@@ -1,0 +1,67 @@
+"""Figure 5 — CUSUM test statistic under normal operation at Harvard,
+UNC and Auckland.
+
+Paper anchors: y_n is "mostly zeros" with isolated spikes; the maximum
+spike is about 0.05 at Harvard and about 0.26 at Auckland — both far
+below the flooding threshold N = 1.05 — and **no false alarms are
+reported** at any site.  We check those bands over several seeds and
+report the per-site spike maxima.
+"""
+
+from conftest import emit
+
+from repro.core import SynDog
+from repro.experiments.figures import figure5, normal_cusum_figure
+from repro.experiments.report import render_comparison
+from repro.trace.profiles import AUCKLAND, HARVARD, UNC
+from repro.trace.synthetic import generate_count_trace
+
+PAPER_MAX_SPIKE = {"Harvard": 0.05, "UNC": None, "Auckland": 0.26}
+SEEDS = range(8)
+
+
+def test_figure5(benchmark):
+    # The paper's single-trace figure, rendered per site.
+    for panel, result in figure5(seed=0):
+        emit(panel.render())
+        assert not result.alarmed
+
+    # Quantitative bands over several seeds.
+    rows = []
+    for profile in (HARVARD, UNC, AUCKLAND):
+        maxima = []
+        zero_fractions = []
+        for seed in SEEDS:
+            trace = generate_count_trace(profile, seed=seed)
+            result = SynDog().observe_counts(trace.counts)
+            assert not result.alarmed, f"{profile.name} seed {seed}: false alarm"
+            maxima.append(result.max_statistic)
+            zero_fractions.append(
+                sum(1 for y in result.statistics if y == 0.0)
+                / len(result.statistics)
+            )
+        worst = max(maxima)
+        rows.append(
+            (
+                f"{profile.name} max spike",
+                PAPER_MAX_SPIKE[profile.name],
+                round(worst, 3),
+            )
+        )
+        # "mostly zeros"
+        assert min(zero_fractions) > 0.5, profile.name
+        # far below the threshold
+        assert worst < 1.05, profile.name
+    emit(render_comparison("Figure 5 anchors (max y_n over 8 seeds)", rows))
+
+    # Band checks against the paper's quantified sites (same order of
+    # magnitude; the spikes are driven by transient congestion whose
+    # exact depth the paper does not report).
+    harvard_max = rows[0][2]
+    auckland_max = rows[2][2]
+    assert harvard_max < 0.5
+    assert 0.05 < auckland_max < 0.8
+
+    # Benchmark kernel: one full normal-operation detection pass.
+    trace = generate_count_trace(AUCKLAND, seed=0)
+    benchmark(lambda: SynDog().observe_counts(trace.counts))

@@ -1,0 +1,35 @@
+"""Figure 8 — SYN flooding detection sensitivity at the SYN-dog of
+Auckland: y_n dynamics for f_i = 2, 5, 10 SYN/s.
+
+Paper anchors: detection in about 8 periods at 2 SYN/s, 2 at 5 and 1 at
+10 — rates an order of magnitude below UNC's, because the smaller site
+(K̄ ≈ 85 vs ≈ 1922 per period) normalizes the same absolute flood to a
+much larger X_n.
+"""
+
+from conftest import emit
+
+from repro.experiments.figures import attack_cusum_figure, figure8
+from repro.trace.profiles import AUCKLAND
+
+PAPER_DELAYS = {2.0: 8.0, 5.0: 2.0, 10.0: 1.0}
+ATTACK_START = 3600.0
+
+
+def test_figure8(benchmark):
+    panels = figure8(seed=0, attack_start=ATTACK_START)
+    delays = {}
+    for (panel, result), rate in zip(panels, (2.0, 5.0, 10.0)):
+        emit(panel.render())
+        assert result.alarmed, f"{rate} SYN/s not detected"
+        delays[rate] = result.detection_delay_periods(ATTACK_START)
+
+    assert delays[2.0] > delays[5.0] >= delays[10.0]
+    for rate, paper in PAPER_DELAYS.items():
+        assert delays[rate] <= paper * 1.6 + 1.0, (rate, delays[rate])
+
+    benchmark(
+        lambda: attack_cusum_figure(
+            AUCKLAND, 5.0, seed=1, attack_start=ATTACK_START
+        )
+    )

@@ -1,0 +1,84 @@
+"""Extension experiment — forensic accuracy of post-alarm attack
+characterization.
+
+After the alarm, the operator wants onset, end, and rate.  This bench
+sweeps flood rates at both calibrated sites and reports estimation
+error against the mixer's ground truth: onset error in periods, end
+error in periods, and relative rate error.  The onset estimate (an
+offline change-point pass over the evidence the detector already holds)
+beats the alarm time by the full detection delay — forensically, CUSUM
+is only the tripwire.
+"""
+
+from conftest import emit
+
+from repro.attack import FloodSource
+from repro.core import SynDog
+from repro.experiments.forensics import characterize_attack
+from repro.experiments.report import render_table
+from repro.trace import (
+    AUCKLAND,
+    UNC,
+    AttackWindow,
+    generate_count_trace,
+    mix_flood_into_counts,
+)
+
+CASES = [
+    (AUCKLAND, 2.0, 4800.0),
+    (AUCKLAND, 5.0, 3600.0),
+    (AUCKLAND, 10.0, 2400.0),
+    (UNC, 45.0, 360.0),
+    (UNC, 60.0, 360.0),
+    (UNC, 120.0, 360.0),
+]
+SEEDS = range(4)
+
+
+def test_forensics_accuracy(benchmark):
+    rows = []
+    for profile, rate, start in CASES:
+        onset_errors, end_errors, rate_errors, alarm_lags = [], [], [], []
+        for seed in SEEDS:
+            background = generate_count_trace(profile, seed=seed)
+            mixed = mix_flood_into_counts(
+                background, FloodSource(pattern=rate),
+                AttackWindow(start, 600.0),
+            )
+            result = SynDog().observe_counts(mixed.counts)
+            if not result.alarmed:
+                continue
+            report = characterize_attack(result)
+            onset_errors.append(abs(report.estimated_onset_time - start) / 20.0)
+            end_errors.append(
+                abs(report.estimated_end_time - (start + 600.0)) / 20.0
+            )
+            rate_errors.append(abs(report.estimated_rate - rate) / rate)
+            alarm_lags.append((report.alarm_time - start) / 20.0)
+        n = len(onset_errors)
+        rows.append([
+            f"{profile.name} @ {rate:g}/s",
+            n,
+            round(sum(onset_errors) / n, 2),
+            round(sum(end_errors) / n, 2),
+            f"{sum(rate_errors) / n:.1%}",
+            round(sum(alarm_lags) / n, 1),
+        ])
+        # Accuracy bands: onset within 1 period, end within 2, rate
+        # within 20% on average.
+        assert sum(onset_errors) / n <= 1.0, (profile.name, rate)
+        assert sum(end_errors) / n <= 2.0, (profile.name, rate)
+        assert sum(rate_errors) / n <= 0.20, (profile.name, rate)
+    emit(render_table(
+        ["attack", "runs", "onset err (t0)", "end err (t0)",
+         "rate err", "alarm lag (t0)"],
+        rows,
+        title="Forensic characterization accuracy vs ground truth",
+    ))
+
+    background = generate_count_trace(AUCKLAND, seed=0)
+    mixed = mix_flood_into_counts(
+        background, FloodSource(pattern=5.0), AttackWindow(3600.0, 600.0)
+    )
+    result = SynDog().observe_counts(mixed.counts)
+    benchmark(lambda: characterize_attack(result))

@@ -1,0 +1,33 @@
+"""Table 1 — a summary of the trace features.
+
+Regenerates the trace-inventory table from the calibrated synthetic
+profiles and checks the Table 1 anchors: durations (1 h / ½ h / ½ h /
+3 h), traffic types (bi/uni-directional), and the Section 4.1 claim
+that SYN and SYN/ACK counts are strongly positively correlated at every
+site.
+"""
+
+from conftest import emit
+
+from repro.experiments.tables import table1
+from repro.trace.profiles import AUCKLAND, HARVARD, LBL, UNC
+from repro.trace.stats import summarize_counts
+from repro.trace.synthetic import generate_count_trace
+
+
+def test_table1(benchmark):
+    rendered = table1(seed=0)
+    emit(rendered)
+
+    # Anchors: Table 1 durations and types.
+    assert "One hour" in rendered and "Half hour" in rendered
+    assert "Three hours" in rendered
+    assert "Bi-directional" in rendered and "Uni-directional" in rendered
+
+    # Section 4.1: "very strong positive correlation" at every site.
+    for profile in (LBL, HARVARD, UNC, AUCKLAND):
+        stats = summarize_counts(generate_count_trace(profile, seed=0))
+        assert stats.syn_synack_correlation > 0.6, profile.name
+
+    # Benchmark kernel: generating one UNC trace.
+    benchmark(lambda: generate_count_trace(UNC, seed=1))

@@ -1,0 +1,75 @@
+"""Table 3 — detection performance of the SYN-dog at Auckland.
+
+Regenerates the sweep: f_i ∈ {1.5, 1.75, 2, 5, 10} SYN/s, 10-minute
+attacks starting at a random whole minute between 3 and 136,
+NUM_TRIALS randomized trials per rate.
+
+Paper rows (probability, time in observation periods):
+    1.5 → (0.55, 20.64)   1.75 → (0.95, 12.95)   2 → (1.0, 7.85)
+    5 → (1.0, 2)          10 → (1.0, <1)
+
+The Auckland site's small K̄ (≈85/period) drops the detection floor
+from UNC's ~34 SYN/s to ~1.5 SYN/s — the paper's headline sensitivity
+result — and the sweep brackets that floor from both sides.
+"""
+
+import pytest
+from conftest import NUM_TRIALS, emit
+
+from repro.experiments.runner import DetectionTrialConfig, run_detection_trial
+from repro.experiments.tables import TABLE3_PAPER, table3
+from repro.trace.profiles import AUCKLAND
+
+
+def test_table3(benchmark):
+    rows, rendered = table3(num_trials=NUM_TRIALS)
+    emit(rendered)
+
+    measured = {row.flood_rate: row.measured for row in rows}
+
+    # Probability shape: partial at 1.5 (the floor), high at 1.75,
+    # certain from 2 upward.  At the exact floor the outcome hinges on
+    # the trace's K̄ dips during the attack window, so the band is wide
+    # (the paper measured 0.55 on its real trace; our stationary
+    # synthetic dips less).
+    assert 0.05 <= measured[1.5].detection_probability <= 0.85
+    assert measured[1.75].detection_probability >= 0.8
+    for rate in (2.0, 5.0, 10.0):
+        assert measured[rate].detection_probability == 1.0, rate
+    # Probability non-decreasing in rate.
+    probabilities = [
+        measured[rate].detection_probability for rate in (1.5, 1.75, 2.0, 5.0, 10.0)
+    ]
+    assert probabilities == sorted(probabilities)
+
+    # Detection time decreasing in rate.
+    times = [
+        measured[rate].mean_detection_time for rate in (1.75, 2.0, 5.0, 10.0)
+    ]
+    assert all(t is not None for t in times)
+    assert times == sorted(times, reverse=True)
+
+    # Per-row bands vs the paper.
+    for rate, (paper_prob, paper_time) in TABLE3_PAPER.items():
+        mean_time = measured[rate].mean_detection_time
+        if mean_time is None:
+            continue
+        assert mean_time <= paper_time * 1.6 + 1.0, (rate, mean_time)
+
+    # The cross-site sensitivity factor: Auckland's floor is ~20x lower
+    # than UNC's (1.75 vs 37 in the paper).
+    from repro.core import DEFAULT_PARAMETERS
+    from repro.trace.profiles import UNC
+
+    floor_ratio = DEFAULT_PARAMETERS.min_detectable_rate(
+        UNC.k_bar_target
+    ) / DEFAULT_PARAMETERS.min_detectable_rate(AUCKLAND.k_bar_target)
+    assert 15.0 < floor_ratio < 30.0
+
+    benchmark(
+        lambda: run_detection_trial(
+            DetectionTrialConfig(
+                profile=AUCKLAND, flood_rate=5.0, seed=0, attack_start=3600.0
+            )
+        )
+    )

@@ -1,0 +1,154 @@
+"""Analytic results of Sections 3.2 and 4.2.3, verified empirically.
+
+* Eq. 5 — the false-alarm probability decays exponentially with the
+  threshold N (equivalently, mean time between false alarms grows
+  exponentially).  Verified by sweeping N over long normal traces and
+  fitting log P(alarm) against N.
+* Eq. 7 — the detection delay ≈ N / (h − |c − a|); verified against
+  Monte-Carlo delays across flood rates.
+* Eq. 8 — the detection floor f_min = (a − c)·K̄/t0 actually separates
+  detected from undetected rates.
+* Section 4.2.3 — the hide-from-the-dogs bound A = V/f_min gives the
+  paper's 378 (UNC) and 8000 (Auckland) stub networks at V = 14000.
+"""
+
+import math
+
+from conftest import emit
+
+from repro.core import DEFAULT_PARAMETERS, SynDog
+from repro.experiments.metrics import estimate_false_alarm_time
+from repro.experiments.report import render_comparison, render_table
+from repro.experiments.runner import DetectionTrialConfig, run_detection_trial
+from repro.trace.profiles import AUCKLAND, UNC
+from repro.trace.stats import summarize_counts
+from repro.trace.synthetic import generate_count_trace
+
+
+def test_eq5_false_alarm_scaling(benchmark):
+    """Sweep the threshold N and measure per-period alarm probability on
+    long Auckland-like normal traffic."""
+    # One long pooled series of y_n values at the default drift.
+    statistic_pool = []
+    for seed in range(12):
+        trace = generate_count_trace(AUCKLAND, seed=seed)
+        result = SynDog().observe_counts(trace.counts)
+        statistic_pool.extend(result.statistics)
+
+    thresholds = [0.05, 0.10, 0.15, 0.20, 0.30]
+    rows = []
+    log_points = []
+    for threshold in thresholds:
+        estimate = estimate_false_alarm_time(statistic_pool, threshold)
+        rows.append(
+            [
+                threshold,
+                estimate.false_alarms,
+                round(estimate.alarm_probability, 5),
+                (
+                    round(estimate.mean_time_between_alarms_periods, 1)
+                    if estimate.false_alarms
+                    else "inf"
+                ),
+            ]
+        )
+        if estimate.false_alarms > 0:
+            log_points.append((threshold, math.log(estimate.alarm_probability)))
+    emit(render_table(
+        ["threshold N", "alarms", "P(alarm)/period", "periods between alarms"],
+        rows,
+        title=f"Eq. 5: false-alarm scaling over {len(statistic_pool)} normal periods",
+    ))
+
+    # Alarm probability strictly non-increasing in N...
+    probabilities = [row[2] for row in rows]
+    assert probabilities == sorted(probabilities, reverse=True)
+    # ...and decaying at least geometrically over the fitted range.
+    if len(log_points) >= 3:
+        (n0, l0), (n_last, l_last) = log_points[0], log_points[-1]
+        slope = (l_last - l0) / (n_last - n0)
+        assert slope < -3.0  # strong exponential decay in N
+    # At the paper's N = 1.05: zero false alarms in the entire pool.
+    final = estimate_false_alarm_time(statistic_pool, 1.05)
+    assert final.false_alarms == 0
+
+    benchmark(lambda: estimate_false_alarm_time(statistic_pool, 0.1))
+
+
+def test_eq7_detection_delay(benchmark):
+    """Analytic delay vs Monte-Carlo measurement at UNC."""
+    k_bar = summarize_counts(generate_count_trace(UNC, seed=0)).mean_synack
+    rows = []
+    for rate in (45.0, 60.0, 80.0, 120.0):
+        predicted = DEFAULT_PARAMETERS.detection_periods_for_rate(rate, k_bar)
+        delays = []
+        for seed in range(6):
+            outcome = run_detection_trial(
+                DetectionTrialConfig(
+                    profile=UNC, flood_rate=rate, seed=seed, attack_start=360.0
+                )
+            )
+            if outcome.detected:
+                delays.append(outcome.delay_periods)
+        measured = sum(delays) / len(delays)
+        rows.append((f"delay @ {rate:.0f} SYN/s (periods)",
+                     round(predicted, 2), round(measured, 2)))
+        # Eq. 7 is an upper-bound-flavoured estimate; allow the boundary
+        # period plus noise.
+        assert measured <= predicted + 1.5
+        assert measured >= predicted * 0.4
+    emit(render_comparison("Eq. 7: predicted vs measured detection delay",
+                           rows, paper_label="Eq.7 predicted"))
+
+    benchmark(
+        lambda: DEFAULT_PARAMETERS.detection_periods_for_rate(60.0, k_bar)
+    )
+
+
+def test_eq8_floor_separates(benchmark):
+    """Rates below f_min are never caught inside the attack window;
+    rates 30%+ above it always are (given the 30-period window)."""
+    k_bar = summarize_counts(generate_count_trace(UNC, seed=0)).mean_synack
+    floor = DEFAULT_PARAMETERS.min_detectable_rate(k_bar)
+
+    below = floor * 0.6
+    above = floor * 1.6
+    below_hits = above_hits = 0
+    for seed in range(6):
+        below_outcome = run_detection_trial(
+            DetectionTrialConfig(profile=UNC, flood_rate=below, seed=seed,
+                                 attack_start=360.0)
+        )
+        above_outcome = run_detection_trial(
+            DetectionTrialConfig(profile=UNC, flood_rate=above, seed=seed,
+                                 attack_start=360.0)
+        )
+        below_hits += below_outcome.detected
+        above_hits += above_outcome.detected
+    emit(render_comparison(
+        "Eq. 8: the detection floor separates",
+        [
+            ("f_min at measured K (SYN/s)", 37.0, round(floor, 1)),
+            (f"P(detect) @ 0.6*f_min", 0.0, below_hits / 6),
+            (f"P(detect) @ 1.6*f_min", 1.0, above_hits / 6),
+        ],
+    ))
+    assert below_hits == 0
+    assert above_hits == 6
+
+    benchmark(lambda: DEFAULT_PARAMETERS.min_detectable_rate(k_bar))
+
+
+def test_coverage_bound(benchmark):
+    """Section 4.2.3: hiding a protected-server-killing flood needs 378
+    UNC-scale or 8000 Auckland-scale stub networks."""
+    unc = DEFAULT_PARAMETERS.max_hidden_sources(14000.0, 2114.0)
+    auckland = DEFAULT_PARAMETERS.max_hidden_sources(14000.0, 100.0)
+    emit(render_comparison(
+        "Section 4.2.3: max hidden stub networks at V = 14000 SYN/s",
+        [("UNC-scale (K=2114)", 378, unc), ("Auckland-scale (K=100)", 8000, auckland)],
+    ))
+    assert unc == 378
+    assert auckland == 8000
+
+    benchmark(lambda: DEFAULT_PARAMETERS.max_hidden_sources(14000.0, 2114.0))

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""SYN-dog vs the naive baselines on the same attacks.
+
+Why CUSUM?  This example runs three per-period detectors over identical
+mixed traffic at two very different sites and shows the two properties
+the paper's design arguments rest on:
+
+1. *site independence* — a static packet-count threshold tuned for UNC
+   (thousands of SYN/ACKs per period) is useless at Auckland-scale, and
+   one tuned for Auckland false-alarms at UNC; the normalized detectors
+   transfer unchanged;
+2. *cumulative sensitivity* — a memoryless per-period bound misses slow
+   floods whose excess never crosses it in any single period, while
+   CUSUM accumulates the small excesses and still catches them (Eq. 8's
+   "at the expense of a longer response time").
+
+Run:  python examples/compare_detectors.py
+"""
+
+from repro import AUCKLAND, UNC, AttackWindow, SynDog, generate_count_trace, mix_flood_into_counts
+from repro.attack import FloodSource
+from repro.core import AdaptiveEwmaDetector, StaticThresholdDetector, run_detector
+from repro.experiments.report import render_table
+
+
+def evaluate(profile, flood_rate, seed=4, start=360.0):
+    """Return first-alarm period index (or None) for each detector."""
+    background = generate_count_trace(profile, seed=seed, duration=1800.0)
+    window = AttackWindow(start, 600.0)
+    mixed = mix_flood_into_counts(
+        background, FloodSource(pattern=float(flood_rate)), window
+    ) if flood_rate else background
+    start_period = int(start // 20.0)
+
+    def delay(first_alarm):
+        if first_alarm is None:
+            return None
+        if first_alarm < start_period:
+            return "pre-attack"  # alarmed before the flood even began
+        return first_alarm - start_period + 1
+
+    results = {}
+    # SYN-dog: normalized + cumulative.
+    result = SynDog().observe_counts(mixed.counts)
+    results["SYN-dog (CUSUM)"] = delay(result.first_alarm_period)
+    # Static absolute threshold, tuned for a UNC-sized site: alarm when
+    # the raw per-period difference exceeds 1400 packets (= h*K_unc).
+    results["static 1400 pkt"] = delay(
+        run_detector(StaticThresholdDetector(1400.0), mixed.counts)
+    )
+    # Static threshold tuned for Auckland (60 packets/period).
+    results["static 60 pkt"] = delay(
+        run_detector(StaticThresholdDetector(60.0), mixed.counts)
+    )
+    # Normalized but memoryless per-period bound at h = 0.7.
+    results["EWMA bound 0.7"] = delay(
+        run_detector(AdaptiveEwmaDetector(bound=0.7), mixed.counts)
+    )
+    return results
+
+
+def main() -> None:
+    detectors = ["SYN-dog (CUSUM)", "static 1400 pkt", "static 60 pkt", "EWMA bound 0.7"]
+    scenarios = [
+        (UNC, 0.0, "UNC, no attack (false alarms?)"),
+        (UNC, 45.0, "UNC, 45 SYN/s (slow flood)"),
+        (UNC, 120.0, "UNC, 120 SYN/s"),
+        (AUCKLAND, 0.0, "Auckland, no attack"),
+        (AUCKLAND, 2.0, "Auckland, 2 SYN/s (slow flood)"),
+        (AUCKLAND, 10.0, "Auckland, 10 SYN/s"),
+    ]
+    rows = []
+    for profile, rate, label in scenarios:
+        outcome = evaluate(profile, rate)
+        attack = rate > 0
+        cells = [label]
+        for name in detectors:
+            d = outcome[name]
+            if not attack:
+                cells.append("FALSE ALARM" if d is not None else "quiet")
+            elif d is None:
+                cells.append("MISSED")
+            elif d == "pre-attack":
+                cells.append("FALSE ALARM")
+            else:
+                cells.append(f"{d} periods")
+        rows.append(cells)
+    print(render_table(
+        ["scenario"] + detectors, rows,
+        title="Detection delay (observation periods after attack start)",
+    ))
+    print(
+        "\nReadings: the UNC-sized static threshold misses everything at\n"
+        "Auckland; the Auckland-sized one false-alarms on normal UNC\n"
+        "bursts; the memoryless EWMA bound misses slow floods at both\n"
+        "sites.  Only the normalized cumulative test (SYN-dog) detects\n"
+        "every attack at both sites with zero false alarms and no\n"
+        "per-site tuning."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Site-specific parameter tuning, the way an operator would do it.
+
+Section 4.2.3 sketches the procedure in prose: "the network
+administrator of the involved leaf router can incorporate site-specific
+information so that the algorithm can achieve higher detection
+performance."  This example runs that procedure end-to-end at a
+UNC-sized site:
+
+1. sweep the (a, N) grid over recorded normal traffic and a reference
+   flood;
+2. show the trade-off surface (detection floor vs false alarms);
+3. let the recommendation rule pick the most sensitive setting within a
+   zero-false-alarm budget;
+4. verify the pick against a fresh attack the paper's defaults miss.
+
+Run:  python examples/parameter_tuning.py
+"""
+
+from repro import UNC, AttackWindow, SynDog, generate_count_trace, mix_flood_into_counts
+from repro.attack import FloodSource
+from repro.core import DEFAULT_PARAMETERS, SynDogParameters
+from repro.experiments import recommend_parameters, sweep_parameters
+from repro.experiments.report import render_table
+
+REFERENCE_FLOOD = 25.0  # SYN/s: under the default floor (~34) at UNC
+
+
+def main() -> None:
+    print("sweeping the (a, N) grid at a UNC-sized site "
+          "(6 normal + 4 attacked traces per cell)...\n")
+    cells = sweep_parameters(
+        UNC,
+        drifts=(0.10, 0.20, 0.35, 0.50),
+        thresholds=(0.60, 1.05, 2.00),
+        flood_rate=REFERENCE_FLOOD,
+        num_normal_traces=6,
+        num_attack_trials=4,
+    )
+    print(render_table(
+        ["a", "N", "f_min (SYN/s)", "false alarms",
+         f"P(detect {REFERENCE_FLOOD:.0f}/s)", "delay (t0)"],
+        [
+            [c.drift, c.threshold, round(c.f_min, 1), c.false_alarm_onsets,
+             c.detection_probability,
+             round(c.mean_delay_periods, 1) if c.mean_delay_periods else None]
+            for c in cells
+        ],
+        title="(a, N) trade-off surface",
+    ))
+
+    best = recommend_parameters(cells, max_false_alarm_rate=0.0)
+    assert best is not None
+    print(f"\nrecommendation (zero-false-alarm budget): a = {best.drift}, "
+          f"N = {best.threshold} -> floor {best.f_min:.1f} SYN/s "
+          f"(paper default: a = 0.35, N = 1.05 -> floor "
+          f"{DEFAULT_PARAMETERS.min_detectable_rate(UNC.k_bar_target):.1f})")
+
+    # Validate on a fresh attacked trace (unseen seed).
+    tuned = SynDogParameters(
+        drift=best.drift,
+        attack_increase=2.0 * best.drift,
+        threshold=best.threshold,
+    )
+    background = generate_count_trace(UNC, seed=1234)
+    mixed = mix_flood_into_counts(
+        background, FloodSource(pattern=REFERENCE_FLOOD),
+        AttackWindow(360.0, 600.0),
+    )
+    default_result = SynDog().observe_counts(mixed.counts)
+    tuned_result = SynDog(parameters=tuned).observe_counts(mixed.counts)
+    normal_result = SynDog(parameters=tuned).observe_counts(background.counts)
+
+    print(f"\nvalidation on an unseen trace, {REFERENCE_FLOOD:.0f} SYN/s flood:")
+    print(f"  paper defaults : "
+          f"{'detected' if default_result.alarmed else 'MISSED'}")
+    delay = tuned_result.detection_delay_periods(360.0)
+    print(f"  tuned          : detected after {delay:.0f} periods"
+          if tuned_result.alarmed else "  tuned          : MISSED")
+    print(f"  tuned on normal traffic: "
+          f"{'FALSE ALARM' if normal_result.alarmed else 'quiet'}")
+    assert tuned_result.alarmed and not normal_result.alarmed
+
+
+if __name__ == "__main__":
+    main()

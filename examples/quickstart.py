@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Quickstart: detect a SYN flooding source in a synthetic stub network.
+
+Builds a SYN-dog with the paper's default parameters (t0 = 20 s,
+a = 0.35, h = 0.7, N = 1.05), streams half an hour of Auckland-like
+background traffic through it with a 10-minute, 5 SYN/s flood mixed in,
+and prints the detection timeline.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import AUCKLAND, AttackWindow, SynDog, generate_count_trace, mix_flood_into_counts
+from repro.attack import FloodSource
+
+
+def main() -> None:
+    # 1. Background traffic: the calibrated Auckland profile (~85
+    #    SYN/ACKs per 20 s observation period).
+    background = generate_count_trace(AUCKLAND, seed=7, duration=1800.0)
+
+    # 2. Mix in the attack: one flooding slave inside the stub network,
+    #    5 spoofed SYNs per second for 10 minutes starting at t = 6 min.
+    flood = FloodSource(pattern=5.0)
+    window = AttackWindow(start=360.0, duration=600.0)
+    mixed = mix_flood_into_counts(background, flood, window)
+
+    # 3. Run the detector over the per-period counts, as the leaf
+    #    router's sniffers would report them.
+    dog = SynDog()
+    print(f"{'period':>6} {'t(s)':>6} {'SYN':>6} {'SYN/ACK':>8} "
+          f"{'X_n':>8} {'y_n':>8}  alarm")
+    alarm_seen = False
+    for syn_count, synack_count in mixed.counts:
+        record = dog.observe_period(syn_count, synack_count)
+        in_attack = window.start < record.end_time <= window.end
+        marker = "*" if in_attack else " "
+        if record.alarm and not alarm_seen:
+            alarm_seen = True
+            print(f"{record.period_index:6d} {record.end_time:6.0f} "
+                  f"{record.syn_count:6d} {record.synack_count:8d} "
+                  f"{record.x:8.3f} {record.statistic:8.3f}  <== ALARM")
+        elif record.statistic > 0 or in_attack:
+            print(f"{record.period_index:6d} {record.end_time:6.0f} "
+                  f"{record.syn_count:6d} {record.synack_count:8d} "
+                  f"{record.x:8.3f} {record.statistic:8.3f}  {marker}")
+
+    result = dog.result()
+    assert result.alarmed, "the flood should have been detected"
+    delay = result.detection_delay_periods(window.start)
+    print()
+    print(f"Attack started at t = {window.start:.0f}s; "
+          f"alarm at t = {result.first_alarm_time:.0f}s "
+          f"({delay:.0f} observation periods).")
+    print(f"Detector state: K-bar = {dog.k_bar:.1f} SYN/ACKs per period; "
+          f"current detection floor f_min = {dog.min_detectable_rate():.2f} SYN/s "
+          f"(paper reports 1.75 for the Auckland-sized site).")
+
+
+if __name__ == "__main__":
+    main()

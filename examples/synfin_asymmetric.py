@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""SYN–FIN pairing on an asymmetrically routed stub network.
+
+Multi-homed networks often send traffic out through one provider and
+receive answers through another ("hot-potato" routing).  At such a leaf
+router the classic SYN↔SYN/ACK pairing is blind — the SYN/ACKs never
+pass by — and the detector would cry wolf on perfectly normal traffic.
+The companion SYN–FIN pairing (both packets travel the *outbound* path)
+keeps working unchanged.
+
+This example builds one Auckland-like trace with FIN events, runs both
+pairings at three asymmetry levels, and mixes in a 5 SYN/s flood to
+show the SYN–FIN variant still catches it.
+
+Run:  python examples/synfin_asymmetric.py
+"""
+
+from repro.attack import FloodSource
+from repro.core import SynDog, SynFinDog
+from repro.trace import (
+    AUCKLAND,
+    AttackWindow,
+    generate_extended_count_trace,
+    mix_flood_into_extended,
+)
+
+
+def describe(result, attack_start=None):
+    if not result.alarmed:
+        return "quiet"
+    if attack_start is not None:
+        delay = result.detection_delay_periods(attack_start)
+        attack_period = int(attack_start // 20.0)
+        if result.first_alarm_period >= attack_period:
+            return f"ALARM {delay:.0f} periods after attack onset"
+    return (f"FALSE ALARM at period {result.first_alarm_period} "
+            f"(t = {result.first_alarm_time:.0f}s)")
+
+
+def main() -> None:
+    background = generate_extended_count_trace(AUCKLAND, seed=13)
+    attacked = mix_flood_into_extended(
+        background, FloodSource(pattern=5.0), AttackWindow(3600.0, 600.0)
+    )
+    print("Auckland-like stub network, 3 hours; flood: 5 SYN/s at t = 60 min\n")
+    print(f"{'SYN/ACK visibility':>20} | {'SYN-SYNACK pairing':^38} | "
+          f"{'SYN-FIN pairing':^38}")
+    print("-" * 104)
+    for visibility in (1.0, 0.5, 0.0):
+        asym = attacked.with_synack_loss(visibility, seed=1)
+        classic = SynDog().observe_counts(asym.syn_synack_pairs().counts)
+        synfin = SynFinDog().observe_counts(asym.syn_fin_pairs().counts)
+        print(f"{visibility:>19.0%} | "
+              f"{describe(classic, 3600.0):^38} | "
+              f"{describe(synfin, 3600.0):^38}")
+
+    print(
+        "\nreading: once the return path stops crossing this router, the\n"
+        "SYN-SYNACK detector false-alarms before the flood even begins,\n"
+        "while the outbound-only SYN-FIN pairing stays quiet on normal\n"
+        "traffic and still detects the flood within a few periods."
+    )
+
+
+if __name__ == "__main__":
+    main()

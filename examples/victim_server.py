@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""The victim's view: backlog exhaustion, and what each defense buys.
+
+Section 1's threat model, made runnable.  A victim server with a
+256-entry backlog serves legitimate clients at 20 connections/s.  We
+then hit it with the minimum flooding rate the paper cites for an
+unprotected server (500 SYN/s, [8]) and compare:
+
+* no defense               — service collapses (the attack works);
+* SYN cookies [3]          — service survives, zero half-open state;
+* stateful victim defenses — protect the victim but know nothing about
+  where the flood comes from;
+* SYN-dog at the source    — detects *and localizes* the flood at its
+  origin stub network.
+
+Run:  python examples/victim_server.py
+"""
+
+import random
+
+from repro import UNC, AttackWindow, SynDog, generate_count_trace, mix_flood_into_counts
+from repro.attack import FloodSource
+from repro.defense import SynCookieServer
+from repro.packet import IPv4Address
+from repro.tcpsim import EventScheduler, Link, VictimNetwork
+
+
+def run_undefended(flood_rate: float) -> None:
+    network = VictimNetwork(seed=11, client_rate=20.0, backlog_capacity=256)
+    flood = FloodSource(pattern=flood_rate) if flood_rate > 0 else None
+    result = network.run(duration=60.0, flood=flood)
+    label = f"{flood_rate:.0f} SYN/s flood" if flood_rate else "no attack"
+    print(f"  [{label:>16}] denial={result.denial_probability:6.1%}  "
+          f"established={result.legitimate_established}/{result.legitimate_attempts}  "
+          f"backlog peak={result.backlog_peak}/256  "
+          f"SYNs refused={result.backlog_refused}")
+
+
+def run_with_cookies(flood_rate: float) -> None:
+    """Same scenario, server swapped for a SYN-cookie implementation."""
+    scheduler = EventScheduler()
+    rng = random.Random(11)
+    victim_address = IPv4Address.parse("198.51.100.80")
+    # Collect the server's replies; the 'network' here is a simple loop
+    # since cookies need no topology to show their property.
+    replies = []
+    server = SynCookieServer(scheduler, victim_address, output=replies.append)
+
+    flood = FloodSource(pattern=flood_rate)
+    for packet in flood.generate_packets(rng, 60.0):
+        scheduler.schedule(packet.timestamp, lambda p=packet: server.receive(p))
+    scheduler.run_until(61.0)
+
+    print(f"  [{flood_rate:.0f} SYN/s vs cookies] SYNs received="
+          f"{server.syns_received}  SYN/ACKs sent={server.synacks_sent}  "
+          f"half-open state held={server.half_open_count}  "
+          f"(memory is O(1) no matter the flood)")
+
+
+def run_syndog_at_source() -> None:
+    """Meanwhile, at the flooding source's stub network..."""
+    background = generate_count_trace(UNC, seed=11, duration=1800.0)
+    mixed = mix_flood_into_counts(
+        background, FloodSource(pattern=500.0), AttackWindow(360.0, 600.0)
+    )
+    result = SynDog().observe_counts(mixed.counts)
+    delay = result.detection_delay_periods(360.0)
+    print(f"  SYN-dog at the source's leaf router: alarm after "
+          f"{delay:.0f} observation period(s) — and the source is, by "
+          f"construction, inside this stub network.")
+
+
+def main() -> None:
+    print("victim with a 256-entry backlog, legitimate load 20 conn/s:")
+    run_undefended(0.0)
+    run_undefended(100.0)
+    run_undefended(500.0)
+
+    print("\nthe same 500 SYN/s flood against SYN cookies:")
+    run_with_cookies(500.0)
+
+    print("\nand at the other end of the attack path:")
+    run_syndog_at_source()
+
+    print("\nconclusion: victim-side defenses mitigate; only the "
+          "first-mile detector also *finds the source*.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The full package metadata lives in ``pyproject.toml``; this file exists
+so ``pip install -e .`` works on environments without the ``wheel``
+package (legacy ``setup.py develop`` editable installs).
+"""
+
+from setuptools import setup
+
+setup()

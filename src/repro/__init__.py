@@ -1,0 +1,96 @@
+"""SYN-dog: sniffing SYN flooding sources.
+
+A complete reproduction of *SYN-dog: Sniffing SYN Flooding Sources*
+(Haining Wang, Danlu Zhang, Kang G. Shin - ICDCS 2002): a stateless,
+CUSUM-based detector of SYN flooding *sources*, installed at the leaf
+routers that connect stub networks to the Internet.
+
+Quickstart::
+
+    from repro import SynDog
+    dog = SynDog()                      # paper defaults: t0=20s, a=0.35, N=1.05
+    for syn_count, synack_count in per_period_counts:
+        record = dog.observe_period(syn_count, synack_count)
+        if record.alarm:
+            print(f"flooding source detected, y_n={record.statistic:.2f}")
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: sniffers, EWMA normalization,
+    non-parametric CUSUM, parameter theory, baseline detectors.
+``repro.packet`` / ``repro.pcap``
+    Byte-accurate Ethernet/IPv4/TCP/UDP codecs, the TCP control-packet
+    classifier, and a from-scratch libpcap reader/writer.
+``repro.trace``
+    Arrival processes (Poisson / self-similar / MMPP), the
+    SYN<->SYN/ACK handshake model, calibrated site profiles for the
+    paper's four traces, synthetic generation and attack mixing.
+``repro.tcpsim``
+    Discrete-event TCP substrate: handshake state machine, the victim's
+    half-open backlog, links, and the service-denial experiment.
+``repro.attack``
+    Flooding sources, temporal patterns, spoofing strategies, DDoS
+    campaign coordination.
+``repro.defense``
+    The stateful victim-side baselines (SYN cookies, Synkill, SYN
+    proxy) and source-side ingress filtering.
+``repro.router`` / ``repro.traceback``
+    The leaf-router integration and MAC-based source localization.
+``repro.experiments``
+    The trace-driven harness regenerating every table and figure.
+"""
+
+from .core import (
+    DEFAULT_PARAMETERS,
+    TUNED_UNC_PARAMETERS,
+    DetectionRecord,
+    DetectionResult,
+    NonParametricCusum,
+    SynDog,
+    SynDogParameters,
+)
+from .router import LeafRouter, SynDogAgent
+from .trace import (
+    AUCKLAND,
+    HARVARD,
+    LBL,
+    UNC,
+    AttackWindow,
+    CountTrace,
+    PacketTrace,
+    SiteProfile,
+    generate_count_trace,
+    generate_packet_trace,
+    get_profile,
+    mix_flood_into_counts,
+    mix_flood_into_packets,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_PARAMETERS",
+    "TUNED_UNC_PARAMETERS",
+    "DetectionRecord",
+    "DetectionResult",
+    "NonParametricCusum",
+    "SynDog",
+    "SynDogParameters",
+    "LeafRouter",
+    "SynDogAgent",
+    "AUCKLAND",
+    "HARVARD",
+    "LBL",
+    "UNC",
+    "AttackWindow",
+    "CountTrace",
+    "PacketTrace",
+    "SiteProfile",
+    "generate_count_trace",
+    "generate_packet_trace",
+    "get_profile",
+    "mix_flood_into_counts",
+    "mix_flood_into_packets",
+    "__version__",
+]

@@ -1,0 +1,138 @@
+"""DDoS coordination: master → slaves → victim (Section 4.2).
+
+Models the architecture of the TFN / TFN2K / Trinity / Shaft family:
+"the master sends control packets to the previously-compromised slaves,
+instructing them to target at a given victim.  The slaves then generate
+and send high-volume streams of flooding messages to the victim, but
+with fake or randomized source addresses."
+
+The paper's evaluation assumption is encoded in
+:meth:`DDoSCampaign.evenly_distributed`: the aggregate rate V needed to
+bring the victim down is split evenly across ``num_stub_networks`` stub
+networks with exactly one slave each, so the per-SYN-dog visible rate
+is f_i = V / A — the quantity swept in Tables 2 and 3.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..packet.addresses import IPv4Address, MACAddress
+from .flooder import FloodSource
+from .patterns import ConstantRate, RatePattern
+from .spoofing import RandomBogonSpoofer, Spoofer
+
+__all__ = ["Slave", "DDoSCampaign", "MIN_UNPROTECTED_RATE", "MIN_PROTECTED_RATE"]
+
+#: Minimum flooding rate to overwhelm an unprotected server (SYN/s) [8].
+MIN_UNPROTECTED_RATE = 500.0
+
+#: Minimum rate to disable a server behind a specialized anti-SYN-flood
+#: firewall (SYN/s) [8] — the paper's V in the Section 4.2.3 coverage
+#: argument.
+MIN_PROTECTED_RATE = 14000.0
+
+#: Typical attack duration observed in the Internet (Section 4.2) [18].
+TYPICAL_ATTACK_DURATION = 600.0
+
+
+@dataclass(frozen=True)
+class Slave:
+    """One compromised host: which stub network it sits in, and its
+    flooding source."""
+
+    stub_network_id: int
+    source: FloodSource
+
+
+@dataclass
+class DDoSCampaign:
+    """A coordinated multi-source SYN flooding campaign.
+
+    ``slaves`` maps every flooding source to its stub network; the
+    campaign-level accessors answer the questions the evaluation asks:
+    the rate any single SYN-dog sees, and the aggregate rate the victim
+    absorbs.
+    """
+
+    victim: IPv4Address
+    slaves: List[Slave] = field(default_factory=list)
+    duration: float = TYPICAL_ATTACK_DURATION
+
+    @classmethod
+    def evenly_distributed(
+        cls,
+        victim: IPv4Address,
+        aggregate_rate: float,
+        num_stub_networks: int,
+        duration: float = TYPICAL_ATTACK_DURATION,
+        spoofer_factory=RandomBogonSpoofer,
+        victim_port: int = 80,
+    ) -> "DDoSCampaign":
+        """The paper's experimental configuration: the aggregate flood is
+        split evenly, one slave per stub network, so each SYN-dog sees
+        f_i = aggregate_rate / num_stub_networks."""
+        if aggregate_rate <= 0:
+            raise ValueError(f"aggregate rate must be positive: {aggregate_rate}")
+        if num_stub_networks <= 0:
+            raise ValueError(
+                f"need at least one stub network: {num_stub_networks}"
+            )
+        per_source = aggregate_rate / num_stub_networks
+        slaves = [
+            Slave(
+                stub_network_id=network_id,
+                source=FloodSource(
+                    pattern=ConstantRate(per_source),
+                    victim=victim,
+                    victim_port=victim_port,
+                    spoofer=spoofer_factory(),
+                    mac=MACAddress((0x02 << 40) | (0xDD << 32) | network_id),
+                ),
+            )
+            for network_id in range(num_stub_networks)
+        ]
+        return cls(victim=victim, slaves=slaves, duration=duration)
+
+    @property
+    def num_sources(self) -> int:
+        return len(self.slaves)
+
+    @property
+    def aggregate_rate(self) -> float:
+        """Total SYN/s arriving at the victim."""
+        return sum(
+            slave.source.mean_rate(self.duration) for slave in self.slaves
+        )
+
+    def per_network_rate(self, stub_network_id: int) -> float:
+        """f_i: the flooding rate visible to the SYN-dog of one stub
+        network (the sum over its local slaves)."""
+        return sum(
+            slave.source.mean_rate(self.duration)
+            for slave in self.slaves
+            if slave.stub_network_id == stub_network_id
+        )
+
+    def sources_in_network(self, stub_network_id: int) -> List[FloodSource]:
+        return [
+            slave.source
+            for slave in self.slaves
+            if slave.stub_network_id == stub_network_id
+        ]
+
+    def total_packets(self) -> float:
+        """Expected SYN volume of the whole campaign — e.g. the paper's
+        300,000-packet example for a 10-minute, 500 SYN/s flood."""
+        return sum(
+            slave.source.expected_packets(0.0, self.duration)
+            for slave in self.slaves
+        )
+
+    def is_sufficient(self, protected: bool = False) -> bool:
+        """Does the aggregate rate clear the published denial threshold
+        [8] for an (un)protected victim?"""
+        threshold = MIN_PROTECTED_RATE if protected else MIN_UNPROTECTED_RATE
+        return self.aggregate_rate >= threshold

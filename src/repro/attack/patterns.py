@@ -1,0 +1,173 @@
+"""Temporal flooding-rate patterns.
+
+The paper argues (Section 4.2) that because CUSUM integrates the
+cumulative volume, "the flooding traffic pattern or its transient
+behavior (bursty or not) does not affect the detection sensitivity",
+and then runs all experiments at a constant rate "without loss of
+generality".  We implement the full pattern family so an ablation bench
+can *verify* that claim: every pattern here can be configured to emit
+the same total volume, and detection delay should then match.
+
+A pattern is a deterministic rate function r(t) over attack-local time,
+exposing its exact integral so count-level mixing is unbiased even for
+partial observation periods.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "RatePattern",
+    "ConstantRate",
+    "SquareWaveRate",
+    "RampRate",
+    "PulseTrainRate",
+]
+
+
+class RatePattern(abc.ABC):
+    """A deterministic flooding-rate profile r(t) ≥ 0."""
+
+    @abc.abstractmethod
+    def rate_at(self, t: float) -> float:
+        """Instantaneous rate (packets/second) at attack-local time t."""
+
+    @abc.abstractmethod
+    def integral(self, t0: float, t1: float) -> float:
+        """Exact ∫ r(t) dt over [t0, t1); the expected packet count."""
+
+    def mean_rate(self, duration: float) -> float:
+        """Average rate over an attack of the given duration."""
+        if duration <= 0:
+            raise ValueError(f"duration must be positive: {duration}")
+        return self.integral(0.0, duration) / duration
+
+
+@dataclass(frozen=True)
+class ConstantRate(RatePattern):
+    """The paper's experimental default: r(t) = rate."""
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ValueError(f"rate cannot be negative: {self.rate}")
+
+    def rate_at(self, t: float) -> float:
+        return self.rate
+
+    def integral(self, t0: float, t1: float) -> float:
+        return self.rate * max(0.0, t1 - t0)
+
+
+@dataclass(frozen=True)
+class SquareWaveRate(RatePattern):
+    """ON/OFF bursting: ``high`` rate for ``on_time`` seconds, silent for
+    ``off_time``, repeating.  Mean rate = high · on/(on+off)."""
+
+    high: float
+    on_time: float
+    off_time: float
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.high < 0:
+            raise ValueError(f"rate cannot be negative: {self.high}")
+        if self.on_time <= 0 or self.off_time < 0:
+            raise ValueError("on_time must be positive, off_time non-negative")
+
+    @property
+    def cycle(self) -> float:
+        return self.on_time + self.off_time
+
+    def rate_at(self, t: float) -> float:
+        position = (t + self.phase) % self.cycle
+        return self.high if position < self.on_time else 0.0
+
+    def integral(self, t0: float, t1: float) -> float:
+        if t1 <= t0:
+            return 0.0
+        # Integrate ON-time overlap cycle by cycle, in closed form for
+        # whole cycles plus edge handling for the partial ones.
+        def on_seconds_up_to(t: float) -> float:
+            shifted = t + self.phase
+            full_cycles = math.floor(shifted / self.cycle)
+            remainder = shifted - full_cycles * self.cycle
+            return full_cycles * self.on_time + min(remainder, self.on_time)
+
+        return self.high * (on_seconds_up_to(t1) - on_seconds_up_to(t0))
+
+
+@dataclass(frozen=True)
+class RampRate(RatePattern):
+    """Linear ramp from ``start_rate`` to ``end_rate`` over ``ramp_time``,
+    constant at ``end_rate`` after.  Models attacks that spin slaves up
+    gradually to stay under rate thresholds."""
+
+    start_rate: float
+    end_rate: float
+    ramp_time: float
+
+    def __post_init__(self) -> None:
+        if self.start_rate < 0 or self.end_rate < 0:
+            raise ValueError("rates cannot be negative")
+        if self.ramp_time <= 0:
+            raise ValueError(f"ramp time must be positive: {self.ramp_time}")
+
+    def rate_at(self, t: float) -> float:
+        if t >= self.ramp_time:
+            return self.end_rate
+        if t < 0:
+            return self.start_rate
+        fraction = t / self.ramp_time
+        return self.start_rate + fraction * (self.end_rate - self.start_rate)
+
+    def integral(self, t0: float, t1: float) -> float:
+        if t1 <= t0:
+            return 0.0
+
+        def antiderivative(t: float) -> float:
+            clamped = min(max(t, 0.0), self.ramp_time)
+            slope = (self.end_rate - self.start_rate) / self.ramp_time
+            ramp_part = self.start_rate * clamped + slope * clamped ** 2 / 2.0
+            flat_part = self.end_rate * max(0.0, t - self.ramp_time)
+            return ramp_part + flat_part
+
+        return antiderivative(t1) - antiderivative(t0)
+
+
+@dataclass(frozen=True)
+class PulseTrainRate(RatePattern):
+    """Short intense pulses: ``pulse_rate`` for ``pulse_width`` seconds
+    every ``interval`` seconds.  The stealthiest shape against per-period
+    threshold detectors — and, per the paper's claim, no harder for
+    CUSUM at equal volume."""
+
+    pulse_rate: float
+    pulse_width: float
+    interval: float
+
+    def __post_init__(self) -> None:
+        if self.pulse_rate < 0:
+            raise ValueError(f"rate cannot be negative: {self.pulse_rate}")
+        if self.pulse_width <= 0 or self.interval <= 0:
+            raise ValueError("pulse width and interval must be positive")
+        if self.pulse_width > self.interval:
+            raise ValueError("pulse width cannot exceed the interval")
+
+    def rate_at(self, t: float) -> float:
+        return self.pulse_rate if (t % self.interval) < self.pulse_width else 0.0
+
+    def integral(self, t0: float, t1: float) -> float:
+        if t1 <= t0:
+            return 0.0
+
+        def on_seconds_up_to(t: float) -> float:
+            full = math.floor(t / self.interval)
+            remainder = t - full * self.interval
+            return full * self.pulse_width + min(remainder, self.pulse_width)
+
+        return self.pulse_rate * (on_seconds_up_to(t1) - on_seconds_up_to(t0))

@@ -1,0 +1,129 @@
+"""Source-address spoofing strategies (Section 1).
+
+A SYN flood only pins the victim's backlog if the spoofed source is
+*unreachable*: a live host receiving the victim's SYN/ACK would answer
+with a RST and release the half-open entry, foiling the attack.  Real
+tools therefore draw sources from unallocated/unroutable space or from
+randomly generated addresses.
+
+Strategies provided:
+
+* :class:`RandomBogonSpoofer` — each SYN gets a fresh address from
+  reserved (never-routable) space; the common TFN-style behaviour;
+* :class:`FixedAddressSpoofer` — one invalid address reused for the
+  whole flood (trivially filterable, kept as the naive baseline);
+* :class:`SubnetRandomSpoofer` — random addresses inside a chosen
+  prefix, modelling tools that spoof "plausible" space;
+* :class:`RandomUniformSpoofer` — uniform over the whole IPv4 space,
+  occasionally hitting live hosts (a fraction ``reachable_fraction`` of
+  them draw RSTs, weakening the attack — the tcpsim victim model uses
+  this).
+
+Spoofers never forge the *MAC* address: the flooding host's NIC stamps
+its own, which is the invariant SYN-dog's localization step exploits
+(Section 4.2.3).
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass
+
+from ..packet.addresses import (
+    IPv4Address,
+    IPv4Network,
+    is_bogon,
+    random_spoofed_address,
+)
+
+__all__ = [
+    "Spoofer",
+    "RandomBogonSpoofer",
+    "FixedAddressSpoofer",
+    "SubnetRandomSpoofer",
+    "RandomUniformSpoofer",
+]
+
+
+class Spoofer(abc.ABC):
+    """Generates the forged source address for each flood SYN."""
+
+    @abc.abstractmethod
+    def next_address(self, rng: random.Random) -> IPv4Address:
+        """The spoofed source for the next SYN."""
+
+    def reachable_probability(self) -> float:
+        """Probability a generated source is actually a live, reachable
+        host (and would therefore RST the victim's SYN/ACK)."""
+        return 0.0
+
+
+class RandomBogonSpoofer(Spoofer):
+    """A fresh never-routable address per SYN — maximally effective and
+    maximally anonymous."""
+
+    def next_address(self, rng: random.Random) -> IPv4Address:
+        return random_spoofed_address(rng)
+
+
+@dataclass
+class FixedAddressSpoofer(Spoofer):
+    """One fixed invalid source for the whole flood."""
+
+    address: IPv4Address
+
+    def __post_init__(self) -> None:
+        if not is_bogon(self.address):
+            raise ValueError(
+                f"{self.address} is routable; a fixed spoofed source must be "
+                "invalid or the victim's SYN/ACKs will draw RSTs"
+            )
+
+    def next_address(self, rng: random.Random) -> IPv4Address:
+        return self.address
+
+
+@dataclass
+class SubnetRandomSpoofer(Spoofer):
+    """Random hosts inside one prefix (e.g. a competitor's block)."""
+
+    network: IPv4Network
+    live_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.live_fraction <= 1.0:
+            raise ValueError(
+                f"live fraction must lie in [0,1]: {self.live_fraction}"
+            )
+
+    def next_address(self, rng: random.Random) -> IPv4Address:
+        return self.network.random_host(rng)
+
+    def reachable_probability(self) -> float:
+        return self.live_fraction
+
+
+@dataclass
+class RandomUniformSpoofer(Spoofer):
+    """Uniform over all of IPv4.
+
+    ``reachable_fraction`` is the density of live hosts in the address
+    space (a few percent circa 2000); those SYN/ACKs get RST'd, so this
+    strategy wastes part of the flood — the trade-off the tcpsim victim
+    experiments can quantify.
+    """
+
+    reachable_fraction: float = 0.03
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.reachable_fraction <= 1.0:
+            raise ValueError(
+                f"reachable fraction must lie in [0,1]: {self.reachable_fraction}"
+            )
+
+    def next_address(self, rng: random.Random) -> IPv4Address:
+        return IPv4Address(rng.getrandbits(32))
+
+    def reachable_probability(self) -> float:
+        return self.reachable_fraction

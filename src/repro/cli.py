@@ -1,0 +1,372 @@
+"""Command-line interface.
+
+The operational surface a network operator (or a curious reader) would
+actually touch::
+
+    repro-syndog generate --site auckland --seed 7 --out trace.csv
+    repro-syndog attack   --counts trace.csv --rate 5 --start 360 --out mixed.csv
+    repro-syndog detect   --counts mixed.csv
+    repro-syndog detect   --pcap-out out.pcap --pcap-in in.pcap
+    repro-syndog table    2
+    repro-syndog figure   5
+    repro-syndog theory   --k-bar 1922
+
+Every subcommand is importable (``from repro.cli import main``) and
+returns a process exit code, so the whole surface is unit-testable
+without subprocesses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .attack.flooder import FloodSource
+from .core.parameters import DEFAULT_PARAMETERS, SynDogParameters
+from .core.syndog import SynDog
+from .experiments.report import render_series, render_table
+from .trace.events import CountTrace
+from .trace.io import load_count_trace, save_count_trace
+from .trace.mixer import AttackWindow, mix_flood_into_counts
+from .trace.profiles import SITE_PROFILES, get_profile
+from .trace.synthetic import generate_count_trace, generate_packet_trace
+
+__all__ = ["main", "build_parser"]
+
+EXIT_OK = 0
+EXIT_ALARM = 2  # detect: a flooding source was found
+EXIT_USAGE = 64
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-syndog",
+        description="SYN-dog: sniff SYN flooding sources (ICDCS 2002 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    # ------------------------------------------------------------ generate
+    generate = sub.add_parser(
+        "generate", help="synthesize background traffic for a site profile"
+    )
+    generate.add_argument(
+        "--site", choices=sorted(SITE_PROFILES), default="auckland"
+    )
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument(
+        "--duration", type=float, default=None,
+        help="seconds (default: the site's Table 1 duration)",
+    )
+    generate.add_argument(
+        "--format", choices=("counts", "pcap"), default="counts",
+        help="counts: per-period CSV; pcap: two capture files (.out/.in)",
+    )
+    generate.add_argument("--out", required=True, help="output path (or prefix for pcap)")
+
+    # -------------------------------------------------------------- attack
+    attack = sub.add_parser(
+        "attack", help="mix a SYN flood into a count trace"
+    )
+    attack.add_argument("--counts", required=True, help="background count-trace CSV")
+    attack.add_argument("--rate", type=float, required=True, help="flood SYN/s")
+    attack.add_argument("--start", type=float, default=360.0, help="attack start (s)")
+    attack.add_argument(
+        "--duration", type=float, default=600.0, help="attack duration (s)"
+    )
+    attack.add_argument("--out", required=True)
+
+    # -------------------------------------------------------------- detect
+    detect = sub.add_parser("detect", help="run SYN-dog over a trace")
+    source = detect.add_mutually_exclusive_group(required=True)
+    source.add_argument("--counts", help="count-trace CSV")
+    source.add_argument("--pcap-out", help="pcap of the outbound interface")
+    detect.add_argument(
+        "--pcap-in", help="pcap of the inbound interface (with --pcap-out)"
+    )
+    detect.add_argument("--drift", type=float, default=DEFAULT_PARAMETERS.drift,
+                        help="a (default 0.35)")
+    detect.add_argument("--threshold", type=float,
+                        default=DEFAULT_PARAMETERS.threshold, help="N (default 1.05)")
+    detect.add_argument("--period", type=float,
+                        default=DEFAULT_PARAMETERS.observation_period,
+                        help="t0 seconds (default 20; counts input keeps its own)")
+    detect.add_argument("--quiet", action="store_true",
+                        help="suppress the per-period series")
+    detect.add_argument("--report", action="store_true",
+                        help="on alarm, print the forensic attack report "
+                             "(onset, end, rate estimates)")
+    detect.add_argument("--json", metavar="PATH",
+                        help="also write the full per-period detection "
+                             "record as JSON")
+
+    # --------------------------------------------------------------- table
+    table = sub.add_parser("table", help="regenerate a paper table (1, 2 or 3)")
+    table.add_argument("number", type=int, choices=(1, 2, 3))
+    table.add_argument("--trials", type=int, default=10)
+    table.add_argument("--json", metavar="PATH",
+                       help="also write the rows as JSON (tables 2 and 3)")
+
+    # -------------------------------------------------------------- figure
+    figure = sub.add_parser(
+        "figure", help="regenerate a paper figure (3, 4, 5, 7, 8 or 9)"
+    )
+    figure.add_argument("number", type=int, choices=(3, 4, 5, 7, 8, 9))
+    figure.add_argument("--seed", type=int, default=0)
+
+    # ------------------------------------------------------------ campaign
+    campaign = sub.add_parser(
+        "campaign",
+        help="simulate a distributed campaign against a fleet of SYN-dogs",
+    )
+    campaign.add_argument("--aggregate", type=float, default=14000.0,
+                          help="campaign rate V toward the victim (SYN/s)")
+    campaign.add_argument("--networks", type=int, required=True,
+                          help="stub networks A the campaign spreads over")
+    campaign.add_argument("--site", choices=sorted(SITE_PROFILES),
+                          default="auckland",
+                          help="fleet profile (every network this size)")
+    campaign.add_argument("--sample", type=int, default=6,
+                          help="networks actually simulated (uniform sample)")
+    campaign.add_argument("--seed", type=int, default=0)
+
+    # -------------------------------------------------------------- theory
+    theory = sub.add_parser(
+        "theory", help="print the analytic bounds for a site size"
+    )
+    theory.add_argument(
+        "--k-bar", type=float, required=True,
+        help="mean SYN/ACKs per observation period at the deployment site",
+    )
+    theory.add_argument("--aggregate", type=float, default=14000.0,
+                        help="campaign rate V for the coverage bound (SYN/s)")
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Subcommand implementations
+# ----------------------------------------------------------------------
+def _cmd_generate(args: argparse.Namespace) -> int:
+    profile = get_profile(args.site)
+    if args.format == "counts":
+        trace = generate_count_trace(
+            profile, seed=args.seed, duration=args.duration
+        )
+        save_count_trace(trace, args.out)
+        print(f"wrote {trace.num_periods} periods "
+              f"({trace.duration:.0f}s of {profile.name}) to {args.out}")
+        return EXIT_OK
+    from .pcap.writer import write_pcap
+
+    trace = generate_packet_trace(profile, seed=args.seed, duration=args.duration)
+    out_path = f"{args.out}.out.pcap"
+    in_path = f"{args.out}.in.pcap"
+    write_pcap(out_path, trace.outbound)
+    write_pcap(in_path, trace.inbound)
+    print(f"wrote {len(trace.outbound)} outbound packets to {out_path}")
+    print(f"wrote {len(trace.inbound)} inbound packets to {in_path}")
+    return EXIT_OK
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    background = load_count_trace(args.counts)
+    mixed = mix_flood_into_counts(
+        background,
+        FloodSource(pattern=args.rate),
+        AttackWindow(args.start, args.duration),
+    )
+    save_count_trace(mixed, args.out)
+    extra = sum(mixed.syn_counts) - sum(background.syn_counts)
+    print(f"mixed {extra} flood SYNs ({args.rate}/s for {args.duration:.0f}s "
+          f"from t={args.start:.0f}s) into {args.out}")
+    return EXIT_OK
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    parameters = SynDogParameters(
+        observation_period=args.period,
+        drift=args.drift,
+        attack_increase=2.0 * args.drift,
+        threshold=args.threshold,
+    )
+    if args.counts:
+        trace = load_count_trace(args.counts)
+        if trace.period != parameters.observation_period:
+            parameters = SynDogParameters(
+                observation_period=trace.period,
+                drift=args.drift,
+                attack_increase=2.0 * args.drift,
+                threshold=args.threshold,
+            )
+        from .trace.validation import validate_count_trace
+
+        for finding in validate_count_trace(trace):
+            print(f"[{finding.severity.value}] {finding.code}: "
+                  f"{finding.message}", file=sys.stderr)
+        dog = SynDog(parameters=parameters)
+        result = dog.observe_counts(trace.counts)
+    else:
+        if not args.pcap_in:
+            print("detect: --pcap-out requires --pcap-in", file=sys.stderr)
+            return EXIT_USAGE
+        from .experiments.streaming import detect_from_pcaps
+
+        result, dog = detect_from_pcaps(
+            args.pcap_out, args.pcap_in, parameters=parameters
+        )
+    if args.json:
+        from .experiments.export import detection_result_to_dict, save_json
+
+        save_json(detection_result_to_dict(result), args.json)
+        print(f"wrote detection record to {args.json}")
+    if not args.quiet:
+        times = [record.end_time for record in result.records]
+        print(render_series("y_n", times, list(result.statistics)))
+    print(f"periods observed : {len(result.records)}")
+    print(f"K-bar estimate   : {dog.k_bar:.1f} SYN/ACKs per period")
+    print(f"detection floor  : {dog.min_detectable_rate():.2f} SYN/s (Eq. 8)")
+    print(f"max statistic    : {result.max_statistic:.4f} "
+          f"(threshold N = {parameters.threshold})")
+    if result.alarmed:
+        print(f"ALARM            : flooding source detected at "
+              f"t = {result.first_alarm_time:.0f}s "
+              f"(period {result.first_alarm_period})")
+        if args.report:
+            from .experiments.forensics import characterize_attack
+
+            report = characterize_attack(result, parameters=parameters)
+            print("--- forensic report ---")
+            print(f"estimated onset  : t = {report.estimated_onset_time:.0f}s")
+            print(f"estimated end    : t = {report.estimated_end_time:.0f}s "
+                  f"(duration {report.estimated_duration:.0f}s)")
+            print(f"estimated rate   : {report.estimated_rate:.2f} SYN/s "
+                  f"seen by this router")
+            print(f"baseline X       : {report.baseline_x:.4f}; "
+                  f"attacked X: {report.attack_x:.4f}")
+        return EXIT_ALARM
+    print("verdict          : no flooding source detected")
+    return EXIT_OK
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    if args.number == 1:
+        from .experiments.tables import table1
+
+        print(table1())
+        return EXIT_OK
+    from .experiments.tables import table2, table3
+
+    rows, rendered = (table2 if args.number == 2 else table3)(
+        num_trials=args.trials
+    )
+    print(rendered)
+    if args.json:
+        from .experiments.export import save_json, table_rows_to_dict
+
+        save_json(
+            table_rows_to_dict(rows, title=f"Table {args.number}"), args.json
+        )
+        print(f"wrote rows to {args.json}")
+    return EXIT_OK
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from .experiments import figures
+
+    if args.number in (3, 4):
+        panels = (figures.figure3 if args.number == 3 else figures.figure4)(
+            seed=args.seed
+        )
+        for panel in panels:
+            print(panel.render())
+        return EXIT_OK
+    if args.number == 5:
+        for panel, _result in figures.figure5(seed=args.seed):
+            print(panel.render())
+        return EXIT_OK
+    if args.number in (7, 8):
+        maker = figures.figure7 if args.number == 7 else figures.figure8
+        for panel, _result in maker(seed=args.seed):
+            print(panel.render())
+        return EXIT_OK
+    panel, _result = figures.figure9(seed=args.seed)
+    print(panel.render())
+    return EXIT_OK
+
+
+def _cmd_theory(args: argparse.Namespace) -> int:
+    parameters = DEFAULT_PARAMETERS
+    k_bar = args.k_bar
+    floor = parameters.min_detectable_rate(k_bar)
+    rows = [
+        ["K-bar (SYN/ACKs per period)", k_bar],
+        ["f_min, Eq. 8 (SYN/s)", round(floor, 2)],
+        ["design detection time (periods)", parameters.design_detection_periods],
+        ["design detection time (seconds)", parameters.design_detection_seconds],
+        [f"max hidden stub networks at V={args.aggregate:.0f}/s",
+         parameters.max_hidden_sources(args.aggregate, k_bar)],
+    ]
+    for rate_multiple in (1.2, 1.5, 2.0, 3.0):
+        rate = floor * rate_multiple
+        rows.append([
+            f"expected delay at {rate:.1f} SYN/s (periods)",
+            round(parameters.detection_periods_for_rate(rate, k_bar), 2),
+        ])
+    print(render_table(["quantity", "value"], rows,
+                       title="SYN-dog analytic bounds (paper defaults)"))
+    return EXIT_OK
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from .attack.ddos import DDoSCampaign
+    from .experiments.campaign import simulate_campaign
+    from .packet.addresses import IPv4Address
+
+    profile = get_profile(args.site)
+    campaign = DDoSCampaign.evenly_distributed(
+        IPv4Address.parse("198.51.100.80"), args.aggregate, args.networks
+    )
+    result = simulate_campaign(
+        campaign, profile, base_seed=args.seed, max_networks=args.sample
+    )
+    f_i = campaign.per_network_rate(0)
+    floor = DEFAULT_PARAMETERS.min_detectable_rate(
+        profile.k_bar_target or profile.expected_k_bar()
+    )
+    print(f"campaign        : {args.aggregate:.0f} SYN/s over "
+          f"{args.networks} {profile.name}-scale stub networks")
+    print(f"per-network rate: f_i = {f_i:.2f} SYN/s "
+          f"(local Eq. 8 floor ~ {floor:.2f})")
+    print(f"sampled networks: {result.num_networks}")
+    print(f"dogs barking    : {result.detection_fraction:.0%}")
+    if result.first_alarm_delay is not None:
+        print(f"first alarm     : {result.first_alarm_delay:.0f} periods "
+              f"after campaign start")
+        print(f"flood attributed: {result.attributable_fraction:.0%} "
+              f"of the sampled volume")
+        return EXIT_ALARM
+    print("verdict         : the campaign hides below every sampled floor")
+    return EXIT_OK
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "campaign": _cmd_campaign,
+    "attack": _cmd_attack,
+    "detect": _cmd_detect,
+    "table": _cmd_table,
+    "figure": _cmd_figure,
+    "theory": _cmd_theory,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

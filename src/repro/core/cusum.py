@@ -1,0 +1,153 @@
+"""The non-parametric CUSUM change-point test (Section 3.2, Eq. 2–5).
+
+Given observations :math:`X_n` with pre-change mean :math:`c < a`, the
+shifted series :math:`\\tilde X_n = X_n - a` has negative drift under
+normal operation.  The test statistic
+
+.. math::    y_n = (y_{n-1} + \\tilde X_n)^+ , \\qquad y_0 = 0
+
+is the recursive form (Eq. 2) of the maximum continuous increment
+:math:`y_n = S_n - \\min_{0\\le k\\le n} S_k` (Eq. 3), where
+:math:`S_n = \\sum_{k\\le n} \\tilde X_k`.  The decision rule (Eq. 4) is
+:math:`d_N(y_n) = \\mathbb 1(y_n > N)`.
+
+This module implements the test generically — it knows nothing about
+SYN packets — because the same machinery is reused by tests that verify
+the Eq. 3 identity, by the ablation benches, and potentially by any
+other change-detection application.  Brodsky & Darkhovsky [4] show the
+false-alarm time grows exponentially in N (Eq. 5), which the
+``benchmarks/test_theory_bounds.py`` bench confirms empirically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["CusumState", "NonParametricCusum", "cusum_statistic_series"]
+
+
+@dataclass(frozen=True)
+class CusumState:
+    """An immutable snapshot of the test after one observation."""
+
+    n: int                #: discrete time index of this observation
+    x: float              #: the raw observation X_n
+    statistic: float      #: y_n after incorporating X_n
+    alarm: bool           #: d_N(y_n): True when y_n > N
+    cumulative_sum: float  #: S_n = sum of shifted observations
+    minimum_sum: float     #: min_{k <= n} S_k
+
+
+class NonParametricCusum:
+    """The sequential, non-parametric CUSUM test.
+
+    Parameters
+    ----------
+    drift:
+        The offset ``a`` subtracted from every observation; chosen above
+        the pre-change mean ``c`` so the statistic resets to zero
+        frequently and does not accumulate with time (Section 3.2).
+    threshold:
+        The flooding threshold ``N``; an alarm is raised while
+        ``y_n > N``.
+
+    The detector keeps O(1) state — two floats beyond bookkeeping —
+    which is the statelessness property that makes SYN-dog itself immune
+    to flooding attacks.
+    """
+
+    def __init__(self, drift: float, threshold: float) -> None:
+        if drift <= 0:
+            raise ValueError(f"drift a must be positive, got {drift}")
+        if threshold <= 0:
+            raise ValueError(f"threshold N must be positive, got {threshold}")
+        self.drift = float(drift)
+        self.threshold = float(threshold)
+        self._n = -1
+        self._statistic = 0.0
+        self._cumulative_sum = 0.0
+        self._minimum_sum = 0.0
+        self._first_alarm_index: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def update(self, x: float) -> CusumState:
+        """Incorporate one observation X_n and return the new state."""
+        self._n += 1
+        shifted = x - self.drift
+        # Eq. 2: y_n = (y_{n-1} + X~_n)^+
+        self._statistic = max(0.0, self._statistic + shifted)
+        # Maintain S_n and min_k S_k to expose the Eq. 3 identity.
+        self._cumulative_sum += shifted
+        self._minimum_sum = min(self._minimum_sum, self._cumulative_sum)
+        alarm = self._statistic > self.threshold
+        if alarm and self._first_alarm_index is None:
+            self._first_alarm_index = self._n
+        return CusumState(
+            n=self._n,
+            x=x,
+            statistic=self._statistic,
+            alarm=alarm,
+            cumulative_sum=self._cumulative_sum,
+            minimum_sum=self._minimum_sum,
+        )
+
+    def update_many(self, xs: Iterable[float]) -> List[CusumState]:
+        return [self.update(x) for x in xs]
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def statistic(self) -> float:
+        """Current y_n."""
+        return self._statistic
+
+    @property
+    def n(self) -> int:
+        """Index of the last observation (-1 before any)."""
+        return self._n
+
+    @property
+    def alarm(self) -> bool:
+        """Current decision d_N(y_n)."""
+        return self._statistic > self.threshold
+
+    @property
+    def first_alarm_index(self) -> Optional[int]:
+        """Index of the first observation at which the alarm fired, or
+        None if it never has."""
+        return self._first_alarm_index
+
+    def reset(self) -> None:
+        """Return to the initial state (used after an operator clears an
+        alarm, or between Monte-Carlo trials)."""
+        self._n = -1
+        self._statistic = 0.0
+        self._cumulative_sum = 0.0
+        self._minimum_sum = 0.0
+        self._first_alarm_index = None
+
+    def __repr__(self) -> str:
+        return (
+            f"NonParametricCusum(drift={self.drift}, threshold={self.threshold}, "
+            f"n={self._n}, y={self._statistic:.4f})"
+        )
+
+
+def cusum_statistic_series(
+    observations: Sequence[float], drift: float
+) -> List[float]:
+    """Compute the whole y_n series for a fixed observation sequence.
+
+    A convenience for figure generation (Figures 5, 7, 8, 9 all plot
+    y_n against time).
+    """
+    statistic = 0.0
+    series: List[float] = []
+    for x in observations:
+        statistic = max(0.0, statistic + (x - drift))
+        series.append(statistic)
+    return series

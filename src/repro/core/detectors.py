@@ -1,0 +1,158 @@
+"""Baseline flood detectors contrasted against SYN-dog.
+
+The paper argues CUSUM's cumulative statistic beats naive per-period
+rules: a fixed threshold must be set per site (defeating universal
+deployment) and misses slow floods whose per-period excess never
+crosses it, while CUSUM accumulates arbitrarily small excesses (the
+"can sniff a flooding source with rate less than h at the expense of a
+longer response time" property).  These baselines make that argument
+measurable in ``benchmarks/`` and ``examples/compare_detectors.py``.
+
+All baselines consume the same per-period (SYN, SYN/ACK) reports as the
+real agent, so comparisons are apples-to-apples.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from .normalization import EwmaEstimator
+
+__all__ = [
+    "PeriodDetector",
+    "StaticThresholdDetector",
+    "AdaptiveEwmaDetector",
+    "SynRateDetector",
+    "run_detector",
+]
+
+
+class PeriodDetector(abc.ABC):
+    """Interface: one decision per observation period."""
+
+    @abc.abstractmethod
+    def observe_period(self, syn_count: int, synack_count: int) -> bool:
+        """Fold one period's counts; return the current alarm decision."""
+
+    @property
+    @abc.abstractmethod
+    def alarm(self) -> bool:
+        """Current decision."""
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Return to initial state."""
+
+
+class StaticThresholdDetector(PeriodDetector):
+    """Alarms when the raw per-period difference SYN − SYN/ACK exceeds a
+    fixed absolute threshold.
+
+    The threshold is in *packets per period*, so a value sized for a
+    large site (UNC: thousands of SYN/ACKs per period) is uselessly
+    insensitive at a small one (Auckland: ~100), and vice versa — the
+    site-dependence problem normalization solves.
+    """
+
+    def __init__(self, threshold_packets: float) -> None:
+        if threshold_packets <= 0:
+            raise ValueError(f"threshold must be positive: {threshold_packets}")
+        self.threshold_packets = threshold_packets
+        self._alarm = False
+
+    def observe_period(self, syn_count: int, synack_count: int) -> bool:
+        self._alarm = (syn_count - synack_count) > self.threshold_packets
+        return self._alarm
+
+    @property
+    def alarm(self) -> bool:
+        return self._alarm
+
+    def reset(self) -> None:
+        self._alarm = False
+
+
+class AdaptiveEwmaDetector(PeriodDetector):
+    """Alarms when the normalized difference X_n = Δ_n/K̄ exceeds a fixed
+    per-period bound.
+
+    This is SYN-dog *without the CUSUM accumulation*: it inherits the
+    site-independence of normalization but has no memory, so a flood
+    whose per-period excess stays below the bound is never detected no
+    matter how long it persists — precisely the sensitivity CUSUM's
+    cumulative statistic adds (Eq. 8 discussion).
+    """
+
+    def __init__(self, bound: float = 0.7, alpha: float = 0.95) -> None:
+        if bound <= 0:
+            raise ValueError(f"bound must be positive: {bound}")
+        self.bound = bound
+        self._estimator = EwmaEstimator(alpha=alpha)
+        self._alarm = False
+
+    def observe_period(self, syn_count: int, synack_count: int) -> bool:
+        if not self._estimator.initialized:
+            self._estimator.update(synack_count)
+        k_bar = self._estimator.value
+        x = (syn_count - synack_count) / k_bar
+        self._estimator.update(synack_count)
+        self._alarm = x > self.bound
+        return self._alarm
+
+    @property
+    def alarm(self) -> bool:
+        return self._alarm
+
+    def reset(self) -> None:
+        self._estimator.reset()
+        self._alarm = False
+
+
+class SynRateDetector(PeriodDetector):
+    """Alarms on absolute outgoing-SYN *rate* (packets/second), ignoring
+    SYN/ACKs entirely.
+
+    Models the crude rate-limiter view: it cannot distinguish a flood
+    from a legitimate burst of new connections (a flash crowd), because
+    it never checks whether the SYNs are being answered.  Generates the
+    false alarms on bursty normal traffic that the figures-5 benchmark
+    quantifies.
+    """
+
+    def __init__(self, rate_threshold: float, observation_period: float = 20.0) -> None:
+        if rate_threshold <= 0:
+            raise ValueError(f"rate threshold must be positive: {rate_threshold}")
+        if observation_period <= 0:
+            raise ValueError(
+                f"observation period must be positive: {observation_period}"
+            )
+        self.rate_threshold = rate_threshold
+        self.observation_period = observation_period
+        self._alarm = False
+
+    def observe_period(self, syn_count: int, synack_count: int) -> bool:
+        rate = syn_count / self.observation_period
+        self._alarm = rate > self.rate_threshold
+        return self._alarm
+
+    @property
+    def alarm(self) -> bool:
+        return self._alarm
+
+    def reset(self) -> None:
+        self._alarm = False
+
+
+def run_detector(
+    detector: PeriodDetector,
+    counts: Iterable[Tuple[int, int]],
+) -> Optional[int]:
+    """Feed a (SYN, SYN/ACK) count series; return the index of the first
+    alarmed period, or None."""
+    for index, (syn_count, synack_count) in enumerate(counts):
+        if detector.observe_period(syn_count, synack_count):
+            return index
+    return None

@@ -1,0 +1,172 @@
+"""The two packet-counting sniffers of a SYN-dog agent (Section 2).
+
+A SYN-dog consists of an *outbound Sniffer* at the leaf router's
+outbound interface, counting SYNs leaving the stub network, and an
+*inbound Sniffer* at the inbound interface, counting SYN/ACKs coming
+back from the Internet.  The sniffers keep exactly one integer each —
+no per-flow state — and periodically report their counts through a
+shared :class:`CountExchange`, modelling the "shared memory or IPC
+inside the router" the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from ..packet.classify import PacketClass, classify_packet
+from ..packet.packet import Packet
+
+__all__ = [
+    "Direction",
+    "OutboundSniffer",
+    "InboundSniffer",
+    "CountExchange",
+    "PeriodReport",
+]
+
+
+class Direction:
+    """Traffic direction names as the paper defines them: *inbound* flows
+    from the Internet into the Intranet, *outbound* the other way."""
+
+    INBOUND = "inbound"
+    OUTBOUND = "outbound"
+
+
+@dataclass(frozen=True)
+class PeriodReport:
+    """One observation period's counts, as delivered to the CUSUM stage."""
+
+    period_index: int
+    start_time: float
+    end_time: float
+    syn_count: int
+    synack_count: int
+
+    @property
+    def difference(self) -> int:
+        """Δ_n = outgoing SYNs − incoming SYN/ACKs."""
+        return self.syn_count - self.synack_count
+
+
+class _CountingSniffer:
+    """Shared machinery: classify each packet, bump one counter."""
+
+    _target_class: PacketClass
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._total_seen = 0
+
+    def observe(self, packet: Packet) -> bool:
+        """Count *packet* if it matches the sniffer's target class.
+        Returns True when it was counted."""
+        self._total_seen += 1
+        if classify_packet(packet) is self._target_class:
+            self._count += 1
+            return True
+        return False
+
+    def observe_many(self, packets: Iterable[Packet]) -> int:
+        counted = 0
+        for packet in packets:
+            if self.observe(packet):
+                counted += 1
+        return counted
+
+    @property
+    def count(self) -> int:
+        """Packets counted since the last :meth:`drain`."""
+        return self._count
+
+    @property
+    def total_seen(self) -> int:
+        """All packets inspected over the sniffer's lifetime."""
+        return self._total_seen
+
+    def drain(self) -> int:
+        """Report and reset the period counter (end of observation
+        period)."""
+        count, self._count = self._count, 0
+        return count
+
+
+class OutboundSniffer(_CountingSniffer):
+    """Counts TCP SYN packets leaving the stub network."""
+
+    _target_class = PacketClass.SYN
+
+
+class InboundSniffer(_CountingSniffer):
+    """Counts TCP SYN/ACK packets entering the stub network."""
+
+    _target_class = PacketClass.SYN_ACK
+
+
+class CountExchange:
+    """Coordinates the two sniffers across observation-period boundaries.
+
+    Models the paper's shared-memory/IPC exchange: at the end of each
+    period :math:`t_0` the two counters are drained atomically into a
+    :class:`PeriodReport`.  Packets are fed by timestamp; a packet whose
+    timestamp crosses the current period boundary first closes the
+    period (emitting a report — and empty reports for any fully idle
+    periods in between) and then counts toward the new one.
+    """
+
+    def __init__(self, observation_period: float, start_time: float = 0.0) -> None:
+        if observation_period <= 0:
+            raise ValueError(
+                f"observation period must be positive: {observation_period}"
+            )
+        self.observation_period = float(observation_period)
+        self.outbound = OutboundSniffer()
+        self.inbound = InboundSniffer()
+        self._period_index = 0
+        self._period_start = float(start_time)
+
+    @property
+    def current_period_end(self) -> float:
+        return self._period_start + self.observation_period
+
+    def _close_period(self) -> PeriodReport:
+        report = PeriodReport(
+            period_index=self._period_index,
+            start_time=self._period_start,
+            end_time=self.current_period_end,
+            syn_count=self.outbound.drain(),
+            synack_count=self.inbound.drain(),
+        )
+        self._period_index += 1
+        self._period_start += self.observation_period
+        return report
+
+    def _advance_to(self, timestamp: float) -> List[PeriodReport]:
+        reports: List[PeriodReport] = []
+        while timestamp >= self.current_period_end:
+            reports.append(self._close_period())
+        return reports
+
+    def observe_outbound(self, packet: Packet) -> List[PeriodReport]:
+        """Feed one packet seen at the outbound interface.  Returns the
+        (possibly empty) list of period reports this packet's timestamp
+        caused to close."""
+        reports = self._advance_to(packet.timestamp)
+        self.outbound.observe(packet)
+        return reports
+
+    def observe_inbound(self, packet: Packet) -> List[PeriodReport]:
+        """Feed one packet seen at the inbound interface."""
+        reports = self._advance_to(packet.timestamp)
+        self.inbound.observe(packet)
+        return reports
+
+    def flush(self, end_time: Optional[float] = None) -> List[PeriodReport]:
+        """Close the current period (and any idle periods up to
+        *end_time*) at end of stream."""
+        reports: List[PeriodReport] = []
+        if end_time is not None:
+            reports.extend(self._advance_to(end_time))
+        reports.append(self._close_period())
+        return reports

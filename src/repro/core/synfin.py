@@ -1,0 +1,118 @@
+"""SYN–FIN pair detection — the companion variant.
+
+Pairs outgoing SYNs with outgoing FINs instead of incoming SYN/ACKs
+(the design of the same authors' companion flood-detection system).
+Every normal connection eventually closes, so in steady state the FIN
+rate tracks the SYN rate, lagged by the connection lifetime; spoofed
+flood SYNs never close anything.  The pipeline is the familiar one —
+normalize the per-period difference by the EWMA of the FIN volume, feed
+the non-parametric CUSUM — with two variant-specific accommodations:
+
+* **warm-up**: at cold start the FIN stream lags the SYN stream by one
+  connection lifetime, so the first few observations are skipped rather
+  than fed to the CUSUM (a deployment detail the steady-state theory
+  abstracts away);
+* **a larger drift**: the SYN−FIN difference is noisier than
+  SYN−SYN/ACK (connection lifetimes smear FINs across periods), so the
+  default ``a`` is a little above the classic detector's 0.35.
+
+The operational payoff is robustness to **asymmetric routing**: SYN and
+FIN travel the same outbound path, so the variant works at routers that
+never see the reverse direction — where the SYN/ACK pairing breaks
+down entirely (see ``benchmarks/test_extension_synfin.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from .parameters import SynDogParameters
+from .syndog import DetectionRecord, DetectionResult, SynDog
+
+__all__ = ["SynFinDog", "SYN_FIN_PARAMETERS"]
+
+#: Default parameterization for the SYN–FIN pairing: same machinery,
+#: slightly larger drift to absorb lifetime-induced smearing, same
+#: three-period design detection time (N = 3 · (h − a) with h = 2a).
+SYN_FIN_PARAMETERS = SynDogParameters(
+    observation_period=20.0,
+    drift=0.45,
+    attack_increase=0.90,
+    threshold=1.35,
+)
+
+
+class SynFinDog:
+    """A SYN–FIN pair detector for one leaf router.
+
+    Consumes per-period ``(syn_count, fin_count)`` reports — both
+    counted on the *outbound* interface.
+    """
+
+    def __init__(
+        self,
+        parameters: SynDogParameters = SYN_FIN_PARAMETERS,
+        warmup_periods: int = 3,
+        initial_f: Optional[float] = None,
+    ) -> None:
+        if warmup_periods < 0:
+            raise ValueError(
+                f"warmup periods cannot be negative: {warmup_periods}"
+            )
+        self.parameters = parameters
+        self.warmup_periods = warmup_periods
+        self._inner = SynDog(parameters=parameters, initial_k=initial_f)
+        self._period_index = 0
+
+    def observe_period(
+        self, syn_count: int, fin_count: int
+    ) -> Optional[DetectionRecord]:
+        """Feed one period; returns None during warm-up.
+
+        Wall-clock bookkeeping stays absolute: warm-up consumes real
+        periods, so post-warm-up records carry their true start times
+        and detection delays are measured on the same clock as the
+        attack window.
+        """
+        index = self._period_index
+        self._period_index += 1
+        if index < self.warmup_periods:
+            # Warm the F̄ estimator without exposing the CUSUM to the
+            # cold-start transient.
+            self._inner.normalizer.estimator.update(fin_count)
+            return None
+        return self._inner.observe_period(
+            syn_count,
+            fin_count,
+            start_time=index * self.parameters.observation_period,
+        )
+
+    def observe_counts(
+        self, counts: Iterable[Tuple[int, int]]
+    ) -> DetectionResult:
+        for syn_count, fin_count in counts:
+            self.observe_period(syn_count, fin_count)
+        return self.result()
+
+    @property
+    def alarm(self) -> bool:
+        return self._inner.alarm
+
+    @property
+    def statistic(self) -> float:
+        return self._inner.statistic
+
+    @property
+    def f_bar(self) -> float:
+        """Current EWMA of the per-period FIN volume."""
+        return self._inner.k_bar
+
+    def result(self) -> DetectionResult:
+        return self._inner.result()
+
+    def min_detectable_rate(self) -> float:
+        """Eq. 8 with F̄ in place of K̄."""
+        return self.parameters.min_detectable_rate(self.f_bar)
+
+    def __repr__(self) -> str:
+        return f"SynFin{self._inner!r}"

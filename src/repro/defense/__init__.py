@@ -1,0 +1,22 @@
+"""Victim-side and source-side defense baselines the paper contrasts
+with SYN-dog: SYN cookies [3], Synkill [24], SYN proxying [6, 19], and
+RFC 2267 ingress filtering [11]."""
+
+from .ingress import IngressFilter, SpoofObservation
+from .ratelimit import EgressSynLimiter, TokenBucket
+from .proxy import SynProxy
+from .syncookies import SynCookieServer, encode_cookie, validate_cookie
+from .synkill import AddressClass, SynkillMonitor
+
+__all__ = [
+    "EgressSynLimiter",
+    "TokenBucket",
+    "IngressFilter",
+    "SpoofObservation",
+    "SynProxy",
+    "SynCookieServer",
+    "encode_cookie",
+    "validate_cookie",
+    "AddressClass",
+    "SynkillMonitor",
+]

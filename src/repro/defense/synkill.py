@@ -1,0 +1,189 @@
+"""Synkill (Schuba et al. [24]) — an active stateful monitor at the
+victim's network.
+
+Synkill watches the victim's traffic and classifies source addresses:
+
+* *good* — addresses that have been seen completing handshakes
+  (evidence of a real host);
+* *new* — never seen before: given the benefit of the doubt, but put on
+  a timer;
+* *bad* — addresses whose SYNs were never followed by a handshake
+  completion within the staleness window: Synkill injects a RST toward
+  the server to flush the half-open entry.
+
+This reproduction keeps the classifier faithful in the way that matters
+to the paper's argument: the per-address table **grows linearly with
+the number of distinct (spoofed) sources**, so a randomized-source
+flood bloats it without bound — the defense is itself a flooding
+target.  The ``state_size`` / ``peak_state_size`` counters make that
+vulnerability measurable next to SYN-dog's O(1) footprint.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Set
+
+from ..packet.addresses import IPv4Address
+from ..packet.packet import Packet, make_rst
+from ..tcpsim.engine import EventScheduler
+
+__all__ = ["SynkillMonitor", "AddressClass"]
+
+PacketSink = Callable[[Packet], None]
+
+
+class AddressClass(enum.Enum):
+    NEW = "new"
+    GOOD = "good"
+    BAD = "bad"
+
+
+@dataclass
+class _AddressRecord:
+    classification: AddressClass
+    first_syn_at: float
+    pending_syns: int = 0
+
+
+class SynkillMonitor:
+    """The Synkill classifier + RST injector.
+
+    Parameters
+    ----------
+    scheduler:
+        Shared event calendar (for timers and injection timestamps).
+    inject:
+        Sink through which forged RSTs are sent toward the server.
+    server_address / server_port:
+        The protected service.
+    staleness:
+        Seconds a *new* address may hold pending half-open connections
+        before being declared *bad* and RST-flushed.
+    expiry:
+        Seconds after which a *bad* verdict is forgotten (addresses can
+        rehabilitate — real Synkill's "evil timer").
+    """
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        inject: PacketSink,
+        server_address: IPv4Address,
+        server_port: int = 80,
+        staleness: float = 6.0,
+        expiry: float = 300.0,
+    ) -> None:
+        if staleness <= 0 or expiry <= 0:
+            raise ValueError("staleness and expiry must be positive")
+        self.scheduler = scheduler
+        self.inject = inject
+        self.server_address = server_address
+        self.server_port = server_port
+        self.staleness = staleness
+        self.expiry = expiry
+        self._records: Dict[int, _AddressRecord] = {}
+        self._bad_until: Dict[int, float] = {}
+        self.rsts_injected = 0
+        self.peak_state_size = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def state_size(self) -> int:
+        """Live per-address records — the footprint that balloons under
+        randomized-source floods."""
+        return len(self._records) + len(self._bad_until)
+
+    def classification_of(self, address: IPv4Address) -> AddressClass:
+        value = int(address)
+        if value in self._bad_until and self._bad_until[value] > self.scheduler.now:
+            return AddressClass.BAD
+        record = self._records.get(value)
+        return record.classification if record else AddressClass.NEW
+
+    # ------------------------------------------------------------------
+    def observe(self, packet: Packet) -> None:
+        """Feed every packet crossing the monitored segment."""
+        segment = packet.tcp
+        if segment is None:
+            return
+        toward_server = (
+            packet.dst_ip == self.server_address
+            and segment.dst_port == self.server_port
+        )
+        if toward_server and segment.is_syn:
+            self._observe_syn(packet)
+        elif toward_server and not segment.is_syn and not segment.is_rst:
+            self._observe_ack(packet)
+        self.peak_state_size = max(self.peak_state_size, self.state_size)
+
+    def _observe_syn(self, packet: Packet) -> None:
+        source = int(packet.src_ip)
+        now = self.scheduler.now
+        if source in self._bad_until:
+            if self._bad_until[source] > now:
+                # Known-bad source: flush immediately.
+                self._inject_rst(packet)
+                return
+            del self._bad_until[source]
+        record = self._records.get(source)
+        if record is None:
+            record = _AddressRecord(
+                classification=AddressClass.NEW, first_syn_at=now
+            )
+            self._records[source] = record
+        record.pending_syns += 1
+        if record.classification is AddressClass.NEW:
+            segment = packet.tcp
+            self.scheduler.schedule_after(
+                self.staleness,
+                lambda captured=packet: self._staleness_check(captured),
+            )
+
+    def _observe_ack(self, packet: Packet) -> None:
+        source = int(packet.src_ip)
+        record = self._records.get(source)
+        if record is None:
+            return
+        # Handshake progressed: the source is a live, cooperating host.
+        record.classification = AddressClass.GOOD
+        record.pending_syns = max(0, record.pending_syns - 1)
+
+    def _staleness_check(self, packet: Packet) -> None:
+        source = int(packet.src_ip)
+        record = self._records.get(source)
+        if record is None or record.classification is AddressClass.GOOD:
+            return
+        if record.pending_syns <= 0:
+            return
+        # Never completed a handshake within the window: declare bad,
+        # flush the half-open entry with a forged client RST.
+        del self._records[source]
+        self._bad_until[source] = self.scheduler.now + self.expiry
+        self._inject_rst(packet)
+
+    def _inject_rst(self, packet: Packet) -> None:
+        segment = packet.tcp
+        if segment is None:
+            return
+        self.rsts_injected += 1
+        self.inject(
+            make_rst(
+                timestamp=self.scheduler.now,
+                src=packet.src_ip,           # forged as the (spoofed) client
+                dst=self.server_address,
+                src_port=segment.src_port,
+                dst_port=segment.dst_port,
+                seq=(segment.seq + 1) & 0xFFFFFFFF,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def sweep(self) -> int:
+        """Expire stale bad verdicts; returns how many were forgotten."""
+        now = self.scheduler.now
+        stale = [addr for addr, until in self._bad_until.items() if until <= now]
+        for addr in stale:
+            del self._bad_until[addr]
+        return len(stale)

@@ -1,0 +1,126 @@
+"""Machine-readable export of experiment artifacts.
+
+The ASCII rendering in :mod:`repro.experiments.report` is for humans;
+this module serializes the same artifacts as plain JSON for external
+plotting (matplotlib notebooks, gnuplot, spreadsheets).  Everything is
+converted to JSON-native types — no numpy scalars, no dataclasses — so
+the output loads anywhere.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from ..core.syndog import DetectionResult
+from .figures import FigureSeries
+from .forensics import AttackReport
+from .metrics import DetectionPerformance
+from .tables import DetectionTableRow
+
+__all__ = [
+    "detection_result_to_dict",
+    "figure_to_dict",
+    "table_rows_to_dict",
+    "attack_report_to_dict",
+    "save_json",
+]
+
+PathLike = Union[str, Path]
+
+
+def _clean(value: Any) -> Any:
+    """Make a value JSON-safe (inf/nan → None, tuples → lists)."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, tuple):
+        return [_clean(item) for item in value]
+    if isinstance(value, list):
+        return [_clean(item) for item in value]
+    if isinstance(value, dict):
+        return {key: _clean(item) for key, item in value.items()}
+    return value
+
+
+def detection_result_to_dict(result: DetectionResult) -> Dict[str, Any]:
+    """Serialize a full detection run: the per-period pipeline view plus
+    the verdict."""
+    return _clean({
+        "alarmed": result.alarmed,
+        "first_alarm_period": result.first_alarm_period,
+        "first_alarm_time": result.first_alarm_time,
+        "max_statistic": result.max_statistic,
+        "periods": [
+            {
+                "index": record.period_index,
+                "start": record.start_time,
+                "end": record.end_time,
+                "syn": record.syn_count,
+                "synack": record.synack_count,
+                "k_bar": record.k_bar,
+                "x": record.x,
+                "y": record.statistic,
+                "alarm": record.alarm,
+            }
+            for record in result.records
+        ],
+    })
+
+
+def figure_to_dict(figure: FigureSeries) -> Dict[str, Any]:
+    """Serialize one figure panel: times plus every named series."""
+    return _clean({
+        "name": figure.name,
+        "times": list(figure.times),
+        "series": {label: list(values) for label, values in figure.series.items()},
+        "annotations": [
+            {"time": instant, "label": label}
+            for instant, label in figure.annotations
+        ],
+    })
+
+
+def table_rows_to_dict(
+    rows: Sequence[DetectionTableRow], title: str = ""
+) -> Dict[str, Any]:
+    """Serialize a Table 2/3-style paper-vs-measured sweep."""
+    return _clean({
+        "title": title,
+        "rows": [
+            {
+                "flood_rate": row.flood_rate,
+                "paper_probability": row.paper_probability,
+                "paper_detection_time": row.paper_detection_time,
+                "measured_probability": row.measured.detection_probability,
+                "measured_detection_time": row.measured.mean_detection_time,
+                "measured_detection_time_std": row.measured.detection_time_std,
+                "num_trials": row.measured.num_trials,
+            }
+            for row in rows
+        ],
+    })
+
+
+def attack_report_to_dict(report: AttackReport) -> Dict[str, Any]:
+    """Serialize a forensic attack report."""
+    return _clean({
+        "detected": report.detected,
+        "complete": report.complete,
+        "alarm_time": report.alarm_time,
+        "estimated_onset_time": report.estimated_onset_time,
+        "estimated_end_time": report.estimated_end_time,
+        "estimated_duration": report.estimated_duration,
+        "estimated_rate": report.estimated_rate,
+        "baseline_x": report.baseline_x,
+        "attack_x": report.attack_x,
+    })
+
+
+def save_json(payload: Dict[str, Any], path: PathLike) -> None:
+    """Write a serialized artifact with stable formatting (sorted keys,
+    two-space indent) so exports diff cleanly under version control."""
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )

@@ -1,0 +1,243 @@
+"""Regeneration of the paper's figures as data series.
+
+Each ``figureN`` function returns the plotted series (plus context) and
+an ASCII rendering; the benchmark files print them and EXPERIMENTS.md
+records the quantitative anchors (spike maxima, crossing periods).
+
+Figure 1 (TCP state diagram), Figure 2 (agent structure) and Figure 6
+(experiment topology) are architecture diagrams, not measurements —
+their content lives in the :mod:`repro.tcpsim` state machine, the
+:mod:`repro.router` wiring and :mod:`repro.experiments.runner`
+respectively, each verified by the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..attack.ddos import TYPICAL_ATTACK_DURATION
+from ..core.parameters import (
+    DEFAULT_PARAMETERS,
+    TUNED_UNC_PARAMETERS,
+    SynDogParameters,
+)
+from ..core.syndog import DetectionResult, SynDog
+from ..attack.flooder import FloodSource
+from ..trace.mixer import AttackWindow, mix_flood_into_counts
+from ..trace.profiles import AUCKLAND, HARVARD, LBL, UNC, SiteProfile
+from ..trace.stats import per_bin_series
+from ..trace.synthetic import generate_count_trace, generate_packet_trace
+from .report import render_series
+
+__all__ = [
+    "FigureSeries",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure7",
+    "figure8",
+    "figure9",
+    "dynamics_figure",
+    "normal_cusum_figure",
+    "attack_cusum_figure",
+]
+
+
+@dataclass(frozen=True)
+class FigureSeries:
+    """One panel of a figure."""
+
+    name: str
+    times: Tuple[float, ...]
+    series: Dict[str, Tuple[float, ...]]
+    annotations: Tuple[Tuple[float, str], ...] = ()
+
+    def render(self) -> str:
+        parts = [f"== {self.name} =="]
+        for label, values in self.series.items():
+            parts.append(
+                render_series(label, self.times, values, annotations=self.annotations)
+            )
+        return "\n".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Figures 3 & 4: SYN / SYN-ACK dynamics
+# ----------------------------------------------------------------------
+def dynamics_figure(
+    profile: SiteProfile,
+    seed: int = 0,
+    bin_seconds: float = 60.0,
+    duration: Optional[float] = None,
+) -> FigureSeries:
+    """Per-minute SYN vs SYN/ACK counts — one panel of Figure 3 or 4.
+
+    Uses the packet-level generator so the series comes from actual
+    classified packets, exactly as the paper parsed its traces.
+    """
+    trace = generate_packet_trace(profile, seed=seed, duration=duration)
+    syns, synacks = per_bin_series(trace, bin_seconds=bin_seconds)
+    times = tuple((index + 1) * bin_seconds for index in range(len(syns)))
+    direction = "" if profile.bidirectional else "Outgoing "
+    reverse = "" if profile.bidirectional else "Incoming "
+    return FigureSeries(
+        name=f"{profile.name}: SYN and SYN/ACK dynamics",
+        times=times,
+        series={
+            f"{direction}SYN": tuple(float(v) for v in syns),
+            f"{reverse}SYN/ACK": tuple(float(v) for v in synacks),
+        },
+    )
+
+
+def figure3(seed: int = 0, duration: Optional[float] = None) -> List[FigureSeries]:
+    """Figure 3: dynamics at LBL (a) and Harvard (b), both directions
+    combined (bidirectional sites)."""
+    return [
+        dynamics_figure(LBL, seed=seed, duration=duration),
+        dynamics_figure(HARVARD, seed=seed, duration=duration),
+    ]
+
+
+def figure4(seed: int = 0, duration: Optional[float] = None) -> List[FigureSeries]:
+    """Figure 4: outgoing SYN / incoming SYN/ACK dynamics at UNC (a) and
+    Auckland (b)."""
+    return [
+        dynamics_figure(UNC, seed=seed, duration=duration),
+        dynamics_figure(AUCKLAND, seed=seed, duration=duration),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Figure 5: CUSUM statistic under normal operation
+# ----------------------------------------------------------------------
+def normal_cusum_figure(
+    profile: SiteProfile,
+    seed: int = 0,
+    parameters: SynDogParameters = DEFAULT_PARAMETERS,
+) -> Tuple[FigureSeries, DetectionResult]:
+    """y_n over pure background traffic for one site."""
+    trace = generate_count_trace(
+        profile, seed=seed, period=parameters.observation_period
+    )
+    result = SynDog(parameters=parameters).observe_counts(trace.counts)
+    times = tuple(record.end_time for record in result.records)
+    figure = FigureSeries(
+        name=f"{profile.name}: CUSUM test statistic under normal operation",
+        times=times,
+        series={"y_n": tuple(result.statistics)},
+        annotations=(
+            (times[-1] if times else 0.0, f"max y_n = {result.max_statistic:.4f}, "
+             f"threshold N = {parameters.threshold} — "
+             + ("FALSE ALARM" if result.alarmed else "no false alarm")),
+        ),
+    )
+    return figure, result
+
+
+def figure5(
+    seed: int = 0, parameters: SynDogParameters = DEFAULT_PARAMETERS
+) -> List[Tuple[FigureSeries, DetectionResult]]:
+    """Figure 5: normal-operation y_n at Harvard (a), UNC (b) and
+    Auckland (c).  Paper anchors: all series mostly zero, Harvard max
+    spike ≈ 0.05, Auckland max ≈ 0.26, no false alarms anywhere."""
+    return [
+        normal_cusum_figure(profile, seed=seed, parameters=parameters)
+        for profile in (HARVARD, UNC, AUCKLAND)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Figures 7–9: CUSUM dynamics under attack
+# ----------------------------------------------------------------------
+def attack_cusum_figure(
+    profile: SiteProfile,
+    flood_rate: float,
+    seed: int = 0,
+    attack_start: float = 360.0,
+    attack_duration: float = TYPICAL_ATTACK_DURATION,
+    parameters: SynDogParameters = DEFAULT_PARAMETERS,
+) -> Tuple[FigureSeries, DetectionResult]:
+    """y_n with a flood of f_i SYN/s mixed in — one panel of Figures
+    7, 8 or 9."""
+    background = generate_count_trace(
+        profile, seed=seed, period=parameters.observation_period
+    )
+    window = AttackWindow(attack_start, attack_duration)
+    mixed = mix_flood_into_counts(background, FloodSource(pattern=flood_rate), window)
+    result = SynDog(parameters=parameters).observe_counts(mixed.counts)
+    times = tuple(record.end_time for record in result.records)
+    delay = result.detection_delay_periods(window.start)
+    annotations: List[Tuple[float, str]] = [
+        (window.start, f"attack starts (f_i = {flood_rate} SYN/s)")
+    ]
+    if result.first_alarm_time is not None:
+        annotations.append(
+            (
+                result.first_alarm_time,
+                f"ALARM: y_n = "
+                f"{result.records[result.first_alarm_period].statistic:.3f} "
+                f"> N = {parameters.threshold} after {delay:.0f} periods",
+            )
+        )
+    else:
+        annotations.append((times[-1] if times else 0.0, "no alarm"))
+    figure = FigureSeries(
+        name=(
+            f"{profile.name}: CUSUM dynamics under a {flood_rate} SYN/s flood"
+        ),
+        times=times,
+        series={"y_n": tuple(result.statistics)},
+        annotations=tuple(annotations),
+    )
+    return figure, result
+
+
+def figure7(
+    seed: int = 0, attack_start: float = 360.0
+) -> List[Tuple[FigureSeries, DetectionResult]]:
+    """Figure 7: detection sensitivity at UNC for f_i = 45, 60, 80
+    SYN/s.  Paper anchors: detection in ≈9, 4 and 2 periods."""
+    return [
+        attack_cusum_figure(UNC, rate, seed=seed, attack_start=attack_start)
+        for rate in (45.0, 60.0, 80.0)
+    ]
+
+
+def figure8(
+    seed: int = 0, attack_start: float = 3600.0
+) -> List[Tuple[FigureSeries, DetectionResult]]:
+    """Figure 8: detection sensitivity at Auckland for f_i = 2, 5, 10
+    SYN/s.  Paper anchors: detection in ≈8, 2 and 1 periods."""
+    return [
+        attack_cusum_figure(AUCKLAND, rate, seed=seed, attack_start=attack_start)
+        for rate in (2.0, 5.0, 10.0)
+    ]
+
+
+def figure9(
+    seed: int = 0, attack_start: float = 360.0, flood_rate: float = 25.0
+) -> Tuple[FigureSeries, DetectionResult]:
+    """Figure 9: site-tuned sensitivity at UNC — a = 0.2, N = 0.6 lowers
+    the detection floor by the ratio a_tuned/a_default = 0.57, and the
+    figure shows y_n for a flood between the two floors crossing the
+    lowered threshold, with no new false alarms.
+
+    Calibration note: the paper quotes the tuned floor as 15 SYN/s,
+    which implies K̄ ≈ 1500/period — inconsistent with the K̄ ≈ 2114
+    its Eq. 8 example implies and the K̄ ≈ 1922 its Table 2 delays
+    imply.  Our profile is calibrated to the Table 2 delays, giving a
+    tuned floor of ≈ 19 SYN/s, so the default figure runs at
+    f_i = 25 SYN/s: invisible to the default parameters (floor ≈ 34)
+    and caught by the tuned ones, exactly the paper's qualitative
+    point.  Pass ``flood_rate=15.0`` to reproduce the paper's literal
+    setting (sub-floor under our calibration).
+    """
+    return attack_cusum_figure(
+        UNC,
+        flood_rate,
+        seed=seed,
+        attack_start=attack_start,
+        parameters=TUNED_UNC_PARAMETERS,
+    )

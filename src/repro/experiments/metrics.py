@@ -1,0 +1,130 @@
+"""Detection-performance metrics (Section 3.2's two fundamental
+measures).
+
+* **Detection time** — delay from attack start to the first alarm, in
+  observation periods (the unit of Tables 2 and 3).
+* **False-alarm time** — mean time between false alarms under pure
+  background traffic; Eq. 5 predicts it grows exponentially with the
+  threshold N.
+
+Plus the aggregate the tables report: detection probability over
+repeated randomized trials.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = [
+    "TrialOutcome",
+    "DetectionPerformance",
+    "aggregate_trials",
+    "FalseAlarmEstimate",
+    "estimate_false_alarm_time",
+]
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """One detection trial."""
+
+    site: str
+    flood_rate: float
+    seed: int
+    attack_start: float
+    attack_duration: float
+    detected: bool
+    delay_periods: Optional[float]  #: None when not detected in-window
+    max_statistic: float
+
+
+@dataclass(frozen=True)
+class DetectionPerformance:
+    """One row of Table 2 / Table 3."""
+
+    flood_rate: float
+    num_trials: int
+    detection_probability: float
+    mean_detection_time: Optional[float]   #: periods; None if never detected
+    detection_times: Tuple[float, ...] = ()
+
+    @property
+    def detection_time_std(self) -> Optional[float]:
+        if len(self.detection_times) < 2:
+            return None
+        mean = sum(self.detection_times) / len(self.detection_times)
+        variance = sum((t - mean) ** 2 for t in self.detection_times) / (
+            len(self.detection_times) - 1
+        )
+        return math.sqrt(variance)
+
+
+def aggregate_trials(
+    flood_rate: float, outcomes: Sequence[TrialOutcome]
+) -> DetectionPerformance:
+    """Fold per-trial outcomes into one performance row."""
+    if not outcomes:
+        raise ValueError("need at least one trial")
+    delays = tuple(
+        outcome.delay_periods
+        for outcome in outcomes
+        if outcome.detected and outcome.delay_periods is not None
+    )
+    detected = sum(1 for outcome in outcomes if outcome.detected)
+    return DetectionPerformance(
+        flood_rate=flood_rate,
+        num_trials=len(outcomes),
+        detection_probability=detected / len(outcomes),
+        mean_detection_time=(sum(delays) / len(delays)) if delays else None,
+        detection_times=delays,
+    )
+
+
+@dataclass(frozen=True)
+class FalseAlarmEstimate:
+    """Empirical false-alarm behaviour at one threshold."""
+
+    threshold: float
+    observed_periods: int
+    false_alarms: int
+
+    @property
+    def alarm_probability(self) -> float:
+        """Per-period alarm probability P∞{d_N(y_n) = 1} (Eq. 5's LHS)."""
+        if self.observed_periods == 0:
+            return 0.0
+        return self.false_alarms / self.observed_periods
+
+    @property
+    def mean_time_between_alarms_periods(self) -> float:
+        """Mean periods between false alarms (inf when none observed)."""
+        if self.false_alarms == 0:
+            return math.inf
+        return self.observed_periods / self.false_alarms
+
+
+def estimate_false_alarm_time(
+    statistic_series: Sequence[float], threshold: float
+) -> FalseAlarmEstimate:
+    """Count alarm *onsets* of a y_n series against a threshold.
+
+    An alarm onset is a crossing from ≤N to >N; a statistic that stays
+    above N for several periods is one alarm, matching how an operator
+    would count pages.
+    """
+    alarms = 0
+    above = False
+    for value in statistic_series:
+        if value > threshold:
+            if not above:
+                alarms += 1
+            above = True
+        else:
+            above = False
+    return FalseAlarmEstimate(
+        threshold=threshold,
+        observed_periods=len(statistic_series),
+        false_alarms=alarms,
+    )

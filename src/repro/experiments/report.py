@@ -1,0 +1,136 @@
+"""ASCII rendering for tables, series and paper-vs-measured comparisons.
+
+Every benchmark prints through these helpers so the regenerated rows
+look like the paper's tables and the figure benches emit inspectable
+series (a terminal sparkline plus the raw numbers on request).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+__all__ = ["render_table", "render_series", "render_comparison", "sparkline"]
+
+Cell = Union[str, int, float, None]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def _format_cell(cell: Cell) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, float):
+        if math.isinf(cell):
+            return "inf"
+        if math.isnan(cell):
+            return "nan"
+        # Trim trailing zeros but keep sensible precision.
+        text = f"{cell:.4f}".rstrip("0").rstrip(".")
+        return text if text else "0"
+    return str(cell)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a boxed ASCII table."""
+    formatted = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in formatted:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(char: str = "-", joint: str = "+") -> str:
+        return joint + joint.join(char * (width + 2) for width in widths) + joint
+
+    def render_row(cells: Sequence[str]) -> str:
+        return (
+            "|"
+            + "|".join(
+                f" {cell:>{width}} " for cell, width in zip(cells, widths)
+            )
+            + "|"
+        )
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line())
+    parts.append(render_row(list(headers)))
+    parts.append(line("="))
+    for row in formatted:
+        parts.append(render_row(row))
+    parts.append(line())
+    return "\n".join(parts)
+
+
+def sparkline(values: Sequence[float], width: int = 72) -> str:
+    """A unicode sparkline, downsampled to *width* buckets by maximum
+    (spikes must stay visible — they are the whole point of Figure 5)."""
+    if not values:
+        return ""
+    if len(values) > width:
+        bucket = len(values) / width
+        sampled = [
+            max(values[int(i * bucket) : max(int((i + 1) * bucket), int(i * bucket) + 1)])
+            for i in range(width)
+        ]
+    else:
+        sampled = list(values)
+    low = min(sampled)
+    high = max(sampled)
+    span = high - low
+    if span <= 0:
+        return _SPARK_LEVELS[0] * len(sampled)
+    return "".join(
+        _SPARK_LEVELS[
+            min(
+                len(_SPARK_LEVELS) - 1,
+                int((value - low) / span * len(_SPARK_LEVELS)),
+            )
+        ]
+        for value in sampled
+    )
+
+
+def render_series(
+    name: str,
+    times: Sequence[float],
+    values: Sequence[float],
+    unit: str = "",
+    annotations: Optional[Sequence[Tuple[float, str]]] = None,
+) -> str:
+    """Render one figure series: header stats, sparkline, and any
+    annotated instants (e.g. attack start / first alarm)."""
+    if len(times) != len(values):
+        raise ValueError(f"length mismatch: {len(times)} vs {len(values)}")
+    parts = [
+        f"{name}: n={len(values)}"
+        + (
+            f" min={min(values):.4g} max={max(values):.4g} "
+            f"mean={sum(values) / len(values):.4g}{(' ' + unit) if unit else ''}"
+            if values
+            else ""
+        )
+    ]
+    parts.append("  " + sparkline(values))
+    for instant, label in annotations or ():
+        parts.append(f"  @t={instant:.0f}s: {label}")
+    return "\n".join(parts)
+
+
+def render_comparison(
+    title: str,
+    rows: Iterable[Tuple[str, Cell, Cell]],
+    paper_label: str = "paper",
+    measured_label: str = "measured",
+) -> str:
+    """Paper-vs-measured table — the EXPERIMENTS.md currency."""
+    return render_table(
+        ["quantity", paper_label, measured_label],
+        [list(row) for row in rows],
+        title=title,
+    )

@@ -1,0 +1,66 @@
+"""Byte-accurate packet layer: Ethernet / IPv4 / TCP / UDP models,
+checksums, address utilities, and the paper's TCP control-packet
+classifier.
+
+This subpackage replaces scapy/dpkt (not available offline): every
+header codec is implemented from scratch and produces genuine wire
+bytes, so traces round-trip through the :mod:`repro.pcap` layer.
+"""
+
+from .addresses import (
+    BOGON_NETWORKS,
+    IPv4Address,
+    IPv4Network,
+    MACAddress,
+    is_bogon,
+    random_spoofed_address,
+)
+from .checksum import internet_checksum, tcp_pseudo_header, verify_checksum
+from .classify import (
+    ClassifierStats,
+    PacketClass,
+    PacketClassifier,
+    classify_ip_bytes,
+    classify_packet,
+)
+from .ethernet import ETHERTYPE_ARP, ETHERTYPE_IPV4, EthernetFrame
+from .ip import IP_FLAG_DF, IP_FLAG_MF, IPv4Header, IPv4Packet
+from .packet import Packet, make_ack, make_fin, make_rst, make_syn, make_syn_ack
+from .tcp import TCP_PROTOCOL_NUMBER, SegmentKind, TCPFlags, TCPSegment
+from .udp import UDP_PROTOCOL_NUMBER, UDPDatagram
+
+__all__ = [
+    "BOGON_NETWORKS",
+    "IPv4Address",
+    "IPv4Network",
+    "MACAddress",
+    "is_bogon",
+    "random_spoofed_address",
+    "internet_checksum",
+    "tcp_pseudo_header",
+    "verify_checksum",
+    "ClassifierStats",
+    "PacketClass",
+    "PacketClassifier",
+    "classify_ip_bytes",
+    "classify_packet",
+    "ETHERTYPE_ARP",
+    "ETHERTYPE_IPV4",
+    "EthernetFrame",
+    "IP_FLAG_DF",
+    "IP_FLAG_MF",
+    "IPv4Header",
+    "IPv4Packet",
+    "Packet",
+    "make_ack",
+    "make_fin",
+    "make_rst",
+    "make_syn",
+    "make_syn_ack",
+    "TCP_PROTOCOL_NUMBER",
+    "SegmentKind",
+    "TCPFlags",
+    "TCPSegment",
+    "UDP_PROTOCOL_NUMBER",
+    "UDPDatagram",
+]

@@ -1,0 +1,238 @@
+"""Address utilities for the packet layer.
+
+IPv4 and MAC addresses are modelled as thin immutable wrappers over their
+canonical integer / byte representations.  The module also implements the
+*invalid source address* test the paper relies on: a spoofed SYN only
+succeeds in exhausting the victim's backlog if its source address is
+unreachable, because a reachable host would answer the victim's SYN/ACK
+with a RST and tear the half-open connection down (Section 1 of the
+paper).
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Tuple, Union
+
+__all__ = [
+    "IPv4Address",
+    "IPv4Network",
+    "MACAddress",
+    "is_bogon",
+    "random_spoofed_address",
+    "BOGON_NETWORKS",
+]
+
+_DOTTED_RE = re.compile(r"^(\d{1,3})\.(\d{1,3})\.(\d{1,3})\.(\d{1,3})$")
+
+
+@dataclass(frozen=True, order=True)
+class IPv4Address:
+    """An IPv4 address stored as an unsigned 32-bit integer."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value <= 0xFFFFFFFF:
+            raise ValueError(f"IPv4 address out of range: {self.value:#x}")
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv4Address":
+        """Parse dotted-quad notation, e.g. ``"192.0.2.1"``."""
+        match = _DOTTED_RE.match(text.strip())
+        if match is None:
+            raise ValueError(f"not a dotted-quad IPv4 address: {text!r}")
+        octets = [int(part) for part in match.groups()]
+        if any(octet > 255 for octet in octets):
+            raise ValueError(f"octet out of range in {text!r}")
+        value = (octets[0] << 24) | (octets[1] << 16) | (octets[2] << 8) | octets[3]
+        return cls(value)
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "IPv4Address":
+        if len(raw) != 4:
+            raise ValueError(f"IPv4 address needs 4 bytes, got {len(raw)}")
+        return cls(int.from_bytes(raw, "big"))
+
+    def to_bytes(self) -> bytes:
+        return self.value.to_bytes(4, "big")
+
+    @property
+    def octets(self) -> Tuple[int, int, int, int]:
+        return (
+            (self.value >> 24) & 0xFF,
+            (self.value >> 16) & 0xFF,
+            (self.value >> 8) & 0xFF,
+            self.value & 0xFF,
+        )
+
+    def __str__(self) -> str:
+        return ".".join(str(octet) for octet in self.octets)
+
+    def __int__(self) -> int:
+        return self.value
+
+
+AddressLike = Union[IPv4Address, str, int]
+
+
+def _coerce_address(address: AddressLike) -> IPv4Address:
+    if isinstance(address, IPv4Address):
+        return address
+    if isinstance(address, str):
+        return IPv4Address.parse(address)
+    return IPv4Address(int(address))
+
+
+@dataclass(frozen=True)
+class IPv4Network:
+    """A CIDR prefix, e.g. ``IPv4Network.parse("10.0.0.0/8")``."""
+
+    network: IPv4Address
+    prefix_len: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.prefix_len <= 32:
+            raise ValueError(f"prefix length out of range: {self.prefix_len}")
+        if self.network.value & ~self.netmask_int & 0xFFFFFFFF:
+            raise ValueError(
+                f"{self.network}/{self.prefix_len} has host bits set"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv4Network":
+        try:
+            address_part, prefix_part = text.strip().split("/")
+        except ValueError as exc:
+            raise ValueError(f"not CIDR notation: {text!r}") from exc
+        return cls(IPv4Address.parse(address_part), int(prefix_part))
+
+    @property
+    def netmask_int(self) -> int:
+        if self.prefix_len == 0:
+            return 0
+        return (0xFFFFFFFF << (32 - self.prefix_len)) & 0xFFFFFFFF
+
+    @property
+    def num_addresses(self) -> int:
+        return 1 << (32 - self.prefix_len)
+
+    def __contains__(self, address: object) -> bool:
+        if not isinstance(address, (IPv4Address, str, int)):
+            return NotImplemented
+        candidate = _coerce_address(address)
+        return (candidate.value & self.netmask_int) == self.network.value
+
+    def hosts(self) -> Iterator[IPv4Address]:
+        """Iterate over host addresses (excludes network/broadcast for /30
+        and wider prefixes, matching conventional host-range semantics)."""
+        first = self.network.value
+        last = first + self.num_addresses - 1
+        if self.prefix_len <= 30:
+            first += 1
+            last -= 1
+        for value in range(first, last + 1):
+            yield IPv4Address(value)
+
+    def random_host(self, rng: random.Random) -> IPv4Address:
+        first = self.network.value
+        span = self.num_addresses
+        if self.prefix_len <= 30:
+            first += 1
+            span -= 2
+        return IPv4Address(first + rng.randrange(span))
+
+    def __str__(self) -> str:
+        return f"{self.network}/{self.prefix_len}"
+
+
+@dataclass(frozen=True, order=True)
+class MACAddress:
+    """A 48-bit Ethernet MAC address.
+
+    SYN-dog's source-localization step (Section 4.2.3) checks the MAC
+    address of packets whose IP source address is spoofed: the MAC is set
+    by the actual sending host's NIC and is not forged by the common
+    flooding tools, so it pinpoints the compromised host inside the stub
+    network.
+    """
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value <= 0xFFFFFFFFFFFF:
+            raise ValueError(f"MAC address out of range: {self.value:#x}")
+
+    @classmethod
+    def parse(cls, text: str) -> "MACAddress":
+        parts = text.strip().replace("-", ":").split(":")
+        if len(parts) != 6:
+            raise ValueError(f"not a MAC address: {text!r}")
+        value = 0
+        for part in parts:
+            octet = int(part, 16)
+            if not 0 <= octet <= 0xFF:
+                raise ValueError(f"octet out of range in {text!r}")
+            value = (value << 8) | octet
+        return cls(value)
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "MACAddress":
+        if len(raw) != 6:
+            raise ValueError(f"MAC address needs 6 bytes, got {len(raw)}")
+        return cls(int.from_bytes(raw, "big"))
+
+    def to_bytes(self) -> bytes:
+        return self.value.to_bytes(6, "big")
+
+    def __str__(self) -> str:
+        raw = self.to_bytes()
+        return ":".join(f"{octet:02x}" for octet in raw)
+
+
+#: Prefixes that can never be legitimate Internet source addresses.  A SYN
+#: whose source falls in one of these is guaranteed not to elicit a RST
+#: from a real host, which is exactly what a flooding attacker needs.
+BOGON_NETWORKS: Tuple[IPv4Network, ...] = tuple(
+    IPv4Network.parse(cidr)
+    for cidr in (
+        "0.0.0.0/8",        # "this" network
+        "10.0.0.0/8",       # RFC 1918 private
+        "127.0.0.0/8",      # loopback
+        "169.254.0.0/16",   # link-local
+        "172.16.0.0/12",    # RFC 1918 private
+        "192.0.2.0/24",     # TEST-NET-1
+        "192.168.0.0/16",   # RFC 1918 private
+        "198.51.100.0/24",  # TEST-NET-2
+        "203.0.113.0/24",   # TEST-NET-3
+        "224.0.0.0/4",      # multicast
+        "240.0.0.0/4",      # reserved
+    )
+)
+
+
+def is_bogon(address: AddressLike) -> bool:
+    """Return True if *address* cannot be a reachable Internet host."""
+    candidate = _coerce_address(address)
+    return any(candidate in network for network in BOGON_NETWORKS)
+
+
+def random_spoofed_address(
+    rng: random.Random,
+    avoid: Iterable[IPv4Network] = (),
+) -> IPv4Address:
+    """Draw a random *unreachable* source address for a spoofed SYN.
+
+    The address is drawn from the bogon pools so that the victim's
+    SYN/ACK is never answered, keeping the half-open connection pinned in
+    the victim's backlog for the full timeout (Section 1).
+    """
+    avoid = tuple(avoid)
+    for _ in range(1000):
+        network = rng.choice(BOGON_NETWORKS)
+        candidate = network.random_host(rng)
+        if not any(candidate in excluded for excluded in avoid):
+            return candidate
+    raise RuntimeError("could not find a spoofable address outside 'avoid'")

@@ -1,0 +1,65 @@
+"""Ethernet II frame model.
+
+The stub-network side of the leaf router sees layer-2 frames.  While the
+sniffers themselves only need the IP/TCP headers, the frame's *source
+MAC address* is the hook for SYN-dog's post-alarm localization step
+(Section 4.2.3): IP source addresses on flooding packets are spoofed,
+but the MAC written by the sending NIC is not, so the router can map an
+alarm to the physical host that emitted the flood.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from .addresses import MACAddress
+
+__all__ = ["EthernetFrame", "ETHERTYPE_IPV4", "ETHERTYPE_ARP"]
+
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_ARP = 0x0806
+
+_HEADER = struct.Struct("!6s6sH")
+
+
+@dataclass(frozen=True)
+class EthernetFrame:
+    """An Ethernet II frame (no 802.1Q tag, no FCS)."""
+
+    dst_mac: MACAddress
+    src_mac: MACAddress
+    ethertype: int = ETHERTYPE_IPV4
+    payload: bytes = b""
+
+    HEADER_LENGTH = 14
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.ethertype <= 0xFFFF:
+            raise ValueError(f"ethertype out of range: {self.ethertype:#x}")
+
+    def encode(self) -> bytes:
+        return (
+            _HEADER.pack(
+                self.dst_mac.to_bytes(),
+                self.src_mac.to_bytes(),
+                self.ethertype,
+            )
+            + self.payload
+        )
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "EthernetFrame":
+        if len(raw) < cls.HEADER_LENGTH:
+            raise ValueError(f"Ethernet frame truncated: {len(raw)} bytes")
+        dst_raw, src_raw, ethertype = _HEADER.unpack_from(raw)
+        return cls(
+            dst_mac=MACAddress.from_bytes(dst_raw),
+            src_mac=MACAddress.from_bytes(src_raw),
+            ethertype=ethertype,
+            payload=raw[cls.HEADER_LENGTH:],
+        )
+
+    @property
+    def is_ipv4(self) -> bool:
+        return self.ethertype == ETHERTYPE_IPV4

@@ -1,0 +1,157 @@
+"""IPv4 header model and byte-accurate codec.
+
+Two header fields matter to the paper's classifier (Section 2):
+
+* ``protocol`` — must be 6 (TCP) for the packet to be considered at all;
+* ``fragment offset`` — must be zero, because only the first fragment
+  carries the TCP header whose flag bits the sniffer reads.
+
+The codec writes a valid RFC 1071 header checksum so encoded packets are
+genuine wire bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, replace
+from typing import Union
+
+from .addresses import IPv4Address
+from .checksum import internet_checksum
+
+__all__ = ["IPv4Header", "IPv4Packet", "IP_FLAG_DF", "IP_FLAG_MF"]
+
+IP_FLAG_DF = 0x2  #: Don't Fragment
+IP_FLAG_MF = 0x1  #: More Fragments
+
+_HEADER = struct.Struct("!BBHHHBBH4s4s")
+
+
+def _coerce_ip(value: Union[IPv4Address, str, int]) -> IPv4Address:
+    if isinstance(value, IPv4Address):
+        return value
+    if isinstance(value, str):
+        return IPv4Address.parse(value)
+    return IPv4Address(int(value))
+
+
+@dataclass(frozen=True)
+class IPv4Header:
+    """An immutable IPv4 header (options unsupported: IHL is fixed at 5,
+    which matches essentially all TCP traffic on real links)."""
+
+    src: IPv4Address
+    dst: IPv4Address
+    protocol: int = 6
+    ttl: int = 64
+    identification: int = 0
+    flags: int = 0
+    fragment_offset: int = 0
+    tos: int = 0
+    total_length: int = 20
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "src", _coerce_ip(self.src))
+        object.__setattr__(self, "dst", _coerce_ip(self.dst))
+        for name, value, limit in (
+            ("protocol", self.protocol, 0xFF),
+            ("ttl", self.ttl, 0xFF),
+            ("identification", self.identification, 0xFFFF),
+            ("flags", self.flags, 0x7),
+            ("fragment_offset", self.fragment_offset, 0x1FFF),
+            ("tos", self.tos, 0xFF),
+            ("total_length", self.total_length, 0xFFFF),
+        ):
+            if not 0 <= value <= limit:
+                raise ValueError(f"{name} out of range: {value}")
+        if self.total_length < 20:
+            raise ValueError(f"total_length below header size: {self.total_length}")
+
+    HEADER_LENGTH = 20
+
+    @property
+    def is_first_fragment(self) -> bool:
+        """True when fragment offset is zero — the only fragment whose
+        payload begins with the transport header."""
+        return self.fragment_offset == 0
+
+    @property
+    def is_fragmented(self) -> bool:
+        return self.fragment_offset != 0 or bool(self.flags & IP_FLAG_MF)
+
+    def encode(self) -> bytes:
+        version_ihl = (4 << 4) | 5
+        flags_fragment = (self.flags << 13) | self.fragment_offset
+        header = _HEADER.pack(
+            version_ihl,
+            self.tos,
+            self.total_length,
+            self.identification,
+            flags_fragment,
+            self.ttl,
+            self.protocol,
+            0,  # checksum placeholder
+            self.src.to_bytes(),
+            self.dst.to_bytes(),
+        )
+        checksum = internet_checksum(header)
+        return header[:10] + checksum.to_bytes(2, "big") + header[12:]
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "IPv4Header":
+        if len(raw) < cls.HEADER_LENGTH:
+            raise ValueError(f"IPv4 header truncated: {len(raw)} bytes")
+        (
+            version_ihl,
+            tos,
+            total_length,
+            identification,
+            flags_fragment,
+            ttl,
+            protocol,
+            _checksum,
+            src_raw,
+            dst_raw,
+        ) = _HEADER.unpack_from(raw)
+        version = version_ihl >> 4
+        if version != 4:
+            raise ValueError(f"not IPv4 (version={version})")
+        ihl = version_ihl & 0xF
+        if ihl != 5:
+            raise ValueError(f"IPv4 options unsupported (IHL={ihl})")
+        return cls(
+            src=IPv4Address.from_bytes(src_raw),
+            dst=IPv4Address.from_bytes(dst_raw),
+            protocol=protocol,
+            ttl=ttl,
+            identification=identification,
+            flags=flags_fragment >> 13,
+            fragment_offset=flags_fragment & 0x1FFF,
+            tos=tos,
+            total_length=total_length,
+        )
+
+    def decrement_ttl(self) -> "IPv4Header":
+        """Return a copy with TTL reduced by one (router forwarding)."""
+        if self.ttl == 0:
+            raise ValueError("TTL already zero")
+        return replace(self, ttl=self.ttl - 1)
+
+
+@dataclass(frozen=True)
+class IPv4Packet:
+    """An IPv4 header plus raw payload bytes."""
+
+    header: IPv4Header
+    payload: bytes = b""
+
+    def encode(self) -> bytes:
+        total_length = IPv4Header.HEADER_LENGTH + len(self.payload)
+        header = replace(self.header, total_length=total_length)
+        return header.encode() + self.payload
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "IPv4Packet":
+        header = IPv4Header.decode(raw)
+        end = min(header.total_length, len(raw))
+        return cls(header=header, payload=raw[IPv4Header.HEADER_LENGTH:end])

@@ -1,0 +1,260 @@
+"""Composite packet: Ethernet / IPv4 / TCP-or-UDP in one object.
+
+``Packet`` is the unit that flows through the whole reproduction: trace
+generators emit them, links and routers forward them, sniffers count
+them, and the pcap layer turns them into wire bytes and back.  The
+timestamp lives here (not in any header) because it is a property of the
+observation, exactly as in a pcap record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Union
+
+from .addresses import IPv4Address, MACAddress
+from .ethernet import ETHERTYPE_IPV4, EthernetFrame
+from .ip import IPv4Header, IPv4Packet
+from .tcp import TCP_PROTOCOL_NUMBER, TCPSegment
+from .udp import UDP_PROTOCOL_NUMBER, UDPDatagram
+
+__all__ = ["Packet", "make_syn", "make_syn_ack", "make_ack", "make_fin", "make_rst"]
+
+Transport = Union[TCPSegment, UDPDatagram, bytes]
+
+_DEFAULT_SRC_MAC = MACAddress.parse("02:00:00:00:00:01")
+_DEFAULT_DST_MAC = MACAddress.parse("02:00:00:00:00:02")
+
+
+@dataclass(frozen=True)
+class Packet:
+    """A timestamped packet with decoded layers.
+
+    ``transport`` is a :class:`TCPSegment`, a :class:`UDPDatagram`, or raw
+    bytes for protocols the reproduction does not model.
+    """
+
+    timestamp: float
+    ip: IPv4Header
+    transport: Transport = b""
+    src_mac: MACAddress = _DEFAULT_SRC_MAC
+    dst_mac: MACAddress = _DEFAULT_DST_MAC
+
+    # ------------------------------------------------------------------
+    # Layer predicates used throughout the sniffing pipeline
+    # ------------------------------------------------------------------
+    @property
+    def is_tcp(self) -> bool:
+        return self.ip.protocol == TCP_PROTOCOL_NUMBER
+
+    @property
+    def tcp(self) -> Optional[TCPSegment]:
+        """The TCP segment, or None when the packet is not (decodable) TCP
+        or is a non-first fragment (whose payload lacks the TCP header)."""
+        if not self.is_tcp or not self.ip.is_first_fragment:
+            return None
+        if isinstance(self.transport, TCPSegment):
+            return self.transport
+        if isinstance(self.transport, bytes):
+            try:
+                return TCPSegment.decode(self.transport)
+            except ValueError:
+                return None
+        return None
+
+    @property
+    def is_syn(self) -> bool:
+        segment = self.tcp
+        return segment is not None and segment.is_syn
+
+    @property
+    def is_syn_ack(self) -> bool:
+        segment = self.tcp
+        return segment is not None and segment.is_syn_ack
+
+    @property
+    def src_ip(self) -> IPv4Address:
+        return self.ip.src
+
+    @property
+    def dst_ip(self) -> IPv4Address:
+        return self.ip.dst
+
+    # ------------------------------------------------------------------
+    # Wire codec
+    # ------------------------------------------------------------------
+    def encode_ip(self) -> bytes:
+        """Serialize the IP layer and below (no Ethernet header)."""
+        if isinstance(self.transport, TCPSegment):
+            payload = self.transport.encode(
+                self.ip.src.to_bytes(), self.ip.dst.to_bytes()
+            )
+        elif isinstance(self.transport, UDPDatagram):
+            payload = self.transport.encode(
+                self.ip.src.to_bytes(), self.ip.dst.to_bytes()
+            )
+        else:
+            payload = bytes(self.transport)
+        return IPv4Packet(self.ip, payload).encode()
+
+    def encode_frame(self) -> bytes:
+        """Serialize the full Ethernet frame."""
+        return EthernetFrame(
+            dst_mac=self.dst_mac,
+            src_mac=self.src_mac,
+            ethertype=ETHERTYPE_IPV4,
+            payload=self.encode_ip(),
+        ).encode()
+
+    @classmethod
+    def decode_frame(cls, raw: bytes, timestamp: float = 0.0) -> "Packet":
+        """Parse an Ethernet frame into a Packet.
+
+        Non-IPv4 frames raise ValueError; the caller (e.g. the pcap
+        reader) decides whether to skip or propagate.
+        """
+        frame = EthernetFrame.decode(raw)
+        if not frame.is_ipv4:
+            raise ValueError(f"not an IPv4 frame (ethertype={frame.ethertype:#06x})")
+        return cls._decode_ip_payload(
+            frame.payload, timestamp, frame.src_mac, frame.dst_mac
+        )
+
+    @classmethod
+    def decode_ip(cls, raw: bytes, timestamp: float = 0.0) -> "Packet":
+        """Parse raw IP bytes (no Ethernet header) into a Packet."""
+        return cls._decode_ip_payload(
+            raw, timestamp, _DEFAULT_SRC_MAC, _DEFAULT_DST_MAC
+        )
+
+    @classmethod
+    def _decode_ip_payload(
+        cls,
+        raw: bytes,
+        timestamp: float,
+        src_mac: MACAddress,
+        dst_mac: MACAddress,
+    ) -> "Packet":
+        ip_packet = IPv4Packet.decode(raw)
+        header = ip_packet.header
+        transport: Transport = ip_packet.payload
+        if header.is_first_fragment:
+            try:
+                if header.protocol == TCP_PROTOCOL_NUMBER:
+                    transport = TCPSegment.decode(ip_packet.payload)
+                elif header.protocol == UDP_PROTOCOL_NUMBER:
+                    transport = UDPDatagram.decode(ip_packet.payload)
+            except ValueError:
+                transport = ip_packet.payload  # keep raw bytes if malformed
+        return cls(
+            timestamp=timestamp,
+            ip=header,
+            transport=transport,
+            src_mac=src_mac,
+            dst_mac=dst_mac,
+        )
+
+    def at(self, timestamp: float) -> "Packet":
+        """Copy of this packet observed at a different time."""
+        return replace(self, timestamp=timestamp)
+
+    def forwarded(self) -> "Packet":
+        """Copy with TTL decremented, as a router would emit it."""
+        return replace(self, ip=self.ip.decrement_ttl())
+
+
+# ----------------------------------------------------------------------
+# Handshake packet factories — the vocabulary of every trace generator,
+# attack tool and TCP endpoint in this reproduction.
+# ----------------------------------------------------------------------
+def make_syn(
+    timestamp: float,
+    src: Union[IPv4Address, str],
+    dst: Union[IPv4Address, str],
+    src_port: int = 32768,
+    dst_port: int = 80,
+    seq: int = 0,
+    src_mac: MACAddress = _DEFAULT_SRC_MAC,
+    dst_mac: MACAddress = _DEFAULT_DST_MAC,
+) -> Packet:
+    """A TCP connection request (SYN=1, ACK=0)."""
+    return Packet(
+        timestamp=timestamp,
+        ip=IPv4Header(src=src, dst=dst, protocol=TCP_PROTOCOL_NUMBER),
+        transport=TCPSegment.syn(src_port, dst_port, seq=seq),
+        src_mac=src_mac,
+        dst_mac=dst_mac,
+    )
+
+
+def make_syn_ack(
+    timestamp: float,
+    src: Union[IPv4Address, str],
+    dst: Union[IPv4Address, str],
+    src_port: int = 80,
+    dst_port: int = 32768,
+    seq: int = 0,
+    ack: int = 1,
+    src_mac: MACAddress = _DEFAULT_SRC_MAC,
+    dst_mac: MACAddress = _DEFAULT_DST_MAC,
+) -> Packet:
+    """A TCP connection accept (SYN=1, ACK=1)."""
+    return Packet(
+        timestamp=timestamp,
+        ip=IPv4Header(src=src, dst=dst, protocol=TCP_PROTOCOL_NUMBER),
+        transport=TCPSegment.syn_ack(src_port, dst_port, seq=seq, ack=ack),
+        src_mac=src_mac,
+        dst_mac=dst_mac,
+    )
+
+
+def make_ack(
+    timestamp: float,
+    src: Union[IPv4Address, str],
+    dst: Union[IPv4Address, str],
+    src_port: int = 32768,
+    dst_port: int = 80,
+    seq: int = 1,
+    ack: int = 1,
+) -> Packet:
+    """The final ACK of the three-way handshake."""
+    return Packet(
+        timestamp=timestamp,
+        ip=IPv4Header(src=src, dst=dst, protocol=TCP_PROTOCOL_NUMBER),
+        transport=TCPSegment.pure_ack(src_port, dst_port, seq=seq, ack=ack),
+    )
+
+
+def make_fin(
+    timestamp: float,
+    src: Union[IPv4Address, str],
+    dst: Union[IPv4Address, str],
+    src_port: int = 32768,
+    dst_port: int = 80,
+    seq: int = 1,
+    ack: int = 1,
+) -> Packet:
+    """A connection-teardown FIN (carried with ACK, as stacks emit it)."""
+    return Packet(
+        timestamp=timestamp,
+        ip=IPv4Header(src=src, dst=dst, protocol=TCP_PROTOCOL_NUMBER),
+        transport=TCPSegment.fin(src_port, dst_port, seq=seq, ack=ack),
+    )
+
+
+def make_rst(
+    timestamp: float,
+    src: Union[IPv4Address, str],
+    dst: Union[IPv4Address, str],
+    src_port: int = 32768,
+    dst_port: int = 80,
+    seq: int = 0,
+) -> Packet:
+    """A reset — what a real host sends when it receives an unexpected
+    SYN/ACK, the reaction flooding attackers avoid by spoofing
+    unreachable source addresses."""
+    return Packet(
+        timestamp=timestamp,
+        ip=IPv4Header(src=src, dst=dst, protocol=TCP_PROTOCOL_NUMBER),
+        transport=TCPSegment.rst(src_port, dst_port, seq=seq),
+    )

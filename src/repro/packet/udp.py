@@ -1,0 +1,64 @@
+"""UDP datagram model.
+
+SYN-dog ignores UDP entirely — the classifier filters on protocol 6 —
+but background traces contain UDP (DNS and the like) and the earliest
+DDoS tool, Trinoo, was a UDP flooder (Section 4.2).  Carrying UDP in the
+substrate lets tests confirm the sniffers really do discard everything
+that is not a TCP control segment.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from .checksum import internet_checksum, tcp_pseudo_header
+
+__all__ = ["UDPDatagram", "UDP_PROTOCOL_NUMBER"]
+
+UDP_PROTOCOL_NUMBER = 17
+
+_HEADER = struct.Struct("!HHHH")
+
+
+@dataclass(frozen=True)
+class UDPDatagram:
+    """An immutable UDP datagram."""
+
+    src_port: int
+    dst_port: int
+    payload: bytes = b""
+
+    HEADER_LENGTH = 8
+
+    def __post_init__(self) -> None:
+        for name, value in (("src_port", self.src_port), ("dst_port", self.dst_port)):
+            if not 0 <= value <= 0xFFFF:
+                raise ValueError(f"{name} out of range: {value}")
+
+    def __len__(self) -> int:
+        return self.HEADER_LENGTH + len(self.payload)
+
+    def encode(self, src_ip: bytes = None, dst_ip: bytes = None) -> bytes:
+        length = len(self)
+        datagram = _HEADER.pack(self.src_port, self.dst_port, length, 0) + self.payload
+        if src_ip is not None and dst_ip is not None:
+            pseudo = tcp_pseudo_header(src_ip, dst_ip, UDP_PROTOCOL_NUMBER, length)
+            checksum = internet_checksum(pseudo + datagram)
+            if checksum == 0:
+                checksum = 0xFFFF  # RFC 768: transmitted zero means "no checksum"
+            datagram = datagram[:6] + checksum.to_bytes(2, "big") + datagram[8:]
+        return datagram
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "UDPDatagram":
+        if len(raw) < cls.HEADER_LENGTH:
+            raise ValueError(f"UDP header truncated: {len(raw)} bytes")
+        src_port, dst_port, length, _checksum = _HEADER.unpack_from(raw)
+        if length < cls.HEADER_LENGTH:
+            raise ValueError(f"bad UDP length: {length}")
+        return cls(
+            src_port=src_port,
+            dst_port=dst_port,
+            payload=raw[cls.HEADER_LENGTH:length],
+        )

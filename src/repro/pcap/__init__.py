@@ -1,0 +1,35 @@
+"""From-scratch classic libpcap (tcpdump) file format support.
+
+Replaces scapy/dpkt for trace persistence: the writer emits genuine
+pcap bytes readable by external tooling and the reader streams them
+back with O(1) memory.
+"""
+
+from .format import (
+    LINKTYPE_ETHERNET,
+    LINKTYPE_RAW,
+    MAGIC_MICROS,
+    MAGIC_NANOS,
+    GlobalHeader,
+    PcapFormatError,
+    RecordHeader,
+)
+from .reader import PcapReader, iter_pcap, pcap_bytes_to_packets, read_pcap
+from .writer import PcapWriter, packets_to_pcap_bytes, write_pcap
+
+__all__ = [
+    "LINKTYPE_ETHERNET",
+    "LINKTYPE_RAW",
+    "MAGIC_MICROS",
+    "MAGIC_NANOS",
+    "GlobalHeader",
+    "PcapFormatError",
+    "RecordHeader",
+    "PcapReader",
+    "iter_pcap",
+    "pcap_bytes_to_packets",
+    "read_pcap",
+    "PcapWriter",
+    "packets_to_pcap_bytes",
+    "write_pcap",
+]

@@ -1,0 +1,159 @@
+"""Classic libpcap file-format constants and header structures.
+
+Implemented from the de-facto specification (the format every tcpdump
+since 1988 writes): a 24-byte global header followed by
+(16-byte record header, captured bytes) pairs.  Both byte orders and
+both timestamp resolutions (microsecond magic 0xa1b2c3d4, nanosecond
+magic 0xa1b23c4d) are supported, since the University of Auckland traces
+the paper used were distributed in a nanosecond-timestamped format.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = [
+    "MAGIC_MICROS",
+    "MAGIC_NANOS",
+    "LINKTYPE_ETHERNET",
+    "LINKTYPE_RAW",
+    "GlobalHeader",
+    "RecordHeader",
+    "PcapFormatError",
+]
+
+MAGIC_MICROS = 0xA1B2C3D4
+MAGIC_NANOS = 0xA1B23C4D
+
+LINKTYPE_ETHERNET = 1
+LINKTYPE_RAW = 101  # raw IP, no link-layer header
+
+_GLOBAL = "IHHiIII"  # magic, major, minor, thiszone, sigfigs, snaplen, network
+_RECORD = "IIII"     # ts_sec, ts_frac, incl_len, orig_len
+
+GLOBAL_HEADER_LENGTH = struct.calcsize("<" + _GLOBAL)
+RECORD_HEADER_LENGTH = struct.calcsize("<" + _RECORD)
+
+
+class PcapFormatError(ValueError):
+    """Raised when a pcap file is malformed or unsupported."""
+
+
+@dataclass(frozen=True)
+class GlobalHeader:
+    """The 24-byte pcap global header."""
+
+    byte_order: str          # '<' or '>'
+    nanosecond: bool
+    version_major: int = 2
+    version_minor: int = 4
+    thiszone: int = 0
+    sigfigs: int = 0
+    snaplen: int = 65535
+    network: int = LINKTYPE_ETHERNET
+
+    @property
+    def timestamp_divisor(self) -> float:
+        return 1e9 if self.nanosecond else 1e6
+
+    def encode(self) -> bytes:
+        magic = MAGIC_NANOS if self.nanosecond else MAGIC_MICROS
+        return struct.pack(
+            self.byte_order + _GLOBAL,
+            magic,
+            self.version_major,
+            self.version_minor,
+            self.thiszone,
+            self.sigfigs,
+            self.snaplen,
+            self.network,
+        )
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "GlobalHeader":
+        if len(raw) < GLOBAL_HEADER_LENGTH:
+            raise PcapFormatError(
+                f"pcap global header truncated: {len(raw)} bytes"
+            )
+        magic_le = struct.unpack_from("<I", raw)[0]
+        magic_be = struct.unpack_from(">I", raw)[0]
+        if magic_le in (MAGIC_MICROS, MAGIC_NANOS):
+            byte_order, magic = "<", magic_le
+        elif magic_be in (MAGIC_MICROS, MAGIC_NANOS):
+            byte_order, magic = ">", magic_be
+        else:
+            raise PcapFormatError(f"bad pcap magic: {magic_le:#010x}")
+        (
+            _magic,
+            version_major,
+            version_minor,
+            thiszone,
+            sigfigs,
+            snaplen,
+            network,
+        ) = struct.unpack_from(byte_order + _GLOBAL, raw)
+        return cls(
+            byte_order=byte_order,
+            nanosecond=magic == MAGIC_NANOS,
+            version_major=version_major,
+            version_minor=version_minor,
+            thiszone=thiszone,
+            sigfigs=sigfigs,
+            snaplen=snaplen,
+            network=network,
+        )
+
+
+@dataclass(frozen=True)
+class RecordHeader:
+    """The 16-byte per-packet record header."""
+
+    ts_sec: int
+    ts_frac: int   # micro- or nanoseconds depending on the global magic
+    incl_len: int  # bytes actually captured
+    orig_len: int  # bytes on the wire
+
+    def encode(self, byte_order: str) -> bytes:
+        return struct.pack(
+            byte_order + _RECORD,
+            self.ts_sec,
+            self.ts_frac,
+            self.incl_len,
+            self.orig_len,
+        )
+
+    @classmethod
+    def decode(cls, raw: bytes, byte_order: str) -> "RecordHeader":
+        if len(raw) < RECORD_HEADER_LENGTH:
+            raise PcapFormatError(
+                f"pcap record header truncated: {len(raw)} bytes"
+            )
+        ts_sec, ts_frac, incl_len, orig_len = struct.unpack_from(
+            byte_order + _RECORD, raw
+        )
+        return cls(ts_sec=ts_sec, ts_frac=ts_frac, incl_len=incl_len, orig_len=orig_len)
+
+    def timestamp(self, nanosecond: bool) -> float:
+        divisor = 1e9 if nanosecond else 1e6
+        return self.ts_sec + self.ts_frac / divisor
+
+    @classmethod
+    def from_timestamp(
+        cls, timestamp: float, incl_len: int, orig_len: int, nanosecond: bool
+    ) -> "RecordHeader":
+        seconds = int(timestamp)
+        fraction = timestamp - seconds
+        scale = 1e9 if nanosecond else 1e6
+        frac_units = int(round(fraction * scale))
+        # Guard against float rounding pushing the fraction to a full second.
+        if frac_units >= scale:
+            seconds += 1
+            frac_units = 0
+        return cls(
+            ts_sec=seconds,
+            ts_frac=frac_units,
+            incl_len=incl_len,
+            orig_len=orig_len,
+        )

@@ -1,0 +1,17 @@
+"""Leaf-router integration: the router model of Figure 2, the deployable
+SYN-dog agent with its alarm-time response hooks, and the federation
+view across a fleet of agents."""
+
+from .agent import AlarmEvent, SynDogAgent
+from .fleet import Federation, FederationIncident, MemberAlarm
+from .leafrouter import Interface, LeafRouter
+
+__all__ = [
+    "AlarmEvent",
+    "SynDogAgent",
+    "Federation",
+    "FederationIncident",
+    "MemberAlarm",
+    "Interface",
+    "LeafRouter",
+]

@@ -1,0 +1,156 @@
+"""A federation of SYN-dog agents — many stub networks, one view.
+
+The paper argues SYN-dog "is incrementally deployable and works without
+requiring a wide installation" — each agent is autonomous — but an ISP
+or CERT operating many leaf routers still wants the fleet's alarms in
+one place.  :class:`Federation` owns a set of (router, agent) pairs at
+packet level, fans traffic out to the right member, gathers alarms on a
+shared bus, and merges the per-network localization reports into one
+incident view: which stub networks host slaves, which hosts they are,
+and how much of the observed flood is attributed.
+
+This is the packet-level counterpart of the count-level Monte-Carlo in
+:mod:`repro.experiments.campaign`: that module answers statistical
+questions over thousands of networks; this one runs the full pipeline —
+classification, ingress filtering, MAC localization — for a handful of
+networks in complete detail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..core.parameters import DEFAULT_PARAMETERS, SynDogParameters
+from ..packet.addresses import IPv4Network
+from ..packet.packet import Packet
+from ..traceback.locator import LocatedHost
+from .agent import AlarmEvent, SynDogAgent
+from .leafrouter import LeafRouter
+
+__all__ = ["Federation", "FederationIncident", "MemberAlarm"]
+
+
+@dataclass(frozen=True)
+class MemberAlarm:
+    """One member's alarm, as seen on the federation bus."""
+
+    network_name: str
+    event: AlarmEvent
+
+
+@dataclass(frozen=True)
+class FederationIncident:
+    """The merged incident view across all alarming members."""
+
+    alarms: Tuple[MemberAlarm, ...]
+    suspects: Tuple[Tuple[str, LocatedHost], ...]  #: (network, host) pairs
+
+    @property
+    def networks_alarming(self) -> List[str]:
+        return [alarm.network_name for alarm in self.alarms]
+
+    @property
+    def hosts_localized(self) -> int:
+        return sum(1 for _network, host in self.suspects if host.known)
+
+
+class Federation:
+    """A fleet of leaf routers with SYN-dog agents.
+
+    Usage::
+
+        federation = Federation()
+        federation.add_network("eng", IPv4Network.parse("10.1.0.0/16"))
+        federation.add_network("dorms", IPv4Network.parse("10.2.0.0/16"))
+        federation.feed("eng", outbound_packets, inbound_packets)
+        ...
+        incident = federation.incident()
+    """
+
+    def __init__(
+        self,
+        parameters: SynDogParameters = DEFAULT_PARAMETERS,
+        on_alarm: Optional[Callable[[MemberAlarm], None]] = None,
+    ) -> None:
+        self.parameters = parameters
+        self.on_alarm = on_alarm
+        self._members: Dict[str, Tuple[LeafRouter, SynDogAgent]] = {}
+        self._bus: List[MemberAlarm] = []
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def add_network(
+        self, name: str, stub_network: IPv4Network
+    ) -> Tuple[LeafRouter, SynDogAgent]:
+        """Enroll one stub network; returns its router and agent so the
+        caller can register host inventory."""
+        if name in self._members:
+            raise ValueError(f"network {name!r} already enrolled")
+        router = LeafRouter(stub_network=stub_network, name=f"router-{name}")
+
+        def relay(event: AlarmEvent, network_name: str = name) -> None:
+            member_alarm = MemberAlarm(network_name=network_name, event=event)
+            self._bus.append(member_alarm)
+            if self.on_alarm is not None:
+                self.on_alarm(member_alarm)
+
+        agent = SynDogAgent(router, parameters=self.parameters, on_alarm=relay)
+        self._members[name] = (router, agent)
+        return router, agent
+
+    def member(self, name: str) -> Tuple[LeafRouter, SynDogAgent]:
+        try:
+            return self._members[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown network {name!r}; enrolled: {sorted(self._members)}"
+            ) from None
+
+    @property
+    def network_names(self) -> List[str]:
+        return sorted(self._members)
+
+    # ------------------------------------------------------------------
+    # Traffic
+    # ------------------------------------------------------------------
+    def feed(
+        self,
+        name: str,
+        outbound: Iterable[Packet],
+        inbound: Iterable[Packet],
+    ) -> int:
+        """Replay one member's traffic through its router; returns the
+        number of packets processed."""
+        router, _agent = self.member(name)
+        return router.replay(outbound, inbound)
+
+    def finish(self, end_time: Optional[float] = None) -> None:
+        """Close trailing observation periods on every member."""
+        for _router, agent in self._members.values():
+            agent.finish(end_time=end_time)
+
+    # ------------------------------------------------------------------
+    # Incident view
+    # ------------------------------------------------------------------
+    @property
+    def alarms(self) -> Tuple[MemberAlarm, ...]:
+        return tuple(self._bus)
+
+    @property
+    def any_alarm(self) -> bool:
+        return bool(self._bus)
+
+    def incident(self) -> FederationIncident:
+        """Merge every alarming member's localization into one report."""
+        suspects: List[Tuple[str, LocatedHost]] = []
+        for alarm in self._bus:
+            _router, agent = self._members[alarm.network_name]
+            report = agent.localize_now()
+            for host in report.hosts:
+                suspects.append((alarm.network_name, host))
+        suspects.sort(key=lambda item: -item[1].spoofed_packet_count)
+        return FederationIncident(
+            alarms=tuple(self._bus), suspects=tuple(suspects)
+        )

@@ -1,0 +1,41 @@
+"""Discrete-event TCP/network simulator substrate.
+
+Implements the protocol machinery the paper's threat model rests on:
+the Figure 1 handshake state machine, the victim's finite backlog of
+half-open connections with the 75 s timeout, delay/loss links, and a
+victim-network assembly that measures service denial under flood — the
+substrate on which the stateful baseline defenses run.
+"""
+
+from .backlog import (
+    BACKLOG_TIMEOUT,
+    BacklogQueue,
+    ConnectionKey,
+    HalfOpenConnection,
+)
+from .endpoint import (
+    ClientEndpoint,
+    RstResponder,
+    ServerEndpoint,
+    TCPState,
+)
+from .engine import EventScheduler, ScheduledEvent, SimulationError
+from .link import Link
+from .network import VictimExperimentResult, VictimNetwork
+
+__all__ = [
+    "BACKLOG_TIMEOUT",
+    "BacklogQueue",
+    "ConnectionKey",
+    "HalfOpenConnection",
+    "ClientEndpoint",
+    "RstResponder",
+    "ServerEndpoint",
+    "TCPState",
+    "EventScheduler",
+    "ScheduledEvent",
+    "SimulationError",
+    "Link",
+    "VictimExperimentResult",
+    "VictimNetwork",
+]

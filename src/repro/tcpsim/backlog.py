@@ -1,0 +1,146 @@
+"""The victim server's half-open connection backlog (Section 1).
+
+The attack surface SYN flooding exploits: a TCP server keeps every
+half-open connection (SYN received, final ACK not yet) in a
+finite-length backlog queue.  Entries persist until the handshake
+completes, a RST arrives, or the SYN/ACK retransmission schedule is
+exhausted — "the failure of two retransmissions, which typically lasts
+for 75 seconds".  When the queue is full, new SYNs are dropped,
+denying service to legitimate clients.
+
+This module is pure data-structure logic (no event scheduling) so it
+can be unit- and property-tested exhaustively; the TCP endpoint drives
+it from the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+__all__ = ["BacklogQueue", "HalfOpenConnection", "ConnectionKey", "BACKLOG_TIMEOUT"]
+
+#: Classical BSD half-open lifetime: initial SYN/ACK plus two
+#: retransmissions, giving up after ~75 seconds.
+BACKLOG_TIMEOUT = 75.0
+
+#: Default backlog capacity, matching the small listen queues of
+#: late-1990s servers that made the attack so cheap (a few hundred
+#: half-open entries).
+DEFAULT_BACKLOG_SIZE = 256
+
+#: (client_ip_int, client_port, server_port)
+ConnectionKey = Tuple[int, int, int]
+
+
+@dataclass
+class HalfOpenConnection:
+    """One backlog entry."""
+
+    key: ConnectionKey
+    created_at: float
+    expires_at: float
+    server_isn: int
+    retransmissions_sent: int = 0
+
+
+class BacklogQueue:
+    """The half-open connection table with its capacity limit.
+
+    The queue tracks aggregate counters (accepted / refused / completed
+    / expired / reset) so experiments can report service-denial rates
+    directly.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_BACKLOG_SIZE,
+        timeout: float = BACKLOG_TIMEOUT,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive: {capacity}")
+        if timeout <= 0:
+            raise ValueError(f"timeout must be positive: {timeout}")
+        self.capacity = capacity
+        self.timeout = timeout
+        self._table: Dict[ConnectionKey, HalfOpenConnection] = {}
+        # Aggregate statistics.
+        self.accepted = 0
+        self.refused = 0
+        self.completed = 0
+        self.expired = 0
+        self.reset = 0
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._table) >= self.capacity
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of the backlog in use, 0..1."""
+        return len(self._table) / self.capacity
+
+    def lookup(self, key: ConnectionKey) -> Optional[HalfOpenConnection]:
+        return self._table.get(key)
+
+    def admit(
+        self, key: ConnectionKey, now: float, server_isn: int
+    ) -> Optional[HalfOpenConnection]:
+        """Try to enter a new half-open connection.
+
+        Returns the entry, or None when the backlog is full (the SYN is
+        silently dropped — the denial-of-service observable).  A repeat
+        SYN for an existing key refreshes nothing and returns the
+        existing entry (SYN retransmissions must not double-book).
+        """
+        existing = self._table.get(key)
+        if existing is not None:
+            return existing
+        if self.is_full:
+            self.refused += 1
+            return None
+        entry = HalfOpenConnection(
+            key=key,
+            created_at=now,
+            expires_at=now + self.timeout,
+            server_isn=server_isn,
+        )
+        self._table[key] = entry
+        self.accepted += 1
+        return entry
+
+    def complete(self, key: ConnectionKey) -> bool:
+        """Final handshake ACK arrived: promote out of the backlog.
+        Returns False when the key is unknown (stale/forged ACK)."""
+        if self._table.pop(key, None) is None:
+            return False
+        self.completed += 1
+        return True
+
+    def abort(self, key: ConnectionKey) -> bool:
+        """RST arrived for a half-open entry (e.g. a spoofed-source
+        victim's real host refusing our SYN/ACK): release it."""
+        if self._table.pop(key, None) is None:
+            return False
+        self.reset += 1
+        return True
+
+    def expire_older_than(self, now: float) -> int:
+        """Drop every entry whose 75 s lifetime has lapsed; returns how
+        many were reclaimed."""
+        stale = [key for key, entry in self._table.items() if entry.expires_at <= now]
+        for key in stale:
+            del self._table[key]
+        self.expired += len(stale)
+        return len(stale)
+
+    def service_denial_probability(self) -> float:
+        """Fraction of connection attempts refused so far — the primary
+        victim-side damage metric."""
+        attempts = self.accepted + self.refused
+        if attempts == 0:
+            return 0.0
+        return self.refused / attempts

@@ -1,0 +1,435 @@
+"""TCP endpoints implementing the Figure 1 handshake state machine.
+
+:class:`ServerEndpoint` is the victim: LISTEN → (SYN in) SYN_RCVD with a
+backlog entry and a SYN/ACK out → (ACK in) ESTABLISHED, with BSD-style
+SYN/ACK retransmission at 3 s / 6 s and the 75 s half-open timeout.
+:class:`ClientEndpoint` performs active opens: SYN out (SYN_SENT, with
+retransmission) → (SYN/ACK in) ACK out, ESTABLISHED.
+
+Both speak through whatever :class:`~repro.tcpsim.link.Link` topology
+the network wires up, so the same endpoints work behind routers, lossy
+paths and defense proxies.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..packet.addresses import IPv4Address
+from ..packet.packet import (
+    Packet,
+    make_ack,
+    make_fin,
+    make_rst,
+    make_syn,
+    make_syn_ack,
+)
+from .backlog import BacklogQueue, ConnectionKey
+from .engine import EventScheduler, ScheduledEvent
+
+__all__ = ["TCPState", "ServerEndpoint", "ClientEndpoint", "RstResponder"]
+
+PacketSink = Callable[[Packet], None]
+
+#: BSD SYN/ACK retransmission offsets after the first transmission.
+SYNACK_RETRANSMIT_OFFSETS = (3.0, 9.0)
+
+#: Client SYN retransmission offsets.
+SYN_RETRANSMIT_OFFSETS = (3.0, 9.0)
+
+
+class TCPState(enum.Enum):
+    """Figure 1's connection states (establishment and teardown)."""
+
+    CLOSED = "closed"
+    LISTEN = "listen"
+    SYN_SENT = "syn-sent"
+    SYN_RCVD = "syn-rcvd"
+    ESTABLISHED = "established"
+    # Active close (the side that calls close() first):
+    FIN_WAIT1 = "fin-wait-1"
+    TIME_WAIT = "time-wait"
+    # Passive close:
+    CLOSE_WAIT = "close-wait"
+    LAST_ACK = "last-ack"
+
+
+#: TIME_WAIT dwell (2·MSL).  Real stacks use 60–240 s; the simulator's
+#: default is shortened so teardown completes within short experiments
+#: while preserving the state transition.
+TIME_WAIT_DURATION = 10.0
+
+
+class ServerEndpoint:
+    """A listening TCP server with a finite backlog.
+
+    Emits SYN/ACKs through ``output``; the network is responsible for
+    routing them (including to spoofed, unreachable destinations where
+    they vanish — the attack's key mechanism).
+    """
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        address: IPv4Address,
+        output: PacketSink,
+        port: int = 80,
+        backlog: Optional[BacklogQueue] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.scheduler = scheduler
+        self.address = address
+        self.output = output
+        self.port = port
+        # NOTE: an empty BacklogQueue is falsy (it defines __len__), so
+        # `backlog or BacklogQueue()` would silently discard the caller's
+        # queue — compare against None explicitly.
+        self.backlog = backlog if backlog is not None else BacklogQueue()
+        self.rng = rng or random.Random(0)
+        self.established: Dict[ConnectionKey, float] = {}
+        self.states: Dict[ConnectionKey, TCPState] = {}
+        self.closed: Dict[ConnectionKey, float] = {}
+        self._retransmit_timers: Dict[ConnectionKey, List[ScheduledEvent]] = {}
+        self.synacks_sent = 0
+        self.syns_received = 0
+        self.fins_received = 0
+
+    # ------------------------------------------------------------------
+    def _key_for(self, packet: Packet) -> Optional[ConnectionKey]:
+        segment = packet.tcp
+        if segment is None:
+            return None
+        return (int(packet.src_ip), segment.src_port, segment.dst_port)
+
+    def receive(self, packet: Packet) -> None:
+        """Handle one inbound packet addressed to this server."""
+        segment = packet.tcp
+        if segment is None or segment.dst_port != self.port:
+            return
+        if segment.is_syn:
+            self._handle_syn(packet)
+        elif segment.is_rst:
+            self._handle_rst(packet)
+        elif segment.is_fin:
+            self._handle_fin(packet)
+        elif segment.flags and not segment.is_syn_ack:
+            self._handle_ack(packet)
+
+    def _handle_syn(self, packet: Packet) -> None:
+        self.syns_received += 1
+        self.backlog.expire_older_than(self.scheduler.now)
+        key = self._key_for(packet)
+        if key is None:
+            return
+        server_isn = self.rng.getrandbits(32)
+        entry = self.backlog.admit(key, self.scheduler.now, server_isn)
+        if entry is None:
+            return  # backlog full: silent drop — service denied
+        self.states[key] = TCPState.SYN_RCVD
+        segment = packet.tcp
+        self._send_synack(packet.src_ip, key, entry.server_isn, segment.seq)
+        self._schedule_retransmissions(packet.src_ip, key, entry.server_isn, segment.seq)
+
+    def _send_synack(
+        self, client: IPv4Address, key: ConnectionKey, isn: int, client_seq: int
+    ) -> None:
+        self.synacks_sent += 1
+        self.output(
+            make_syn_ack(
+                timestamp=self.scheduler.now,
+                src=self.address,
+                dst=client,
+                src_port=key[2],
+                dst_port=key[1],
+                seq=isn,
+                ack=(client_seq + 1) & 0xFFFFFFFF,
+            )
+        )
+
+    def _schedule_retransmissions(
+        self, client: IPv4Address, key: ConnectionKey, isn: int, client_seq: int
+    ) -> None:
+        timers: List[ScheduledEvent] = []
+        for offset in SYNACK_RETRANSMIT_OFFSETS:
+
+            def retransmit(
+                client=client, key=key, isn=isn, client_seq=client_seq
+            ) -> None:
+                entry = self.backlog.lookup(key)
+                if entry is None:
+                    return  # completed/aborted/expired meanwhile
+                entry.retransmissions_sent += 1
+                self._send_synack(client, key, isn, client_seq)
+
+            timers.append(self.scheduler.schedule_after(offset, retransmit))
+        self._retransmit_timers[key] = timers
+
+    def _cancel_timers(self, key: ConnectionKey) -> None:
+        for timer in self._retransmit_timers.pop(key, ()):
+            self.scheduler.cancel(timer)
+
+    def _handle_ack(self, packet: Packet) -> None:
+        key = self._key_for(packet)
+        if key is None:
+            return
+        if self.states.get(key) is TCPState.LAST_ACK:
+            # Final ACK of a passive close (Fig. 1): LAST_ACK -> CLOSED.
+            self.states[key] = TCPState.CLOSED
+            self.closed[key] = self.scheduler.now
+            self.established.pop(key, None)
+            return
+        if self.backlog.complete(key):
+            self._cancel_timers(key)
+            self.established[key] = self.scheduler.now
+            self.states[key] = TCPState.ESTABLISHED
+
+    def _handle_rst(self, packet: Packet) -> None:
+        key = self._key_for(packet)
+        if key is None:
+            return
+        if self.backlog.abort(key):
+            self._cancel_timers(key)
+        self.states.pop(key, None)
+
+    def _handle_fin(self, packet: Packet) -> None:
+        """Passive close (Fig. 1): ESTABLISHED -> CLOSE_WAIT -> LAST_ACK.
+
+        The CLOSE_WAIT dwell (application close latency) is collapsed to
+        zero: the FIN is acknowledged and the server's own FIN rides the
+        same segment (FIN+ACK), which is how handshake-level simulations
+        and many real stacks behave when there is no pending data.
+        """
+        key = self._key_for(packet)
+        segment = packet.tcp
+        if key is None or self.states.get(key) is not TCPState.ESTABLISHED:
+            return
+        self.fins_received += 1
+        self.states[key] = TCPState.LAST_ACK
+        self.output(
+            make_fin(
+                timestamp=self.scheduler.now,
+                src=self.address,
+                dst=packet.src_ip,
+                src_port=key[2],
+                dst_port=key[1],
+                seq=segment.ack,
+                ack=(segment.seq + 1) & 0xFFFFFFFF,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def half_open_count(self) -> int:
+        return len(self.backlog)
+
+    def housekeeping(self) -> None:
+        """Periodic expiry sweep (a real stack does this on timer)."""
+        expired = [
+            key
+            for key in list(self._retransmit_timers)
+            if self.backlog.lookup(key) is None
+        ]
+        for key in expired:
+            self._cancel_timers(key)
+        self.backlog.expire_older_than(self.scheduler.now)
+
+
+@dataclass
+class _PendingConnection:
+    key: ConnectionKey
+    isn: int
+    attempts: int
+    timers: List[ScheduledEvent] = field(default_factory=list)
+
+
+class ClientEndpoint:
+    """A legitimate client performing active opens.
+
+    ``on_established(key, connect_latency)`` and ``on_failure(key)``
+    callbacks let experiments measure client-visible service quality —
+    the quantity SYN cookies and proxies restore.
+    """
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        address: IPv4Address,
+        output: PacketSink,
+        rng: Optional[random.Random] = None,
+        on_established: Optional[Callable[[ConnectionKey, float], None]] = None,
+        on_failure: Optional[Callable[[ConnectionKey], None]] = None,
+    ) -> None:
+        self.scheduler = scheduler
+        self.address = address
+        self.output = output
+        self.rng = rng or random.Random(0)
+        self.on_established = on_established
+        self.on_failure = on_failure
+        self._pending: Dict[ConnectionKey, _PendingConnection] = {}
+        self._started_at: Dict[ConnectionKey, float] = {}
+        self._servers: Dict[ConnectionKey, IPv4Address] = {}
+        self.established: Dict[ConnectionKey, float] = {}
+        self.states: Dict[ConnectionKey, TCPState] = {}
+        self.closed: Dict[ConnectionKey, float] = {}
+        self.failures = 0
+
+    def connect(self, server: IPv4Address, server_port: int = 80) -> ConnectionKey:
+        """Begin a three-way handshake toward *server*."""
+        client_port = self.rng.randrange(1024, 65536)
+        key: ConnectionKey = (int(self.address), client_port, server_port)
+        isn = self.rng.getrandbits(32)
+        pending = _PendingConnection(key=key, isn=isn, attempts=0)
+        self._pending[key] = pending
+        self._started_at[key] = self.scheduler.now
+        self._servers[key] = server
+        self.states[key] = TCPState.SYN_SENT
+        self._send_syn(server, key, isn)
+        for offset in SYN_RETRANSMIT_OFFSETS:
+
+            def retry(server=server, key=key, isn=isn) -> None:
+                entry = self._pending.get(key)
+                if entry is None:
+                    return
+                entry.attempts += 1
+                self._send_syn(server, key, isn)
+
+            pending.timers.append(self.scheduler.schedule_after(offset, retry))
+        # Give up after the full retransmission schedule plus grace.
+        final_deadline = SYN_RETRANSMIT_OFFSETS[-1] + 12.0
+
+        def give_up(key=key) -> None:
+            entry = self._pending.pop(key, None)
+            if entry is None:
+                return
+            self.failures += 1
+            if self.on_failure is not None:
+                self.on_failure(key)
+
+        pending.timers.append(self.scheduler.schedule_after(final_deadline, give_up))
+        return key
+
+    def _send_syn(self, server: IPv4Address, key: ConnectionKey, isn: int) -> None:
+        self.output(
+            make_syn(
+                timestamp=self.scheduler.now,
+                src=self.address,
+                dst=server,
+                src_port=key[1],
+                dst_port=key[2],
+                seq=isn,
+            )
+        )
+
+    def receive(self, packet: Packet) -> None:
+        segment = packet.tcp
+        if segment is None:
+            return
+        key: ConnectionKey = (int(self.address), segment.dst_port, segment.src_port)
+        if segment.is_fin:
+            self._handle_fin(packet, key)
+            return
+        if not segment.is_syn_ack:
+            return
+        pending = self._pending.pop(key, None)
+        if pending is None:
+            return  # duplicate SYN/ACK after completion
+        for timer in pending.timers:
+            self.scheduler.cancel(timer)
+        # Final ACK of the three-way handshake.
+        self.output(
+            make_ack(
+                timestamp=self.scheduler.now,
+                src=self.address,
+                dst=packet.src_ip,
+                src_port=segment.dst_port,
+                dst_port=segment.src_port,
+                seq=(pending.isn + 1) & 0xFFFFFFFF,
+                ack=(segment.seq + 1) & 0xFFFFFFFF,
+            )
+        )
+        latency = self.scheduler.now - self._started_at.pop(key)
+        self.established[key] = latency
+        self.states[key] = TCPState.ESTABLISHED
+        if self.on_established is not None:
+            self.on_established(key, latency)
+
+    def close(self, key: ConnectionKey) -> None:
+        """Active close (Fig. 1): ESTABLISHED -> FIN_WAIT1, FIN sent."""
+        if self.states.get(key) is not TCPState.ESTABLISHED:
+            raise ValueError(f"cannot close non-established connection {key}")
+        self.states[key] = TCPState.FIN_WAIT1
+        self.output(
+            make_fin(
+                timestamp=self.scheduler.now,
+                src=self.address,
+                dst=self._servers[key],
+                src_port=key[1],
+                dst_port=key[2],
+            )
+        )
+
+    def _handle_fin(self, packet: Packet, key: ConnectionKey) -> None:
+        """The peer's FIN(+ACK) while we are in FIN_WAIT1: acknowledge it
+        and dwell in TIME_WAIT before releasing the port (Fig. 1's
+        FIN_WAIT -> TIME_WAIT -> CLOSED path, with the two FIN_WAIT
+        stages collapsed because the peer piggybacks its FIN on the
+        ACK)."""
+        if self.states.get(key) is not TCPState.FIN_WAIT1:
+            return
+        segment = packet.tcp
+        self.output(
+            make_ack(
+                timestamp=self.scheduler.now,
+                src=self.address,
+                dst=packet.src_ip,
+                src_port=key[1],
+                dst_port=key[2],
+                seq=segment.ack,
+                ack=(segment.seq + 1) & 0xFFFFFFFF,
+            )
+        )
+        self.states[key] = TCPState.TIME_WAIT
+
+        def release(key=key) -> None:
+            if self.states.get(key) is TCPState.TIME_WAIT:
+                self.states[key] = TCPState.CLOSED
+                self.closed[key] = self.scheduler.now
+
+        self.scheduler.schedule_after(TIME_WAIT_DURATION, release)
+
+
+class RstResponder:
+    """A live host that was never asked: on receiving an unexpected
+    SYN/ACK it answers with a RST, which releases the victim's backlog
+    entry — exactly why effective floods spoof *unreachable* sources
+    (Section 1)."""
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        address: IPv4Address,
+        output: PacketSink,
+    ) -> None:
+        self.scheduler = scheduler
+        self.address = address
+        self.output = output
+        self.rsts_sent = 0
+
+    def receive(self, packet: Packet) -> None:
+        segment = packet.tcp
+        if segment is None or not segment.is_syn_ack:
+            return
+        self.rsts_sent += 1
+        self.output(
+            make_rst(
+                timestamp=self.scheduler.now,
+                src=self.address,
+                dst=packet.src_ip,
+                src_port=segment.dst_port,
+                dst_port=segment.src_port,
+                seq=segment.ack,
+            )
+        )

@@ -1,0 +1,131 @@
+"""Discrete-event simulation core.
+
+A classic event-calendar engine: heap-ordered (time, sequence, event)
+with monotonic sequence numbers for deterministic tie-breaking, so any
+simulation built on it is exactly reproducible from its RNG seeds.
+All higher tcpsim components (links, endpoints, routers) schedule
+callbacks through one shared :class:`EventScheduler`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["EventScheduler", "ScheduledEvent", "SimulationError"]
+
+Callback = Callable[[], None]
+
+
+class SimulationError(RuntimeError):
+    """Raised on scheduler misuse (e.g. scheduling into the past)."""
+
+
+@dataclass(frozen=True)
+class ScheduledEvent:
+    """Handle returned by :meth:`EventScheduler.schedule`; lets the owner
+    cancel a pending event (e.g. a retransmission timer on ACK)."""
+
+    time: float
+    sequence: int
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return (self.time, self.sequence) < (other.time, other.sequence)
+
+
+class EventScheduler:
+    """The event calendar.
+
+    ``run_until(t)`` executes every pending event with time ≤ t in
+    (time, insertion) order; ``run()`` drains the calendar.  Cancelled
+    events stay in the heap but are skipped at pop time (lazy deletion,
+    O(log n) cancel).
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Callback]] = []
+        self._cancelled: set = set()
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._events_executed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        return self._events_executed
+
+    @property
+    def pending(self) -> int:
+        """Events still scheduled (including lazily-cancelled ones)."""
+        return len(self._heap) - len(self._cancelled)
+
+    def schedule(self, time: float, callback: Callback) -> ScheduledEvent:
+        """Schedule *callback* at absolute time *time*."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past: {time} < now {self._now}"
+            )
+        sequence = next(self._sequence)
+        heapq.heappush(self._heap, (time, sequence, callback))
+        return ScheduledEvent(time=time, sequence=sequence)
+
+    def schedule_after(self, delay: float, callback: Callback) -> ScheduledEvent:
+        """Schedule *callback* after *delay* seconds of simulated time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.schedule(self._now + delay, callback)
+
+    def cancel(self, event: ScheduledEvent) -> None:
+        """Cancel a pending event.  Cancelling an already-executed or
+        already-cancelled event is a harmless no-op."""
+        self._cancelled.add((event.time, event.sequence))
+
+    def _pop_next(self) -> Optional[Tuple[float, Callback]]:
+        while self._heap:
+            time, sequence, callback = heapq.heappop(self._heap)
+            if (time, sequence) in self._cancelled:
+                self._cancelled.discard((time, sequence))
+                continue
+            return time, callback
+        return None
+
+    def run_until(self, end_time: float) -> int:
+        """Execute all events with time ≤ end_time; returns how many ran.
+
+        Simulation time ends at exactly *end_time* even if the calendar
+        empties earlier.
+        """
+        executed = 0
+        while self._heap:
+            time = self._heap[0][0]
+            if time > end_time:
+                break
+            item = self._pop_next()
+            if item is None:
+                break
+            self._now, callback = item
+            callback()
+            executed += 1
+            self._events_executed += 1
+        self._now = max(self._now, end_time)
+        return executed
+
+    def run(self, max_events: int = 10_000_000) -> int:
+        """Drain the calendar completely (bounded by *max_events* as a
+        runaway guard)."""
+        executed = 0
+        while executed < max_events:
+            item = self._pop_next()
+            if item is None:
+                return executed
+            self._now, callback = item
+            callback()
+            executed += 1
+            self._events_executed += 1
+        raise SimulationError(f"exceeded {max_events} events; runaway simulation?")

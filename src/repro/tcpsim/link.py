@@ -1,0 +1,84 @@
+"""Links: delay + loss pipes between simulation components.
+
+A :class:`Link` delivers packets to its sink after a (possibly
+randomized) propagation delay, dropping each independently with the
+configured loss probability.  Loss on the SYN forwarding path is one of
+the paper's two legitimate SYN↔SYN/ACK discrepancy sources, so links
+are where the integration tests inject that failure mode.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from ..packet.packet import Packet
+from .engine import EventScheduler
+
+__all__ = ["Link"]
+
+PacketSink = Callable[[Packet], None]
+
+
+class Link:
+    """A unidirectional delay/loss pipe.
+
+    Parameters
+    ----------
+    scheduler:
+        The shared event calendar.
+    sink:
+        Callable receiving each delivered packet.
+    delay:
+        Mean one-way propagation+queueing delay in seconds.
+    jitter:
+        Uniform ±jitter added to the delay (clamped non-negative).
+    loss_probability:
+        Independent per-packet drop probability.
+    rng:
+        Source of randomness (deterministic per seed).
+    """
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        sink: PacketSink,
+        delay: float = 0.050,
+        jitter: float = 0.010,
+        loss_probability: float = 0.0,
+        rng: Optional[random.Random] = None,
+        name: str = "link",
+    ) -> None:
+        if delay < 0 or jitter < 0:
+            raise ValueError("delay and jitter cannot be negative")
+        if not 0.0 <= loss_probability < 1.0:
+            raise ValueError(
+                f"loss probability must lie in [0,1): {loss_probability}"
+            )
+        self.scheduler = scheduler
+        self.sink = sink
+        self.delay = delay
+        self.jitter = jitter
+        self.loss_probability = loss_probability
+        self.rng = rng or random.Random(0)
+        self.name = name
+        self.packets_sent = 0
+        self.packets_dropped = 0
+        self.packets_delivered = 0
+
+    def send(self, packet: Packet) -> None:
+        """Submit a packet; it is delivered (or silently lost) later."""
+        self.packets_sent += 1
+        if self.loss_probability and self.rng.random() < self.loss_probability:
+            self.packets_dropped += 1
+            return
+        latency = self.delay
+        if self.jitter:
+            latency += self.rng.uniform(-self.jitter, self.jitter)
+        latency = max(0.0, latency)
+
+        def deliver(captured: Packet = packet) -> None:
+            self.packets_delivered += 1
+            self.sink(captured.at(self.scheduler.now))
+
+        self.scheduler.schedule_after(latency, deliver)

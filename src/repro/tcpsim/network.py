@@ -1,0 +1,289 @@
+"""Victim-side network assembly: the service-denial experiment.
+
+Builds the end-to-end scenario the paper motivates (Section 1): a
+victim TCP server with a finite backlog, legitimate clients arriving
+over a wide-area path, and a SYN flood with spoofed sources.  Spoofed
+SYN/ACK handling follows the paper's analysis: SYN/ACKs sent to
+unreachable addresses vanish (the half-open entry pins for 75 s);
+SYN/ACKs that happen to hit a live host draw a RST that releases the
+entry.
+
+This substrate demonstrates *the attack itself* (service-denial
+probability vs flood rate — the 500 SYN/s figure of [8]) and hosts the
+stateful victim-side baselines in :mod:`repro.defense`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..attack.flooder import FloodSource
+from ..packet.addresses import IPv4Address
+from ..packet.packet import Packet
+from .backlog import BacklogQueue
+from .endpoint import ClientEndpoint, RstResponder, ServerEndpoint
+from .engine import EventScheduler
+from .link import Link
+
+__all__ = ["VictimNetwork", "VictimExperimentResult"]
+
+
+@dataclass
+class VictimExperimentResult:
+    """Client-visible outcome of a flood-the-victim run."""
+
+    duration: float
+    flood_rate: float
+    legitimate_attempts: int
+    legitimate_established: int
+    legitimate_failed: int
+    backlog_refused: int
+    backlog_peak: int
+    mean_connect_latency: float
+
+    @property
+    def denial_probability(self) -> float:
+        """Fraction of legitimate connection attempts that never
+        established — the headline victim-side damage metric."""
+        if self.legitimate_attempts == 0:
+            return 0.0
+        return 1.0 - self.legitimate_established / self.legitimate_attempts
+
+
+class VictimNetwork:
+    """A victim server, its clients, and an optional flood.
+
+    Parameters
+    ----------
+    backlog_capacity:
+        Victim listen-queue size (256 default, a late-90s server).
+    client_rate:
+        Legitimate connection attempts per second (Poisson).
+    rtt:
+        Round-trip time between clients/attacker and victim; the one-way
+        link delay is rtt/2.
+    reachable_spoof_fraction:
+        Fraction of spoofed sources that are live hosts (and will RST).
+        0.0 models the paper's canonical invalid-source flood.
+    server_receiver:
+        Optional hook (e.g. a defense proxy) interposed in front of the
+        server; receives each packet and returns True when the packet
+        was consumed (not to be forwarded to the server).
+    tap_inbound / tap_outbound:
+        Optional passive observers on the victim's leaf-router
+        interfaces — where Figure 6's *last-mile sniffer* attaches.
+        ``tap_inbound`` sees every packet arriving at the victim's
+        network; ``tap_outbound`` sees every packet the victim sends
+        out.
+    server_kind:
+        ``"backlog"`` (default) runs the classic finite-backlog server —
+        the vulnerable configuration; ``"cookies"`` swaps in a
+        :class:`~repro.defense.syncookies.SynCookieServer`, which holds
+        no half-open state and therefore cannot be exhausted.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        backlog_capacity: int = 256,
+        backlog_timeout: float = 75.0,
+        client_rate: float = 20.0,
+        rtt: float = 0.100,
+        path_loss: float = 0.0,
+        reachable_spoof_fraction: float = 0.0,
+        server_receiver: Optional[Callable[[Packet], bool]] = None,
+        tap_inbound: Optional[Callable[[Packet], None]] = None,
+        tap_outbound: Optional[Callable[[Packet], None]] = None,
+        server_kind: str = "backlog",
+    ) -> None:
+        if server_kind not in ("backlog", "cookies"):
+            raise ValueError(f"unknown server kind: {server_kind!r}")
+        if client_rate < 0:
+            raise ValueError(f"client rate cannot be negative: {client_rate}")
+        if not 0.0 <= reachable_spoof_fraction <= 1.0:
+            raise ValueError(
+                f"reachable fraction must lie in [0,1]: {reachable_spoof_fraction}"
+            )
+        self.scheduler = EventScheduler()
+        self.rng = random.Random(seed)
+        self.rtt = rtt
+        self.reachable_spoof_fraction = reachable_spoof_fraction
+        self.server_receiver = server_receiver
+        self.tap_inbound = tap_inbound
+        self.tap_outbound = tap_outbound
+
+        self.victim_address = IPv4Address.parse("198.51.100.80")
+        one_way = rtt / 2.0
+        # Link from the wide area toward the victim.
+        self.to_victim = Link(
+            self.scheduler,
+            sink=self._deliver_to_victim,
+            delay=one_way,
+            jitter=one_way / 5.0,
+            loss_probability=path_loss,
+            rng=random.Random(seed + 1),
+            name="to-victim",
+        )
+        # Link from the victim back out (SYN/ACKs and their fates).
+        self.from_victim = Link(
+            self.scheduler,
+            sink=self._deliver_from_victim,
+            delay=one_way,
+            jitter=one_way / 5.0,
+            loss_probability=path_loss,
+            rng=random.Random(seed + 2),
+            name="from-victim",
+        )
+        self.server_kind = server_kind
+        if server_kind == "cookies":
+            from ..defense.syncookies import SynCookieServer
+
+            self.server = SynCookieServer(
+                self.scheduler,
+                address=self.victim_address,
+                output=self.from_victim.send,
+                rng=random.Random(seed + 3),
+            )
+        else:
+            self.server = ServerEndpoint(
+                self.scheduler,
+                address=self.victim_address,
+                output=self.from_victim.send,
+                backlog=BacklogQueue(
+                    capacity=backlog_capacity, timeout=backlog_timeout
+                ),
+                rng=random.Random(seed + 3),
+            )
+        self.client_rate = client_rate
+        self.clients: Dict[int, ClientEndpoint] = {}
+        self._next_client_index = 0
+        self._client_attempts = 0
+        self._latencies: List[float] = []
+        self._backlog_peak = 0
+        self._rst_responders: Dict[int, RstResponder] = {}
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def _deliver_to_victim(self, packet: Packet) -> None:
+        if self.tap_inbound is not None:
+            self.tap_inbound(packet)
+        if self.server_receiver is not None and self.server_receiver(packet):
+            return
+        self.server.receive(packet)
+        self._backlog_peak = max(self._backlog_peak, self.server.half_open_count)
+
+    def _deliver_from_victim(self, packet: Packet) -> None:
+        if self.tap_outbound is not None:
+            self.tap_outbound(packet)
+        destination = int(packet.dst_ip)
+        client = self.clients.get(destination)
+        if client is not None:
+            client.receive(packet)
+            return
+        responder = self._rst_responders.get(destination)
+        if responder is not None:
+            responder.receive(packet)
+            return
+        # Unreachable spoofed address: the SYN/ACK vanishes, exactly the
+        # behaviour the flood relies on.
+
+    # ------------------------------------------------------------------
+    # Load generation
+    # ------------------------------------------------------------------
+    def _spawn_client(self) -> ClientEndpoint:
+        self._next_client_index += 1
+        address = IPv4Address(
+            (IPv4Address.parse("100.64.0.0").value) + self._next_client_index
+        )
+        client = ClientEndpoint(
+            self.scheduler,
+            address=address,
+            output=self.to_victim.send,
+            rng=random.Random(self.rng.getrandbits(32)),
+            on_established=lambda _key, latency: self._latencies.append(latency),
+        )
+        self.clients[int(address)] = client
+        return client
+
+    def _schedule_legitimate_traffic(self, duration: float) -> None:
+        if self.client_rate <= 0:
+            return
+        time = self.rng.expovariate(self.client_rate)
+        while time < duration:
+
+            def attempt() -> None:
+                self._client_attempts += 1
+                self._spawn_client().connect(self.victim_address)
+
+            self.scheduler.schedule(time, attempt)
+            time += self.rng.expovariate(self.client_rate)
+
+    def _schedule_flood(self, flood: FloodSource, start: float, duration: float) -> None:
+        packets = flood.generate_packets(
+            random.Random(self.rng.getrandbits(32)), duration
+        )
+        for packet in packets:
+            spoofed_source = int(packet.src_ip)
+            if (
+                self.reachable_spoof_fraction
+                and self.rng.random() < self.reachable_spoof_fraction
+                and spoofed_source not in self._rst_responders
+            ):
+                self._rst_responders[spoofed_source] = RstResponder(
+                    self.scheduler,
+                    address=packet.src_ip,
+                    output=self.to_victim.send,
+                )
+            self.scheduler.schedule(
+                start + packet.timestamp,
+                lambda captured=packet: self.to_victim.send(captured),
+            )
+
+    # ------------------------------------------------------------------
+    # Experiment driver
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        duration: float,
+        flood: Optional[FloodSource] = None,
+        flood_start: float = 0.0,
+        flood_duration: Optional[float] = None,
+    ) -> VictimExperimentResult:
+        """Run the scenario and report client-visible service quality."""
+        if duration <= 0:
+            raise ValueError(f"duration must be positive: {duration}")
+        self._schedule_legitimate_traffic(duration)
+        flood_rate = 0.0
+        if flood is not None:
+            window = flood_duration if flood_duration is not None else duration
+            self._schedule_flood(flood, flood_start, window)
+            flood_rate = flood.mean_rate(window)
+        # Periodic backlog expiry sweep.
+        sweep_interval = 1.0
+        time = sweep_interval
+        while time < duration + 30.0:
+            self.scheduler.schedule(time, self.server.housekeeping)
+            time += sweep_interval
+        # Drain: run past the end so in-flight handshakes resolve.
+        self.scheduler.run_until(duration + 30.0)
+
+        established = sum(len(c.established) for c in self.clients.values())
+        failed = sum(c.failures for c in self.clients.values())
+        backlog = getattr(self.server, "backlog", None)
+        return VictimExperimentResult(
+            duration=duration,
+            flood_rate=flood_rate,
+            legitimate_attempts=self._client_attempts,
+            legitimate_established=established,
+            legitimate_failed=failed,
+            backlog_refused=backlog.refused if backlog is not None else 0,
+            backlog_peak=self._backlog_peak,
+            mean_connect_latency=(
+                sum(self._latencies) / len(self._latencies)
+                if self._latencies
+                else float("nan")
+            ),
+        )

@@ -1,0 +1,202 @@
+"""Extended count traces carrying FIN observations.
+
+The same research group's companion flood-detection design (the FDS of
+Wang, Zhang & Shin's INFOCOM work) pairs SYNs with **FINs** instead of
+SYN/ACKs: every normal connection is eventually torn down, so in steady
+state the outgoing SYN rate matches the outgoing FIN rate (lagged by
+the connection lifetime), while a flood's spoofed SYNs never produce
+FINs.  The decisive operational advantage is robustness to **asymmetric
+routing**: a client's SYN and its later FIN traverse the *same*
+outbound path, whereas the answering SYN/ACK may return through a
+different router entirely — in which case the SYN↔SYN/ACK pairing
+breaks down at the installation point but SYN↔FIN does not.
+
+This module extends the count-level substrate with a third column:
+``(syn, synack, fin)`` per observation period, where the FIN column
+counts outgoing teardown initiations (one per completed local
+connection, emitted after a lognormal connection lifetime).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple
+
+from .events import CountTrace, TraceMetadata
+from .profiles import SiteProfile
+from .synthetic import DEFAULT_OBSERVATION_PERIOD
+
+__all__ = [
+    "ExtendedCountTrace",
+    "ConnectionLifetimeModel",
+    "generate_extended_count_trace",
+    "mix_flood_into_extended",
+]
+
+
+@dataclass(frozen=True)
+class ConnectionLifetimeModel:
+    """How long connections live before the client closes them.
+
+    Lognormal with the given median and shape — matching the
+    heavy-tailed connection-duration distributions reported for
+    year-2000 web traffic (most connections short, a long tail of
+    persistent ones).
+    """
+
+    median_seconds: float = 15.0
+    sigma: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.median_seconds <= 0:
+            raise ValueError(
+                f"median lifetime must be positive: {self.median_seconds}"
+            )
+        if self.sigma <= 0:
+            raise ValueError(f"sigma must be positive: {self.sigma}")
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.lognormvariate(math.log(self.median_seconds), self.sigma)
+
+
+@dataclass(frozen=True)
+class ExtendedCountTrace:
+    """Per-period (SYN, SYN/ACK, FIN) counts."""
+
+    metadata: TraceMetadata
+    period: float
+    counts: Tuple[Tuple[int, int, int], ...]
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError(f"period must be positive: {self.period}")
+        for syn, synack, fin in self.counts:
+            if syn < 0 or synack < 0 or fin < 0:
+                raise ValueError("counts cannot be negative")
+
+    @property
+    def num_periods(self) -> int:
+        return len(self.counts)
+
+    @property
+    def syn_counts(self) -> List[int]:
+        return [syn for syn, _, _ in self.counts]
+
+    @property
+    def synack_counts(self) -> List[int]:
+        return [synack for _, synack, _ in self.counts]
+
+    @property
+    def fin_counts(self) -> List[int]:
+        return [fin for _, _, fin in self.counts]
+
+    def syn_synack_pairs(self) -> CountTrace:
+        """The classic SYN-dog view."""
+        return CountTrace(
+            metadata=self.metadata,
+            period=self.period,
+            counts=tuple((syn, synack) for syn, synack, _ in self.counts),
+        )
+
+    def syn_fin_pairs(self) -> CountTrace:
+        """The SYN–FIN pairing view (FINs in the SYN/ACK slot)."""
+        return CountTrace(
+            metadata=self.metadata,
+            period=self.period,
+            counts=tuple((syn, fin) for syn, _, fin in self.counts),
+        )
+
+    def with_synack_loss(self, keep_fraction: float, seed: int = 0) -> "ExtendedCountTrace":
+        """Model asymmetric routing: only *keep_fraction* of the
+        answering SYN/ACKs return through this router (1.0 = symmetric,
+        0.0 = fully asymmetric).  SYNs and FINs — both outbound — are
+        untouched."""
+        if not 0.0 <= keep_fraction <= 1.0:
+            raise ValueError(f"keep fraction must lie in [0,1]: {keep_fraction}")
+        rng = random.Random(seed)
+        counts = []
+        for syn, synack, fin in self.counts:
+            kept = sum(1 for _ in range(synack) if rng.random() < keep_fraction)
+            counts.append((syn, kept, fin))
+        return replace(self, counts=tuple(counts))
+
+    def __len__(self) -> int:
+        return len(self.counts)
+
+
+def generate_extended_count_trace(
+    profile: SiteProfile,
+    seed: int,
+    period: float = DEFAULT_OBSERVATION_PERIOD,
+    duration: Optional[float] = None,
+    lifetimes: ConnectionLifetimeModel = ConnectionLifetimeModel(),
+    warm_history: float = 600.0,
+) -> ExtendedCountTrace:
+    """Synthesize (SYN, SYN/ACK, FIN) counts for *profile*.
+
+    ``warm_history`` seconds of traffic are simulated *before* t = 0 so
+    the FIN stream is already in steady state when the trace begins
+    (otherwise the first periods show a spurious SYN-over-FIN surplus
+    while the first connections are still alive).
+    """
+    rng = random.Random(seed)
+    total = profile.duration if duration is None else duration
+    if total <= 0:
+        raise ValueError(f"duration must be positive: {total}")
+    num_periods = int(round(total / period))
+    if num_periods <= 0:
+        raise ValueError(f"duration {total}s shorter than one period ({period}s)")
+    warm_periods = int(math.ceil(warm_history / period))
+    arrivals = profile.make_arrivals()
+    connection_counts = arrivals.counts(rng, num_periods + warm_periods, period)
+    handshake_counts = profile.handshake.period_counts(
+        rng, connection_counts, period
+    )
+
+    fins = [0] * (num_periods + warm_periods)
+    for index, (_syns, synacks) in enumerate(handshake_counts):
+        # Each answered (established) connection eventually closes; the
+        # client's FIN crosses the router one lifetime later.
+        period_start = index * period
+        for _ in range(synacks):
+            open_at = period_start + rng.random() * period
+            close_at = open_at + lifetimes.sample(rng)
+            fin_bin = int(close_at // period)
+            if fin_bin < len(fins):
+                fins[fin_bin] += 1
+
+    counts = tuple(
+        (syns, synacks, fin)
+        for (syns, synacks), fin in list(zip(handshake_counts, fins))[warm_periods:]
+    )
+    metadata = TraceMetadata(
+        name=profile.name,
+        duration=num_periods * period,
+        bidirectional=profile.bidirectional,
+        description=profile.description,
+        site=profile.name,
+        seed=seed,
+    )
+    return ExtendedCountTrace(metadata=metadata, period=period, counts=counts)
+
+
+def mix_flood_into_extended(
+    background: ExtendedCountTrace,
+    flood,
+    window,
+) -> ExtendedCountTrace:
+    """Superpose a flood: only the SYN column rises (spoofed requests
+    produce neither SYN/ACKs through this router nor — ever — FINs)."""
+    from .mixer import mix_flood_into_counts
+
+    pair_view = background.syn_synack_pairs()
+    mixed_pairs = mix_flood_into_counts(pair_view, flood, window)
+    counts = tuple(
+        (mixed_syn, synack, fin)
+        for (mixed_syn, _), (_, synack, fin) in zip(
+            mixed_pairs.counts, background.counts
+        )
+    )
+    return replace(background, counts=counts)

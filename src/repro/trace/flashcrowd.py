@@ -1,0 +1,143 @@
+"""Flash crowds — the crucial *negative control* for flood detectors.
+
+A flash crowd (news event, product release) is a sudden surge of
+*legitimate* connection attempts.  A rate-based detector cannot tell it
+from a flood: SYN volume explodes either way.  SYN-dog can, by design:
+legitimate SYNs are *answered*, so the SYN↔SYN/ACK difference stays
+bounded no matter how high the volume spikes.  (Only the far servers'
+overload drops break pairing, and those scale with — not ahead of —
+the surge.)
+
+This module superposes a flash-crowd surge onto a background count
+trace using the same handshake model as the background, so the surge's
+SYNs carry the same answer statistics as any legitimate traffic.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .events import CountTrace
+from .handshake import HandshakeModel
+from .mixer import AttackWindow
+
+__all__ = ["FlashCrowd", "mix_flash_crowd_into_counts"]
+
+
+@dataclass(frozen=True)
+class FlashCrowd:
+    """A legitimate connection surge.
+
+    The connection rate ramps from zero to ``peak_rate`` over
+    ``ramp_time``, holds, and decays back — the classic flash-crowd
+    envelope (fast onset, slow decay).
+
+    Parameters
+    ----------
+    peak_rate:
+        Extra legitimate connections/second at the peak.
+    ramp_time:
+        Seconds from onset to peak.
+    decay_time:
+        Exponential decay constant after the hold phase.
+    hold_time:
+        Seconds the surge holds at peak.
+    server_overload_drop:
+        Extra drop probability at the *remote* servers during the surge
+        (popular servers do shed some load — the honest imperfection;
+        0.0 models an infinitely provisioned CDN).
+    """
+
+    peak_rate: float
+    ramp_time: float = 60.0
+    hold_time: float = 300.0
+    decay_time: float = 300.0
+    server_overload_drop: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.peak_rate < 0:
+            raise ValueError(f"peak rate cannot be negative: {self.peak_rate}")
+        if self.ramp_time <= 0 or self.hold_time < 0 or self.decay_time <= 0:
+            raise ValueError("ramp/hold/decay times must be positive")
+        if not 0.0 <= self.server_overload_drop <= 1.0:
+            raise ValueError(
+                f"overload drop must lie in [0,1]: {self.server_overload_drop}"
+            )
+
+    def rate_at(self, t: float) -> float:
+        """Surge connection rate at surge-local time t."""
+        if t < 0:
+            return 0.0
+        if t < self.ramp_time:
+            return self.peak_rate * t / self.ramp_time
+        if t < self.ramp_time + self.hold_time:
+            return self.peak_rate
+        elapsed = t - self.ramp_time - self.hold_time
+        return self.peak_rate * math.exp(-elapsed / self.decay_time)
+
+    def expected_connections(self, t0: float, t1: float, steps: int = 16) -> float:
+        """∫ rate dt over [t0, t1) (numeric; the envelope is piecewise
+        smooth and the integrand cheap)."""
+        if t1 <= t0:
+            return 0.0
+        width = (t1 - t0) / steps
+        return sum(
+            self.rate_at(t0 + (i + 0.5) * width) * width for i in range(steps)
+        )
+
+
+def mix_flash_crowd_into_counts(
+    background: CountTrace,
+    crowd: FlashCrowd,
+    window: AttackWindow,
+    handshake: HandshakeModel,
+    rng: Optional[random.Random] = None,
+) -> CountTrace:
+    """Superpose a flash crowd onto a count-level background trace.
+
+    Unlike flood mixing, **both columns change**: the surge's SYNs are
+    legitimate, so each surge connection runs through the same
+    loss/retransmission model as the background (plus any
+    ``server_overload_drop``) and produces its SYN/ACKs.
+    """
+    local_rng = rng or random.Random(0)
+    drop = min(
+        1.0,
+        handshake.base_drop_probability + crowd.server_overload_drop,
+    )
+    mixed: List[Tuple[int, int]] = []
+    for index, (syn, synack) in enumerate(background.counts):
+        period_start = index * background.period
+        period_end = period_start + background.period
+        overlap = window.overlap_with(period_start, period_end)
+        if overlap <= 0:
+            mixed.append((syn, synack))
+            continue
+        local_t0 = max(0.0, period_start - window.start)
+        local_t1 = min(window.duration, period_end - window.start)
+        expected = crowd.expected_connections(local_t0, local_t1)
+        connections = int(expected)
+        if local_rng.random() < expected - connections:
+            connections += 1
+        extra_syn = 0
+        extra_synack = 0
+        for _ in range(connections):
+            attempts = 0
+            answered = False
+            for _attempt in range(1 + handshake.max_retransmissions):
+                attempts += 1
+                if local_rng.random() >= drop:
+                    answered = True
+                    break
+            extra_syn += attempts
+            if answered:
+                extra_synack += 1
+        mixed.append((syn + extra_syn, synack + extra_synack))
+    return CountTrace(
+        metadata=background.metadata,
+        period=background.period,
+        counts=tuple(mixed),
+    )

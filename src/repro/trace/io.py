@@ -1,0 +1,187 @@
+"""Trace persistence in simple text formats.
+
+Count traces are the experiment currency, so they get a first-class
+CSV-ish format (one period per line) plus a JSON header carrying the
+Table 1 metadata.  Packet traces persist through :mod:`repro.pcap`; a
+JSONL convenience codec is provided here for debugging and diffing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Tuple, Union
+
+from ..packet.addresses import IPv4Address, MACAddress
+from ..packet.packet import Packet, make_syn, make_syn_ack
+from .events import CountTrace, PacketTrace, TraceMetadata
+
+__all__ = [
+    "save_count_trace",
+    "load_count_trace",
+    "save_packet_trace_jsonl",
+    "load_packet_trace_jsonl",
+]
+
+_FORMAT_VERSION = 1
+
+
+def save_count_trace(trace: CountTrace, path: Union[str, Path]) -> None:
+    """Write a count trace: a ``#``-prefixed JSON header line, then one
+    ``period_index,syn,synack`` line per observation period."""
+    path = Path(path)
+    header = {
+        "format_version": _FORMAT_VERSION,
+        "name": trace.metadata.name,
+        "duration": trace.metadata.duration,
+        "bidirectional": trace.metadata.bidirectional,
+        "description": trace.metadata.description,
+        "site": trace.metadata.site,
+        "seed": trace.metadata.seed,
+        "period": trace.period,
+    }
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write("# " + json.dumps(header) + "\n")
+        handle.write("# period_index,syn,synack\n")
+        for index, (syn, synack) in enumerate(trace.counts):
+            handle.write(f"{index},{syn},{synack}\n")
+
+
+def load_count_trace(path: Union[str, Path]) -> CountTrace:
+    """Read a count trace written by :func:`save_count_trace`."""
+    path = Path(path)
+    header = None
+    counts: List[Tuple[int, int]] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                body = line.lstrip("#").strip()
+                if header is None and body.startswith("{"):
+                    header = json.loads(body)
+                continue
+            parts = line.split(",")
+            if len(parts) != 3:
+                raise ValueError(f"malformed count line: {line!r}")
+            _index, syn, synack = (int(part) for part in parts)
+            counts.append((syn, synack))
+    if header is None:
+        raise ValueError(f"{path} has no JSON header line")
+    if header.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported trace format version: {header.get('format_version')}"
+        )
+    metadata = TraceMetadata(
+        name=header["name"],
+        duration=header["duration"],
+        bidirectional=header["bidirectional"],
+        description=header.get("description", ""),
+        site=header.get("site", ""),
+        seed=header.get("seed"),
+    )
+    return CountTrace(metadata=metadata, period=header["period"], counts=tuple(counts))
+
+
+def _packet_to_record(packet: Packet, direction: str) -> dict:
+    segment = packet.tcp
+    record = {
+        "t": packet.timestamp,
+        "dir": direction,
+        "src": str(packet.src_ip),
+        "dst": str(packet.dst_ip),
+        "smac": str(packet.src_mac),
+        "dmac": str(packet.dst_mac),
+    }
+    if segment is not None:
+        record.update(
+            sport=segment.src_port,
+            dport=segment.dst_port,
+            seq=segment.seq,
+            ack=segment.ack,
+            flags=int(segment.flags),
+        )
+    return record
+
+
+def save_packet_trace_jsonl(trace: PacketTrace, path: Union[str, Path]) -> None:
+    """Write a packet trace as JSONL: header record first, then one
+    record per packet (TCP fields only; the wire-accurate format is
+    pcap)."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        header = {
+            "format_version": _FORMAT_VERSION,
+            "name": trace.metadata.name,
+            "duration": trace.metadata.duration,
+            "bidirectional": trace.metadata.bidirectional,
+            "description": trace.metadata.description,
+            "site": trace.metadata.site,
+            "seed": trace.metadata.seed,
+        }
+        handle.write(json.dumps({"header": header}) + "\n")
+        for direction, stream in (("out", trace.outbound), ("in", trace.inbound)):
+            for packet in stream:
+                handle.write(json.dumps(_packet_to_record(packet, direction)) + "\n")
+
+
+def load_packet_trace_jsonl(path: Union[str, Path]) -> PacketTrace:
+    """Read a JSONL packet trace written by :func:`save_packet_trace_jsonl`.
+
+    Only SYN and SYN/ACK records are reconstructed as typed packets
+    (they are the only kinds the generators emit); anything else raises.
+    """
+    path = Path(path)
+    header = None
+    outbound: List[Packet] = []
+    inbound: List[Packet] = []
+    from ..packet.tcp import TCPFlags
+
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if "header" in record:
+                header = record["header"]
+                continue
+            flags = TCPFlags(record["flags"])
+            maker = (
+                make_syn_ack
+                if (flags & TCPFlags.SYN and flags & TCPFlags.ACK)
+                else make_syn
+            )
+            if not flags & TCPFlags.SYN:
+                raise ValueError(f"unsupported packet record: {record}")
+            packet = maker(
+                timestamp=record["t"],
+                src=record["src"],
+                dst=record["dst"],
+                src_port=record["sport"],
+                dst_port=record["dport"],
+                seq=record["seq"],
+                src_mac=MACAddress.parse(record["smac"]),
+                dst_mac=MACAddress.parse(record["dmac"]),
+                **({"ack": record["ack"]} if maker is make_syn_ack else {}),
+            )
+            if record["dir"] == "out":
+                outbound.append(packet)
+            else:
+                inbound.append(packet)
+    if header is None:
+        raise ValueError(f"{path} has no header record")
+    metadata = TraceMetadata(
+        name=header["name"],
+        duration=header["duration"],
+        bidirectional=header["bidirectional"],
+        description=header.get("description", ""),
+        site=header.get("site", ""),
+        seed=header.get("seed"),
+    )
+    return PacketTrace(
+        metadata=metadata,
+        outbound=tuple(sorted(outbound, key=lambda p: p.timestamp)),
+        inbound=tuple(sorted(inbound, key=lambda p: p.timestamp)),
+    )

@@ -1,0 +1,183 @@
+"""Descriptive statistics over traces — the quantities the paper's
+figures and our calibration tests report.
+
+Figures 3 and 4 plot per-bin SYN vs SYN/ACK counts; Section 3.1 claims
+a "very strong positive correlation" between the two series and a
+bounded difference relative to the number of active connections.  The
+helpers here compute those series and the supporting statistics
+(Pearson correlation, normalized difference, burstiness / index of
+dispersion, and a variance-time Hurst estimate for the self-similarity
+checks on the arrival substrate).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .events import CountTrace, PacketTrace
+
+__all__ = [
+    "TraceStatistics",
+    "summarize_counts",
+    "pearson_correlation",
+    "index_of_dispersion",
+    "variance_time_hurst",
+    "per_bin_series",
+]
+
+
+def pearson_correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient of two equal-length series."""
+    if len(xs) != len(ys):
+        raise ValueError(f"length mismatch: {len(xs)} vs {len(ys)}")
+    n = len(xs)
+    if n < 2:
+        raise ValueError("need at least two samples")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x == 0 or var_y == 0:
+        return 0.0
+    return cov / math.sqrt(var_x * var_y)
+
+
+def index_of_dispersion(counts: Sequence[float]) -> float:
+    """Variance-to-mean ratio — 1 for Poisson, above 1 for bursty."""
+    n = len(counts)
+    if n < 2:
+        raise ValueError("need at least two samples")
+    mean = sum(counts) / n
+    if mean == 0:
+        return 0.0
+    variance = sum((c - mean) ** 2 for c in counts) / (n - 1)
+    return variance / mean
+
+
+def variance_time_hurst(
+    counts: Sequence[float], max_aggregation: Optional[int] = None
+) -> float:
+    """Variance-time-plot estimate of the Hurst parameter.
+
+    Aggregates the series at levels m = 1, 2, 4, ..., fits
+    log Var(X^(m)) against log m; the slope β gives H = 1 + β/2.
+    Poisson counts give H ≈ 0.5; the Pareto ON/OFF substrate should give
+    H ≈ (3 − α)/2 ≈ 0.75 (a property test asserts the ordering).
+    """
+    n = len(counts)
+    if n < 16:
+        raise ValueError("need at least 16 samples for a variance-time fit")
+    if max_aggregation is None:
+        max_aggregation = n // 8
+    log_m: List[float] = []
+    log_var: List[float] = []
+    m = 1
+    while m <= max_aggregation:
+        num_blocks = n // m
+        blocks = [
+            sum(counts[i * m : (i + 1) * m]) / m for i in range(num_blocks)
+        ]
+        if len(blocks) >= 4:
+            mean = sum(blocks) / len(blocks)
+            variance = sum((b - mean) ** 2 for b in blocks) / (len(blocks) - 1)
+            if variance > 0:
+                log_m.append(math.log(m))
+                log_var.append(math.log(variance))
+        m *= 2
+    if len(log_m) < 3:
+        raise ValueError("not enough aggregation levels with positive variance")
+    # Least-squares slope.
+    k = len(log_m)
+    mean_x = sum(log_m) / k
+    mean_y = sum(log_var) / k
+    slope = sum(
+        (x - mean_x) * (y - mean_y) for x, y in zip(log_m, log_var)
+    ) / sum((x - mean_x) ** 2 for x in log_m)
+    return 1.0 + slope / 2.0
+
+
+@dataclass(frozen=True)
+class TraceStatistics:
+    """Summary statistics of one count trace."""
+
+    name: str
+    num_periods: int
+    period: float
+    mean_syn: float
+    mean_synack: float
+    syn_synack_correlation: float
+    mean_difference: float
+    max_difference: int
+    mean_normalized_difference: float  #: empirical c = E[Δ/K̄]
+    dispersion: float                  #: burstiness of the SYN series
+
+    @property
+    def duration(self) -> str:
+        """Table 1-style human-readable duration."""
+        seconds = self.num_periods * self.period
+        hours = seconds / 3600.0
+        if abs(hours - round(hours)) < 1e-9 and hours >= 1:
+            count = int(round(hours))
+            return "One hour" if count == 1 else f"{_spell(count)} hours"
+        if abs(hours - 0.5) < 1e-9:
+            return "Half hour"
+        return f"{seconds / 60.0:.0f} minutes"
+
+
+def summarize_counts(trace: CountTrace) -> TraceStatistics:
+    """Compute the full statistics bundle for one count trace."""
+    syns = [float(s) for s in trace.syn_counts]
+    synacks = [float(s) for s in trace.synack_counts]
+    differences = trace.differences
+    mean_synack = sum(synacks) / len(synacks) if synacks else 0.0
+    k_bar = max(mean_synack, 1.0)
+    return TraceStatistics(
+        name=trace.metadata.name,
+        num_periods=trace.num_periods,
+        period=trace.period,
+        mean_syn=sum(syns) / len(syns) if syns else 0.0,
+        mean_synack=mean_synack,
+        syn_synack_correlation=pearson_correlation(syns, synacks),
+        mean_difference=sum(differences) / len(differences) if differences else 0.0,
+        max_difference=max(differences) if differences else 0,
+        mean_normalized_difference=(
+            sum(differences) / len(differences) / k_bar if differences else 0.0
+        ),
+        dispersion=index_of_dispersion(syns),
+    )
+
+
+def per_bin_series(
+    trace: PacketTrace, bin_seconds: float = 60.0
+) -> Tuple[List[int], List[int]]:
+    """Per-bin (SYN, SYN/ACK) counts over a packet trace — the series
+    Figures 3 and 4 plot (the paper bins per minute).
+
+    For bidirectional sites the paper counts SYNs and SYN/ACKs "from
+    both directions"; both streams are therefore scanned for both kinds.
+    """
+    num_bins = max(1, int(-(-trace.metadata.duration // bin_seconds)))
+    syns = [0] * num_bins
+    synacks = [0] * num_bins
+    bidirectional = trace.metadata.bidirectional
+    for stream, count_syns, count_synacks in (
+        (trace.outbound, True, bidirectional),
+        (trace.inbound, bidirectional, True),
+    ):
+        for packet in stream:
+            index = int(packet.timestamp // bin_seconds)
+            if not 0 <= index < num_bins:
+                continue
+            if count_syns and packet.is_syn:
+                syns[index] += 1
+            if count_synacks and packet.is_syn_ack:
+                synacks[index] += 1
+    return syns, synacks
+
+
+def _spell(count: int) -> str:
+    words = {2: "Two", 3: "Three", 4: "Four", 5: "Five", 6: "Six"}
+    return words.get(count, str(count))

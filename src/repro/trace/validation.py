@@ -1,0 +1,140 @@
+"""Trace sanity checking — operator guardrails.
+
+The detector's statistical assumptions are mild but not empty: the
+monitored link must actually carry paired SYN/SYN-ACK traffic.  Feeding
+it a pathological input (an asymmetric tap that never sees the return
+path, a mislabeled direction pair, an idle link) produces alarms or
+silence that *look* meaningful and aren't.  ``validate_count_trace``
+checks a count trace before detection and returns structured findings
+an operator (or the CLI) can act on — each finding names the symptom,
+the likely cause, and the remedy.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from .events import CountTrace
+from .stats import pearson_correlation
+
+__all__ = ["Severity", "Finding", "validate_count_trace"]
+
+
+class Severity(enum.Enum):
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One validation result."""
+
+    severity: Severity
+    code: str
+    message: str
+
+
+def validate_count_trace(
+    trace: CountTrace,
+    min_periods: int = 10,
+) -> List[Finding]:
+    """Check a count trace for the pathologies that break detection.
+
+    Returns findings ordered most severe first; an empty list means the
+    trace looks like a healthy symmetric tap.
+    """
+    findings: List[Finding] = []
+    syns = trace.syn_counts
+    synacks = trace.synack_counts
+    n = len(trace)
+
+    if n == 0:
+        return [Finding(
+            Severity.ERROR, "empty",
+            "the trace has no observation periods",
+        )]
+    if n < min_periods:
+        findings.append(Finding(
+            Severity.WARNING, "short",
+            f"only {n} periods (< {min_periods}); the EWMA baseline will "
+            f"not have settled and detection verdicts are unreliable",
+        ))
+
+    total_syn = sum(syns)
+    total_synack = sum(synacks)
+    if total_syn == 0 and total_synack == 0:
+        findings.append(Finding(
+            Severity.ERROR, "idle",
+            "no SYNs and no SYN/ACKs at all — wrong interface, wrong "
+            "filter, or a dead link",
+        ))
+        return sorted(findings, key=lambda f: f.severity.value)
+
+    if total_syn > 0 and total_synack == 0:
+        findings.append(Finding(
+            Severity.ERROR, "no-return-path",
+            "SYNs without a single SYN/ACK: the return path does not "
+            "cross this tap (asymmetric routing) or the inbound capture "
+            "is missing.  The SYN-SYNACK pairing will false-alarm "
+            "immediately; use the SYN-FIN variant (repro.core.SynFinDog) "
+            "or fix the tap",
+        ))
+    elif total_syn > 0:
+        answer_ratio = total_synack / total_syn
+        if answer_ratio < 0.5:
+            findings.append(Finding(
+                Severity.WARNING, "partial-return-path",
+                f"only {answer_ratio:.0%} of SYNs have matching SYN/ACKs "
+                f"over the whole trace; if the link is healthy this "
+                f"suggests partial return-path asymmetry — expect "
+                f"elevated false alarms",
+            ))
+        elif answer_ratio > 1.5:
+            findings.append(Finding(
+                Severity.WARNING, "direction-swap",
+                f"{answer_ratio:.1f}x more SYN/ACKs than SYNs: the "
+                f"direction pair looks swapped (or this is a server-side "
+                f"link — consider the last-mile pairing, "
+                f"repro.core.LastMileSynDog)",
+            ))
+
+    if total_synack > 0 and total_syn == 0:
+        findings.append(Finding(
+            Severity.ERROR, "no-requests",
+            "SYN/ACKs without any SYNs: the outbound capture is missing "
+            "or the direction pair is swapped",
+        ))
+
+    # Mean volume: the floor clamp kicks in below ~1 SYN/ACK per period
+    # and the normalized statistic loses meaning.
+    if n >= min_periods and total_synack / n < 2.0:
+        findings.append(Finding(
+            Severity.WARNING, "very-quiet",
+            f"mean SYN/ACK volume is {total_synack / n:.2f} per period; "
+            f"at this volume single stray packets dominate X_n — "
+            f"lengthen the observation period or aggregate links",
+        ))
+
+    # Correlation: Section 4.1's strong positive SYN<->SYN/ACK
+    # correlation is the mechanism's foundation; its absence on a
+    # supposedly-normal trace means the pairing assumption fails here.
+    if n >= min_periods and total_syn > 0 and total_synack > 0:
+        try:
+            correlation = pearson_correlation(
+                [float(s) for s in syns], [float(a) for a in synacks]
+            )
+        except ValueError:
+            correlation = 0.0
+        if correlation < 0.3:
+            findings.append(Finding(
+                Severity.WARNING, "weak-correlation",
+                f"SYN<->SYN/ACK correlation is {correlation:.2f} (<0.3); "
+                f"either this trace already contains an attack, or the "
+                f"two series are not a matched direction pair",
+            ))
+
+    order = {Severity.ERROR: 0, Severity.WARNING: 1, Severity.INFO: 2}
+    return sorted(findings, key=lambda finding: order[finding.severity])

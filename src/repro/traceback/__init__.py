@@ -1,0 +1,30 @@
+"""Source localization: the alternative to expensive IP traceback that
+SYN-dog's first-mile placement buys (Section 4.2.3)."""
+
+from .ppm import (
+    MARKING_PROBABILITY,
+    AttackPath,
+    EdgeMark,
+    PPMCollector,
+    expected_packets_for_full_path,
+    mark_along_path,
+)
+from .locator import (
+    HostInventory,
+    LocalizationReport,
+    LocatedHost,
+    SourceLocator,
+)
+
+__all__ = [
+    "MARKING_PROBABILITY",
+    "AttackPath",
+    "EdgeMark",
+    "PPMCollector",
+    "expected_packets_for_full_path",
+    "mark_along_path",
+    "HostInventory",
+    "LocalizationReport",
+    "LocatedHost",
+    "SourceLocator",
+]

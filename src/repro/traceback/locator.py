@@ -1,0 +1,141 @@
+"""Post-alarm flooding-source localization (Section 4.2.3).
+
+"Due to its proximity to the flooding sources, once SYN-dog detects the
+ongoing flooding traffic, it can further locate the flooding source
+inside the stub network, for example, by triggering the ingress
+filtering mechanism and checking the MAC addresses of IP packets whose
+source addresses are spoofed."
+
+The locator consumes the ingress filter's spoof observations, ranks the
+offending MAC addresses, and — given the router's MAC⇄host inventory
+(its ARP/forwarding table) — names the physical hosts.  This is the
+step IP traceback schemes [2, 20, 23, 26, 27, 32] spend per-packet
+marking or logging infrastructure to approximate from the victim side;
+at the first-mile router it is a table lookup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..defense.ingress import IngressFilter, SpoofObservation
+from ..packet.addresses import IPv4Address, MACAddress
+
+__all__ = ["HostInventory", "LocalizationReport", "SourceLocator", "LocatedHost"]
+
+
+class HostInventory:
+    """The leaf router's MAC⇄host knowledge (ARP table / port map)."""
+
+    def __init__(self) -> None:
+        self._hosts: Dict[MACAddress, Dict[str, str]] = {}
+
+    def register(
+        self,
+        mac: MACAddress,
+        ip: Optional[IPv4Address] = None,
+        name: str = "",
+        switch_port: str = "",
+    ) -> None:
+        """Record one stub-network host."""
+        self._hosts[mac] = {
+            "ip": str(ip) if ip is not None else "",
+            "name": name,
+            "port": switch_port,
+        }
+
+    def lookup(self, mac: MACAddress) -> Optional[Dict[str, str]]:
+        return self._hosts.get(mac)
+
+    def __contains__(self, mac: object) -> bool:
+        return mac in self._hosts
+
+    def __len__(self) -> int:
+        return len(self._hosts)
+
+
+@dataclass(frozen=True)
+class LocatedHost:
+    """One suspected flooding host."""
+
+    mac: MACAddress
+    spoofed_packet_count: int
+    share: float                       #: fraction of all spoofed packets
+    registered_ip: str = ""            #: from the inventory, if known
+    name: str = ""
+    switch_port: str = ""
+    known: bool = False                #: True when found in the inventory
+
+
+@dataclass(frozen=True)
+class LocalizationReport:
+    """The locator's answer after an alarm."""
+
+    total_spoofed_packets: int
+    hosts: Tuple[LocatedHost, ...]
+
+    @property
+    def primary_suspect(self) -> Optional[LocatedHost]:
+        return self.hosts[0] if self.hosts else None
+
+    @property
+    def localized(self) -> bool:
+        """True when at least one suspect was pinned to a known host."""
+        return any(host.known for host in self.hosts)
+
+
+class SourceLocator:
+    """Combines ingress-filter evidence with the host inventory."""
+
+    def __init__(
+        self,
+        inventory: Optional[HostInventory] = None,
+        min_packets: int = 10,
+    ) -> None:
+        if min_packets <= 0:
+            raise ValueError(f"min_packets must be positive: {min_packets}")
+        # An *empty* HostInventory is falsy (it defines __len__), so
+        # `inventory or HostInventory()` would silently drop a shared
+        # inventory that happens to be empty at construction time.
+        self.inventory = inventory if inventory is not None else HostInventory()
+        self.min_packets = min_packets
+
+    def locate(
+        self, observations: Sequence[SpoofObservation]
+    ) -> LocalizationReport:
+        """Rank spoofing MACs and resolve them against the inventory.
+
+        ``min_packets`` filters out hosts whose spoof count could be
+        explained by misconfiguration noise (a laptop with a stale
+        address) rather than a flood.
+        """
+        counts: Dict[MACAddress, int] = {}
+        for observation in observations:
+            counts[observation.mac] = counts.get(observation.mac, 0) + 1
+        total = sum(counts.values())
+        hosts: List[LocatedHost] = []
+        for mac, count in sorted(
+            counts.items(), key=lambda item: (-item[1], item[0].value)
+        ):
+            if count < self.min_packets:
+                continue
+            record = self.inventory.lookup(mac)
+            hosts.append(
+                LocatedHost(
+                    mac=mac,
+                    spoofed_packet_count=count,
+                    share=count / total if total else 0.0,
+                    registered_ip=record["ip"] if record else "",
+                    name=record["name"] if record else "",
+                    switch_port=record["port"] if record else "",
+                    known=record is not None,
+                )
+            )
+        return LocalizationReport(
+            total_spoofed_packets=total, hosts=tuple(hosts)
+        )
+
+    def locate_from_filter(self, ingress: IngressFilter) -> LocalizationReport:
+        """Convenience: read the evidence straight off an ingress filter."""
+        return self.locate(ingress.observations)

@@ -1,0 +1,202 @@
+"""Probabilistic Packet Marking (PPM) — the IP-traceback contrast.
+
+The paper's pitch is that first-mile placement makes source location
+*free*, whereas victim-side approaches "must rely on the expensive IP
+traceback [2, 20, 23, 26, 27, 32]".  To make "expensive" measurable,
+this module implements the canonical traceback scheme the paper cites —
+Savage et al.'s probabilistic packet marking with edge sampling [23] —
+faithfully enough to reproduce its cost law:
+
+* every router on the attack path, for every packet, with probability
+  ``p`` starts a fresh edge mark (itself, distance 0); a router seeing
+  a distance-0 mark completes the edge; every non-marking router
+  increments the distance;
+* the victim collects marks from attack packets and reconstructs the
+  path edge by edge, outward from itself;
+* the expected number of attack packets needed to see the *farthest*
+  edge is ``1 / (p·(1−p)^(d−1))``, and the whole path needs
+  ``≈ ln(d) / (p·(1−p)^(d−1))`` — thousands of packets for the
+  20-something-hop paths typical of real attacks.
+
+The comparison bench (`benchmarks/test_extension_traceback_cost.py`)
+puts this next to SYN-dog's cost: a couple of observation periods of
+two counters, and a MAC-resolution answer instead of a router-level
+path that still ends one hop short of the host.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..packet.addresses import IPv4Address
+
+__all__ = [
+    "EdgeMark",
+    "AttackPath",
+    "mark_along_path",
+    "PPMCollector",
+    "expected_packets_for_full_path",
+    "MARKING_PROBABILITY",
+]
+
+#: Savage et al.'s recommended marking probability.
+MARKING_PROBABILITY = 1.0 / 25.0
+
+
+@dataclass(frozen=True)
+class EdgeMark:
+    """The mark a packet carries when it reaches the victim.
+
+    ``start``/``end`` encode one edge of the attack path; ``distance``
+    is the hop count from the edge to the victim.  ``end`` is None for
+    the edge adjacent to the victim (the real scheme XORs addresses to
+    fit IP-header fields; the information content is identical).
+    """
+
+    start: IPv4Address
+    end: Optional[IPv4Address]
+    distance: int
+
+
+@dataclass(frozen=True)
+class AttackPath:
+    """The router chain from a flooding source to the victim.
+
+    ``routers[0]`` is the first-mile router (where SYN-dog would sit);
+    ``routers[-1]`` is the victim's last-mile router.
+    """
+
+    routers: Tuple[IPv4Address, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.routers) < 1:
+            raise ValueError("an attack path needs at least one router")
+        if len(set(self.routers)) != len(self.routers):
+            raise ValueError("attack path routers must be distinct")
+
+    @property
+    def length(self) -> int:
+        return len(self.routers)
+
+    @classmethod
+    def random(cls, rng: random.Random, length: int) -> "AttackPath":
+        if length < 1:
+            raise ValueError(f"path length must be positive: {length}")
+        routers = []
+        seen = set()
+        while len(routers) < length:
+            address = IPv4Address(rng.randrange(0x0B000000, 0xDF000000))
+            if address not in seen:
+                seen.add(address)
+                routers.append(address)
+        return cls(routers=tuple(routers))
+
+    def true_edges(self) -> List[Tuple[IPv4Address, Optional[IPv4Address], int]]:
+        """The ground-truth edge set, victim-outward: distance 0 is the
+        router adjacent to the victim."""
+        edges: List[Tuple[IPv4Address, Optional[IPv4Address], int]] = []
+        chain = list(self.routers)
+        for index in range(len(chain) - 1, -1, -1):
+            distance = len(chain) - 1 - index
+            end = chain[index + 1] if index + 1 < len(chain) else None
+            edges.append((chain[index], end, distance))
+        return edges
+
+
+def mark_along_path(
+    path: AttackPath,
+    rng: random.Random,
+    p: float = MARKING_PROBABILITY,
+) -> Optional[EdgeMark]:
+    """Simulate one attack packet traversing *path* under edge sampling.
+
+    Returns the mark the victim receives, or None when no router marked
+    (the packet keeps whatever the attacker wrote — treated as garbage
+    the victim discards; spoofed marks with distance ≥ 1 are filtered by
+    the scheme's distance check, which this models by discarding them).
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"marking probability must lie in (0,1): {p}")
+    start: Optional[IPv4Address] = None
+    end: Optional[IPv4Address] = None
+    distance = 0
+    marked = False
+    for router in path.routers:
+        if rng.random() < p:
+            start, end, distance = router, None, 0
+            marked = True
+        elif marked:
+            if distance == 0 and end is None:
+                end = router
+            distance += 1
+    if not marked:
+        return None
+    return EdgeMark(start=start, end=end, distance=distance)
+
+
+class PPMCollector:
+    """The victim's mark collector and path reconstructor."""
+
+    def __init__(self) -> None:
+        self._edges: Dict[Tuple[int, Optional[int], int], int] = {}
+        self.packets_seen = 0
+        self.marks_seen = 0
+
+    def collect(self, mark: Optional[EdgeMark]) -> None:
+        self.packets_seen += 1
+        if mark is None:
+            return
+        self.marks_seen += 1
+        key = (
+            int(mark.start),
+            int(mark.end) if mark.end is not None else None,
+            mark.distance,
+        )
+        self._edges[key] = self._edges.get(key, 0) + 1
+
+    def distances_covered(self) -> List[int]:
+        return sorted({distance for (_s, _e, distance) in self._edges})
+
+    def reconstruct(self) -> Optional[List[IPv4Address]]:
+        """Rebuild the path victim-outward; None while any distance ring
+        is still missing or ambiguous."""
+        by_distance: Dict[int, List[Tuple[int, Optional[int]]]] = {}
+        for (start, end, distance), _count in self._edges.items():
+            by_distance.setdefault(distance, []).append((start, end))
+        if not by_distance or 0 not in by_distance:
+            return None
+        path: List[IPv4Address] = []
+        distance = 0
+        while distance in by_distance:
+            candidates = by_distance[distance]
+            if len({start for start, _ in candidates}) != 1:
+                return None  # ambiguous ring (multiple paths / spoofing)
+            start, _end = candidates[0]
+            path.append(IPv4Address(start))
+            distance += 1
+        # Victim-outward → source-outward order, matching AttackPath.
+        return list(reversed(path))
+
+    def has_full_path(self, path: AttackPath) -> bool:
+        reconstruction = self.reconstruct()
+        return (
+            reconstruction is not None
+            and reconstruction == list(path.routers)
+        )
+
+
+def expected_packets_for_full_path(
+    length: int, p: float = MARKING_PROBABILITY
+) -> float:
+    """Savage et al.'s bound on the expected number of attack packets
+    before the victim has seen every edge:
+    E[X] < ln(d) / (p·(1−p)^(d−1))."""
+    if length < 1:
+        raise ValueError(f"length must be positive: {length}")
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"p must lie in (0,1): {p}")
+    rarest = p * (1.0 - p) ** (length - 1)
+    return math.log(max(length, 2)) / rarest

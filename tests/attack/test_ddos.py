@@ -1,0 +1,60 @@
+"""DDoS campaign coordination tests (Section 4.2 / 4.2.3 arithmetic)."""
+
+import pytest
+
+from repro.attack.ddos import (
+    MIN_PROTECTED_RATE,
+    MIN_UNPROTECTED_RATE,
+    DDoSCampaign,
+)
+from repro.packet.addresses import IPv4Address
+
+VICTIM = IPv4Address.parse("198.51.100.80")
+
+
+class TestEvenDistribution:
+    def test_per_network_rate_is_v_over_a(self):
+        campaign = DDoSCampaign.evenly_distributed(VICTIM, 14000.0, 378)
+        assert campaign.num_sources == 378
+        assert campaign.per_network_rate(0) == pytest.approx(14000.0 / 378)
+        assert campaign.aggregate_rate == pytest.approx(14000.0, rel=1e-6)
+
+    def test_each_network_has_one_slave(self):
+        campaign = DDoSCampaign.evenly_distributed(VICTIM, 1000.0, 10)
+        for network_id in range(10):
+            assert len(campaign.sources_in_network(network_id)) == 1
+
+    def test_distinct_macs_per_slave(self):
+        campaign = DDoSCampaign.evenly_distributed(VICTIM, 1000.0, 20)
+        macs = {slave.source.mac for slave in campaign.slaves}
+        assert len(macs) == 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DDoSCampaign.evenly_distributed(VICTIM, 0.0, 10)
+        with pytest.raises(ValueError):
+            DDoSCampaign.evenly_distributed(VICTIM, 100.0, 0)
+
+
+class TestCampaignArithmetic:
+    def test_paper_300k_packet_example(self):
+        # "To shut down the victim server for 10 minutes ... inject at
+        # least a total of 300,000 SYN packets" (500 SYN/s x 600 s).
+        campaign = DDoSCampaign.evenly_distributed(
+            VICTIM, MIN_UNPROTECTED_RATE, 10, duration=600.0
+        )
+        assert campaign.total_packets() == pytest.approx(300_000.0)
+
+    def test_sufficiency_thresholds(self):
+        weak = DDoSCampaign.evenly_distributed(VICTIM, 400.0, 4)
+        strong = DDoSCampaign.evenly_distributed(VICTIM, 20000.0, 100)
+        assert not weak.is_sufficient(protected=False)
+        assert strong.is_sufficient(protected=False)
+        assert not strong.is_sufficient(protected=True) or (
+            strong.aggregate_rate >= MIN_PROTECTED_RATE
+        )
+        assert strong.is_sufficient(protected=True)
+
+    def test_empty_network_rate_is_zero(self):
+        campaign = DDoSCampaign.evenly_distributed(VICTIM, 100.0, 2)
+        assert campaign.per_network_rate(99) == 0.0

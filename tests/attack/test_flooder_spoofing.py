@@ -1,0 +1,99 @@
+"""Flood-source and spoofing tests."""
+
+import random
+
+import pytest
+
+from repro.attack.flooder import FloodSource
+from repro.attack.patterns import ConstantRate, SquareWaveRate
+from repro.attack.spoofing import (
+    FixedAddressSpoofer,
+    RandomBogonSpoofer,
+    RandomUniformSpoofer,
+    SubnetRandomSpoofer,
+)
+from repro.packet.addresses import IPv4Address, IPv4Network, is_bogon
+
+
+class TestFloodSource:
+    def test_float_shorthand_becomes_constant_rate(self):
+        flood = FloodSource(pattern=25.0)
+        assert isinstance(flood.pattern, ConstantRate)
+        assert flood.expected_packets(0.0, 10.0) == 250.0
+
+    def test_packet_volume_close_to_expectation(self):
+        flood = FloodSource(pattern=50.0)
+        packets = flood.generate_packets(random.Random(1), 120.0)
+        assert len(packets) == pytest.approx(6000, rel=0.05)
+
+    def test_packets_sorted_and_in_range(self):
+        flood = FloodSource(pattern=10.0)
+        packets = flood.generate_packets(random.Random(2), 60.0)
+        times = [p.timestamp for p in packets]
+        assert times == sorted(times)
+        assert all(0.0 <= t < 60.0 for t in times)
+
+    def test_all_packets_are_syns_to_victim(self):
+        victim = IPv4Address.parse("198.51.100.80")
+        flood = FloodSource(pattern=10.0, victim=victim, victim_port=443)
+        for packet in flood.generate_packets(random.Random(3), 20.0):
+            assert packet.is_syn
+            assert packet.dst_ip == victim
+            assert packet.tcp.dst_port == 443
+
+    def test_spoofed_sources_are_unreachable_by_default(self):
+        flood = FloodSource(pattern=10.0)
+        packets = flood.generate_packets(random.Random(4), 20.0)
+        assert all(is_bogon(p.src_ip) for p in packets)
+
+    def test_mac_is_constant_not_spoofed(self):
+        flood = FloodSource(pattern=10.0)
+        packets = flood.generate_packets(random.Random(5), 20.0)
+        assert len({p.src_mac for p in packets}) == 1
+
+    def test_bursty_pattern_volume(self):
+        flood = FloodSource(
+            pattern=SquareWaveRate(high=40.0, on_time=5.0, off_time=15.0)
+        )
+        packets = flood.generate_packets(random.Random(6), 200.0)
+        assert len(packets) == pytest.approx(2000, rel=0.1)
+
+    def test_fractional_rates_supported(self):
+        # Auckland's Table 3 sweeps f_i = 1.5, 1.75: sub-1/s-slot rates
+        # must Bernoulli-round, not truncate to zero.
+        flood = FloodSource(pattern=1.75)
+        packets = flood.generate_packets(random.Random(7), 600.0)
+        assert len(packets) == pytest.approx(1050, rel=0.15)
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            FloodSource(pattern=1.0).generate_packets(random.Random(8), 0.0)
+
+
+class TestSpoofers:
+    def test_random_bogon_always_unreachable(self, rng):
+        spoofer = RandomBogonSpoofer()
+        for _ in range(100):
+            assert is_bogon(spoofer.next_address(rng))
+        assert spoofer.reachable_probability() == 0.0
+
+    def test_fixed_address(self, rng):
+        spoofer = FixedAddressSpoofer(IPv4Address.parse("10.66.66.66"))
+        assert spoofer.next_address(rng) == spoofer.next_address(rng)
+
+    def test_fixed_address_must_be_invalid(self):
+        with pytest.raises(ValueError):
+            FixedAddressSpoofer(IPv4Address.parse("8.8.8.8"))
+
+    def test_subnet_spoofer(self, rng):
+        network = IPv4Network.parse("203.0.113.0/24")
+        spoofer = SubnetRandomSpoofer(network, live_fraction=0.1)
+        for _ in range(50):
+            assert spoofer.next_address(rng) in network
+        assert spoofer.reachable_probability() == 0.1
+
+    def test_uniform_spoofer_reachable_fraction(self, rng):
+        spoofer = RandomUniformSpoofer(reachable_fraction=0.05)
+        assert spoofer.reachable_probability() == 0.05
+        with pytest.raises(ValueError):
+            RandomUniformSpoofer(reachable_fraction=1.5)

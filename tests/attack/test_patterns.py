@@ -1,0 +1,121 @@
+"""Rate-pattern tests: integrals must be exact, means must match, and
+equal-volume configurations must be constructible across shapes (the
+precondition of the pattern-insensitivity ablation)."""
+
+import pytest
+
+from repro.attack.patterns import (
+    ConstantRate,
+    PulseTrainRate,
+    RampRate,
+    SquareWaveRate,
+)
+
+
+class TestConstant:
+    def test_integral(self):
+        pattern = ConstantRate(10.0)
+        assert pattern.integral(0.0, 20.0) == 200.0
+        assert pattern.integral(5.0, 5.0) == 0.0
+        assert pattern.integral(10.0, 5.0) == 0.0  # inverted interval
+
+    def test_mean_rate(self):
+        assert ConstantRate(7.0).mean_rate(600.0) == 7.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConstantRate(-1.0)
+
+
+class TestSquareWave:
+    def test_rate_at(self):
+        pattern = SquareWaveRate(high=10.0, on_time=5.0, off_time=15.0)
+        assert pattern.rate_at(0.0) == 10.0
+        assert pattern.rate_at(4.99) == 10.0
+        assert pattern.rate_at(5.0) == 0.0
+        assert pattern.rate_at(20.0) == 10.0  # next cycle
+
+    def test_integral_whole_cycles(self):
+        pattern = SquareWaveRate(high=10.0, on_time=5.0, off_time=15.0)
+        assert pattern.integral(0.0, 20.0) == pytest.approx(50.0)
+        assert pattern.integral(0.0, 200.0) == pytest.approx(500.0)
+
+    def test_integral_partial_cycle(self):
+        pattern = SquareWaveRate(high=10.0, on_time=5.0, off_time=15.0)
+        assert pattern.integral(2.0, 4.0) == pytest.approx(20.0)   # fully ON
+        assert pattern.integral(6.0, 10.0) == pytest.approx(0.0)   # fully OFF
+        assert pattern.integral(3.0, 7.0) == pytest.approx(20.0)   # straddling
+
+    def test_integral_additivity(self):
+        pattern = SquareWaveRate(high=3.0, on_time=2.0, off_time=7.0, phase=1.0)
+        whole = pattern.integral(0.0, 100.0)
+        split = pattern.integral(0.0, 33.3) + pattern.integral(33.3, 100.0)
+        assert whole == pytest.approx(split)
+
+    def test_mean_rate_duty_cycle(self):
+        pattern = SquareWaveRate(high=12.0, on_time=5.0, off_time=15.0)
+        assert pattern.mean_rate(2000.0) == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SquareWaveRate(high=1.0, on_time=0.0, off_time=1.0)
+
+
+class TestRamp:
+    def test_rate_profile(self):
+        pattern = RampRate(start_rate=0.0, end_rate=10.0, ramp_time=100.0)
+        assert pattern.rate_at(0.0) == 0.0
+        assert pattern.rate_at(50.0) == 5.0
+        assert pattern.rate_at(100.0) == 10.0
+        assert pattern.rate_at(500.0) == 10.0
+
+    def test_integral_over_ramp(self):
+        pattern = RampRate(start_rate=0.0, end_rate=10.0, ramp_time=100.0)
+        # Triangle: 0.5 * 100 * 10 = 500.
+        assert pattern.integral(0.0, 100.0) == pytest.approx(500.0)
+
+    def test_integral_past_ramp(self):
+        pattern = RampRate(start_rate=0.0, end_rate=10.0, ramp_time=100.0)
+        assert pattern.integral(0.0, 200.0) == pytest.approx(500.0 + 1000.0)
+
+    def test_integral_additivity(self):
+        pattern = RampRate(start_rate=2.0, end_rate=8.0, ramp_time=60.0)
+        whole = pattern.integral(0.0, 150.0)
+        split = sum(
+            pattern.integral(a, b)
+            for a, b in [(0.0, 30.0), (30.0, 61.0), (61.0, 150.0)]
+        )
+        assert whole == pytest.approx(split)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RampRate(start_rate=1.0, end_rate=2.0, ramp_time=0.0)
+
+
+class TestPulseTrain:
+    def test_integral(self):
+        pattern = PulseTrainRate(pulse_rate=100.0, pulse_width=1.0, interval=10.0)
+        assert pattern.integral(0.0, 100.0) == pytest.approx(1000.0)
+
+    def test_mean_rate(self):
+        pattern = PulseTrainRate(pulse_rate=100.0, pulse_width=1.0, interval=10.0)
+        assert pattern.mean_rate(1000.0) == pytest.approx(10.0)
+
+    def test_width_cannot_exceed_interval(self):
+        with pytest.raises(ValueError):
+            PulseTrainRate(pulse_rate=1.0, pulse_width=11.0, interval=10.0)
+
+
+class TestEqualVolumeConstruction:
+    def test_all_shapes_can_emit_same_volume(self):
+        # Precondition of the pattern-insensitivity ablation bench:
+        # every shape configured for mean rate 5/s over 600 s.
+        duration = 600.0
+        patterns = [
+            ConstantRate(5.0),
+            SquareWaveRate(high=20.0, on_time=5.0, off_time=15.0),
+            RampRate(start_rate=0.0, end_rate=10.0, ramp_time=duration),
+            PulseTrainRate(pulse_rate=50.0, pulse_width=2.0, interval=20.0),
+        ]
+        volumes = [p.integral(0.0, duration) for p in patterns]
+        assert all(v == pytest.approx(3000.0) for v in volumes)

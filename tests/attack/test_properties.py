@@ -1,0 +1,106 @@
+"""Property-based tests for the attack substrate.
+
+The load-bearing invariant is that every :class:`RatePattern`'s closed-
+form ``integral`` agrees with numeric integration of ``rate_at`` — the
+count-level mixer's correctness rests on it — plus additivity and
+non-negativity over arbitrary intervals.
+"""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.attack.patterns import (
+    ConstantRate,
+    PulseTrainRate,
+    RampRate,
+    SquareWaveRate,
+)
+
+rates = st.floats(min_value=0.0, max_value=1000.0, allow_nan=False)
+durations = st.floats(min_value=0.1, max_value=500.0, allow_nan=False)
+instants = st.floats(min_value=0.0, max_value=2000.0, allow_nan=False)
+
+
+@st.composite
+def patterns(draw):
+    kind = draw(st.sampled_from(["constant", "square", "ramp", "pulse"]))
+    if kind == "constant":
+        return ConstantRate(draw(rates))
+    if kind == "square":
+        return SquareWaveRate(
+            high=draw(rates),
+            on_time=draw(durations),
+            off_time=draw(st.floats(min_value=0.0, max_value=500.0)),
+            phase=draw(st.floats(min_value=0.0, max_value=100.0)),
+        )
+    if kind == "ramp":
+        return RampRate(
+            start_rate=draw(rates),
+            end_rate=draw(rates),
+            ramp_time=draw(durations),
+        )
+    interval = draw(durations)
+    width = draw(
+        st.floats(min_value=0.01, max_value=float(interval))
+    )
+    return PulseTrainRate(
+        pulse_rate=draw(rates), pulse_width=width, interval=interval
+    )
+
+
+def numeric_integral(pattern, t0: float, t1: float, steps: int = 2000) -> float:
+    if t1 <= t0:
+        return 0.0
+    width = (t1 - t0) / steps
+    return sum(
+        pattern.rate_at(t0 + (i + 0.5) * width) * width for i in range(steps)
+    )
+
+
+class TestPatternProperties:
+    @given(pattern=patterns(), t0=instants, span=durations)
+    @settings(max_examples=150, deadline=None)
+    def test_closed_form_matches_numeric(self, pattern, t0, span):
+        t1 = t0 + span
+        closed = pattern.integral(t0, t1)
+        steps = 2000
+        numeric = numeric_integral(pattern, t0, t1, steps=steps)
+        # Midpoint-rule error is dominated by the ON/OFF discontinuities:
+        # each contributes at most one step of peak-rate mass, and a
+        # pulse train can have ~2 discontinuities per cycle.
+        if isinstance(pattern, RampRate):
+            peak = max(pattern.start_rate, pattern.end_rate)
+        else:
+            peak = getattr(pattern, "pulse_rate",
+                           getattr(pattern, "high",
+                                   getattr(pattern, "rate", 0.0)))
+        cycle = getattr(pattern, "interval", getattr(pattern, "cycle", span))
+        num_discontinuities = 2.0 * (span / max(cycle, 1e-9) + 1.0)
+        step = span / steps
+        tolerance = max(1e-6, peak * step * num_discontinuities + 0.01 * closed)
+        assert math.isclose(closed, numeric, abs_tol=tolerance, rel_tol=0.02)
+
+    @given(pattern=patterns(), t0=instants, a=durations, b=durations)
+    @settings(max_examples=150, deadline=None)
+    def test_additivity(self, pattern, t0, a, b):
+        mid = t0 + a
+        end = mid + b
+        whole = pattern.integral(t0, end)
+        split = pattern.integral(t0, mid) + pattern.integral(mid, end)
+        assert math.isclose(whole, split, rel_tol=1e-9, abs_tol=1e-6)
+
+    @given(pattern=patterns(), t0=instants, span=durations)
+    @settings(max_examples=100, deadline=None)
+    def test_non_negative_and_monotone(self, pattern, t0, span):
+        assert pattern.integral(t0, t0 + span) >= 0.0
+        assert pattern.integral(t0, t0) == 0.0
+        assert pattern.integral(t0 + span, t0) == 0.0  # inverted interval
+        shorter = pattern.integral(t0, t0 + span / 2)
+        assert shorter <= pattern.integral(t0, t0 + span) + 1e-9
+
+    @given(pattern=patterns(), t=instants)
+    @settings(max_examples=100, deadline=None)
+    def test_rate_never_negative(self, pattern, t):
+        assert pattern.rate_at(t) >= 0.0

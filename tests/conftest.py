@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite.
+
+Heavier artifacts (synthetic traces at full Table 1 durations) are
+session-scoped so the suite stays fast; anything a test mutates is
+function-scoped.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import DEFAULT_PARAMETERS
+from repro.trace import AUCKLAND, HARVARD, LBL, UNC, generate_count_trace
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(1234)
+
+
+@pytest.fixture(scope="session")
+def unc_counts():
+    """A full half-hour UNC count trace (session cached)."""
+    return generate_count_trace(UNC, seed=0)
+
+
+@pytest.fixture(scope="session")
+def auckland_counts():
+    """A full three-hour Auckland count trace (session cached)."""
+    return generate_count_trace(AUCKLAND, seed=0)
+
+
+@pytest.fixture(scope="session")
+def harvard_counts():
+    return generate_count_trace(HARVARD, seed=0)
+
+
+@pytest.fixture(scope="session")
+def lbl_counts():
+    return generate_count_trace(LBL, seed=0)
+
+
+@pytest.fixture
+def parameters():
+    return DEFAULT_PARAMETERS

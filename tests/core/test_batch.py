@@ -1,0 +1,120 @@
+"""The vectorized batch pipeline must agree with the scalar reference
+implementation bit-for-bit."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SynDog
+from repro.core.batch import (
+    batch_cusum,
+    batch_detect,
+    batch_first_alarms,
+    batch_normalize,
+)
+from repro.core.cusum import cusum_statistic_series
+from repro.core.normalization import NormalizedDifference
+from repro.trace import AUCKLAND, UNC, generate_count_trace
+
+count_matrices = st.integers(min_value=1, max_value=8).flatmap(
+    lambda rows: st.integers(min_value=1, max_value=40).flatmap(
+        lambda cols: st.tuples(
+            st.lists(
+                st.lists(st.integers(min_value=0, max_value=5000),
+                         min_size=cols, max_size=cols),
+                min_size=rows, max_size=rows,
+            ),
+            st.lists(
+                st.lists(st.integers(min_value=0, max_value=5000),
+                         min_size=cols, max_size=cols),
+                min_size=rows, max_size=rows,
+            ),
+        )
+    )
+)
+
+
+class TestAgainstScalar:
+    @given(data=count_matrices)
+    @settings(max_examples=60, deadline=None)
+    def test_normalize_matches_scalar(self, data):
+        syn, synack = (np.array(m, dtype=float) for m in data)
+        batch_x = batch_normalize(syn, synack)
+        for row in range(syn.shape[0]):
+            normalizer = NormalizedDifference()
+            scalar_x = [
+                normalizer.observe(int(s), int(a))
+                for s, a in zip(syn[row], synack[row])
+            ]
+            assert batch_x[row] == pytest.approx(scalar_x, abs=1e-12)
+
+    @given(
+        data=count_matrices,
+        drift=st.floats(min_value=0.05, max_value=2.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_cusum_matches_scalar(self, data, drift):
+        x = np.array(data[0], dtype=float) / 100.0
+        batch_y = batch_cusum(x, drift)
+        for row in range(x.shape[0]):
+            scalar_y = cusum_statistic_series(list(x[row]), drift)
+            assert batch_y[row] == pytest.approx(scalar_y, abs=1e-12)
+
+    def test_full_pipeline_matches_syndog_on_real_traces(self):
+        traces = [generate_count_trace(AUCKLAND, seed=s) for s in range(4)]
+        syn = np.array([t.syn_counts for t in traces], dtype=float)
+        synack = np.array([t.synack_counts for t in traces], dtype=float)
+        y, first_alarms = batch_detect(syn, synack)
+        for row, trace in enumerate(traces):
+            result = SynDog().observe_counts(trace.counts)
+            assert y[row] == pytest.approx(result.statistics, abs=1e-10)
+            expected = (
+                result.first_alarm_period
+                if result.first_alarm_period is not None
+                else -1
+            )
+            assert first_alarms[row] == expected
+
+    def test_pipeline_matches_on_attacked_traces(self):
+        from repro.attack import FloodSource
+        from repro.trace import AttackWindow, mix_flood_into_counts
+
+        traces = [
+            mix_flood_into_counts(
+                generate_count_trace(UNC, seed=s),
+                FloodSource(pattern=60.0),
+                AttackWindow(360.0, 600.0),
+            )
+            for s in range(3)
+        ]
+        syn = np.array([t.syn_counts for t in traces], dtype=float)
+        synack = np.array([t.synack_counts for t in traces], dtype=float)
+        _y, first_alarms = batch_detect(syn, synack)
+        for row, trace in enumerate(traces):
+            result = SynDog().observe_counts(trace.counts)
+            assert first_alarms[row] == result.first_alarm_period
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            batch_normalize(np.zeros((2, 3)), np.zeros((2, 4)))
+
+    def test_one_dimensional_rejected(self):
+        with pytest.raises(ValueError):
+            batch_normalize(np.zeros(5), np.zeros(5))
+        with pytest.raises(ValueError):
+            batch_cusum(np.zeros(5), 0.35)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            batch_normalize(np.zeros((1, 2)), np.zeros((1, 2)), alpha=1.0)
+        with pytest.raises(ValueError):
+            batch_cusum(np.zeros((1, 2)), drift=0.0)
+        with pytest.raises(ValueError):
+            batch_first_alarms(np.zeros((1, 2)), threshold=0.0)
+
+    def test_no_alarm_is_minus_one(self):
+        y = np.zeros((3, 10))
+        assert (batch_first_alarms(y, 1.05) == -1).all()

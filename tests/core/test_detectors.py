@@ -1,0 +1,102 @@
+"""Tests for the baseline per-period detectors and their documented
+failure modes (site dependence, memorylessness)."""
+
+import pytest
+
+from repro.core.detectors import (
+    AdaptiveEwmaDetector,
+    StaticThresholdDetector,
+    SynRateDetector,
+    run_detector,
+)
+
+
+class TestStaticThreshold:
+    def test_alarm_above_threshold(self):
+        detector = StaticThresholdDetector(100.0)
+        assert not detector.observe_period(1050, 1000)
+        assert detector.observe_period(1150, 1000)
+
+    def test_memoryless_forgets_between_periods(self):
+        detector = StaticThresholdDetector(100.0)
+        # 60 extra per period forever: never alarms, no accumulation.
+        for _ in range(1000):
+            assert not detector.observe_period(1060, 1000)
+
+    def test_site_dependence(self):
+        # The same threshold is too insensitive for a large site's flood
+        # and trips on a small site's normal jitter.
+        detector = StaticThresholdDetector(100.0)
+        # Auckland-scale flood of 5 SYN/s = 100/period exactly at bound:
+        assert not detector.observe_period(85 + 100, 85)  # misses (not >)
+        detector.reset()
+        # UNC-scale ordinary fluctuation of 150 packets:
+        assert detector.observe_period(2000 + 150, 2000)  # false alarm
+
+    def test_validation_and_reset(self):
+        with pytest.raises(ValueError):
+            StaticThresholdDetector(0.0)
+        detector = StaticThresholdDetector(10.0)
+        detector.observe_period(100, 0)
+        detector.reset()
+        assert not detector.alarm
+
+
+class TestAdaptiveEwma:
+    def test_normalized_bound_transfers_across_sites(self):
+        big = AdaptiveEwmaDetector(bound=0.7)
+        small = AdaptiveEwmaDetector(bound=0.7)
+        big.observe_period(2000, 2000)
+        small.observe_period(100, 100)
+        # Equal relative floods trip both:
+        assert big.observe_period(2000 + 1600, 2000)
+        assert small.observe_period(100 + 80, 100)
+
+    def test_misses_slow_floods_forever(self):
+        # A flood at 0.5*K per period stays under the 0.7 bound in every
+        # single period — the memoryless detector never fires, while
+        # CUSUM would accumulate (0.5-0.35) per period and catch it.
+        detector = AdaptiveEwmaDetector(bound=0.7, alpha=0.99)
+        detector.observe_period(100, 100)
+        for _ in range(500):
+            assert not detector.observe_period(150, 100)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveEwmaDetector(bound=-1.0)
+
+    def test_reset(self):
+        detector = AdaptiveEwmaDetector()
+        detector.observe_period(1000, 10)
+        detector.reset()
+        assert not detector.alarm
+
+
+class TestSynRate:
+    def test_rate_threshold(self):
+        detector = SynRateDetector(rate_threshold=100.0, observation_period=20.0)
+        assert not detector.observe_period(1999, 0)   # 99.95/s
+        assert detector.observe_period(2001, 0)       # 100.05/s
+
+    def test_blind_to_synacks_flash_crowd_false_alarm(self):
+        # A flash crowd: lots of SYNs, all answered.  The rate detector
+        # cries wolf; it cannot know the SYNs are legitimate.
+        detector = SynRateDetector(rate_threshold=100.0)
+        assert detector.observe_period(3000, 3000)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SynRateDetector(rate_threshold=0.0)
+        with pytest.raises(ValueError):
+            SynRateDetector(rate_threshold=10.0, observation_period=-1.0)
+
+
+class TestRunDetector:
+    def test_returns_first_alarm_index(self):
+        detector = StaticThresholdDetector(50.0)
+        counts = [(100, 100), (100, 100), (300, 100), (100, 100)]
+        assert run_detector(detector, counts) == 2
+
+    def test_returns_none_when_quiet(self):
+        detector = StaticThresholdDetector(50.0)
+        assert run_detector(detector, [(100, 100)] * 5) is None

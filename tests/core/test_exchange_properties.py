@@ -1,0 +1,98 @@
+"""Property-based tests for the period exchange: conservation of
+counts and correct period placement under arbitrary packet schedules."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sniffer import CountExchange
+from repro.packet.packet import make_ack, make_rst, make_syn, make_syn_ack
+
+
+@st.composite
+def packet_schedules(draw):
+    """A time-sorted mixed schedule of (timestamp, kind, direction)."""
+    n = draw(st.integers(min_value=0, max_value=120))
+    times = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+                min_size=n, max_size=n,
+            )
+        )
+    )
+    kinds = draw(
+        st.lists(
+            st.sampled_from(["syn", "synack", "ack", "rst"]),
+            min_size=n, max_size=n,
+        )
+    )
+    directions = draw(
+        st.lists(st.booleans(), min_size=n, max_size=n)  # True = outbound
+    )
+    return list(zip(times, kinds, directions))
+
+
+def build_packet(timestamp, kind):
+    maker = {
+        "syn": make_syn,
+        "synack": make_syn_ack,
+        "ack": make_ack,
+        "rst": make_rst,
+    }[kind]
+    return maker(timestamp, "152.2.0.1", "8.8.8.8")
+
+
+class TestExchangeProperties:
+    @given(schedule=packet_schedules())
+    @settings(max_examples=100, deadline=None)
+    def test_counts_are_conserved_and_placed(self, schedule):
+        period = 20.0
+        exchange = CountExchange(observation_period=period)
+        reports = []
+        for timestamp, kind, outbound in schedule:
+            if outbound:
+                reports.extend(exchange.observe_outbound(build_packet(timestamp, kind)))
+            else:
+                reports.extend(exchange.observe_inbound(build_packet(timestamp, kind)))
+        reports.extend(exchange.flush(end_time=501.0))
+
+        # Reference model: bin the schedule directly.
+        expected_syn = {}
+        expected_synack = {}
+        for timestamp, kind, outbound in schedule:
+            index = int(timestamp // period)
+            if outbound and kind == "syn":
+                expected_syn[index] = expected_syn.get(index, 0) + 1
+            if not outbound and kind == "synack":
+                expected_synack[index] = expected_synack.get(index, 0) + 1
+
+        # Conservation: totals match exactly.
+        assert sum(r.syn_count for r in reports) == sum(expected_syn.values())
+        assert sum(r.synack_count for r in reports) == sum(
+            expected_synack.values()
+        )
+        # Placement: every period's counts match the reference bins.
+        for report in reports:
+            assert report.syn_count == expected_syn.get(report.period_index, 0)
+            assert report.synack_count == expected_synack.get(
+                report.period_index, 0
+            )
+        # Reports are contiguous, ordered, and aligned.
+        for position, report in enumerate(reports):
+            assert report.period_index == position
+            assert report.start_time == position * period
+            assert report.end_time == (position + 1) * period
+
+    @given(schedule=packet_schedules())
+    @settings(max_examples=50, deadline=None)
+    def test_wrong_direction_packets_never_counted(self, schedule):
+        exchange = CountExchange(observation_period=20.0)
+        reports = []
+        for timestamp, kind, _outbound in schedule:
+            # Deliberately feed SYN/ACKs outbound and SYNs inbound.
+            if kind == "synack":
+                reports.extend(exchange.observe_outbound(build_packet(timestamp, kind)))
+            elif kind == "syn":
+                reports.extend(exchange.observe_inbound(build_packet(timestamp, kind)))
+        reports.extend(exchange.flush())
+        assert all(r.syn_count == 0 and r.synack_count == 0 for r in reports)

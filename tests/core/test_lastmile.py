@@ -1,0 +1,114 @@
+"""Tests for the last-mile (victim-side) SYN-dog variant (Figure 6)."""
+
+import pytest
+
+from repro.core import LastMileSynDog, SynDog
+from repro.attack import FloodSource
+from repro.packet.packet import make_ack, make_syn, make_syn_ack
+from repro.tcpsim import VictimNetwork
+
+
+class TestCountLevel:
+    def test_healthy_server_never_alarms(self):
+        dog = LastMileSynDog()
+        for _ in range(100):
+            record = dog.observe_period(500, 498)
+        assert not dog.alarm
+        assert record.statistic == 0.0
+
+    def test_saturated_server_alarms(self):
+        # Server answers 100/period normally; under flood the incoming
+        # SYNs rise to 172 while SYN/ACK production stays pinned at 100
+        # (backlog full): X = 0.72 per period accumulates to an alarm
+        # at the end of the third flooded period.
+        dog = LastMileSynDog(initial_k=100.0)
+        for _ in range(10):
+            dog.observe_period(100, 100)
+        alarms = [dog.observe_period(172, 100).alarm for _ in range(3)]
+        assert alarms == [False, False, True]
+
+    def test_heavy_flood_alarms_in_one_period(self):
+        # X = 2.0 in a single period already exceeds N + a.
+        dog = LastMileSynDog(initial_k=100.0)
+        dog.observe_period(100, 100)
+        assert dog.observe_period(300, 100).alarm
+
+    def test_mirrors_syndog_numerics(self):
+        counts = [(120, 100), (150, 100), (90, 95), (400, 100)]
+        first_mile = SynDog(initial_k=100.0).observe_counts(counts)
+        last_mile = LastMileSynDog(initial_k=100.0).observe_counts(counts)
+        assert last_mile.statistics == pytest.approx(first_mile.statistics)
+
+
+class TestPacketLevel:
+    def test_directional_pairing_mirrored(self):
+        dog = LastMileSynDog()
+        # Incoming SYNs (Internet -> local server).
+        inbound = [make_syn(t, "8.8.8.8", "198.51.100.80") for t in (1.0, 2.0)]
+        # Outgoing SYN/ACKs (local server -> Internet).
+        outbound = [make_syn_ack(1.1, "198.51.100.80", "8.8.8.8")]
+        result = dog.observe_streams(inbound, outbound, end_time=20.0)
+        assert result.records[0].syn_count == 2
+        assert result.records[0].synack_count == 1
+
+    def test_wrong_direction_flags_ignored(self):
+        dog = LastMileSynDog()
+        # A SYN/ACK on the inbound side (a local client's remote server
+        # answering) and a SYN on the outbound side (a local client
+        # opening outward) must not be counted by the last-mile pairing.
+        inbound = [make_syn_ack(1.0, "8.8.8.8", "152.2.0.1")]
+        outbound = [make_syn(2.0, "152.2.0.1", "8.8.8.8")]
+        result = dog.observe_streams(inbound, outbound, end_time=20.0)
+        assert result.records[0].syn_count == 0
+        assert result.records[0].synack_count == 0
+
+    def test_non_control_packets_only_advance_clock(self):
+        dog = LastMileSynDog()
+        inbound = [make_ack(25.0, "8.8.8.8", "198.51.100.80")]
+        result = dog.observe_streams(inbound, [], end_time=40.0)
+        # The ACK advanced the clock past period 0; nothing was counted.
+        assert len(result.records) >= 2
+        assert all(r.syn_count == 0 and r.synack_count == 0
+                   for r in result.records)
+
+
+class TestAgainstVictimSimulation:
+    def make_network(self, seed, dog, **kwargs):
+        return VictimNetwork(
+            seed=seed,
+            client_rate=20.0,
+            tap_inbound=dog.observe_inbound,
+            tap_outbound=dog.observe_outbound,
+            **kwargs,
+        )
+
+    def test_quiet_under_normal_load(self):
+        dog = LastMileSynDog()
+        network = self.make_network(1, dog)
+        network.run(duration=200.0)
+        dog.flush(end_time=200.0)
+        assert not dog.result().alarmed
+
+    def test_detects_arriving_flood(self):
+        dog = LastMileSynDog()
+        network = self.make_network(1, dog)
+        network.run(
+            duration=300.0,
+            flood=FloodSource(pattern=100.0),
+            flood_start=100.0,
+            flood_duration=200.0,
+        )
+        dog.flush(end_time=300.0)
+        result = dog.result()
+        assert result.alarmed
+        assert result.first_alarm_time >= 100.0
+        # Detected within a few observation periods of flood onset.
+        assert result.first_alarm_time <= 100.0 + 4 * 20.0
+
+    def test_k_bar_reflects_server_answer_volume(self):
+        dog = LastMileSynDog()
+        network = self.make_network(2, dog)
+        network.run(duration=200.0)
+        dog.flush(end_time=200.0)
+        # ~20 conn/s -> ~400 SYN/ACKs per 20 s period.
+        assert 250.0 < dog.k_bar < 600.0

@@ -1,0 +1,91 @@
+"""Tests for the generic change-detection framework: parametric CUSUM
+and the offline posterior test."""
+
+import random
+
+import pytest
+
+from repro.core.sequential import (
+    NonParametricCusumDetector,
+    ParametricGaussianCusum,
+    posterior_mean_shift_test,
+)
+
+
+class TestNonParametricAdapter:
+    def test_run_returns_first_alarm(self):
+        detector = NonParametricCusumDetector(drift=0.35, threshold=1.05)
+        observations = [0.0] * 5 + [0.72] * 10
+        assert detector.run(observations) == 7  # three flooded samples in
+
+    def test_run_none_when_quiet(self):
+        detector = NonParametricCusumDetector(drift=0.35, threshold=1.05)
+        assert detector.run([0.1] * 50) is None
+
+    def test_reset(self):
+        detector = NonParametricCusumDetector(drift=0.1, threshold=0.5)
+        detector.update(10.0)
+        assert detector.alarm
+        detector.reset()
+        assert not detector.alarm
+
+
+class TestParametricCusum:
+    def test_detects_gaussian_shift(self):
+        rng = random.Random(7)
+        detector = ParametricGaussianCusum(mu0=0.0, mu1=1.0, sigma=1.0, threshold=8.0)
+        pre = [rng.gauss(0.0, 1.0) for _ in range(200)]
+        post = [rng.gauss(1.0, 1.0) for _ in range(100)]
+        index = detector.run(pre + post)
+        assert index is not None
+        assert index >= 195  # not (much) before the true change at 200
+
+    def test_quiet_on_null(self):
+        rng = random.Random(8)
+        detector = ParametricGaussianCusum(mu0=0.0, mu1=1.0, sigma=1.0, threshold=12.0)
+        assert detector.run([rng.gauss(0.0, 1.0) for _ in range(500)]) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParametricGaussianCusum(0.0, 1.0, sigma=0.0, threshold=1.0)
+        with pytest.raises(ValueError):
+            ParametricGaussianCusum(1.0, 0.5, sigma=1.0, threshold=1.0)
+        with pytest.raises(ValueError):
+            ParametricGaussianCusum(0.0, 1.0, sigma=1.0, threshold=0.0)
+
+
+class TestPosteriorTest:
+    def test_finds_mean_shift_location(self):
+        rng = random.Random(9)
+        series = [rng.gauss(0.0, 0.5) for _ in range(60)] + [
+            rng.gauss(3.0, 0.5) for _ in range(60)
+        ]
+        result = posterior_mean_shift_test(series, threshold=5.0)
+        assert result.change_detected
+        assert 55 <= result.change_index <= 65
+
+    def test_homogeneous_series_passes(self):
+        rng = random.Random(10)
+        series = [rng.gauss(1.0, 1.0) for _ in range(200)]
+        result = posterior_mean_shift_test(series, threshold=6.0)
+        assert not result.change_detected
+        assert result.change_index is None
+
+    def test_too_short_series(self):
+        result = posterior_mean_shift_test([1.0, 2.0], threshold=1.0)
+        assert not result.change_detected
+
+    def test_constant_series(self):
+        result = posterior_mean_shift_test([5.0] * 50, threshold=3.0)
+        assert not result.change_detected
+
+    def test_sequential_beats_posterior_on_latency(self):
+        # The paper's reason for a sequential test: it decides during
+        # the attack, while the posterior test needs the whole segment.
+        observations = [0.0] * 20 + [0.7] * 30
+        sequential = NonParametricCusumDetector(drift=0.35, threshold=1.05)
+        first_alarm = sequential.run(observations)
+        assert first_alarm is not None
+        # The sequential decision came 27 samples before the posterior
+        # test could even run (it needs all 50).
+        assert first_alarm < len(observations) - 1

@@ -1,0 +1,146 @@
+"""Tests for the SYN–FIN pairing variant and the extended trace
+substrate behind it."""
+
+import pytest
+
+from repro.attack import FloodSource
+from repro.core import SYN_FIN_PARAMETERS, SynDog, SynFinDog
+from repro.trace import (
+    AUCKLAND,
+    UNC,
+    AttackWindow,
+    ConnectionLifetimeModel,
+    generate_extended_count_trace,
+    mix_flood_into_extended,
+)
+
+
+@pytest.fixture(scope="module")
+def auckland_extended():
+    return generate_extended_count_trace(AUCKLAND, seed=5)
+
+
+class TestExtendedTrace:
+    def test_fin_rate_tracks_syn_rate(self, auckland_extended):
+        ext = auckland_extended
+        mean_syn = sum(ext.syn_counts) / len(ext)
+        mean_fin = sum(ext.fin_counts) / len(ext)
+        assert mean_fin == pytest.approx(mean_syn, rel=0.1)
+
+    def test_views_share_syn_column(self, auckland_extended):
+        ext = auckland_extended
+        assert ext.syn_synack_pairs().syn_counts == ext.syn_counts
+        assert ext.syn_fin_pairs().syn_counts == ext.syn_counts
+        assert ext.syn_fin_pairs().synack_counts == ext.fin_counts
+
+    def test_warm_history_removes_cold_start(self, auckland_extended):
+        # With pre-warmed history the first periods already carry FINs.
+        assert auckland_extended.fin_counts[0] > 0
+
+    def test_flood_mixing_touches_only_syn(self, auckland_extended):
+        mixed = mix_flood_into_extended(
+            auckland_extended, FloodSource(pattern=5.0),
+            AttackWindow(3600.0, 600.0),
+        )
+        assert mixed.synack_counts == auckland_extended.synack_counts
+        assert mixed.fin_counts == auckland_extended.fin_counts
+        assert sum(mixed.syn_counts) - sum(auckland_extended.syn_counts) == 3000
+
+    def test_synack_loss_models_asymmetry(self, auckland_extended):
+        asym = auckland_extended.with_synack_loss(0.0, seed=1)
+        assert sum(asym.synack_counts) == 0
+        assert asym.syn_counts == auckland_extended.syn_counts
+        assert asym.fin_counts == auckland_extended.fin_counts
+        half = auckland_extended.with_synack_loss(0.5, seed=1)
+        assert sum(half.synack_counts) == pytest.approx(
+            0.5 * sum(auckland_extended.synack_counts), rel=0.1
+        )
+
+    def test_lifetime_model_validation(self):
+        with pytest.raises(ValueError):
+            ConnectionLifetimeModel(median_seconds=0.0)
+        with pytest.raises(ValueError):
+            ConnectionLifetimeModel(sigma=-1.0)
+
+    def test_negative_counts_rejected(self):
+        from repro.trace.extended import ExtendedCountTrace
+        from repro.trace.events import TraceMetadata
+
+        with pytest.raises(ValueError):
+            ExtendedCountTrace(
+                metadata=TraceMetadata(name="x", duration=20.0, bidirectional=False),
+                period=20.0,
+                counts=((1, 2, -1),),
+            )
+
+
+class TestSynFinDog:
+    def test_quiet_on_normal_traffic(self, auckland_extended):
+        result = SynFinDog().observe_counts(
+            auckland_extended.syn_fin_pairs().counts
+        )
+        assert not result.alarmed
+
+    def test_quiet_across_sites_and_seeds(self):
+        for profile in (UNC, AUCKLAND):
+            for seed in range(3):
+                ext = generate_extended_count_trace(profile, seed=seed)
+                result = SynFinDog().observe_counts(ext.syn_fin_pairs().counts)
+                assert not result.alarmed, (profile.name, seed)
+
+    def test_detects_flood(self, auckland_extended):
+        mixed = mix_flood_into_extended(
+            auckland_extended, FloodSource(pattern=5.0),
+            AttackWindow(3600.0, 600.0),
+        )
+        result = SynFinDog().observe_counts(mixed.syn_fin_pairs().counts)
+        delay = result.detection_delay_periods(3600.0)
+        assert delay is not None and delay <= 5
+
+    def test_warmup_skips_but_keeps_clock(self):
+        dog = SynFinDog(warmup_periods=3)
+        assert dog.observe_period(100, 0) is None   # cold start: no FINs yet
+        assert dog.observe_period(100, 50) is None
+        assert dog.observe_period(100, 100) is None
+        record = dog.observe_period(100, 100)
+        assert record is not None
+        assert record.start_time == pytest.approx(60.0)  # absolute time kept
+
+    def test_warmup_absorbs_cold_start_transient(self):
+        # Without pre-warmed history, SYNs lead FINs at t = 0; warm-up
+        # must keep the transient out of the statistic.
+        ext = generate_extended_count_trace(AUCKLAND, seed=6, warm_history=0.0)
+        result = SynFinDog(warmup_periods=3).observe_counts(
+            ext.syn_fin_pairs().counts
+        )
+        assert not result.alarmed
+
+    def test_survives_full_asymmetry_where_synack_pairing_breaks(
+        self, auckland_extended
+    ):
+        mixed = mix_flood_into_extended(
+            auckland_extended, FloodSource(pattern=5.0),
+            AttackWindow(3600.0, 600.0),
+        )
+        asym = mixed.with_synack_loss(0.0, seed=2)
+        # The classic pairing false-alarms instantly (every SYN looks
+        # unanswered)...
+        classic = SynDog().observe_counts(asym.syn_synack_pairs().counts)
+        assert classic.first_alarm_period is not None
+        assert classic.first_alarm_period < 10  # long before the attack
+        # ...while the SYN-FIN pairing stays clean and still detects.
+        synfin = SynFinDog().observe_counts(asym.syn_fin_pairs().counts)
+        delay = synfin.detection_delay_periods(3600.0)
+        assert delay is not None and delay <= 5
+
+    def test_f_bar_and_floor(self, auckland_extended):
+        dog = SynFinDog()
+        dog.observe_counts(auckland_extended.syn_fin_pairs().counts)
+        assert dog.f_bar == pytest.approx(85.0, rel=0.2)
+        assert dog.min_detectable_rate() == pytest.approx(
+            SYN_FIN_PARAMETERS.drift * dog.f_bar / 20.0
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SynFinDog(warmup_periods=-1)

@@ -1,0 +1,69 @@
+"""Token-bucket and egress-limiter tests."""
+
+import pytest
+
+from repro.defense.ratelimit import EgressSynLimiter, TokenBucket
+from repro.packet.packet import make_ack, make_syn
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        bucket = TokenBucket(rate=10.0, burst=5.0)
+        # The full burst is available immediately.
+        assert all(bucket.consume(0.0) for _ in range(5))
+        assert not bucket.consume(0.0)
+        # After 0.3 s, three tokens have refilled.
+        assert bucket.consume(0.3)
+        assert bucket.consume(0.3)
+        assert bucket.consume(0.3)
+        assert not bucket.consume(0.3)
+
+    def test_capacity_cap(self):
+        bucket = TokenBucket(rate=100.0, burst=2.0)
+        bucket.consume(0.0)
+        # A long quiet time must not accumulate beyond the burst.
+        assert bucket.consume(100.0)
+        assert bucket.consume(100.0)
+        assert not bucket.consume(100.0)
+
+    def test_monotonic_time_enforced(self):
+        bucket = TokenBucket(rate=1.0, burst=1.0)
+        bucket.consume(5.0)
+        with pytest.raises(ValueError):
+            bucket.consume(4.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.0)
+
+
+class TestEgressSynLimiter:
+    def test_clips_syns_above_rate(self):
+        limiter = EgressSynLimiter(rate=10.0, burst=10.0)
+        passed = sum(
+            limiter.check(make_syn(i * 0.01, "152.2.0.1", "8.8.8.8"))
+            for i in range(1000)  # 100 SYN/s offered for 10 s
+        )
+        # ~10/s sustained + the initial burst.
+        assert 100 <= passed <= 130
+        assert limiter.drop_fraction > 0.8
+
+    def test_non_syn_packets_always_pass(self):
+        limiter = EgressSynLimiter(rate=1.0, burst=1.0)
+        limiter.check(make_syn(0.0, "152.2.0.1", "8.8.8.8"))
+        limiter.check(make_syn(0.0, "152.2.0.1", "8.8.8.8"))  # clipped
+        assert limiter.syns_dropped == 1
+        for i in range(100):
+            assert limiter.check(make_ack(0.0, "152.2.0.1", "8.8.8.8"))
+        assert limiter.syns_seen == 2
+
+    def test_under_rate_traffic_untouched(self):
+        limiter = EgressSynLimiter(rate=10.0)
+        passed = sum(
+            limiter.check(make_syn(i * 0.5, "152.2.0.1", "8.8.8.8"))
+            for i in range(100)  # 2 SYN/s offered
+        )
+        assert passed == 100
+        assert limiter.drop_fraction == 0.0

@@ -1,0 +1,104 @@
+"""SYN-cookie tests: statelessness, cookie validity, forgery rejection."""
+
+import random
+
+import pytest
+
+from repro.defense.syncookies import (
+    SynCookieServer,
+    encode_cookie,
+    validate_cookie,
+)
+from repro.packet.addresses import IPv4Address
+from repro.packet.packet import make_ack, make_syn
+from repro.tcpsim.engine import EventScheduler
+
+SERVER_IP = IPv4Address.parse("198.51.100.80")
+CLIENT_IP = IPv4Address.parse("100.64.0.1")
+SECRET = b"\x01" * 16
+KEY = (int(CLIENT_IP), 5555, 80)
+
+
+class TestCookieCodec:
+    def test_valid_cookie_round_trip(self):
+        cookie = encode_cookie(SECRET, KEY, client_seq=42, now=1000.0)
+        assert validate_cookie(SECRET, KEY, 42, cookie, now=1000.0)
+
+    def test_cookie_survives_within_age_window(self):
+        cookie = encode_cookie(SECRET, KEY, client_seq=42, now=1000.0)
+        assert validate_cookie(SECRET, KEY, 42, cookie, now=1000.0 + 64.0)
+
+    def test_cookie_expires(self):
+        cookie = encode_cookie(SECRET, KEY, client_seq=42, now=1000.0)
+        assert not validate_cookie(SECRET, KEY, 42, cookie, now=1000.0 + 64.0 * 5)
+
+    def test_cookie_binds_key(self):
+        cookie = encode_cookie(SECRET, KEY, client_seq=42, now=0.0)
+        other_key = (int(CLIENT_IP) + 1, 5555, 80)
+        assert not validate_cookie(SECRET, other_key, 42, cookie, now=0.0)
+
+    def test_cookie_binds_secret(self):
+        cookie = encode_cookie(SECRET, KEY, client_seq=42, now=0.0)
+        assert not validate_cookie(b"\x02" * 16, KEY, 42, cookie, now=0.0)
+
+    def test_cookie_binds_client_seq(self):
+        cookie = encode_cookie(SECRET, KEY, client_seq=42, now=0.0)
+        assert not validate_cookie(SECRET, KEY, 43, cookie, now=0.0)
+
+    def test_blind_forgery_rarely_validates(self):
+        rng = random.Random(1)
+        hits = sum(
+            validate_cookie(SECRET, KEY, 42, rng.getrandbits(32), now=0.0)
+            for _ in range(5000)
+        )
+        # 3 accepted counter slots x 2^-24 hash: expect ~0.0009 hits.
+        assert hits == 0
+
+
+class TestServer:
+    def make_server(self):
+        scheduler = EventScheduler()
+        sent = []
+        server = SynCookieServer(
+            scheduler, SERVER_IP, output=sent.append, rng=random.Random(1)
+        )
+        return scheduler, server, sent
+
+    def test_syn_answered_without_state(self):
+        scheduler, server, sent = self.make_server()
+        server.receive(make_syn(0.0, CLIENT_IP, SERVER_IP, src_port=5555, seq=100))
+        assert len(sent) == 1
+        assert sent[0].is_syn_ack
+        assert server.half_open_count == 0
+
+    def test_legitimate_handshake_completes(self):
+        scheduler, server, sent = self.make_server()
+        server.receive(make_syn(0.0, CLIENT_IP, SERVER_IP, src_port=5555, seq=100))
+        synack = sent[0].tcp
+        server.receive(
+            make_ack(
+                0.1, CLIENT_IP, SERVER_IP, src_port=5555,
+                seq=101, ack=(synack.seq + 1) & 0xFFFFFFFF,
+            )
+        )
+        assert server.acks_validated == 1
+        assert len(server.established) == 1
+
+    def test_forged_ack_rejected(self):
+        scheduler, server, sent = self.make_server()
+        server.receive(
+            make_ack(0.0, CLIENT_IP, SERVER_IP, src_port=5555, seq=101, ack=12345)
+        )
+        assert server.acks_rejected == 1
+        assert not server.established
+
+    def test_flood_holds_zero_state(self):
+        scheduler, server, sent = self.make_server()
+        rng = random.Random(2)
+        for i in range(10_000):
+            source = IPv4Address(rng.getrandbits(32))
+            server.receive(make_syn(i * 0.001, source, SERVER_IP, src_port=i % 65536))
+        assert server.syns_received == 10_000
+        assert server.synacks_sent == 10_000
+        assert server.half_open_count == 0
+        assert not server.established

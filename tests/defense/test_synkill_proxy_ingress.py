@@ -1,0 +1,204 @@
+"""Tests for the Synkill monitor, the SYN proxy, and ingress filtering."""
+
+import random
+
+import pytest
+
+from repro.defense.ingress import IngressFilter
+from repro.defense.proxy import SynProxy
+from repro.defense.synkill import AddressClass, SynkillMonitor
+from repro.packet.addresses import IPv4Address, IPv4Network, MACAddress
+from repro.packet.packet import make_ack, make_syn
+from repro.tcpsim.engine import EventScheduler
+
+SERVER_IP = IPv4Address.parse("198.51.100.80")
+GOOD_CLIENT = IPv4Address.parse("100.64.0.1")
+
+
+class TestSynkill:
+    def make_monitor(self, staleness=6.0):
+        scheduler = EventScheduler()
+        injected = []
+        monitor = SynkillMonitor(
+            scheduler, inject=injected.append, server_address=SERVER_IP,
+            staleness=staleness,
+        )
+        return scheduler, monitor, injected
+
+    def test_good_address_learned_from_completion(self):
+        scheduler, monitor, injected = self.make_monitor()
+        monitor.observe(make_syn(0.0, GOOD_CLIENT, SERVER_IP, src_port=5555))
+        monitor.observe(make_ack(0.1, GOOD_CLIENT, SERVER_IP, src_port=5555))
+        scheduler.run_until(30.0)
+        assert monitor.classification_of(GOOD_CLIENT) is AddressClass.GOOD
+        assert injected == []
+
+    def test_stale_new_address_declared_bad_and_rst_injected(self):
+        scheduler, monitor, injected = self.make_monitor()
+        spoofed = IPv4Address.parse("10.9.9.9")
+        monitor.observe(make_syn(0.0, spoofed, SERVER_IP, src_port=7777))
+        scheduler.run_until(30.0)
+        assert monitor.classification_of(spoofed) is AddressClass.BAD
+        assert len(injected) == 1
+        assert injected[0].tcp.is_rst
+        assert injected[0].dst_ip == SERVER_IP
+
+    def test_known_bad_source_flushed_immediately(self):
+        scheduler, monitor, injected = self.make_monitor()
+        spoofed = IPv4Address.parse("10.9.9.9")
+        monitor.observe(make_syn(0.0, spoofed, SERVER_IP, src_port=7777))
+        scheduler.run_until(30.0)
+        before = len(injected)
+        monitor.observe(make_syn(31.0, spoofed, SERVER_IP, src_port=7778))
+        assert len(injected) == before + 1  # no staleness wait this time
+
+    def test_bad_verdict_expires(self):
+        scheduler, monitor, injected = self.make_monitor()
+        spoofed = IPv4Address.parse("10.9.9.9")
+        monitor.observe(make_syn(0.0, spoofed, SERVER_IP, src_port=7777))
+        scheduler.run_until(400.0)  # beyond the 300 s expiry
+        monitor.sweep()
+        assert monitor.classification_of(spoofed) is AddressClass.NEW
+
+    def test_state_grows_with_distinct_spoofed_sources(self):
+        # The stateful-defense vulnerability the paper points at: a
+        # randomized-source flood bloats the per-address table.
+        scheduler, monitor, injected = self.make_monitor()
+        rng = random.Random(1)
+        for i in range(2000):
+            source = IPv4Address(rng.getrandbits(32))
+            monitor.observe(make_syn(i * 0.01, source, SERVER_IP, src_port=1024))
+        assert monitor.peak_state_size >= 2000 * 0.95
+
+    def test_validation(self):
+        scheduler = EventScheduler()
+        with pytest.raises(ValueError):
+            SynkillMonitor(scheduler, inject=lambda p: None,
+                           server_address=SERVER_IP, staleness=0.0)
+
+
+class TestSynProxy:
+    def make_proxy(self, capacity=100):
+        scheduler = EventScheduler()
+        to_client, to_server = [], []
+        proxy = SynProxy(
+            scheduler, to_client=to_client.append, to_server=to_server.append,
+            server_address=SERVER_IP, pending_capacity=capacity,
+            rng=random.Random(1),
+        )
+        return scheduler, proxy, to_client, to_server
+
+    def test_proxy_answers_syn_itself(self):
+        scheduler, proxy, to_client, to_server = self.make_proxy()
+        consumed = proxy.receive_from_client(
+            make_syn(0.0, GOOD_CLIENT, SERVER_IP, src_port=5555, seq=100)
+        )
+        assert consumed
+        assert len(to_client) == 1 and to_client[0].is_syn_ack
+        assert to_server == []  # nothing reaches the server yet
+
+    def test_verified_client_opens_backend_leg(self):
+        scheduler, proxy, to_client, to_server = self.make_proxy()
+        proxy.receive_from_client(
+            make_syn(0.0, GOOD_CLIENT, SERVER_IP, src_port=5555, seq=100)
+        )
+        synack = to_client[0].tcp
+        proxy.receive_from_client(
+            make_ack(0.1, GOOD_CLIENT, SERVER_IP, src_port=5555,
+                     seq=101, ack=(synack.seq + 1) & 0xFFFFFFFF)
+        )
+        assert proxy.handshakes_verified == 1
+        assert len(to_server) == 1 and to_server[0].is_syn
+        assert proxy.pending_count == 0
+
+    def test_spoofed_syns_never_reach_server(self):
+        scheduler, proxy, to_client, to_server = self.make_proxy(capacity=10_000)
+        rng = random.Random(2)
+        for i in range(1000):
+            proxy.receive_from_client(
+                make_syn(i * 0.01, IPv4Address(rng.getrandbits(32)),
+                         SERVER_IP, src_port=1024 + (i % 60000))
+            )
+        assert to_server == []  # the server never saw the flood
+
+    def test_proxy_state_exhaustion(self):
+        # ...but the proxy's own table fills: stateful defenses are
+        # themselves floodable (the paper's critique).
+        scheduler, proxy, to_client, to_server = self.make_proxy(capacity=50)
+        rng = random.Random(3)
+        for i in range(200):
+            proxy.receive_from_client(
+                make_syn(i * 0.001, IPv4Address(rng.getrandbits(32)),
+                         SERVER_IP, src_port=1024 + i)
+            )
+        assert proxy.pending_count == 50
+        assert proxy.pending_overflow == 150
+
+    def test_pending_entries_expire(self):
+        scheduler, proxy, to_client, to_server = self.make_proxy(capacity=50)
+        proxy.receive_from_client(
+            make_syn(0.0, GOOD_CLIENT, SERVER_IP, src_port=5555)
+        )
+        scheduler.run_until(20.0)  # past the 10 s pending timeout
+        assert proxy.pending_count == 0
+
+    def test_bogus_ack_consumed_silently(self):
+        scheduler, proxy, to_client, to_server = self.make_proxy()
+        proxy.receive_from_client(
+            make_syn(0.0, GOOD_CLIENT, SERVER_IP, src_port=5555, seq=100)
+        )
+        consumed = proxy.receive_from_client(
+            make_ack(0.1, GOOD_CLIENT, SERVER_IP, src_port=5555, seq=101, ack=999)
+        )
+        assert consumed
+        assert proxy.handshakes_verified == 0
+
+
+class TestIngressFilter:
+    STUB = IPv4Network.parse("152.2.0.0/16")
+
+    def test_legitimate_source_forwarded(self):
+        ingress = IngressFilter(self.STUB, enforce=True)
+        assert ingress.check(make_syn(0.0, "152.2.1.1", "8.8.8.8"))
+        assert ingress.packets_dropped == 0
+
+    def test_monitor_mode_logs_but_forwards(self):
+        ingress = IngressFilter(self.STUB, enforce=False)
+        assert ingress.check(make_syn(0.0, "10.9.9.9", "8.8.8.8"))
+        assert len(ingress.observations) == 1
+        assert ingress.packets_dropped == 0
+
+    def test_enforce_mode_drops_spoofed(self):
+        ingress = IngressFilter(self.STUB, enforce=True)
+        assert not ingress.check(make_syn(0.0, "10.9.9.9", "8.8.8.8"))
+        assert ingress.packets_dropped == 1
+
+    def test_activate_switches_mode(self):
+        ingress = IngressFilter(self.STUB)
+        assert ingress.check(make_syn(0.0, "10.9.9.9", "8.8.8.8"))
+        ingress.activate()
+        assert not ingress.check(make_syn(1.0, "10.9.9.9", "8.8.8.8"))
+
+    def test_observation_records_mac(self):
+        ingress = IngressFilter(self.STUB)
+        mac = MACAddress.parse("02:bd:00:00:be:ef")
+        ingress.check(make_syn(0.0, "10.9.9.9", "8.8.8.8", src_mac=mac))
+        assert ingress.observations[0].mac == mac
+        assert ingress.observations[0].spoofed_source == "10.9.9.9"
+
+    def test_macs_ranked_by_volume(self):
+        ingress = IngressFilter(self.STUB)
+        chatty = MACAddress.parse("02:00:00:00:00:01")
+        quiet = MACAddress.parse("02:00:00:00:00:02")
+        for i in range(5):
+            ingress.check(make_syn(i, "10.1.1.1", "8.8.8.8", src_mac=chatty))
+        ingress.check(make_syn(9.0, "10.1.1.2", "8.8.8.8", src_mac=quiet))
+        ranked = ingress.macs_by_spoof_volume()
+        assert ranked[0] == (chatty, 5)
+        assert ranked[1] == (quiet, 1)
+
+    def test_log_bounded(self):
+        ingress = IngressFilter(self.STUB, max_log=10)
+        for i in range(50):
+            ingress.check(make_syn(i, "10.9.9.9", "8.8.8.8"))
+        assert len(ingress.observations) == 10

@@ -1,0 +1,148 @@
+"""Tests for the multi-agent campaign simulator and the (a, N)
+parameter-sensitivity sweep."""
+
+import pytest
+
+from repro.attack import DDoSCampaign
+from repro.experiments.campaign import simulate_campaign
+from repro.experiments.sensitivity import (
+    recommend_parameters,
+    sweep_parameters,
+)
+from repro.packet import IPv4Address
+from repro.trace.profiles import AUCKLAND, UNC
+
+VICTIM = IPv4Address.parse("198.51.100.80")
+
+
+class TestCampaignSimulation:
+    def test_concentrated_campaign_every_dog_barks(self):
+        # 5000 SYN/s over 500 Auckland-scale networks: f_i = 10 SYN/s,
+        # far above the ~1.5 SYN/s floor.
+        campaign = DDoSCampaign.evenly_distributed(VICTIM, 5000.0, 500)
+        result = simulate_campaign(
+            campaign, AUCKLAND, max_networks=6, base_seed=1
+        )
+        assert result.detection_fraction == 1.0
+        assert result.first_alarm_delay is not None
+        assert result.first_alarm_delay <= 3
+        assert result.attributable_fraction == 1.0
+
+    def test_hyper_distributed_campaign_hides(self):
+        # The same 5000 SYN/s over 10,000 networks: f_i = 0.5 SYN/s,
+        # under the floor — no dog barks.
+        campaign = DDoSCampaign.evenly_distributed(VICTIM, 5000.0, 10_000)
+        result = simulate_campaign(
+            campaign, AUCKLAND, max_networks=6, base_seed=1
+        )
+        assert result.detection_fraction == 0.0
+        assert result.first_alarm_delay is None
+        assert result.attributable_fraction == 0.0
+
+    def test_detection_fraction_monotone_in_concentration(self):
+        fractions = []
+        for num_networks in (500, 3000, 10_000):
+            campaign = DDoSCampaign.evenly_distributed(
+                VICTIM, 5000.0, num_networks
+            )
+            result = simulate_campaign(
+                campaign, AUCKLAND, max_networks=5, base_seed=2
+            )
+            fractions.append(result.detection_fraction)
+        assert fractions[0] >= fractions[1] >= fractions[2]
+        assert fractions[0] == 1.0
+
+    def test_subsampling_metadata(self):
+        campaign = DDoSCampaign.evenly_distributed(VICTIM, 1000.0, 100)
+        result = simulate_campaign(
+            campaign, AUCKLAND, max_networks=4, base_seed=3
+        )
+        assert result.num_networks == 4
+        assert result.simulated_rate == pytest.approx(4 * 10.0)
+        assert result.aggregate_rate == pytest.approx(1000.0)
+
+    def test_attack_start_respects_profile_range(self):
+        campaign = DDoSCampaign.evenly_distributed(VICTIM, 500.0, 10)
+        result = simulate_campaign(
+            campaign, AUCKLAND, max_networks=2, base_seed=4
+        )
+        assert 3 * 60.0 <= result.attack_start <= 136 * 60.0
+        assert result.attack_start % 60.0 == 0.0
+
+
+class TestSensitivitySweep:
+    @pytest.fixture(scope="class")
+    def cells(self):
+        return sweep_parameters(
+            UNC,
+            drifts=[0.2, 0.35],
+            thresholds=[0.6, 1.05],
+            flood_rate=25.0,
+            num_normal_traces=3,
+            num_attack_trials=3,
+            base_seed=0,
+        )
+
+    def test_grid_shape(self, cells):
+        assert len(cells) == 4
+        assert {(c.drift, c.threshold) for c in cells} == {
+            (0.2, 0.6), (0.2, 1.05), (0.35, 0.6), (0.35, 1.05),
+        }
+
+    def test_default_parameters_are_quiet(self, cells):
+        default = next(
+            c for c in cells if c.drift == 0.35 and c.threshold == 1.05
+        )
+        assert default.false_alarm_onsets == 0
+
+    def test_lower_drift_lowers_floor_and_catches_more(self, cells):
+        tuned = next(c for c in cells if c.drift == 0.2 and c.threshold == 0.6)
+        default = next(
+            c for c in cells if c.drift == 0.35 and c.threshold == 1.05
+        )
+        assert tuned.f_min < default.f_min
+        # The 25 SYN/s reference flood: invisible at default, caught
+        # when tuned — Figure 9 as a grid cell.
+        assert default.detection_probability == 0.0
+        assert tuned.detection_probability == 1.0
+
+    def test_recommendation_picks_most_sensitive_quiet_cell(self, cells):
+        best = recommend_parameters(cells, max_false_alarm_rate=0.0)
+        assert best is not None
+        assert best.drift == 0.2
+        assert best.false_alarm_onsets == 0
+
+    def test_recommendation_none_when_budget_unmeetable(self, cells):
+        assert recommend_parameters(cells, max_false_alarm_rate=-1.0) is None
+
+
+class TestHeterogeneousFleet:
+    def test_mixed_fleet_partial_coverage(self):
+        # 4 SYN/s per network: above every Auckland-scale floor (~1.5),
+        # below every UNC-scale floor (~34).  In a mixed fleet only the
+        # small networks' dogs bark.
+        campaign = DDoSCampaign.evenly_distributed(VICTIM, 4.0 * 10, 10)
+        result = simulate_campaign(
+            campaign,
+            AUCKLAND,
+            profile_selector=lambda nid: UNC if nid % 2 == 0 else AUCKLAND,
+            max_networks=6,
+            base_seed=8,
+            attack_start=360.0,
+        )
+        by_id = {o.network_id: o for o in result.outcomes}
+        for network_id, outcome in by_id.items():
+            expected = network_id % 2 == 1  # Auckland-scale networks
+            assert outcome.detected == expected, network_id
+        assert result.detection_fraction == pytest.approx(0.5)
+
+    def test_window_must_fit_smallest_profile(self):
+        campaign = DDoSCampaign.evenly_distributed(VICTIM, 100.0, 4)
+        with pytest.raises(ValueError):
+            simulate_campaign(
+                campaign,
+                AUCKLAND,
+                profile_selector=lambda nid: UNC,
+                attack_start=7200.0,  # beyond UNC's half-hour trace
+                max_networks=2,
+            )

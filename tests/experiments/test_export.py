@@ -1,0 +1,84 @@
+"""Tests for JSON export of experiment artifacts."""
+
+import json
+import math
+
+import pytest
+
+from repro.attack import FloodSource
+from repro.core import SynDog
+from repro.experiments.export import (
+    attack_report_to_dict,
+    detection_result_to_dict,
+    figure_to_dict,
+    save_json,
+    table_rows_to_dict,
+)
+from repro.experiments.figures import normal_cusum_figure
+from repro.experiments.forensics import characterize_attack
+from repro.experiments.tables import detection_table
+from repro.trace import (
+    AUCKLAND,
+    UNC,
+    AttackWindow,
+    generate_count_trace,
+    mix_flood_into_counts,
+)
+
+
+@pytest.fixture(scope="module")
+def attacked_result():
+    background = generate_count_trace(AUCKLAND, seed=2)
+    mixed = mix_flood_into_counts(
+        background, FloodSource(pattern=5.0), AttackWindow(3600.0, 600.0)
+    )
+    return SynDog().observe_counts(mixed.counts)
+
+
+class TestSerialization:
+    def test_detection_result_round_trips_through_json(self, attacked_result):
+        payload = detection_result_to_dict(attacked_result)
+        text = json.dumps(payload)
+        loaded = json.loads(text)
+        assert loaded["alarmed"] is True
+        assert loaded["first_alarm_time"] == attacked_result.first_alarm_time
+        assert len(loaded["periods"]) == len(attacked_result.records)
+        assert loaded["periods"][0]["y"] == attacked_result.records[0].statistic
+
+    def test_figure_serialization(self):
+        figure, _result = normal_cusum_figure(AUCKLAND, seed=0)
+        payload = figure_to_dict(figure)
+        json.dumps(payload)  # must be JSON-safe
+        assert payload["name"].startswith("Auckland")
+        assert len(payload["times"]) == len(payload["series"]["y_n"])
+        assert payload["annotations"]
+
+    def test_table_serialization(self):
+        rows = detection_table(UNC, {60.0: (1.0, 4.0)}, num_trials=2)
+        payload = table_rows_to_dict(rows, title="Table 2")
+        json.dumps(payload)
+        row = payload["rows"][0]
+        assert row["flood_rate"] == 60.0
+        assert row["measured_probability"] == 1.0
+        assert row["num_trials"] == 2
+
+    def test_attack_report_serialization(self, attacked_result):
+        payload = attack_report_to_dict(characterize_attack(attacked_result))
+        json.dumps(payload)
+        assert payload["detected"] is True
+        assert payload["estimated_rate"] == pytest.approx(5.0, rel=0.2)
+
+    def test_non_finite_values_become_null(self):
+        from repro.experiments.export import _clean
+
+        assert _clean(math.inf) is None
+        assert _clean(math.nan) is None
+        assert _clean({"a": (1.0, math.inf)}) == {"a": [1.0, None]}
+
+    def test_save_json_stable_format(self, tmp_path, attacked_result):
+        path = tmp_path / "artifact.json"
+        payload = detection_result_to_dict(attacked_result)
+        save_json(payload, path)
+        save_json(payload, tmp_path / "artifact2.json")
+        assert path.read_text() == (tmp_path / "artifact2.json").read_text()
+        assert path.read_text().endswith("\n")

@@ -1,0 +1,80 @@
+"""Forensic attack-characterization tests against mixer ground truth."""
+
+import pytest
+
+from repro.attack import FloodSource
+from repro.attack.patterns import SquareWaveRate
+from repro.core import SynDog
+from repro.experiments.forensics import characterize_attack
+from repro.trace import (
+    AUCKLAND,
+    UNC,
+    AttackWindow,
+    generate_count_trace,
+    mix_flood_into_counts,
+)
+
+
+def run_attack(profile, rate, start, seed=3, duration=600.0, pattern=None):
+    background = generate_count_trace(profile, seed=seed)
+    flood = FloodSource(pattern=pattern if pattern is not None else float(rate))
+    mixed = mix_flood_into_counts(background, flood, AttackWindow(start, duration))
+    return SynDog().observe_counts(mixed.counts)
+
+
+class TestCharacterization:
+    @pytest.mark.parametrize(
+        "profile,rate,start",
+        [
+            (AUCKLAND, 5.0, 3600.0),
+            (AUCKLAND, 2.0, 4800.0),
+            (UNC, 60.0, 360.0),
+            (UNC, 120.0, 360.0),
+        ],
+    )
+    def test_onset_end_and_rate_recovered(self, profile, rate, start):
+        report = characterize_attack(run_attack(profile, rate, start))
+        assert report.detected and report.complete
+        # Onset within one period of ground truth.
+        assert abs(report.estimated_onset_time - start) <= 20.0
+        # End within two periods.
+        assert abs(report.estimated_end_time - (start + 600.0)) <= 40.0
+        # Rate within 15%.
+        assert report.estimated_rate == pytest.approx(rate, rel=0.15)
+        # Duration follows.
+        assert report.estimated_duration == pytest.approx(600.0, abs=60.0)
+
+    def test_onset_precedes_alarm(self):
+        # The whole point of the posterior pass: the alarm lags the
+        # onset by the detection delay; the forensic onset does not.
+        result = run_attack(AUCKLAND, 2.0, 4800.0)
+        report = characterize_attack(result)
+        assert report.estimated_onset_time < report.alarm_time
+
+    def test_bursty_attack_mean_rate_recovered(self):
+        # A 25% duty-cycle square wave with mean 5 SYN/s: the forensic
+        # rate estimate is the mean, which is what capacity planning
+        # needs.
+        pattern = SquareWaveRate(high=20.0, on_time=5.0, off_time=15.0)
+        result = run_attack(AUCKLAND, 5.0, 3600.0, pattern=pattern)
+        report = characterize_attack(result)
+        assert report.detected
+        assert report.estimated_rate == pytest.approx(5.0, rel=0.25)
+
+    def test_no_attack_report(self):
+        background = generate_count_trace(AUCKLAND, seed=4)
+        result = SynDog().observe_counts(background.counts)
+        report = characterize_attack(result)
+        assert not report.detected
+        assert not report.complete
+        assert report.estimated_rate is None
+        assert 0.0 <= report.baseline_x < 0.1
+
+    def test_empty_result(self):
+        report = characterize_attack(SynDog().result())
+        assert not report.detected
+
+    def test_baseline_reflects_normal_mean(self):
+        report = characterize_attack(run_attack(AUCKLAND, 5.0, 3600.0))
+        assert 0.0 <= report.baseline_x < 0.1
+        assert report.attack_x > report.baseline_x + 0.5

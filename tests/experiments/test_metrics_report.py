@@ -1,0 +1,113 @@
+"""Tests for detection metrics and ASCII reporting."""
+
+import math
+
+import pytest
+
+from repro.experiments.metrics import (
+    TrialOutcome,
+    aggregate_trials,
+    estimate_false_alarm_time,
+)
+from repro.experiments.report import (
+    render_comparison,
+    render_series,
+    render_table,
+    sparkline,
+)
+
+
+def outcome(detected, delay, rate=10.0):
+    return TrialOutcome(
+        site="UNC", flood_rate=rate, seed=0, attack_start=180.0,
+        attack_duration=600.0, detected=detected, delay_periods=delay,
+        max_statistic=2.0 if detected else 0.1,
+    )
+
+
+class TestAggregation:
+    def test_probability_and_mean_delay(self):
+        outcomes = [outcome(True, 2.0), outcome(True, 4.0), outcome(False, None)]
+        performance = aggregate_trials(10.0, outcomes)
+        assert performance.detection_probability == pytest.approx(2 / 3)
+        assert performance.mean_detection_time == pytest.approx(3.0)
+        assert performance.num_trials == 3
+
+    def test_no_detections(self):
+        performance = aggregate_trials(1.0, [outcome(False, None)] * 5)
+        assert performance.detection_probability == 0.0
+        assert performance.mean_detection_time is None
+
+    def test_std(self):
+        performance = aggregate_trials(
+            10.0, [outcome(True, 2.0), outcome(True, 4.0)]
+        )
+        assert performance.detection_time_std == pytest.approx(math.sqrt(2.0))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_trials(10.0, [])
+
+
+class TestFalseAlarms:
+    def test_counts_onsets_not_periods(self):
+        series = [0.0, 2.0, 2.0, 2.0, 0.0, 2.0, 0.0]
+        estimate = estimate_false_alarm_time(series, threshold=1.05)
+        assert estimate.false_alarms == 2  # two onsets, not four periods
+        assert estimate.observed_periods == 7
+
+    def test_no_alarms_infinite_time(self):
+        estimate = estimate_false_alarm_time([0.0] * 100, threshold=1.05)
+        assert estimate.false_alarms == 0
+        assert math.isinf(estimate.mean_time_between_alarms_periods)
+        assert estimate.alarm_probability == 0.0
+
+    def test_alarm_probability(self):
+        estimate = estimate_false_alarm_time([2.0, 0.0, 2.0, 0.0], threshold=1.0)
+        assert estimate.alarm_probability == pytest.approx(0.5)
+
+
+class TestReport:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [[1, 2.5], [33, None]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "| 33 |" in text
+        assert "-" in text  # the "-" placeholder for None
+        # All body lines equal width.
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1
+
+    def test_float_formatting(self):
+        text = render_table(["x"], [[1.2500], [float("inf")], [float("nan")]])
+        assert "1.25" in text and "inf" in text and "nan" in text
+
+    def test_sparkline_preserves_spikes(self):
+        values = [0.0] * 100
+        values[50] = 1.0
+        line = sparkline(values, width=10)
+        assert "█" in line  # the spike survives max-downsampling
+        assert len(line) == 10
+
+    def test_sparkline_flat(self):
+        assert set(sparkline([1.0, 1.0, 1.0])) == {"▁"}
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""
+
+    def test_render_series_annotations(self):
+        text = render_series(
+            "y_n", [20.0, 40.0], [0.0, 1.2],
+            annotations=[(40.0, "ALARM")],
+        )
+        assert "y_n" in text and "ALARM" in text
+
+    def test_render_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_series("x", [1.0], [1.0, 2.0])
+
+    def test_render_comparison(self):
+        text = render_comparison(
+            "Table 2", [("prob @37", 0.8, 0.75), ("time @40", 13.25, 14.0)]
+        )
+        assert "paper" in text and "measured" in text and "13.25" in text

@@ -1,0 +1,141 @@
+"""End-to-end integration tests across the whole stack:
+trace generation → pcap → router → sniffers → CUSUM → alarm →
+localization, plus the victim-side story.
+"""
+
+import random
+
+import pytest
+
+from repro import (
+    AUCKLAND,
+    UNC,
+    AttackWindow,
+    SynDog,
+    generate_count_trace,
+    generate_packet_trace,
+    mix_flood_into_counts,
+    mix_flood_into_packets,
+)
+from repro.attack import DDoSCampaign, FloodSource
+from repro.packet import IPv4Address, IPv4Network
+from repro.pcap import pcap_bytes_to_packets, packets_to_pcap_bytes
+from repro.router import LeafRouter, SynDogAgent
+from repro.tcpsim import VictimNetwork
+from repro.trace.synthetic import AddressPlan
+
+STUB = IPv4Network.parse("152.2.0.0/16")
+
+
+class TestFullPipeline:
+    def test_pcap_round_trip_preserves_detection_outcome(self):
+        """Generate → serialize to pcap bytes → decode → detect: the
+        detector must reach the identical verdict on both paths."""
+        rng = random.Random(11)
+        background = generate_packet_trace(AUCKLAND, seed=11, duration=1200.0)
+        flood = FloodSource(pattern=10.0)
+        mixed = mix_flood_into_packets(
+            background, flood, AttackWindow(240.0, 600.0), rng
+        )
+        # Direct path.
+        direct = SynDog().observe_streams(
+            mixed.outbound, mixed.inbound, end_time=1200.0
+        )
+        # Wire path.
+        outbound = pcap_bytes_to_packets(packets_to_pcap_bytes(mixed.outbound))
+        inbound = pcap_bytes_to_packets(packets_to_pcap_bytes(mixed.inbound))
+        wire = SynDog().observe_streams(outbound, inbound, end_time=1200.0)
+        assert direct.alarmed and wire.alarmed
+        assert wire.first_alarm_period == direct.first_alarm_period
+        assert wire.statistics == pytest.approx(direct.statistics)
+
+    def test_router_agent_matches_bare_detector(self):
+        """The agent on the router must see exactly what a bare detector
+        fed the same streams sees."""
+        rng = random.Random(12)
+        plan = AddressPlan(rng, stub_network=STUB)
+        background = generate_packet_trace(
+            AUCKLAND, seed=12, duration=1200.0, address_plan=plan
+        )
+        mixed = mix_flood_into_packets(
+            background, FloodSource(pattern=8.0), AttackWindow(240.0, 600.0), rng
+        )
+        router = LeafRouter(stub_network=STUB)
+        agent = SynDogAgent(router)
+        router.replay(mixed.outbound, mixed.inbound)
+        agent_result = agent.finish(end_time=1200.0)
+        bare_result = SynDog().observe_streams(
+            mixed.outbound, mixed.inbound, end_time=1200.0
+        )
+        assert agent_result.statistics == pytest.approx(bare_result.statistics)
+
+    def test_campaign_to_localization(self):
+        """A DDoS campaign slave inside one stub network is detected and
+        localized by that network's agent."""
+        rng = random.Random(13)
+        campaign = DDoSCampaign.evenly_distributed(
+            IPv4Address.parse("198.51.100.80"),
+            aggregate_rate=5000.0,
+            num_stub_networks=500,  # f_i = 10 SYN/s per network
+        )
+        local_flood = campaign.sources_in_network(7)[0]
+        plan = AddressPlan(rng, stub_network=STUB)
+        background = generate_packet_trace(
+            AUCKLAND, seed=13, duration=1800.0, address_plan=plan
+        )
+        mixed = mix_flood_into_packets(
+            background, local_flood, AttackWindow(360.0, 600.0), rng
+        )
+        router = LeafRouter(stub_network=STUB)
+        router.inventory.register(local_flood.mac, name="slave-7")
+        agent = SynDogAgent(router)
+        router.replay(mixed.outbound, mixed.inbound)
+        agent.finish(end_time=1800.0)
+        assert agent.alarmed
+        report = agent.first_alarm.localization
+        assert report is not None
+        assert report.primary_suspect.name == "slave-7"
+
+    def test_sub_floor_slave_hides_from_local_dog(self):
+        """The flip side of Section 4.2.3: spread thin enough, each
+        local rate is under the floor and the local dog stays quiet."""
+        background = generate_count_trace(UNC, seed=14)
+        # f_i = 14 SYN/s, well under UNC's ~34 SYN/s floor.
+        mixed = mix_flood_into_counts(
+            background, FloodSource(pattern=14.0), AttackWindow(360.0, 600.0)
+        )
+        result = SynDog().observe_counts(mixed.counts)
+        delay = result.detection_delay_periods(360.0)
+        assert delay is None or delay > 30
+
+
+class TestVictimAndSourceViews:
+    def test_same_attack_both_ends(self):
+        """One attack, two observation points: the victim collapses
+        while the source-side SYN-dog raises the alarm."""
+        flood_rate = 500.0
+        victim_result = VictimNetwork(seed=15, client_rate=20.0).run(
+            duration=40.0, flood=FloodSource(pattern=flood_rate)
+        )
+        assert victim_result.denial_probability > 0.9
+
+        background = generate_count_trace(UNC, seed=15)
+        mixed = mix_flood_into_counts(
+            background, FloodSource(pattern=flood_rate), AttackWindow(360.0, 600.0)
+        )
+        source_result = SynDog().observe_counts(mixed.counts)
+        delay = source_result.detection_delay_periods(360.0)
+        assert delay is not None and delay <= 2
+
+    def test_detection_before_denial_window_ends(self):
+        """SYN-dog's 60 s design detection time is far shorter than the
+        10-minute attacks observed in the wild — the alarm is useful."""
+        background = generate_count_trace(UNC, seed=16)
+        mixed = mix_flood_into_counts(
+            background, FloodSource(pattern=120.0), AttackWindow(360.0, 600.0)
+        )
+        result = SynDog().observe_counts(mixed.counts)
+        delay_seconds = (
+            result.detection_delay_periods(360.0) * 20.0
+        )
+        assert delay_seconds < 600.0 / 5

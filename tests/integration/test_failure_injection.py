@@ -1,0 +1,168 @@
+"""Failure injection: the detector's verdicts must be robust to the
+messiness of real links — packet loss, duplication, reordering,
+congestion storms, and quiet links — without false alarms, and its
+detections must survive partial loss of the flood itself."""
+
+import random
+
+import pytest
+
+from repro import AUCKLAND, UNC, AttackWindow, SynDog, generate_count_trace, mix_flood_into_counts
+from repro.attack import FloodSource
+from repro.core import DEFAULT_PARAMETERS
+from repro.packet import Packet
+from repro.trace import CongestionEpisodeModel, HandshakeModel
+from repro.trace.profiles import SiteProfile
+from repro.trace.synthetic import generate_packet_trace
+
+
+def degraded(profile: SiteProfile, **handshake_overrides) -> SiteProfile:
+    """A copy of *profile* with a nastier handshake model."""
+    from dataclasses import replace
+
+    return replace(
+        profile, handshake=replace(profile.handshake, **handshake_overrides)
+    )
+
+
+class TestLossRobustness:
+    def test_elevated_baseline_loss_no_false_alarm(self):
+        # 5% of SYNs permanently unanswered: c rises but stays far from
+        # a = 0.35, so the detector must remain quiet.
+        lossy = degraded(AUCKLAND, base_drop_probability=0.05)
+        for seed in range(3):
+            trace = generate_count_trace(lossy, seed=seed, duration=3600.0)
+            result = SynDog().observe_counts(trace.counts)
+            assert not result.alarmed, f"seed {seed}"
+
+    def test_moderate_congestion_storms_stay_below_threshold(self):
+        stormy = degraded(
+            AUCKLAND,
+            congestion=CongestionEpisodeModel(
+                mean_interval=600.0, mean_duration=8.0, drop_probability=0.35
+            ),
+        )
+        alarms = 0
+        for seed in range(5):
+            trace = generate_count_trace(stormy, seed=seed, duration=3600.0)
+            if SynDog().observe_counts(trace.counts).alarmed:
+                alarms += 1
+        # Storms several times worse than the calibrated profiles may
+        # spike y_n, but must not produce systematic false alarms.
+        assert alarms <= 1
+
+    def test_sustained_blackhole_looks_like_a_flood(self):
+        # An honest negative result worth pinning down: a long, severe
+        # black-holing event (half of all SYNs unanswered for ~15 s
+        # stretches, repeatedly) is *indistinguishable* from a flood at
+        # the SYN/SYN-ACK level — masses of outgoing SYNs with no
+        # answers are exactly what the statistic measures.  The
+        # detector is expected to fire on some such traces.
+        stormy = degraded(
+            AUCKLAND,
+            congestion=CongestionEpisodeModel(
+                mean_interval=300.0, mean_duration=25.0, drop_probability=0.7
+            ),
+        )
+        alarms = sum(
+            SynDog()
+            .observe_counts(
+                generate_count_trace(stormy, seed=seed, duration=3600.0).counts
+            )
+            .alarmed
+            for seed in range(5)
+        )
+        assert alarms >= 1
+
+    def test_flood_detected_despite_flood_loss(self):
+        # Even if 30% of the flood's SYNs are dropped before the router
+        # (an absurdly favourable case for the attacker), the remaining
+        # volume still crosses the threshold — just later.
+        background = generate_count_trace(AUCKLAND, seed=1)
+        full = mix_flood_into_counts(
+            background, FloodSource(pattern=10.0), AttackWindow(3600.0, 600.0)
+        )
+        thinned = mix_flood_into_counts(
+            background, FloodSource(pattern=7.0), AttackWindow(3600.0, 600.0)
+        )
+        full_delay = SynDog().observe_counts(full.counts).detection_delay_periods(3600.0)
+        thinned_delay = (
+            SynDog().observe_counts(thinned.counts).detection_delay_periods(3600.0)
+        )
+        assert full_delay is not None and thinned_delay is not None
+        assert thinned_delay >= full_delay
+
+
+class TestStreamPerturbations:
+    def _perturbed_result(self, perturb) -> object:
+        trace = generate_packet_trace(AUCKLAND, seed=2, duration=1200.0)
+        outbound, inbound = perturb(list(trace.outbound), list(trace.inbound))
+        outbound.sort(key=lambda p: p.timestamp)
+        inbound.sort(key=lambda p: p.timestamp)
+        return SynDog().observe_streams(outbound, inbound, end_time=1200.0)
+
+    def test_duplicated_packets_inflate_both_sides_equally(self):
+        rng = random.Random(3)
+
+        def duplicate(outbound, inbound):
+            extra_out = [p for p in outbound if rng.random() < 0.05]
+            extra_in = [p for p in inbound if rng.random() < 0.05]
+            return outbound + extra_out, inbound + extra_in
+
+        result = self._perturbed_result(duplicate)
+        assert not result.alarmed
+
+    def test_small_timestamp_jitter_harmless(self):
+        rng = random.Random(4)
+
+        def jitter(outbound, inbound):
+            outbound = [
+                p.at(max(0.0, p.timestamp + rng.uniform(-0.5, 0.5)))
+                for p in outbound
+            ]
+            inbound = [
+                p.at(max(0.0, p.timestamp + rng.uniform(-0.5, 0.5)))
+                for p in inbound
+            ]
+            return outbound, inbound
+
+        result = self._perturbed_result(jitter)
+        assert not result.alarmed
+
+    def test_lost_synacks_one_sided(self):
+        # Dropping 3% of SYN/ACKs *after* the server answered is a
+        # worst-case one-sided perturbation (inflates the difference);
+        # it must still not reach the flood threshold.
+        rng = random.Random(5)
+
+        def drop_synacks(outbound, inbound):
+            return outbound, [p for p in inbound if rng.random() >= 0.03]
+
+        result = self._perturbed_result(drop_synacks)
+        assert result.max_statistic < DEFAULT_PARAMETERS.threshold
+
+    def test_quiet_link_is_stable(self):
+        # An almost-idle link (floor-clamped K̄) must not oscillate into
+        # an alarm on single stray SYNs.
+        dog = SynDog()
+        for period in range(100):
+            dog.observe_period(1 if period % 7 == 0 else 0, 0)
+        assert not dog.alarm
+
+
+class TestReportJitterRobustness:
+    def test_counter_report_jitter(self):
+        # The two sniffers exchange counts "periodically"; emulate a
+        # slightly late inbound report by shifting SYN/ACK credit one
+        # period later 10% of the time — a real IPC artifact.
+        rng = random.Random(6)
+        trace = generate_count_trace(AUCKLAND, seed=6)
+        counts = list(trace.counts)
+        shifted = []
+        carry = 0
+        for syn, synack in counts:
+            moved = sum(1 for _ in range(synack) if rng.random() < 0.1) if synack < 500 else int(synack * 0.1)
+            shifted.append((syn, synack - moved + carry))
+            carry = moved
+        result = SynDog().observe_counts(shifted)
+        assert not result.alarmed

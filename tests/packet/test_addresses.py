@@ -1,0 +1,135 @@
+"""Unit tests for IPv4/MAC address models and the bogon machinery."""
+
+import random
+
+import pytest
+
+from repro.packet.addresses import (
+    BOGON_NETWORKS,
+    IPv4Address,
+    IPv4Network,
+    MACAddress,
+    is_bogon,
+    random_spoofed_address,
+)
+
+
+class TestIPv4Address:
+    def test_parse_round_trip(self):
+        for text in ("0.0.0.0", "10.1.2.3", "192.0.2.1", "255.255.255.255"):
+            assert str(IPv4Address.parse(text)) == text
+
+    def test_parse_rejects_garbage(self):
+        for bad in ("", "1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "1..2.3"):
+            with pytest.raises(ValueError):
+                IPv4Address.parse(bad)
+
+    def test_bytes_round_trip(self):
+        address = IPv4Address.parse("172.16.254.1")
+        assert IPv4Address.from_bytes(address.to_bytes()) == address
+
+    def test_from_bytes_needs_exactly_four(self):
+        with pytest.raises(ValueError):
+            IPv4Address.from_bytes(b"\x01\x02\x03")
+
+    def test_value_range_enforced(self):
+        with pytest.raises(ValueError):
+            IPv4Address(-1)
+        with pytest.raises(ValueError):
+            IPv4Address(2 ** 32)
+
+    def test_octets(self):
+        assert IPv4Address.parse("1.2.3.4").octets == (1, 2, 3, 4)
+
+    def test_ordering_matches_numeric(self):
+        low = IPv4Address.parse("9.255.255.255")
+        high = IPv4Address.parse("10.0.0.0")
+        assert low < high
+
+    def test_int_conversion(self):
+        assert int(IPv4Address.parse("0.0.1.0")) == 256
+
+
+class TestIPv4Network:
+    def test_parse_and_str(self):
+        network = IPv4Network.parse("10.0.0.0/8")
+        assert str(network) == "10.0.0.0/8"
+        assert network.num_addresses == 2 ** 24
+
+    def test_containment(self):
+        network = IPv4Network.parse("192.168.0.0/16")
+        assert "192.168.4.20" in network
+        assert IPv4Address.parse("192.168.255.255") in network
+        assert "192.169.0.0" not in network
+
+    def test_host_bits_rejected(self):
+        with pytest.raises(ValueError):
+            IPv4Network(IPv4Address.parse("10.0.0.1"), 8)
+
+    def test_prefix_bounds(self):
+        with pytest.raises(ValueError):
+            IPv4Network(IPv4Address(0), 33)
+
+    def test_hosts_excludes_network_and_broadcast(self):
+        network = IPv4Network.parse("198.51.100.0/30")
+        hosts = list(network.hosts())
+        assert [str(host) for host in hosts] == ["198.51.100.1", "198.51.100.2"]
+
+    def test_slash32_hosts(self):
+        network = IPv4Network.parse("203.0.113.9/32")
+        assert [str(h) for h in network.hosts()] == ["203.0.113.9"]
+
+    def test_random_host_is_member(self):
+        network = IPv4Network.parse("172.16.0.0/12")
+        rng = random.Random(1)
+        for _ in range(50):
+            assert network.random_host(rng) in network
+
+
+class TestMACAddress:
+    def test_parse_round_trip(self):
+        mac = MACAddress.parse("de:ad:be:ef:00:01")
+        assert str(mac) == "de:ad:be:ef:00:01"
+
+    def test_parse_dash_separator(self):
+        assert MACAddress.parse("02-00-00-00-00-01") == MACAddress.parse(
+            "02:00:00:00:00:01"
+        )
+
+    def test_bytes_round_trip(self):
+        mac = MACAddress.parse("02:bd:00:00:be:ef")
+        assert MACAddress.from_bytes(mac.to_bytes()) == mac
+
+    def test_rejects_garbage(self):
+        for bad in ("", "02:00", "02:00:00:00:00:00:00", "zz:00:00:00:00:00"):
+            with pytest.raises(ValueError):
+                MACAddress.parse(bad)
+
+    def test_value_range(self):
+        with pytest.raises(ValueError):
+            MACAddress(2 ** 48)
+
+
+class TestBogons:
+    def test_known_bogons(self):
+        for text in ("10.0.0.1", "127.0.0.1", "192.168.1.1", "0.1.2.3", "240.0.0.1"):
+            assert is_bogon(text), text
+
+    def test_routable_addresses_are_not_bogons(self):
+        for text in ("8.8.8.8", "152.2.0.1", "130.216.1.1"):
+            assert not is_bogon(text), text
+
+    def test_bogon_networks_disjoint_from_stub(self):
+        stub = IPv4Network.parse("152.2.0.0/16")
+        for network in BOGON_NETWORKS:
+            assert network.network not in stub
+
+    def test_random_spoofed_address_is_always_bogon(self, rng):
+        for _ in range(200):
+            assert is_bogon(random_spoofed_address(rng))
+
+    def test_random_spoofed_address_respects_avoid(self, rng):
+        avoid = [IPv4Network.parse("10.0.0.0/8"), IPv4Network.parse("192.168.0.0/16")]
+        for _ in range(100):
+            address = random_spoofed_address(rng, avoid=avoid)
+            assert not any(address in network for network in avoid)

@@ -1,0 +1,53 @@
+"""RFC 1071 checksum unit tests, including the classic worked example."""
+
+import pytest
+
+from repro.packet.checksum import internet_checksum, tcp_pseudo_header, verify_checksum
+
+
+class TestInternetChecksum:
+    def test_rfc1071_worked_example(self):
+        # The canonical example: 00 01 f2 03 f4 f5 f6 f7 sums to 0xddf2,
+        # complement 0x220d.
+        data = bytes([0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7])
+        assert internet_checksum(data) == 0x220D
+
+    def test_empty_buffer(self):
+        assert internet_checksum(b"") == 0xFFFF
+
+    def test_odd_length_padding(self):
+        # Odd input is padded with a zero byte on the right.
+        assert internet_checksum(b"\x01") == internet_checksum(b"\x01\x00")
+
+    def test_all_ones_sums_to_zero_checksum(self):
+        assert internet_checksum(b"\xff\xff") == 0x0000
+
+    def test_carry_folding(self):
+        # Many 0xffff words force repeated carry folds.
+        assert internet_checksum(b"\xff\xff" * 1000) == 0x0000
+
+    def test_verify_accepts_valid_buffer(self):
+        payload = b"\x45\x00\x00\x14" + bytes(12)
+        checksum = internet_checksum(payload)
+        buffer = payload[:10] + checksum.to_bytes(2, "big") + payload[12:]
+        # Rebuild with checksum in the classic IPv4 position.
+        assert verify_checksum(buffer)
+
+    def test_verify_rejects_corrupted_buffer(self):
+        payload = bytes(range(20))
+        checksum = internet_checksum(payload)
+        buffer = payload + checksum.to_bytes(2, "big")
+        assert verify_checksum(buffer)
+        corrupted = bytearray(buffer)
+        corrupted[3] ^= 0x40
+        assert not verify_checksum(bytes(corrupted))
+
+
+class TestPseudoHeader:
+    def test_layout(self):
+        pseudo = tcp_pseudo_header(b"\x01\x02\x03\x04", b"\x05\x06\x07\x08", 6, 20)
+        assert pseudo == b"\x01\x02\x03\x04\x05\x06\x07\x08\x00\x06\x00\x14"
+
+    def test_rejects_wrong_address_size(self):
+        with pytest.raises(ValueError):
+            tcp_pseudo_header(b"\x01", b"\x05\x06\x07\x08", 6, 20)

@@ -1,0 +1,134 @@
+"""Tests for the Section 2 packet classifier — both the decoded-path and
+the literal byte-offset three-step procedure."""
+
+import pytest
+
+from repro.packet.classify import (
+    ClassifierStats,
+    PacketClass,
+    PacketClassifier,
+    classify_ip_bytes,
+    classify_packet,
+)
+from repro.packet.ip import IPv4Header
+from repro.packet.packet import Packet, make_ack, make_rst, make_syn, make_syn_ack
+from repro.packet.tcp import TCPFlags, TCPSegment
+from repro.packet.udp import UDPDatagram
+
+
+def tcp_packet(flags: TCPFlags, fragment_offset: int = 0) -> Packet:
+    return Packet(
+        timestamp=0.0,
+        ip=IPv4Header(
+            src="1.1.1.1", dst="2.2.2.2", protocol=6,
+            fragment_offset=fragment_offset,
+        ),
+        transport=TCPSegment(1000, 80, flags=flags),
+    )
+
+
+class TestClassifyPacket:
+    @pytest.mark.parametrize(
+        "flags,expected",
+        [
+            (TCPFlags.SYN, PacketClass.SYN),
+            (TCPFlags.SYN | TCPFlags.ACK, PacketClass.SYN_ACK),
+            (TCPFlags.RST, PacketClass.RST),
+            (TCPFlags.RST | TCPFlags.ACK, PacketClass.RST),
+            (TCPFlags.FIN | TCPFlags.ACK, PacketClass.FIN),
+            (TCPFlags.ACK, PacketClass.TCP_OTHER),
+            (TCPFlags.ACK | TCPFlags.PSH, PacketClass.TCP_OTHER),
+            (TCPFlags(0), PacketClass.TCP_OTHER),
+        ],
+    )
+    def test_flag_taxonomy(self, flags, expected):
+        assert classify_packet(tcp_packet(flags)) is expected
+
+    def test_udp_is_non_tcp(self):
+        packet = Packet(
+            timestamp=0.0,
+            ip=IPv4Header(src="1.1.1.1", dst="2.2.2.2", protocol=17),
+            transport=UDPDatagram(53, 53),
+        )
+        assert classify_packet(packet) is PacketClass.NON_TCP
+
+    def test_non_first_fragment_is_non_tcp(self):
+        # Step 1 of the paper's algorithm: nonzero fragment offset means
+        # the payload does not start with the TCP header.
+        packet = tcp_packet(TCPFlags.SYN, fragment_offset=100)
+        assert classify_packet(packet) is PacketClass.NON_TCP
+
+
+class TestClassifyBytes:
+    @pytest.mark.parametrize(
+        "factory,expected",
+        [
+            (make_syn, PacketClass.SYN),
+            (make_syn_ack, PacketClass.SYN_ACK),
+            (make_ack, PacketClass.TCP_OTHER),
+            (make_rst, PacketClass.RST),
+        ],
+    )
+    def test_byte_path_matches_known_kinds(self, factory, expected):
+        packet = factory(0.0, "1.1.1.1", "2.2.2.2")
+        assert classify_ip_bytes(packet.encode_ip()) is expected
+
+    def test_byte_path_agrees_with_decoded_path(self):
+        for flags in (
+            TCPFlags.SYN,
+            TCPFlags.SYN | TCPFlags.ACK,
+            TCPFlags.ACK,
+            TCPFlags.RST,
+            TCPFlags.FIN | TCPFlags.ACK,
+            TCPFlags(0),
+        ):
+            packet = tcp_packet(flags)
+            assert classify_ip_bytes(packet.encode_ip()) is classify_packet(packet)
+
+    def test_truncated_buffer(self):
+        assert classify_ip_bytes(b"\x45\x00") is PacketClass.NON_TCP
+
+    def test_non_ipv4_version(self):
+        packet = make_syn(0.0, "1.1.1.1", "2.2.2.2")
+        wire = bytearray(packet.encode_ip())
+        wire[0] = 0x65
+        assert classify_ip_bytes(bytes(wire)) is PacketClass.NON_TCP
+
+    def test_udp_bytes(self):
+        packet = Packet(
+            timestamp=0.0,
+            ip=IPv4Header(src="1.1.1.1", dst="2.2.2.2", protocol=17),
+            transport=UDPDatagram(53, 53),
+        )
+        assert classify_ip_bytes(packet.encode_ip()) is PacketClass.NON_TCP
+
+    def test_fragmented_bytes(self):
+        packet = tcp_packet(TCPFlags.SYN, fragment_offset=8)
+        assert classify_ip_bytes(packet.encode_ip()) is PacketClass.NON_TCP
+
+    def test_header_only_buffer_too_short_for_flags(self):
+        # An IP header claiming TCP but with no TCP bytes behind it.
+        header = IPv4Header(src="1.1.1.1", dst="2.2.2.2", protocol=6)
+        assert classify_ip_bytes(header.encode()) is PacketClass.NON_TCP
+
+
+class TestClassifierFrontend:
+    def test_stats_accumulate(self):
+        classifier = PacketClassifier()
+        packets = [
+            make_syn(0.0, "1.1.1.1", "2.2.2.2"),
+            make_syn(0.1, "1.1.1.1", "2.2.2.2"),
+            make_syn_ack(0.2, "2.2.2.2", "1.1.1.1"),
+            make_ack(0.3, "1.1.1.1", "2.2.2.2"),
+        ]
+        classifier.classify_many(packets)
+        assert classifier.stats[PacketClass.SYN] == 2
+        assert classifier.stats[PacketClass.SYN_ACK] == 1
+        assert classifier.stats[PacketClass.TCP_OTHER] == 1
+        assert classifier.stats.total == 4
+
+    def test_stats_reset(self):
+        stats = ClassifierStats()
+        stats.record(PacketClass.SYN)
+        stats.reset()
+        assert stats.total == 0

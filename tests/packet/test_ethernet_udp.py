@@ -1,0 +1,67 @@
+"""Ethernet frame and UDP datagram codec tests."""
+
+import pytest
+
+from repro.packet.addresses import MACAddress
+from repro.packet.ethernet import ETHERTYPE_ARP, ETHERTYPE_IPV4, EthernetFrame
+from repro.packet.udp import UDPDatagram
+
+
+class TestEthernet:
+    def test_round_trip(self):
+        frame = EthernetFrame(
+            dst_mac=MACAddress.parse("ff:ff:ff:ff:ff:ff"),
+            src_mac=MACAddress.parse("02:00:00:00:00:09"),
+            ethertype=ETHERTYPE_IPV4,
+            payload=b"payload-bytes",
+        )
+        decoded = EthernetFrame.decode(frame.encode())
+        assert decoded == frame
+
+    def test_header_is_fourteen_bytes(self):
+        frame = EthernetFrame(
+            dst_mac=MACAddress(0), src_mac=MACAddress(1), payload=b""
+        )
+        assert len(frame.encode()) == EthernetFrame.HEADER_LENGTH
+
+    def test_is_ipv4(self):
+        ip = EthernetFrame(MACAddress(0), MACAddress(1), ETHERTYPE_IPV4)
+        arp = EthernetFrame(MACAddress(0), MACAddress(1), ETHERTYPE_ARP)
+        assert ip.is_ipv4 and not arp.is_ipv4
+
+    def test_decode_rejects_truncated(self):
+        with pytest.raises(ValueError):
+            EthernetFrame.decode(b"\x00" * 10)
+
+    def test_ethertype_range(self):
+        with pytest.raises(ValueError):
+            EthernetFrame(MACAddress(0), MACAddress(1), ethertype=0x10000)
+
+
+class TestUDP:
+    def test_round_trip(self):
+        datagram = UDPDatagram(53, 33000, payload=b"dns-ish")
+        assert UDPDatagram.decode(datagram.encode()) == datagram
+
+    def test_length_field(self):
+        wire = UDPDatagram(1, 2, payload=b"abcd").encode()
+        assert int.from_bytes(wire[4:6], "big") == 12
+
+    def test_decode_honours_length(self):
+        wire = UDPDatagram(1, 2, payload=b"abcd").encode() + b"pad"
+        assert UDPDatagram.decode(wire).payload == b"abcd"
+
+    def test_port_validation(self):
+        with pytest.raises(ValueError):
+            UDPDatagram(-1, 2)
+
+    def test_decode_rejects_truncated(self):
+        with pytest.raises(ValueError):
+            UDPDatagram.decode(b"\x00" * 4)
+
+    def test_checksum_never_zero_on_wire(self):
+        # RFC 768: a computed checksum of 0 is transmitted as 0xFFFF.
+        src = bytes([10, 0, 0, 1])
+        dst = bytes([10, 0, 0, 2])
+        wire = UDPDatagram(0, 0, payload=b"").encode(src, dst)
+        assert wire[6:8] != b"\x00\x00"

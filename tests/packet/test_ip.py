@@ -1,0 +1,94 @@
+"""IPv4 header model and codec tests."""
+
+import pytest
+
+from repro.packet.checksum import verify_checksum
+from repro.packet.ip import IP_FLAG_MF, IPv4Header, IPv4Packet
+
+
+def make_header(**overrides):
+    defaults = dict(src="10.0.0.1", dst="10.0.0.2")
+    defaults.update(overrides)
+    return IPv4Header(**defaults)
+
+
+class TestHeaderModel:
+    def test_string_addresses_coerced(self):
+        header = make_header()
+        assert str(header.src) == "10.0.0.1"
+
+    def test_field_validation(self):
+        with pytest.raises(ValueError):
+            make_header(ttl=300)
+        with pytest.raises(ValueError):
+            make_header(protocol=-1)
+        with pytest.raises(ValueError):
+            make_header(fragment_offset=0x2000)
+        with pytest.raises(ValueError):
+            make_header(total_length=10)
+
+    def test_first_fragment_predicate(self):
+        assert make_header().is_first_fragment
+        assert not make_header(fragment_offset=100).is_first_fragment
+
+    def test_fragmented_predicate(self):
+        assert not make_header().is_fragmented
+        assert make_header(flags=IP_FLAG_MF).is_fragmented
+        assert make_header(fragment_offset=8).is_fragmented
+
+    def test_decrement_ttl(self):
+        header = make_header(ttl=2)
+        assert header.decrement_ttl().ttl == 1
+        with pytest.raises(ValueError):
+            make_header(ttl=0).decrement_ttl()
+
+
+class TestCodec:
+    def test_encode_emits_valid_checksum(self):
+        wire = make_header().encode()
+        assert len(wire) == 20
+        assert verify_checksum(wire)
+
+    def test_round_trip(self):
+        original = make_header(
+            protocol=6, ttl=17, identification=0xBEEF, tos=0x10
+        )
+        assert IPv4Header.decode(original.encode()) == original
+
+    def test_round_trip_fragment_fields(self):
+        original = make_header(flags=IP_FLAG_MF, fragment_offset=185)
+        decoded = IPv4Header.decode(original.encode())
+        assert decoded.flags == IP_FLAG_MF
+        assert decoded.fragment_offset == 185
+
+    def test_decode_rejects_truncated(self):
+        with pytest.raises(ValueError):
+            IPv4Header.decode(b"\x45" + b"\x00" * 10)
+
+    def test_decode_rejects_ipv6(self):
+        raw = bytearray(make_header().encode())
+        raw[0] = 0x65  # version 6
+        with pytest.raises(ValueError):
+            IPv4Header.decode(bytes(raw))
+
+    def test_decode_rejects_options(self):
+        raw = bytearray(make_header().encode())
+        raw[0] = 0x46  # IHL 6 — options unsupported
+        with pytest.raises(ValueError):
+            IPv4Header.decode(bytes(raw))
+
+
+class TestPacket:
+    def test_total_length_is_computed(self):
+        packet = IPv4Packet(make_header(), payload=b"x" * 13)
+        wire = packet.encode()
+        assert len(wire) == 33
+        decoded = IPv4Packet.decode(wire)
+        assert decoded.header.total_length == 33
+        assert decoded.payload == b"x" * 13
+
+    def test_decode_honours_total_length(self):
+        # Trailing garbage beyond total_length (e.g. Ethernet padding)
+        # must be excluded from the payload.
+        wire = IPv4Packet(make_header(), payload=b"abc").encode() + b"\x00" * 7
+        assert IPv4Packet.decode(wire).payload == b"abc"

@@ -1,0 +1,116 @@
+"""Composite Packet model tests: layering, predicates, wire round trips."""
+
+import pytest
+
+from repro.packet.addresses import MACAddress
+from repro.packet.ip import IPv4Header
+from repro.packet.packet import Packet, make_ack, make_rst, make_syn, make_syn_ack
+from repro.packet.tcp import TCPSegment
+from repro.packet.udp import UDPDatagram
+
+
+class TestFactories:
+    def test_make_syn(self):
+        packet = make_syn(1.5, "152.2.1.1", "8.8.8.8", src_port=4000, dst_port=80)
+        assert packet.is_syn and not packet.is_syn_ack
+        assert packet.timestamp == 1.5
+        assert str(packet.src_ip) == "152.2.1.1"
+
+    def test_make_syn_ack(self):
+        packet = make_syn_ack(2.0, "8.8.8.8", "152.2.1.1", seq=5, ack=43)
+        assert packet.is_syn_ack and not packet.is_syn
+        assert packet.tcp.ack == 43
+
+    def test_make_ack_and_rst(self):
+        ack = make_ack(0.0, "1.1.1.1", "2.2.2.2")
+        rst = make_rst(0.0, "1.1.1.1", "2.2.2.2")
+        assert not ack.is_syn and not ack.is_syn_ack
+        assert rst.tcp.is_rst
+
+
+class TestPredicates:
+    def test_non_tcp_packet_has_no_tcp(self):
+        packet = Packet(
+            timestamp=0.0,
+            ip=IPv4Header(src="1.1.1.1", dst="2.2.2.2", protocol=17),
+            transport=UDPDatagram(53, 53),
+        )
+        assert packet.tcp is None
+        assert not packet.is_syn and not packet.is_syn_ack
+
+    def test_non_first_fragment_has_no_tcp(self):
+        packet = Packet(
+            timestamp=0.0,
+            ip=IPv4Header(
+                src="1.1.1.1", dst="2.2.2.2", protocol=6, fragment_offset=64
+            ),
+            transport=TCPSegment.syn(1, 2),
+        )
+        assert packet.tcp is None
+
+    def test_raw_tcp_bytes_decoded_lazily(self):
+        raw = TCPSegment.syn(1000, 80).encode()
+        packet = Packet(
+            timestamp=0.0,
+            ip=IPv4Header(src="1.1.1.1", dst="2.2.2.2", protocol=6),
+            transport=raw,
+        )
+        assert packet.is_syn
+
+    def test_malformed_tcp_bytes_yield_none(self):
+        packet = Packet(
+            timestamp=0.0,
+            ip=IPv4Header(src="1.1.1.1", dst="2.2.2.2", protocol=6),
+            transport=b"\x01\x02",
+        )
+        assert packet.tcp is None
+
+
+class TestWireRoundTrip:
+    def test_ip_round_trip(self):
+        original = make_syn(3.25, "152.2.9.9", "8.8.4.4", src_port=1111, seq=99)
+        decoded = Packet.decode_ip(original.encode_ip(), timestamp=3.25)
+        assert decoded.is_syn
+        assert decoded.src_ip == original.src_ip
+        assert decoded.tcp.seq == 99
+        assert decoded.timestamp == 3.25
+
+    def test_frame_round_trip_preserves_macs(self):
+        mac_a = MACAddress.parse("02:00:00:00:aa:01")
+        mac_b = MACAddress.parse("02:00:00:00:bb:02")
+        original = make_syn(
+            0.0, "152.2.1.2", "9.9.9.9", src_mac=mac_a, dst_mac=mac_b
+        )
+        decoded = Packet.decode_frame(original.encode_frame())
+        assert decoded.src_mac == mac_a
+        assert decoded.dst_mac == mac_b
+        assert decoded.is_syn
+
+    def test_decode_frame_rejects_non_ipv4(self):
+        original = make_syn(0.0, "1.1.1.1", "2.2.2.2")
+        wire = bytearray(original.encode_frame())
+        wire[12:14] = (0x0806).to_bytes(2, "big")  # ARP ethertype
+        with pytest.raises(ValueError):
+            Packet.decode_frame(bytes(wire))
+
+    def test_udp_round_trip(self):
+        original = Packet(
+            timestamp=1.0,
+            ip=IPv4Header(src="1.1.1.1", dst="2.2.2.2", protocol=17),
+            transport=UDPDatagram(53, 33000, payload=b"q"),
+        )
+        decoded = Packet.decode_ip(original.encode_ip())
+        assert isinstance(decoded.transport, UDPDatagram)
+        assert decoded.transport.payload == b"q"
+
+
+class TestTransforms:
+    def test_at_changes_only_timestamp(self):
+        packet = make_syn(1.0, "1.1.1.1", "2.2.2.2")
+        shifted = packet.at(9.0)
+        assert shifted.timestamp == 9.0
+        assert shifted.ip == packet.ip
+
+    def test_forwarded_decrements_ttl(self):
+        packet = make_syn(0.0, "1.1.1.1", "2.2.2.2")
+        assert packet.forwarded().ip.ttl == packet.ip.ttl - 1

@@ -1,0 +1,129 @@
+"""Property-based tests (hypothesis) for the packet codecs.
+
+Invariants: every encode/decode pair is an exact inverse over the full
+input domain, and the byte-level classifier agrees with the decoded
+classifier on every well-formed packet.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.packet.addresses import IPv4Address, MACAddress
+from repro.packet.classify import classify_ip_bytes, classify_packet
+from repro.packet.ethernet import EthernetFrame
+from repro.packet.ip import IPv4Header, IPv4Packet
+from repro.packet.packet import Packet
+from repro.packet.tcp import TCPFlags, TCPSegment
+from repro.packet.udp import UDPDatagram
+
+ports = st.integers(min_value=0, max_value=0xFFFF)
+seq32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+flag_bits = st.integers(min_value=0, max_value=0x3F)
+ip_values = st.integers(min_value=0, max_value=0xFFFFFFFF)
+mac_values = st.integers(min_value=0, max_value=0xFFFFFFFFFFFF)
+
+
+@st.composite
+def tcp_segments(draw):
+    options_words = draw(st.integers(min_value=0, max_value=10))
+    return TCPSegment(
+        src_port=draw(ports),
+        dst_port=draw(ports),
+        seq=draw(seq32),
+        ack=draw(seq32),
+        flags=TCPFlags(draw(flag_bits)),
+        window=draw(ports),
+        urgent=draw(ports),
+        options=draw(
+            st.binary(min_size=options_words * 4, max_size=options_words * 4)
+        ),
+        payload=draw(st.binary(max_size=64)),
+    )
+
+
+@st.composite
+def ipv4_headers(draw, protocol=None):
+    return IPv4Header(
+        src=IPv4Address(draw(ip_values)),
+        dst=IPv4Address(draw(ip_values)),
+        protocol=draw(st.integers(min_value=0, max_value=255))
+        if protocol is None
+        else protocol,
+        ttl=draw(st.integers(min_value=0, max_value=255)),
+        identification=draw(ports),
+        flags=draw(st.integers(min_value=0, max_value=7)),
+        fragment_offset=draw(st.integers(min_value=0, max_value=0x1FFF)),
+        tos=draw(st.integers(min_value=0, max_value=255)),
+    )
+
+
+class TestCodecsAreInverses:
+    @given(segment=tcp_segments())
+    def test_tcp_round_trip(self, segment):
+        assert TCPSegment.decode(segment.encode()) == segment
+
+    @given(header=ipv4_headers())
+    def test_ip_header_round_trip(self, header):
+        assert IPv4Header.decode(header.encode()) == header
+
+    @given(header=ipv4_headers(), payload=st.binary(max_size=128))
+    def test_ip_packet_round_trip(self, header, payload):
+        decoded = IPv4Packet.decode(IPv4Packet(header, payload).encode())
+        assert decoded.payload == payload
+        # total_length is recomputed on encode, so compare the rest.
+        assert decoded.header.src == header.src
+        assert decoded.header.protocol == header.protocol
+        assert decoded.header.fragment_offset == header.fragment_offset
+
+    @given(
+        dst=mac_values,
+        src=mac_values,
+        ethertype=st.integers(min_value=0, max_value=0xFFFF),
+        payload=st.binary(max_size=64),
+    )
+    def test_ethernet_round_trip(self, dst, src, ethertype, payload):
+        frame = EthernetFrame(
+            dst_mac=MACAddress(dst),
+            src_mac=MACAddress(src),
+            ethertype=ethertype,
+            payload=payload,
+        )
+        assert EthernetFrame.decode(frame.encode()) == frame
+
+    @given(src=ports, dst=ports, payload=st.binary(max_size=64))
+    def test_udp_round_trip(self, src, dst, payload):
+        datagram = UDPDatagram(src, dst, payload)
+        assert UDPDatagram.decode(datagram.encode()) == datagram
+
+
+class TestAddressesRoundTrip:
+    @given(value=ip_values)
+    def test_ipv4_text_round_trip(self, value):
+        address = IPv4Address(value)
+        assert IPv4Address.parse(str(address)) == address
+
+    @given(value=mac_values)
+    def test_mac_text_round_trip(self, value):
+        mac = MACAddress(value)
+        assert MACAddress.parse(str(mac)) == mac
+
+
+class TestClassifierAgreement:
+    @given(
+        header=ipv4_headers(protocol=6),
+        segment=tcp_segments(),
+        timestamp=st.floats(min_value=0, max_value=1e6, allow_nan=False),
+    )
+    @settings(max_examples=200)
+    def test_byte_and_decoded_classifiers_agree(self, header, segment, timestamp):
+        packet = Packet(timestamp=timestamp, ip=header, transport=segment)
+        assert classify_ip_bytes(packet.encode_ip()) is classify_packet(packet)
+
+    @given(header=ipv4_headers(), payload=st.binary(max_size=60))
+    def test_classifier_never_crashes_on_arbitrary_payload(self, header, payload):
+        wire = IPv4Packet(header, payload).encode()
+        classify_ip_bytes(wire)  # must not raise
+
+    @given(junk=st.binary(max_size=200))
+    def test_classifier_never_crashes_on_junk(self, junk):
+        classify_ip_bytes(junk)  # must not raise

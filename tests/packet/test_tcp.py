@@ -1,0 +1,132 @@
+"""TCP segment model and codec tests."""
+
+import pytest
+
+from repro.packet.tcp import SegmentKind, TCPFlags, TCPSegment
+
+
+class TestFlags:
+    def test_wire_positions(self):
+        assert TCPFlags.FIN == 0x01
+        assert TCPFlags.SYN == 0x02
+        assert TCPFlags.RST == 0x04
+        assert TCPFlags.PSH == 0x08
+        assert TCPFlags.ACK == 0x10
+        assert TCPFlags.URG == 0x20
+
+
+class TestConstructors:
+    def test_syn(self):
+        segment = TCPSegment.syn(1234, 80, seq=42)
+        assert segment.is_syn and not segment.is_syn_ack
+        assert segment.kind is SegmentKind.SYN
+        assert segment.seq == 42
+
+    def test_syn_ack(self):
+        segment = TCPSegment.syn_ack(80, 1234, seq=7, ack=43)
+        assert segment.is_syn_ack and not segment.is_syn
+        assert segment.kind is SegmentKind.SYN_ACK
+        assert segment.ack == 43
+
+    def test_pure_ack(self):
+        assert TCPSegment.pure_ack(1234, 80).kind is SegmentKind.ACK
+
+    def test_rst(self):
+        segment = TCPSegment.rst(1234, 80)
+        assert segment.is_rst
+        assert segment.kind is SegmentKind.RST
+
+    def test_fin(self):
+        segment = TCPSegment.fin(1234, 80)
+        assert segment.is_fin
+        assert segment.kind is SegmentKind.FIN
+
+    def test_rst_classification_beats_syn(self):
+        # RST takes precedence: a RST+SYN monstrosity is a reset.
+        segment = TCPSegment(1, 2, flags=TCPFlags.RST | TCPFlags.SYN)
+        assert segment.kind is SegmentKind.RST
+
+
+class TestValidation:
+    def test_port_range(self):
+        with pytest.raises(ValueError):
+            TCPSegment(70000, 80)
+        with pytest.raises(ValueError):
+            TCPSegment(80, -1)
+
+    def test_seq_range(self):
+        with pytest.raises(ValueError):
+            TCPSegment(1, 2, seq=2 ** 32)
+
+    def test_options_padding(self):
+        with pytest.raises(ValueError):
+            TCPSegment(1, 2, options=b"\x01\x01\x01")  # not multiple of 4
+
+    def test_options_length_cap(self):
+        with pytest.raises(ValueError):
+            TCPSegment(1, 2, options=b"\x00" * 44)
+
+
+class TestCodec:
+    def test_header_length_without_options(self):
+        segment = TCPSegment.syn(1234, 80)
+        assert segment.header_length == 20
+        assert len(segment.encode()) == 20
+
+    def test_round_trip_basic(self):
+        original = TCPSegment(
+            src_port=5555,
+            dst_port=443,
+            seq=0xDEADBEEF,
+            ack=0x01020304,
+            flags=TCPFlags.SYN | TCPFlags.ACK,
+            window=8192,
+            payload=b"hello",
+        )
+        decoded = TCPSegment.decode(original.encode())
+        assert decoded == original
+
+    def test_round_trip_with_options(self):
+        # MSS option (kind 2, length 4, value 1460) + NOP padding.
+        options = b"\x02\x04\x05\xb4"
+        original = TCPSegment.syn(1, 2, seq=9)
+        original = TCPSegment(
+            src_port=1, dst_port=2, seq=9, flags=TCPFlags.SYN, options=options
+        )
+        decoded = TCPSegment.decode(original.encode())
+        assert decoded.options == options
+        assert decoded.header_length == 24
+
+    def test_decode_rejects_truncated(self):
+        with pytest.raises(ValueError):
+            TCPSegment.decode(b"\x00" * 10)
+
+    def test_decode_rejects_bad_offset(self):
+        raw = bytearray(TCPSegment.syn(1, 2).encode())
+        raw[12] = 0x30  # data offset 3 words < minimum 5
+        with pytest.raises(ValueError):
+            TCPSegment.decode(bytes(raw))
+
+    def test_checksum_valid_with_pseudo_header(self):
+        src = bytes([10, 0, 0, 1])
+        dst = bytes([10, 0, 0, 2])
+        wire = TCPSegment.syn(1234, 80, seq=77).encode(src, dst)
+        assert TCPSegment.verify(wire, src, dst)
+
+    def test_checksum_detects_corruption(self):
+        src = bytes([10, 0, 0, 1])
+        dst = bytes([10, 0, 0, 2])
+        wire = bytearray(TCPSegment.syn(1234, 80, seq=77).encode(src, dst))
+        wire[4] ^= 0x01  # flip a sequence-number bit
+        assert not TCPSegment.verify(bytes(wire), src, dst)
+
+    def test_checksum_binds_addresses(self):
+        src = bytes([10, 0, 0, 1])
+        dst = bytes([10, 0, 0, 2])
+        other = bytes([10, 0, 0, 3])
+        wire = TCPSegment.syn(1234, 80).encode(src, dst)
+        assert not TCPSegment.verify(wire, src, other)
+
+    def test_flag_bits_at_wire_offset_13(self):
+        wire = TCPSegment.syn_ack(80, 1234).encode()
+        assert wire[13] & 0x3F == int(TCPFlags.SYN | TCPFlags.ACK)

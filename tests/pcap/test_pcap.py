@@ -1,0 +1,157 @@
+"""pcap format, writer and reader tests: header layout, both byte
+orders and timestamp resolutions, snaplen, truncation tolerance."""
+
+import io
+import struct
+
+import pytest
+
+from repro.packet.packet import make_syn, make_syn_ack
+from repro.pcap.format import (
+    GLOBAL_HEADER_LENGTH,
+    LINKTYPE_ETHERNET,
+    LINKTYPE_RAW,
+    MAGIC_MICROS,
+    MAGIC_NANOS,
+    GlobalHeader,
+    PcapFormatError,
+    RecordHeader,
+)
+from repro.pcap.reader import PcapReader, pcap_bytes_to_packets, read_pcap
+from repro.pcap.writer import PcapWriter, packets_to_pcap_bytes, write_pcap
+
+
+def sample_packets(n=5):
+    packets = []
+    for index in range(n):
+        packets.append(
+            make_syn(index * 0.5, "152.2.0.1", "8.8.8.8", src_port=1000 + index)
+        )
+        packets.append(
+            make_syn_ack(index * 0.5 + 0.1, "8.8.8.8", "152.2.0.1",
+                         dst_port=1000 + index)
+        )
+    return packets
+
+
+class TestGlobalHeader:
+    def test_little_endian_micros(self):
+        header = GlobalHeader(byte_order="<", nanosecond=False)
+        decoded = GlobalHeader.decode(header.encode())
+        assert decoded == header
+        assert struct.unpack("<I", header.encode()[:4])[0] == MAGIC_MICROS
+
+    def test_big_endian_nanos(self):
+        header = GlobalHeader(byte_order=">", nanosecond=True)
+        decoded = GlobalHeader.decode(header.encode())
+        assert decoded == header
+        assert struct.unpack(">I", header.encode()[:4])[0] == MAGIC_NANOS
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(PcapFormatError):
+            GlobalHeader.decode(b"\x00" * GLOBAL_HEADER_LENGTH)
+
+    def test_truncated_rejected(self):
+        with pytest.raises(PcapFormatError):
+            GlobalHeader.decode(b"\xd4\xc3\xb2\xa1")
+
+
+class TestRecordHeader:
+    def test_round_trip(self):
+        record = RecordHeader(ts_sec=100, ts_frac=250_000, incl_len=60, orig_len=60)
+        assert RecordHeader.decode(record.encode("<"), "<") == record
+
+    def test_timestamp_micros(self):
+        record = RecordHeader.from_timestamp(12.5, 10, 10, nanosecond=False)
+        assert record.ts_sec == 12 and record.ts_frac == 500_000
+        assert record.timestamp(False) == pytest.approx(12.5)
+
+    def test_timestamp_nanos(self):
+        record = RecordHeader.from_timestamp(1.000000001, 10, 10, nanosecond=True)
+        assert record.ts_frac == 1
+        assert record.timestamp(True) == pytest.approx(1.000000001)
+
+    def test_fraction_rounding_never_overflows(self):
+        # 0.9999999 rounds to 1,000,000 µs — must carry into seconds.
+        record = RecordHeader.from_timestamp(5.9999999, 1, 1, nanosecond=False)
+        assert record.ts_frac < 1_000_000
+        assert record.timestamp(False) == pytest.approx(6.0, abs=1e-6)
+
+
+class TestRoundTrips:
+    def test_ethernet_round_trip(self):
+        packets = sample_packets()
+        image = packets_to_pcap_bytes(packets)
+        recovered = pcap_bytes_to_packets(image)
+        assert len(recovered) == len(packets)
+        for original, decoded in zip(packets, recovered):
+            assert decoded.timestamp == pytest.approx(original.timestamp, abs=1e-5)
+            assert decoded.src_ip == original.src_ip
+            assert decoded.tcp.flags == original.tcp.flags
+            assert decoded.src_mac == original.src_mac
+
+    def test_raw_ip_round_trip(self):
+        packets = sample_packets()
+        image = packets_to_pcap_bytes(packets, linktype=LINKTYPE_RAW)
+        recovered = pcap_bytes_to_packets(image)
+        assert len(recovered) == len(packets)
+        assert recovered[0].is_syn
+
+    def test_nanosecond_round_trip(self):
+        packets = [make_syn(0.123456789, "1.1.1.1", "2.2.2.2")]
+        image = packets_to_pcap_bytes(packets, nanosecond=True)
+        recovered = pcap_bytes_to_packets(image)
+        assert recovered[0].timestamp == pytest.approx(0.123456789, abs=1e-9)
+
+    def test_file_round_trip(self, tmp_path):
+        packets = sample_packets(3)
+        path = tmp_path / "trace.pcap"
+        written = write_pcap(path, packets)
+        assert written == len(packets)
+        assert read_pcap(path)[0].is_syn
+
+    def test_negative_timestamp_rejected(self):
+        writer = PcapWriter(io.BytesIO())
+        with pytest.raises(ValueError):
+            writer.write_raw(-1.0, b"\x00")
+
+
+class TestSnaplen:
+    def test_snaplen_truncates_but_keeps_orig_len(self):
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer, snaplen=40)
+        packet = make_syn(0.0, "1.1.1.1", "2.2.2.2")
+        writer.write_packet(packet)
+        reader = PcapReader(io.BytesIO(buffer.getvalue()))
+        records = list(reader.iter_records())
+        assert len(records) == 1
+        assert len(records[0][1]) == 40  # truncated to snaplen
+
+
+class TestTolerance:
+    def test_truncated_tail_stops_cleanly(self):
+        image = packets_to_pcap_bytes(sample_packets(2))
+        # Chop mid-record: reader should yield what is complete.
+        chopped = image[: len(image) - 7]
+        recovered = pcap_bytes_to_packets(chopped)
+        assert 0 < len(recovered) < 4
+
+    def test_unknown_linktype_rejected(self):
+        header = GlobalHeader(byte_order="<", nanosecond=False, network=147)
+        with pytest.raises(PcapFormatError):
+            PcapReader(io.BytesIO(header.encode()))
+
+    def test_non_ip_records_skipped(self):
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer)
+        writer.write_packet(make_syn(0.0, "1.1.1.1", "2.2.2.2"))
+        # Append a hand-built ARP frame record.
+        arp_frame = b"\xff" * 6 + b"\x02" + b"\x00" * 5 + b"\x08\x06" + b"\x00" * 28
+        writer.write_raw(0.5, arp_frame)
+        writer.write_packet(make_syn(1.0, "1.1.1.1", "2.2.2.2"))
+        recovered = pcap_bytes_to_packets(buffer.getvalue())
+        assert len(recovered) == 2  # the ARP record was skipped
+
+    def test_writer_rejects_unknown_linktype(self):
+        with pytest.raises(ValueError):
+            PcapWriter(io.BytesIO(), linktype=999)

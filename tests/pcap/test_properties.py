@@ -1,0 +1,56 @@
+"""Property-based pcap round trips over arbitrary SYN/SYN-ACK streams."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.packet.addresses import IPv4Address, MACAddress
+from repro.packet.packet import make_syn, make_syn_ack
+from repro.pcap.writer import packets_to_pcap_bytes
+from repro.pcap.reader import pcap_bytes_to_packets
+
+
+@st.composite
+def handshake_packets(draw):
+    timestamp = draw(st.floats(min_value=0.0, max_value=1e5, allow_nan=False))
+    src = IPv4Address(draw(st.integers(min_value=0, max_value=0xFFFFFFFF)))
+    dst = IPv4Address(draw(st.integers(min_value=0, max_value=0xFFFFFFFF)))
+    src_port = draw(st.integers(min_value=0, max_value=0xFFFF))
+    dst_port = draw(st.integers(min_value=0, max_value=0xFFFF))
+    seq = draw(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    mac = MACAddress(draw(st.integers(min_value=0, max_value=0xFFFFFFFFFFFF)))
+    if draw(st.booleans()):
+        return make_syn(
+            timestamp, src, dst, src_port=src_port, dst_port=dst_port,
+            seq=seq, src_mac=mac,
+        )
+    return make_syn_ack(
+        timestamp, src, dst, src_port=src_port, dst_port=dst_port,
+        seq=seq, src_mac=mac,
+    )
+
+
+class TestPcapProperties:
+    @given(packets=st.lists(handshake_packets(), max_size=20))
+    @settings(max_examples=100)
+    def test_round_trip_preserves_everything_observable(self, packets):
+        packets = sorted(packets, key=lambda p: p.timestamp)
+        recovered = pcap_bytes_to_packets(packets_to_pcap_bytes(packets))
+        assert len(recovered) == len(packets)
+        for original, decoded in zip(packets, recovered):
+            assert decoded.src_ip == original.src_ip
+            assert decoded.dst_ip == original.dst_ip
+            assert decoded.src_mac == original.src_mac
+            assert decoded.is_syn == original.is_syn
+            assert decoded.is_syn_ack == original.is_syn_ack
+            assert decoded.tcp.seq == original.tcp.seq
+            assert abs(decoded.timestamp - original.timestamp) < 1e-5
+
+    @given(packets=st.lists(handshake_packets(), max_size=10), nano=st.booleans())
+    @settings(max_examples=50)
+    def test_counts_invariant_under_resolution(self, packets, nano):
+        image = packets_to_pcap_bytes(packets, nanosecond=nano)
+        recovered = pcap_bytes_to_packets(image)
+        assert sum(p.is_syn for p in recovered) == sum(p.is_syn for p in packets)
+        assert sum(p.is_syn_ack for p in recovered) == sum(
+            p.is_syn_ack for p in packets
+        )

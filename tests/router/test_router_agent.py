@@ -1,0 +1,182 @@
+"""Leaf-router and SYN-dog-agent tests: interface taps, forwarding,
+alarm response, MAC learning."""
+
+import random
+
+import pytest
+
+from repro.attack.flooder import FloodSource
+from repro.core.parameters import SynDogParameters
+from repro.packet.addresses import IPv4Network, MACAddress
+from repro.packet.classify import PacketClass
+from repro.packet.packet import make_syn, make_syn_ack
+from repro.router.agent import SynDogAgent
+from repro.router.leafrouter import LeafRouter
+from repro.trace.mixer import AttackWindow, mix_flood_into_packets
+from repro.trace.profiles import AUCKLAND
+from repro.trace.synthetic import AddressPlan, generate_packet_trace
+
+STUB = IPv4Network.parse("152.2.0.0/16")
+
+
+class TestLeafRouter:
+    def test_interfaces_classify_traffic(self):
+        router = LeafRouter(stub_network=STUB)
+        router.forward_outbound(make_syn(0.0, "152.2.1.1", "8.8.8.8"))
+        router.forward_inbound(make_syn_ack(0.1, "8.8.8.8", "152.2.1.1"))
+        assert router.outbound.classifier.stats[PacketClass.SYN] == 1
+        assert router.inbound.classifier.stats[PacketClass.SYN_ACK] == 1
+
+    def test_forwarding_sinks(self):
+        internet, intranet = [], []
+        router = LeafRouter(
+            stub_network=STUB,
+            to_internet=internet.append,
+            to_intranet=intranet.append,
+        )
+        router.forward_outbound(make_syn(0.0, "152.2.1.1", "8.8.8.8"))
+        router.forward_inbound(make_syn_ack(0.1, "8.8.8.8", "152.2.1.1"))
+        assert len(internet) == 1 and len(intranet) == 1
+        # TTL decremented on forward.
+        assert internet[0].ip.ttl == 63
+
+    def test_mac_inventory_learned_from_legit_traffic(self):
+        router = LeafRouter(stub_network=STUB)
+        mac = MACAddress.parse("02:00:00:00:00:33")
+        router.forward_outbound(
+            make_syn(0.0, "152.2.1.7", "8.8.8.8", src_mac=mac)
+        )
+        assert mac in router.inventory
+
+    def test_spoofed_source_not_learned_but_logged(self):
+        router = LeafRouter(stub_network=STUB)
+        mac = MACAddress.parse("02:bd:00:00:be:ef")
+        router.forward_outbound(make_syn(0.0, "10.0.0.1", "8.8.8.8", src_mac=mac))
+        assert mac not in router.inventory
+        assert len(router.ingress_filter.observations) == 1
+
+    def test_enforced_filter_drops_but_sniffers_still_see(self):
+        router = LeafRouter(stub_network=STUB)
+        router.ingress_filter.activate()
+        forwarded = router.forward_outbound(make_syn(0.0, "10.0.0.1", "8.8.8.8"))
+        assert not forwarded
+        assert router.outbound.classifier.stats[PacketClass.SYN] == 1
+
+    def test_replay_merges_by_timestamp(self):
+        router = LeafRouter(stub_network=STUB)
+        seen = []
+        router.outbound.attach(lambda p: seen.append(("out", p.timestamp)))
+        router.inbound.attach(lambda p: seen.append(("in", p.timestamp)))
+        processed = router.replay(
+            outbound=[make_syn(2.0, "152.2.1.1", "8.8.8.8")],
+            inbound=[make_syn_ack(1.0, "8.8.8.8", "152.2.1.1")],
+        )
+        assert processed == 2
+        assert seen == [("in", 1.0), ("out", 2.0)]
+
+
+class TestSynDogAgent:
+    def make_mixed_trace(self, rate=10.0, seed=1, duration=1200.0, start=240.0):
+        rng = random.Random(seed)
+        plan = AddressPlan(rng, stub_network=STUB)
+        background = generate_packet_trace(
+            AUCKLAND, seed=seed, duration=duration, address_plan=plan
+        )
+        flood = FloodSource(pattern=rate)
+        mixed = mix_flood_into_packets(
+            background, flood, AttackWindow(start, 600.0), rng
+        )
+        return mixed, flood
+
+    def test_quiet_on_normal_traffic(self):
+        rng = random.Random(2)
+        plan = AddressPlan(rng, stub_network=STUB)
+        trace = generate_packet_trace(
+            AUCKLAND, seed=2, duration=1200.0, address_plan=plan
+        )
+        router = LeafRouter(stub_network=STUB)
+        agent = SynDogAgent(router)
+        router.replay(trace.outbound, trace.inbound)
+        result = agent.finish(end_time=1200.0)
+        assert not agent.alarmed
+        assert not result.alarmed
+
+    def test_flood_triggers_alarm_and_response(self):
+        mixed, flood = self.make_mixed_trace(rate=10.0)
+        router = LeafRouter(stub_network=STUB)
+        events = []
+        agent = SynDogAgent(router, on_alarm=events.append)
+        router.replay(mixed.outbound, mixed.inbound)
+        agent.finish(end_time=1200.0)
+        assert agent.alarmed
+        assert len(events) == 1
+        alarm = events[0]
+        assert alarm.statistic > agent.detector.parameters.threshold
+        # Response: ingress filter now enforcing, localization attached.
+        assert router.ingress_filter.enforce
+        assert alarm.localization is not None
+        assert alarm.localization.total_spoofed_packets > 0
+
+    def test_localization_names_the_flooder(self):
+        mixed, flood = self.make_mixed_trace(rate=10.0, seed=3)
+        router = LeafRouter(stub_network=STUB)
+        router.inventory.register(flood.mac, name="pwned-host", switch_port="9")
+        agent = SynDogAgent(router)
+        router.replay(mixed.outbound, mixed.inbound)
+        agent.finish(end_time=1200.0)
+        report = agent.localize_now()
+        suspect = report.primary_suspect
+        assert suspect is not None
+        assert suspect.mac == flood.mac
+        assert suspect.name == "pwned-host"
+        assert report.localized
+
+    def test_auto_respond_disabled(self):
+        mixed, _flood = self.make_mixed_trace(rate=10.0, seed=4)
+        router = LeafRouter(stub_network=STUB)
+        agent = SynDogAgent(router, auto_respond=False)
+        router.replay(mixed.outbound, mixed.inbound)
+        agent.finish(end_time=1200.0)
+        assert agent.alarmed
+        assert not router.ingress_filter.enforce
+        assert agent.first_alarm.localization is None
+
+    def test_single_response_per_attack(self):
+        mixed, _flood = self.make_mixed_trace(rate=20.0, seed=5)
+        router = LeafRouter(stub_network=STUB)
+        events = []
+        agent = SynDogAgent(router, on_alarm=events.append)
+        router.replay(mixed.outbound, mixed.inbound)
+        agent.finish(end_time=1200.0)
+        # The statistic stays above N for many periods; the response
+        # must fire exactly once.
+        assert len(events) == 1
+
+    def test_tuned_parameters_accepted(self):
+        router = LeafRouter(stub_network=STUB)
+        tuned = SynDogParameters(drift=0.2, attack_increase=0.4, threshold=0.6)
+        agent = SynDogAgent(router, parameters=tuned)
+        assert agent.detector.parameters.threshold == 0.6
+
+
+class TestAlarmAcknowledgement:
+    def test_acknowledge_rearms_the_agent(self):
+        router = LeafRouter(stub_network=STUB)
+        events = []
+        agent = SynDogAgent(router, on_alarm=events.append)
+        # Drive the detector straight at count level for speed.
+        agent.detector.normalizer.estimator.update(100.0)
+        while not agent.detector.alarm:
+            record = agent.detector.observe_period(100 + 80, 100)
+            agent._handle_records([record])
+        assert len(events) == 1
+        assert router.ingress_filter.enforce
+        agent.acknowledge_alarm(deactivate_filter=True)
+        assert not router.ingress_filter.enforce
+        assert not agent.detector.alarm
+        # A second flood triggers a second response.
+        while not agent.detector.alarm:
+            record = agent.detector.observe_period(100 + 80, 100)
+            agent._handle_records([record])
+        assert len(events) == 2
+        assert router.ingress_filter.enforce

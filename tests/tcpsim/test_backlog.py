@@ -1,0 +1,106 @@
+"""Backlog queue tests: capacity, timeout, completion/abort accounting —
+the attack surface of Section 1."""
+
+import pytest
+
+from repro.tcpsim.backlog import BacklogQueue
+
+
+def key(i: int):
+    return (0x0A000000 + i, 1000 + i, 80)
+
+
+class TestAdmission:
+    def test_admit_until_full_then_refuse(self):
+        queue = BacklogQueue(capacity=3)
+        for i in range(3):
+            assert queue.admit(key(i), now=0.0, server_isn=i) is not None
+        assert queue.is_full
+        assert queue.admit(key(99), now=0.0, server_isn=99) is None
+        assert queue.refused == 1
+        assert queue.accepted == 3
+
+    def test_duplicate_syn_returns_existing_entry(self):
+        queue = BacklogQueue(capacity=2)
+        first = queue.admit(key(1), now=0.0, server_isn=7)
+        again = queue.admit(key(1), now=5.0, server_isn=8)
+        assert again is first
+        assert len(queue) == 1
+        assert queue.accepted == 1  # not double-booked
+
+    def test_occupancy(self):
+        queue = BacklogQueue(capacity=4)
+        queue.admit(key(1), 0.0, 1)
+        assert queue.occupancy == 0.25
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BacklogQueue(capacity=0)
+        with pytest.raises(ValueError):
+            BacklogQueue(timeout=0.0)
+
+
+class TestLifecycle:
+    def test_complete_releases_entry(self):
+        queue = BacklogQueue(capacity=1)
+        queue.admit(key(1), 0.0, 1)
+        assert queue.complete(key(1))
+        assert len(queue) == 0
+        assert queue.completed == 1
+        # Slot is free again.
+        assert queue.admit(key(2), 1.0, 2) is not None
+
+    def test_complete_unknown_key(self):
+        queue = BacklogQueue()
+        assert not queue.complete(key(42))
+
+    def test_abort_on_rst(self):
+        queue = BacklogQueue()
+        queue.admit(key(1), 0.0, 1)
+        assert queue.abort(key(1))
+        assert queue.reset == 1
+        assert len(queue) == 0
+
+    def test_expiry_after_75_seconds(self):
+        queue = BacklogQueue(timeout=75.0)
+        queue.admit(key(1), now=0.0, server_isn=1)
+        queue.admit(key(2), now=50.0, server_isn=2)
+        assert queue.expire_older_than(74.9) == 0
+        assert queue.expire_older_than(75.0) == 1   # first entry expires
+        assert queue.expire_older_than(200.0) == 1  # second follows
+        assert queue.expired == 2
+
+    def test_expired_entry_cannot_complete(self):
+        queue = BacklogQueue(timeout=10.0)
+        queue.admit(key(1), now=0.0, server_isn=1)
+        queue.expire_older_than(20.0)
+        assert not queue.complete(key(1))
+
+
+class TestDenialMetric:
+    def test_denial_probability(self):
+        queue = BacklogQueue(capacity=2)
+        queue.admit(key(1), 0.0, 1)
+        queue.admit(key(2), 0.0, 2)
+        queue.admit(key(3), 0.0, 3)  # refused
+        queue.admit(key(4), 0.0, 4)  # refused
+        assert queue.service_denial_probability() == pytest.approx(0.5)
+
+    def test_denial_probability_empty(self):
+        assert BacklogQueue().service_denial_probability() == 0.0
+
+    def test_flood_scenario_pins_queue_for_timeout(self):
+        # The paper's core observation: spoofed SYNs (never completed,
+        # never reset) pin entries for the full 75 s, so a modest rate
+        # sustains full occupancy: capacity / timeout = 256/75 ~= 3.4
+        # SYN/s is enough in steady state.
+        queue = BacklogQueue(capacity=256, timeout=75.0)
+        time = 0.0
+        refused_before = queue.refused
+        # 10 spoofed SYN/s for 80 seconds.
+        for i in range(800):
+            time = i * 0.1
+            queue.expire_older_than(time)
+            queue.admit((i, 1, 80), now=time, server_isn=i)
+        assert queue.is_full
+        assert queue.refused > refused_before

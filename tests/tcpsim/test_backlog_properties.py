@@ -1,0 +1,111 @@
+"""Property-based (stateful) tests for the backlog queue.
+
+hypothesis drives random sequences of admits / completes / aborts /
+expiries against a simple reference model, asserting the invariants
+the SYN-flood analysis rests on: occupancy never exceeds capacity,
+counters exactly partition the admitted population, and entries are
+released by exactly one of {completion, reset, expiry}.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.tcpsim.backlog import BacklogQueue
+
+
+class BacklogMachine(RuleBasedStateMachine):
+    keys = Bundle("keys")
+
+    @initialize(capacity=st.integers(min_value=1, max_value=64))
+    def setup(self, capacity):
+        self.queue = BacklogQueue(capacity=capacity, timeout=75.0)
+        self.now = 0.0
+        self.live = {}        # key -> expires_at (reference model)
+        self.next_key = 0
+
+    @rule(target=keys)
+    def admit(self):
+        key = (self.next_key, 1000, 80)
+        self.next_key += 1
+        entry = self.queue.admit(key, now=self.now, server_isn=self.next_key)
+        if entry is not None:
+            self.live[key] = self.now + 75.0
+        else:
+            assert len(self.live) >= self.queue.capacity
+        return key
+
+    @rule(key=keys)
+    def duplicate_admit(self, key):
+        before = len(self.queue)
+        accepted = self.queue.accepted
+        entry = self.queue.admit(key, now=self.now, server_isn=0)
+        if key in self.live:
+            # Duplicate SYN: same entry, no double-booking.
+            assert entry is not None
+            assert len(self.queue) == before
+            assert self.queue.accepted == accepted
+        elif entry is not None:
+            # The key was previously released; this is a fresh admission
+            # (a brand-new connection attempt reusing the 4-tuple).
+            self.live[key] = self.now + 75.0
+
+    @rule(key=keys)
+    def complete(self, key):
+        completed = self.queue.complete(key)
+        assert completed == (key in self.live)
+        self.live.pop(key, None)
+
+    @rule(key=keys)
+    def abort(self, key):
+        aborted = self.queue.abort(key)
+        assert aborted == (key in self.live)
+        self.live.pop(key, None)
+
+    @rule(advance=st.floats(min_value=0.0, max_value=120.0))
+    def pass_time_and_expire(self, advance):
+        self.now += advance
+        expired = self.queue.expire_older_than(self.now)
+        reference_expired = [
+            key for key, expiry in self.live.items() if expiry <= self.now
+        ]
+        assert expired == len(reference_expired)
+        for key in reference_expired:
+            del self.live[key]
+
+    @invariant()
+    def occupancy_bounded(self):
+        if not hasattr(self, "queue"):
+            return
+        assert 0 <= len(self.queue) <= self.queue.capacity
+        assert 0.0 <= self.queue.occupancy <= 1.0
+
+    @invariant()
+    def model_agrees(self):
+        if not hasattr(self, "queue"):
+            return
+        assert len(self.queue) == len(self.live)
+        for key in self.live:
+            assert self.queue.lookup(key) is not None
+
+    @invariant()
+    def counters_partition_population(self):
+        if not hasattr(self, "queue"):
+            return
+        q = self.queue
+        # Every admitted entry is live, completed, reset, or expired.
+        assert q.accepted == (
+            len(q) + q.completed + q.reset + q.expired
+        )
+
+
+TestBacklogStateful = BacklogMachine.TestCase
+TestBacklogStateful.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)

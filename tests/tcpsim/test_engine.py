@@ -1,0 +1,111 @@
+"""Discrete-event scheduler tests: ordering, cancellation, determinism."""
+
+import pytest
+
+from repro.tcpsim.engine import EventScheduler, SimulationError
+
+
+class TestOrdering:
+    def test_events_run_in_time_order(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule(3.0, lambda: order.append("c"))
+        scheduler.schedule(1.0, lambda: order.append("a"))
+        scheduler.schedule(2.0, lambda: order.append("b"))
+        scheduler.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        scheduler = EventScheduler()
+        order = []
+        for label in "abc":
+            scheduler.schedule(1.0, lambda l=label: order.append(l))
+        scheduler.run()
+        assert order == ["a", "b", "c"]
+
+    def test_now_advances_with_events(self):
+        scheduler = EventScheduler()
+        seen = []
+        scheduler.schedule(5.0, lambda: seen.append(scheduler.now))
+        scheduler.run()
+        assert seen == [5.0]
+
+    def test_events_scheduled_during_execution(self):
+        scheduler = EventScheduler()
+        order = []
+
+        def first():
+            order.append("first")
+            scheduler.schedule_after(1.0, lambda: order.append("second"))
+
+        scheduler.schedule(1.0, first)
+        scheduler.run()
+        assert order == ["first", "second"]
+        assert scheduler.now == 2.0
+
+
+class TestRunUntil:
+    def test_stops_at_horizon(self):
+        scheduler = EventScheduler()
+        ran = []
+        scheduler.schedule(1.0, lambda: ran.append(1))
+        scheduler.schedule(10.0, lambda: ran.append(10))
+        executed = scheduler.run_until(5.0)
+        assert executed == 1
+        assert ran == [1]
+        assert scheduler.now == 5.0
+        scheduler.run_until(20.0)
+        assert ran == [1, 10]
+
+    def test_time_advances_even_without_events(self):
+        scheduler = EventScheduler()
+        scheduler.run_until(42.0)
+        assert scheduler.now == 42.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_run(self):
+        scheduler = EventScheduler()
+        ran = []
+        handle = scheduler.schedule(1.0, lambda: ran.append("x"))
+        scheduler.cancel(handle)
+        scheduler.run()
+        assert ran == []
+
+    def test_double_cancel_is_harmless(self):
+        scheduler = EventScheduler()
+        handle = scheduler.schedule(1.0, lambda: None)
+        scheduler.cancel(handle)
+        scheduler.cancel(handle)
+        scheduler.run()
+
+    def test_pending_count_excludes_cancelled(self):
+        scheduler = EventScheduler()
+        keep = scheduler.schedule(1.0, lambda: None)
+        drop = scheduler.schedule(2.0, lambda: None)
+        scheduler.cancel(drop)
+        assert scheduler.pending == 1
+
+
+class TestGuards:
+    def test_scheduling_into_past_rejected(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(5.0, lambda: None)
+        scheduler.run()
+        with pytest.raises(SimulationError):
+            scheduler.schedule(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        scheduler = EventScheduler()
+        with pytest.raises(SimulationError):
+            scheduler.schedule_after(-1.0, lambda: None)
+
+    def test_runaway_guard(self):
+        scheduler = EventScheduler()
+
+        def reschedule():
+            scheduler.schedule_after(0.001, reschedule)
+
+        scheduler.schedule(0.0, reschedule)
+        with pytest.raises(SimulationError):
+            scheduler.run(max_events=1000)

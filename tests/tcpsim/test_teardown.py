@@ -1,0 +1,125 @@
+"""Connection-teardown tests: the Figure 1 close paths
+(FIN_WAIT1 → TIME_WAIT → CLOSED actively; LAST_ACK → CLOSED passively)."""
+
+import random
+
+import pytest
+
+from repro.packet.addresses import IPv4Address
+from repro.packet.packet import make_fin
+from repro.tcpsim.endpoint import (
+    TIME_WAIT_DURATION,
+    ClientEndpoint,
+    ServerEndpoint,
+    TCPState,
+)
+from repro.tcpsim.engine import EventScheduler
+from repro.tcpsim.link import Link
+
+SERVER_IP = IPv4Address.parse("198.51.100.80")
+CLIENT_IP = IPv4Address.parse("100.64.0.1")
+
+
+@pytest.fixture
+def wired():
+    scheduler = EventScheduler()
+    server = ServerEndpoint(
+        scheduler, SERVER_IP, output=lambda p: to_client.send(p),
+        rng=random.Random(1),
+    )
+    client = ClientEndpoint(
+        scheduler, CLIENT_IP, output=lambda p: to_server.send(p),
+        rng=random.Random(2),
+    )
+    to_server = Link(scheduler, sink=server.receive, delay=0.01, jitter=0.0)
+    to_client = Link(scheduler, sink=client.receive, delay=0.01, jitter=0.0)
+    return scheduler, server, client
+
+
+class TestActiveClose:
+    def test_full_lifecycle(self, wired):
+        scheduler, server, client = wired
+        key = client.connect(SERVER_IP)
+        scheduler.run_until(5.0)
+        assert client.states[key] is TCPState.ESTABLISHED
+        assert server.states[key] is TCPState.ESTABLISHED
+
+        client.close(key)
+        scheduler.run_until(6.0)
+        # Server finished its passive close; client dwells in TIME_WAIT.
+        assert server.states[key] is TCPState.CLOSED
+        assert client.states[key] is TCPState.TIME_WAIT
+
+        scheduler.run_until(6.0 + TIME_WAIT_DURATION + 1.0)
+        assert client.states[key] is TCPState.CLOSED
+        assert key in client.closed and key in server.closed
+
+    def test_close_requires_established(self, wired):
+        scheduler, server, client = wired
+        key = client.connect(SERVER_IP)
+        # Not yet established (no events run).
+        with pytest.raises(ValueError):
+            client.close(key)
+
+    def test_server_counts_fins(self, wired):
+        scheduler, server, client = wired
+        keys = [client.connect(SERVER_IP) for _ in range(3)]
+        scheduler.run_until(5.0)
+        for key in keys:
+            client.close(key)
+        scheduler.run_until(30.0)
+        assert server.fins_received == 3
+        assert all(server.states[key] is TCPState.CLOSED for key in keys)
+
+
+class TestPassiveCloseEdgeCases:
+    def test_fin_for_unknown_connection_ignored(self, wired):
+        scheduler, server, client = wired
+        server.receive(
+            make_fin(0.0, CLIENT_IP, SERVER_IP, src_port=9999, dst_port=80)
+        )
+        assert server.fins_received == 0
+
+    def test_fin_during_handshake_ignored(self, wired):
+        scheduler, server, client = wired
+        key = client.connect(SERVER_IP)
+        # FIN arrives while the server is still in SYN_RCVD.
+        server.receive(
+            make_fin(0.0, CLIENT_IP, SERVER_IP, src_port=key[1], dst_port=80)
+        )
+        assert server.fins_received == 0
+
+    def test_duplicate_fin_processed_once(self, wired):
+        scheduler, server, client = wired
+        key = client.connect(SERVER_IP)
+        scheduler.run_until(5.0)
+        client.close(key)
+        scheduler.run_until(30.0)
+        fins_before = server.fins_received
+        # A stale duplicate FIN after the connection closed.
+        server.receive(
+            make_fin(30.0, CLIENT_IP, SERVER_IP, src_port=key[1], dst_port=80)
+        )
+        assert server.fins_received == fins_before
+
+
+class TestTeardownVsDetection:
+    def test_fins_do_not_perturb_the_sniffers(self, wired):
+        # Teardown floods (FIN floods) are a different attack; SYN-dog's
+        # counters must be blind to FIN exchanges.
+        from repro.core import SynDog
+
+        scheduler, server, client = wired
+        dog = SynDog()
+        key = client.connect(SERVER_IP)
+        scheduler.run_until(5.0)
+        client.close(key)
+        scheduler.run_until(30.0)
+        # Replay the teardown segments through the detector's interfaces.
+        for _ in range(10):
+            dog.observe_outbound(
+                make_fin(1.0, CLIENT_IP, SERVER_IP, src_port=key[1])
+            )
+        dog.flush()
+        assert dog.records[-1].syn_count == 0
+        assert dog.records[-1].synack_count == 0

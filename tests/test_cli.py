@@ -1,0 +1,182 @@
+"""CLI tests — every subcommand exercised through ``repro.cli.main``."""
+
+import pytest
+
+from repro.cli import EXIT_ALARM, EXIT_OK, main
+from repro.trace.io import load_count_trace
+
+
+@pytest.fixture
+def background_csv(tmp_path):
+    path = tmp_path / "bg.csv"
+    code = main([
+        "generate", "--site", "auckland", "--seed", "7",
+        "--duration", "1800", "--out", str(path),
+    ])
+    assert code == EXIT_OK
+    return path
+
+
+class TestGenerate:
+    def test_counts_file_valid(self, background_csv):
+        trace = load_count_trace(background_csv)
+        assert trace.num_periods == 90
+        assert trace.metadata.site == "Auckland"
+
+    def test_pcap_output(self, tmp_path, capsys):
+        code = main([
+            "generate", "--site", "lbl", "--seed", "1",
+            "--duration", "120", "--format", "pcap",
+            "--out", str(tmp_path / "lbl"),
+        ])
+        assert code == EXIT_OK
+        from repro.pcap.reader import read_pcap
+
+        outbound = read_pcap(tmp_path / "lbl.out.pcap")
+        inbound = read_pcap(tmp_path / "lbl.in.pcap")
+        assert outbound and inbound
+        assert all(p.is_syn for p in outbound)
+
+
+class TestAttackAndDetect:
+    def test_clean_trace_no_alarm(self, background_csv, capsys):
+        code = main(["detect", "--counts", str(background_csv), "--quiet"])
+        assert code == EXIT_OK
+        assert "no flooding source" in capsys.readouterr().out
+
+    def test_attacked_trace_alarms(self, background_csv, tmp_path, capsys):
+        mixed = tmp_path / "mixed.csv"
+        code = main([
+            "attack", "--counts", str(background_csv), "--rate", "5",
+            "--start", "360", "--out", str(mixed),
+        ])
+        assert code == EXIT_OK
+        code = main(["detect", "--counts", str(mixed), "--quiet"])
+        assert code == EXIT_ALARM
+        assert "ALARM" in capsys.readouterr().out
+
+    def test_detect_pcap_pair(self, tmp_path, capsys):
+        main([
+            "generate", "--site", "harvard", "--seed", "2",
+            "--duration", "300", "--format", "pcap",
+            "--out", str(tmp_path / "h"),
+        ])
+        code = main([
+            "detect",
+            "--pcap-out", str(tmp_path / "h.out.pcap"),
+            "--pcap-in", str(tmp_path / "h.in.pcap"),
+            "--quiet",
+        ])
+        assert code == EXIT_OK
+
+    def test_custom_threshold_changes_verdict(self, background_csv, tmp_path):
+        mixed = tmp_path / "mixed.csv"
+        main([
+            "attack", "--counts", str(background_csv), "--rate", "1.2",
+            "--start", "360", "--out", str(mixed),
+        ])
+        # 1.2 SYN/s is below the default floor but a hair-trigger
+        # threshold catches it (at a false-alarm cost the operator
+        # accepted explicitly).
+        default = main(["detect", "--counts", str(mixed), "--quiet"])
+        tuned = main([
+            "detect", "--counts", str(mixed), "--quiet",
+            "--drift", "0.1", "--threshold", "0.3",
+        ])
+        assert default == EXIT_OK
+        assert tuned == EXIT_ALARM
+
+
+class TestReports:
+    def test_table1(self, capsys):
+        assert main(["table", "1"]) == EXIT_OK
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_table3_small(self, capsys):
+        assert main(["table", "3", "--trials", "2"]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "Auckland" in out and "measured prob" in out
+
+    def test_figure5(self, capsys):
+        assert main(["figure", "5"]) == EXIT_OK
+        assert "no false alarm" in capsys.readouterr().out
+
+    def test_figure9(self, capsys):
+        assert main(["figure", "9"]) == EXIT_OK
+        assert "ALARM" in capsys.readouterr().out
+
+    def test_theory(self, capsys):
+        assert main(["theory", "--k-bar", "100"]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "1.75" in out  # the Auckland floor
+
+
+class TestUsage:
+    def test_pcap_out_without_in(self, tmp_path, capsys):
+        from repro.cli import EXIT_USAGE
+
+        code = main(["detect", "--pcap-out", str(tmp_path / "x.pcap")])
+        assert code == EXIT_USAGE
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestForensicReport:
+    def test_report_flag_prints_estimates(self, background_csv, tmp_path, capsys):
+        mixed = tmp_path / "mixed.csv"
+        main([
+            "attack", "--counts", str(background_csv), "--rate", "5",
+            "--start", "360", "--out", str(mixed),
+        ])
+        code = main(["detect", "--counts", str(mixed), "--quiet", "--report"])
+        assert code == EXIT_ALARM
+        out = capsys.readouterr().out
+        assert "forensic report" in out
+        assert "estimated onset" in out
+        assert "estimated rate" in out
+        # The onset estimate should name (roughly) the true start.
+        assert "t = 360s" in out
+
+
+class TestJsonExport:
+    def test_detect_json(self, background_csv, tmp_path):
+        import json
+
+        out = tmp_path / "run.json"
+        main(["detect", "--counts", str(background_csv), "--quiet",
+              "--json", str(out)])
+        payload = json.loads(out.read_text())
+        assert payload["alarmed"] is False
+        assert len(payload["periods"]) == 90
+        assert {"syn", "synack", "x", "y"} <= set(payload["periods"][0])
+
+    def test_table_json(self, tmp_path):
+        import json
+
+        out = tmp_path / "table3.json"
+        main(["table", "3", "--trials", "2", "--json", str(out)])
+        payload = json.loads(out.read_text())
+        assert payload["title"] == "Table 3"
+        assert len(payload["rows"]) == 5
+        assert payload["rows"][0]["flood_rate"] == 1.5
+
+
+class TestCampaignCommand:
+    def test_concentrated_campaign_detected(self, capsys):
+        code = main([
+            "campaign", "--aggregate", "5000", "--networks", "500",
+            "--site", "auckland", "--sample", "3",
+        ])
+        assert code == EXIT_ALARM
+        out = capsys.readouterr().out
+        assert "dogs barking    : 100%" in out
+
+    def test_dispersed_campaign_hides(self, capsys):
+        code = main([
+            "campaign", "--aggregate", "5000", "--networks", "10000",
+            "--site", "auckland", "--sample", "3",
+        ])
+        assert code == EXIT_OK
+        assert "hides below" in capsys.readouterr().out

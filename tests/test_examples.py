@@ -1,0 +1,42 @@
+"""Every example script must keep running end-to-end.
+
+Examples are documentation that executes; this module keeps them honest
+by running each one in-process (so coverage and import errors surface
+here, not in a user's terminal).  Each example contains its own
+assertions about the scenario it demonstrates.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLE_SCRIPTS = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_is_populated():
+    assert len(EXAMPLE_SCRIPTS) >= 7
+    assert "quickstart.py" in EXAMPLE_SCRIPTS
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_quickstart_detects(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "ALARM" in out
+    assert "detection floor" in out
+
+
+def test_live_router_localizes(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "live_router.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "flooding source localized: lab-pc-42" in out

@@ -1,0 +1,152 @@
+"""Tests for the connection-arrival processes, including the statistical
+properties (means, burstiness, self-similarity ordering) the detection
+experiments rely on."""
+
+import random
+
+import pytest
+
+from repro.trace.arrival import (
+    MMPPArrivals,
+    ParetoOnOffArrivals,
+    PoissonArrivals,
+    diurnal_modulation,
+    flat_modulation,
+)
+from repro.trace.stats import index_of_dispersion, variance_time_hurst
+
+
+class TestPoisson:
+    def test_mean_matches_rate(self):
+        process = PoissonArrivals(rate=10.0)
+        counts = process.counts(random.Random(1), 500, 20.0)
+        mean = sum(counts) / len(counts)
+        assert mean == pytest.approx(200.0, rel=0.05)
+
+    def test_dispersion_near_one(self):
+        process = PoissonArrivals(rate=5.0)
+        counts = process.counts(random.Random(2), 1000, 20.0)
+        assert 0.8 < index_of_dispersion(counts) < 1.3
+
+    def test_zero_rate(self):
+        process = PoissonArrivals(rate=0.0)
+        assert process.counts(random.Random(3), 10, 20.0) == [0] * 10
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(rate=-1.0)
+
+    def test_modulation_shapes_counts(self):
+        # Rate peaks at t = 0 with a strong diurnal swing.
+        modulation = diurnal_modulation(peak_time=0.0, amplitude=0.9)
+        process = PoissonArrivals(rate=50.0, modulation=modulation)
+        counts = process.counts(random.Random(4), 4320, 20.0)  # one day
+        first_hour = sum(counts[:180])
+        half_day = sum(counts[2070:2250])  # around the trough
+        assert first_hour > 2 * half_day
+
+    def test_determinism_per_seed(self):
+        process = PoissonArrivals(rate=7.0)
+        a = process.counts(random.Random(42), 50, 20.0)
+        b = process.counts(random.Random(42), 50, 20.0)
+        assert a == b
+
+    def test_arrival_times_sorted_and_bounded(self):
+        process = PoissonArrivals(rate=3.0)
+        times = process.arrival_times(random.Random(5), 100.0, 20.0)
+        assert times == sorted(times)
+        assert all(0.0 <= t < 100.0 for t in times)
+
+
+class TestParetoOnOff:
+    def test_mean_rate_formula(self):
+        process = ParetoOnOffArrivals(
+            num_sources=60, on_rate=0.25, mean_on=10.0, mean_off=20.0
+        )
+        assert process.mean_rate == pytest.approx(5.0)
+
+    def test_empirical_mean_close_to_analytic(self):
+        process = ParetoOnOffArrivals(
+            num_sources=60, on_rate=0.25, mean_on=10.0, mean_off=20.0
+        )
+        counts = process.counts(random.Random(6), 500, 20.0)
+        mean = sum(counts) / len(counts)
+        # Heavy tails make convergence slow; accept a generous band.
+        assert mean == pytest.approx(process.mean_rate * 20.0, rel=0.35)
+
+    def test_hurst_parameter_formula(self):
+        process = ParetoOnOffArrivals(num_sources=10, on_rate=1.0, alpha=1.5)
+        assert process.hurst == pytest.approx(0.75)
+
+    def test_burstier_than_poisson(self):
+        rng = random.Random(7)
+        pareto = ParetoOnOffArrivals(
+            num_sources=60, on_rate=0.25, mean_on=10.0, mean_off=20.0
+        )
+        poisson = PoissonArrivals(rate=pareto.mean_rate)
+        pareto_disp = index_of_dispersion(pareto.counts(rng, 800, 20.0))
+        poisson_disp = index_of_dispersion(poisson.counts(rng, 800, 20.0))
+        assert pareto_disp > 2.0 * poisson_disp
+
+    def test_variance_time_hurst_above_poisson(self):
+        rng = random.Random(8)
+        pareto = ParetoOnOffArrivals(
+            num_sources=60, on_rate=0.25, mean_on=10.0, mean_off=20.0
+        )
+        poisson = PoissonArrivals(rate=pareto.mean_rate)
+        h_pareto = variance_time_hurst(pareto.counts(rng, 2048, 20.0))
+        h_poisson = variance_time_hurst(poisson.counts(rng, 2048, 20.0))
+        assert h_pareto > h_poisson
+        assert h_pareto > 0.6  # genuinely long-range dependent
+
+    def test_alpha_bounds(self):
+        with pytest.raises(ValueError):
+            ParetoOnOffArrivals(num_sources=1, on_rate=1.0, alpha=2.5)
+        with pytest.raises(ValueError):
+            ParetoOnOffArrivals(num_sources=1, on_rate=1.0, alpha=1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParetoOnOffArrivals(num_sources=0, on_rate=1.0)
+        with pytest.raises(ValueError):
+            ParetoOnOffArrivals(num_sources=1, on_rate=1.0, mean_on=0.0)
+
+
+class TestMMPP:
+    def test_mean_rate_formula(self):
+        process = MMPPArrivals(
+            rate_low=2.0, rate_high=10.0, mean_quiet=80.0, mean_burst=20.0
+        )
+        assert process.mean_rate == pytest.approx((2 * 80 + 10 * 20) / 100)
+
+    def test_empirical_mean(self):
+        process = MMPPArrivals(rate_low=2.0, rate_high=10.0)
+        counts = process.counts(random.Random(9), 600, 20.0)
+        mean = sum(counts) / len(counts)
+        assert mean == pytest.approx(process.mean_rate * 20.0, rel=0.25)
+
+    def test_burstier_than_poisson(self):
+        rng = random.Random(10)
+        mmpp = MMPPArrivals(rate_low=1.0, rate_high=20.0)
+        counts = mmpp.counts(rng, 800, 20.0)
+        assert index_of_dispersion(counts) > 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MMPPArrivals(rate_low=5.0, rate_high=1.0)
+        with pytest.raises(ValueError):
+            MMPPArrivals(rate_low=-1.0, rate_high=1.0)
+
+
+class TestModulation:
+    def test_flat_is_unit(self):
+        assert flat_modulation(12345.0) == 1.0
+
+    def test_diurnal_peak_and_trough(self):
+        modulation = diurnal_modulation(peak_time=0.0, amplitude=0.3)
+        assert modulation(0.0) == pytest.approx(1.3)
+        assert modulation(12 * 3600.0) == pytest.approx(0.7)
+
+    def test_amplitude_bounds(self):
+        with pytest.raises(ValueError):
+            diurnal_modulation(amplitude=1.0)

@@ -1,0 +1,93 @@
+"""Flash-crowd generator tests."""
+
+import random
+
+import pytest
+
+from repro.core import SynDog
+from repro.trace.flashcrowd import FlashCrowd, mix_flash_crowd_into_counts
+from repro.trace.handshake import HandshakeModel
+from repro.trace.mixer import AttackWindow
+from repro.trace.profiles import AUCKLAND
+from repro.trace.synthetic import generate_count_trace
+
+
+class TestEnvelope:
+    def test_ramp_hold_decay(self):
+        crowd = FlashCrowd(peak_rate=100.0, ramp_time=60.0, hold_time=300.0,
+                           decay_time=100.0)
+        assert crowd.rate_at(-1.0) == 0.0
+        assert crowd.rate_at(30.0) == pytest.approx(50.0)
+        assert crowd.rate_at(60.0) == pytest.approx(100.0)
+        assert crowd.rate_at(200.0) == pytest.approx(100.0)
+        assert crowd.rate_at(360.0 + 100.0) == pytest.approx(100.0 / 2.718, rel=0.01)
+
+    def test_expected_connections_positive_and_additive(self):
+        crowd = FlashCrowd(peak_rate=50.0)
+        whole = crowd.expected_connections(0.0, 600.0)
+        split = crowd.expected_connections(0.0, 250.0) + crowd.expected_connections(
+            250.0, 600.0
+        )
+        assert whole == pytest.approx(split, rel=0.01)
+        assert whole > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlashCrowd(peak_rate=-1.0)
+        with pytest.raises(ValueError):
+            FlashCrowd(peak_rate=1.0, ramp_time=0.0)
+        with pytest.raises(ValueError):
+            FlashCrowd(peak_rate=1.0, server_overload_drop=1.5)
+
+
+class TestMixing:
+    def test_both_columns_rise(self):
+        background = generate_count_trace(AUCKLAND, seed=1)
+        crowd = FlashCrowd(peak_rate=50.0)
+        mixed = mix_flash_crowd_into_counts(
+            background, crowd, AttackWindow(3600.0, 900.0),
+            AUCKLAND.handshake, random.Random(1),
+        )
+        assert sum(mixed.syn_counts) > sum(background.syn_counts)
+        assert sum(mixed.synack_counts) > sum(background.synack_counts)
+        # Pairing preserved: the extra SYN/ACKs track the extra SYNs.
+        extra_syn = sum(mixed.syn_counts) - sum(background.syn_counts)
+        extra_synack = sum(mixed.synack_counts) - sum(background.synack_counts)
+        assert extra_synack / extra_syn > 0.9
+
+    def test_syndog_stays_quiet_on_20x_surge(self):
+        background = generate_count_trace(AUCKLAND, seed=2)
+        crowd = FlashCrowd(peak_rate=85.0)  # 20x the ~4.25/s baseline
+        mixed = mix_flash_crowd_into_counts(
+            background, crowd, AttackWindow(3600.0, 900.0),
+            AUCKLAND.handshake, random.Random(2),
+        )
+        result = SynDog().observe_counts(mixed.counts)
+        assert not result.alarmed
+
+    def test_overloaded_servers_shift_balance(self):
+        # With heavy server-side shedding, a surge starts to *look* like
+        # a flood — the honest boundary of the discrimination.
+        background = generate_count_trace(AUCKLAND, seed=3)
+        healthy = FlashCrowd(peak_rate=85.0, server_overload_drop=0.0)
+        shedding = FlashCrowd(peak_rate=85.0, server_overload_drop=0.5)
+        window = AttackWindow(3600.0, 900.0)
+        healthy_mixed = mix_flash_crowd_into_counts(
+            background, healthy, window, AUCKLAND.handshake, random.Random(3)
+        )
+        shedding_mixed = mix_flash_crowd_into_counts(
+            background, shedding, window, AUCKLAND.handshake, random.Random(3)
+        )
+        healthy_max = SynDog().observe_counts(healthy_mixed.counts).max_statistic
+        shedding_max = SynDog().observe_counts(shedding_mixed.counts).max_statistic
+        assert shedding_max > healthy_max
+
+    def test_outside_window_untouched(self):
+        background = generate_count_trace(AUCKLAND, seed=4)
+        crowd = FlashCrowd(peak_rate=50.0)
+        mixed = mix_flash_crowd_into_counts(
+            background, crowd, AttackWindow(3600.0, 600.0),
+            AUCKLAND.handshake, random.Random(4),
+        )
+        # Periods well before the surge are identical.
+        assert mixed.counts[:100] == background.counts[:100]

@@ -1,0 +1,152 @@
+"""Tests for the SYN<->SYN/ACK handshake model: pairing, retransmission,
+congestion episodes, and the agreement between its two APIs."""
+
+import random
+
+import pytest
+
+from repro.trace.handshake import (
+    CongestionEpisodeModel,
+    HandshakeEvent,
+    HandshakeModel,
+)
+
+
+class TestLosslessPairing:
+    def test_every_syn_answered_without_loss(self):
+        model = HandshakeModel(base_drop_probability=0.0)
+        rng = random.Random(1)
+        arrivals = [i * 0.1 for i in range(500)]
+        events = model.simulate_handshakes(rng, arrivals, duration=100.0)
+        answered = [e for e in events if e.answered]
+        # Only connections whose SYN/ACK would land after the trace end
+        # can be unanswered.
+        assert len(answered) >= 490
+        for event in answered:
+            assert event.num_syns == 1
+            assert event.synack_time > event.syn_times[0]
+
+    def test_synack_within_plausible_rtt(self):
+        model = HandshakeModel(base_drop_probability=0.0, rtt_mean=0.1, rtt_sigma=0.3)
+        rng = random.Random(2)
+        events = model.simulate_handshakes(rng, [1.0] * 200, duration=100.0)
+        latencies = [e.synack_time - e.syn_times[0] for e in events if e.answered]
+        assert all(0.0 < latency < 5.0 for latency in latencies)
+        mean = sum(latencies) / len(latencies)
+        assert mean == pytest.approx(0.1, rel=0.5)
+
+
+class TestLossAndRetry:
+    def test_drops_produce_retransmissions(self):
+        model = HandshakeModel(base_drop_probability=0.5, max_retransmissions=2)
+        rng = random.Random(3)
+        events = model.simulate_handshakes(rng, [1.0] * 1000, duration=1000.0)
+        multi_syn = [e for e in events if e.num_syns > 1]
+        assert len(multi_syn) > 300  # ~50% retry at least once
+
+    def test_retransmission_timing_exponential_backoff(self):
+        model = HandshakeModel(base_drop_probability=1.0, max_retransmissions=2)
+        rng = random.Random(4)
+        events = model.simulate_handshakes(rng, [0.0], duration=100.0)
+        assert events[0].syn_times == (0.0, 3.0, 9.0)
+        assert not events[0].answered
+
+    def test_zero_retransmissions(self):
+        model = HandshakeModel(base_drop_probability=1.0, max_retransmissions=0)
+        rng = random.Random(5)
+        events = model.simulate_handshakes(rng, [0.0, 1.0], duration=100.0)
+        assert all(e.num_syns == 1 and not e.answered for e in events)
+
+    def test_expected_syns_per_connection(self):
+        model = HandshakeModel(base_drop_probability=0.1, max_retransmissions=2)
+        assert model.expected_syns_per_connection() == pytest.approx(1.11)
+
+    def test_expected_answer_probability(self):
+        model = HandshakeModel(base_drop_probability=0.1, max_retransmissions=2)
+        assert model.expected_answer_probability() == pytest.approx(1 - 0.001)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HandshakeModel(base_drop_probability=1.5)
+        with pytest.raises(ValueError):
+            HandshakeModel(rtt_mean=0.0)
+        with pytest.raises(ValueError):
+            HandshakeModel(max_retransmissions=-1)
+
+
+class TestCongestionEpisodes:
+    def test_episode_sampling_bounded(self):
+        model = CongestionEpisodeModel(mean_interval=100.0, mean_duration=10.0)
+        rng = random.Random(6)
+        episodes = model.sample_episodes(rng, 1000.0)
+        assert episodes
+        for start, end in episodes:
+            assert 0.0 <= start < end <= 1000.0
+        # Episodes must be disjoint and ordered.
+        for (s1, e1), (s2, e2) in zip(episodes, episodes[1:]):
+            assert e1 <= s2
+
+    def test_episodes_raise_unanswered_rate(self):
+        rng = random.Random(7)
+        calm = HandshakeModel(base_drop_probability=0.01, congestion=None)
+        stormy = HandshakeModel(
+            base_drop_probability=0.01,
+            congestion=CongestionEpisodeModel(
+                mean_interval=50.0, mean_duration=25.0, drop_probability=0.9
+            ),
+        )
+        arrivals = [i * 0.05 for i in range(8000)]
+        calm_events = calm.simulate_handshakes(random.Random(7), arrivals, 400.0)
+        stormy_events = stormy.simulate_handshakes(random.Random(7), arrivals, 400.0)
+        calm_unanswered = sum(not e.answered for e in calm_events)
+        stormy_unanswered = sum(not e.answered for e in stormy_events)
+        assert stormy_unanswered > 3 * max(calm_unanswered, 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CongestionEpisodeModel(mean_interval=0.0)
+        with pytest.raises(ValueError):
+            CongestionEpisodeModel(drop_probability=1.5)
+
+
+class TestCountLevelAPI:
+    def test_counts_shape(self):
+        model = HandshakeModel(base_drop_probability=0.02)
+        rng = random.Random(8)
+        counts = model.period_counts(rng, [100] * 20, period=20.0)
+        assert len(counts) == 20
+        for syns, synacks in counts:
+            assert syns >= synacks >= 0
+            assert syns >= 100  # at least one SYN per connection
+
+    def test_count_and_event_paths_agree_statistically(self):
+        # The fast count-level API must produce the same mean SYN and
+        # SYN/ACK volumes as the packet-level event API.
+        model = HandshakeModel(base_drop_probability=0.05)
+        periods, per_period = 50, 200
+        count_rng = random.Random(9)
+        counts = model.period_counts(count_rng, [per_period] * periods, 20.0)
+        mean_syn_counts = sum(s for s, _ in counts) / periods
+        mean_ack_counts = sum(a for _, a in counts) / periods
+
+        event_rng = random.Random(10)
+        arrivals = []
+        for period in range(periods):
+            arrivals.extend(
+                period * 20.0 + event_rng.random() * 20.0
+                for _ in range(per_period)
+            )
+        arrivals.sort()
+        events = model.simulate_handshakes(
+            event_rng, arrivals, duration=periods * 20.0
+        )
+        mean_syn_events = sum(e.num_syns for e in events) / periods
+        mean_ack_events = sum(e.answered for e in events) / periods
+
+        assert mean_syn_counts == pytest.approx(mean_syn_events, rel=0.03)
+        assert mean_ack_counts == pytest.approx(mean_ack_events, rel=0.03)
+
+    def test_zero_connections(self):
+        model = HandshakeModel()
+        counts = model.period_counts(random.Random(11), [0] * 5, 20.0)
+        assert counts == [(0, 0)] * 5

@@ -1,0 +1,140 @@
+"""Tests for attack mixing at both trace resolutions."""
+
+import random
+
+import pytest
+
+from repro.attack.flooder import FloodSource
+from repro.attack.patterns import SquareWaveRate
+from repro.trace.events import CountTrace, TraceMetadata
+from repro.trace.mixer import AttackWindow, mix_flood_into_counts, mix_flood_into_packets
+from repro.trace.profiles import AUCKLAND
+from repro.trace.synthetic import generate_packet_trace
+
+
+def flat_background(num_periods=30, syn=100, synack=100, period=20.0):
+    return CountTrace(
+        metadata=TraceMetadata(
+            name="flat", duration=num_periods * period, bidirectional=False
+        ),
+        period=period,
+        counts=tuple((syn, synack) for _ in range(num_periods)),
+    )
+
+
+class TestAttackWindow:
+    def test_overlap(self):
+        window = AttackWindow(100.0, 50.0)
+        assert window.overlap_with(0.0, 100.0) == 0.0
+        assert window.overlap_with(90.0, 110.0) == 10.0
+        assert window.overlap_with(100.0, 150.0) == 50.0
+        assert window.overlap_with(140.0, 200.0) == 10.0
+        assert window.overlap_with(150.0, 200.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AttackWindow(-1.0, 10.0)
+        with pytest.raises(ValueError):
+            AttackWindow(0.0, 0.0)
+
+
+class TestCountMixing:
+    def test_only_syn_column_changes(self):
+        background = flat_background()
+        mixed = mix_flood_into_counts(
+            background, FloodSource(pattern=5.0), AttackWindow(100.0, 200.0)
+        )
+        assert mixed.synack_counts == background.synack_counts
+        assert sum(mixed.syn_counts) > sum(background.syn_counts)
+
+    def test_constant_rate_volume_exact(self):
+        background = flat_background()
+        # 5 SYN/s for 200 s = 1000 extra SYNs, aligned to period bounds.
+        mixed = mix_flood_into_counts(
+            background, FloodSource(pattern=5.0), AttackWindow(100.0, 200.0)
+        )
+        extra = sum(mixed.syn_counts) - sum(background.syn_counts)
+        assert extra == 1000
+
+    def test_partial_period_prorated(self):
+        background = flat_background()
+        # Attack covers only 10 s of period 5 (t = 110..120).
+        mixed = mix_flood_into_counts(
+            background, FloodSource(pattern=10.0), AttackWindow(110.0, 10.0)
+        )
+        assert mixed.counts[5][0] - background.counts[5][0] == 100
+        assert mixed.counts[4] == background.counts[4]
+        assert mixed.counts[6] == background.counts[6]
+
+    def test_unaligned_window_splits_across_periods(self):
+        background = flat_background()
+        mixed = mix_flood_into_counts(
+            background, FloodSource(pattern=10.0), AttackWindow(110.0, 20.0)
+        )
+        # 10 s in period 5, 10 s in period 6: 100 each.
+        assert mixed.counts[5][0] - 100 == 100
+        assert mixed.counts[6][0] - 100 == 100
+
+    def test_bursty_pattern_integrates_exactly(self):
+        background = flat_background(num_periods=50)
+        pattern = SquareWaveRate(high=20.0, on_time=5.0, off_time=15.0)
+        mixed = mix_flood_into_counts(
+            background, FloodSource(pattern=pattern), AttackWindow(0.0, 1000.0)
+        )
+        extra = sum(mixed.syn_counts) - sum(background.syn_counts)
+        # 50 cycles x 5s x 20/s = 5000 packets.
+        assert extra == 5000
+
+    def test_jitter_mode_preserves_mean(self):
+        background = flat_background(num_periods=200, period=20.0)
+        rng = random.Random(5)
+        mixed = mix_flood_into_counts(
+            background,
+            FloodSource(pattern=10.0),
+            AttackWindow(0.0, 4000.0),
+            rng=rng,
+            jitter=True,
+        )
+        extra = sum(mixed.syn_counts) - sum(background.syn_counts)
+        assert extra == pytest.approx(40000, rel=0.05)
+
+    def test_window_outside_trace_adds_nothing(self):
+        background = flat_background(num_periods=10)  # 200 s
+        mixed = mix_flood_into_counts(
+            background, FloodSource(pattern=100.0), AttackWindow(500.0, 100.0)
+        )
+        assert mixed.counts == background.counts
+
+
+class TestPacketMixing:
+    def test_flood_packets_merged_and_sorted(self):
+        rng = random.Random(1)
+        background = generate_packet_trace(AUCKLAND, seed=1, duration=300.0)
+        flood = FloodSource(pattern=20.0)
+        mixed = mix_flood_into_packets(
+            background, flood, AttackWindow(100.0, 100.0), rng
+        )
+        times = [p.timestamp for p in mixed.outbound]
+        assert times == sorted(times)
+        extra = len(mixed.outbound) - len(background.outbound)
+        assert extra == pytest.approx(2000, rel=0.1)
+
+    def test_inbound_untouched(self):
+        rng = random.Random(2)
+        background = generate_packet_trace(AUCKLAND, seed=2, duration=200.0)
+        mixed = mix_flood_into_packets(
+            background, FloodSource(pattern=5.0), AttackWindow(50.0, 100.0), rng
+        )
+        assert mixed.inbound == background.inbound
+
+    def test_flood_packets_carry_flooder_mac(self):
+        rng = random.Random(3)
+        background = generate_packet_trace(AUCKLAND, seed=3, duration=100.0)
+        flood = FloodSource(pattern=10.0)
+        mixed = mix_flood_into_packets(
+            background, flood, AttackWindow(0.0, 100.0), rng
+        )
+        flood_packets = [
+            p for p in mixed.outbound if p.src_mac == flood.mac
+        ]
+        assert len(flood_packets) == pytest.approx(1000, rel=0.15)

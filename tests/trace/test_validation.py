@@ -1,0 +1,95 @@
+"""Trace-validation tests."""
+
+import pytest
+
+from repro.trace.events import CountTrace, TraceMetadata
+from repro.trace.profiles import AUCKLAND
+from repro.trace.synthetic import generate_count_trace
+from repro.trace.validation import Severity, validate_count_trace
+
+
+def make_trace(counts):
+    return CountTrace(
+        metadata=TraceMetadata(
+            name="t", duration=len(counts) * 20.0, bidirectional=False
+        ),
+        period=20.0,
+        counts=tuple(counts),
+    )
+
+
+def codes(findings):
+    return {finding.code for finding in findings}
+
+
+class TestHealthyTraces:
+    def test_calibrated_profile_passes_clean(self):
+        trace = generate_count_trace(AUCKLAND, seed=0)
+        assert validate_count_trace(trace) == []
+
+    def test_all_sites_pass(self):
+        from repro.trace.profiles import HARVARD, LBL, UNC
+
+        for profile in (LBL, HARVARD, UNC):
+            trace = generate_count_trace(profile, seed=1)
+            findings = validate_count_trace(trace)
+            assert all(
+                finding.severity is not Severity.ERROR for finding in findings
+            ), profile.name
+
+
+class TestPathologies:
+    def test_empty_trace(self):
+        findings = validate_count_trace(make_trace([]))
+        assert codes(findings) == {"empty"}
+        assert findings[0].severity is Severity.ERROR
+
+    def test_short_trace(self):
+        findings = validate_count_trace(make_trace([(10, 10)] * 3))
+        assert "short" in codes(findings)
+
+    def test_idle_link(self):
+        findings = validate_count_trace(make_trace([(0, 0)] * 20))
+        assert "idle" in codes(findings)
+
+    def test_missing_return_path_suggests_synfin(self):
+        findings = validate_count_trace(make_trace([(100, 0)] * 20))
+        finding = next(f for f in findings if f.code == "no-return-path")
+        assert finding.severity is Severity.ERROR
+        assert "SynFinDog" in finding.message
+
+    def test_partial_asymmetry_warns(self):
+        findings = validate_count_trace(make_trace([(100, 30)] * 20))
+        assert "partial-return-path" in codes(findings)
+
+    def test_swapped_directions_suggests_lastmile(self):
+        findings = validate_count_trace(make_trace([(30, 100)] * 20))
+        finding = next(f for f in findings if f.code == "direction-swap")
+        assert "LastMileSynDog" in finding.message
+
+    def test_synacks_without_syns(self):
+        findings = validate_count_trace(make_trace([(0, 100)] * 20))
+        assert "no-requests" in codes(findings)
+
+    def test_very_quiet_link(self):
+        findings = validate_count_trace(make_trace([(1, 1)] * 30))
+        assert "very-quiet" in codes(findings)
+
+    def test_errors_sort_before_warnings(self):
+        findings = validate_count_trace(make_trace([(100, 0)] * 3))
+        severities = [finding.severity for finding in findings]
+        assert severities == sorted(
+            severities, key=lambda s: {"error": 0, "warning": 1, "info": 2}[s.value]
+        )
+
+
+class TestCliIntegration:
+    def test_detect_warns_on_asymmetric_counts(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.trace.io import save_count_trace
+
+        path = tmp_path / "asym.csv"
+        save_count_trace(make_trace([(100, 0)] * 20), path)
+        main(["detect", "--counts", str(path), "--quiet"])
+        err = capsys.readouterr().err
+        assert "no-return-path" in err

@@ -1,0 +1,90 @@
+"""Source-localization tests."""
+
+import pytest
+
+from repro.defense.ingress import SpoofObservation
+from repro.packet.addresses import IPv4Address, MACAddress
+from repro.traceback.locator import HostInventory, SourceLocator
+
+
+def observations(mac: MACAddress, count: int, start: float = 0.0):
+    return [
+        SpoofObservation(
+            timestamp=start + i * 0.01,
+            spoofed_source=f"10.0.{i % 256}.{(i * 7) % 256}",
+            mac=mac,
+            destination="198.51.100.80",
+        )
+        for i in range(count)
+    ]
+
+
+FLOODER = MACAddress.parse("02:bd:00:00:be:ef")
+INNOCENT = MACAddress.parse("02:00:00:00:00:77")
+
+
+class TestInventory:
+    def test_register_and_lookup(self):
+        inventory = HostInventory()
+        inventory.register(FLOODER, ip=IPv4Address.parse("152.2.9.9"),
+                           name="lab-pc", switch_port="7")
+        record = inventory.lookup(FLOODER)
+        assert record == {"ip": "152.2.9.9", "name": "lab-pc", "port": "7"}
+        assert FLOODER in inventory
+        assert len(inventory) == 1
+
+    def test_unknown_lookup(self):
+        assert HostInventory().lookup(FLOODER) is None
+
+
+class TestLocator:
+    def test_ranks_by_volume(self):
+        locator = SourceLocator(min_packets=1)
+        evidence = observations(FLOODER, 100) + observations(INNOCENT, 3)
+        report = locator.locate(evidence)
+        assert report.total_spoofed_packets == 103
+        assert report.hosts[0].mac == FLOODER
+        assert report.hosts[0].spoofed_packet_count == 100
+        assert report.hosts[0].share == pytest.approx(100 / 103)
+
+    def test_min_packets_filters_noise(self):
+        locator = SourceLocator(min_packets=10)
+        evidence = observations(FLOODER, 100) + observations(INNOCENT, 3)
+        report = locator.locate(evidence)
+        assert [host.mac for host in report.hosts] == [FLOODER]
+
+    def test_inventory_resolution(self):
+        inventory = HostInventory()
+        inventory.register(FLOODER, name="pwned", switch_port="4")
+        locator = SourceLocator(inventory=inventory, min_packets=1)
+        report = locator.locate(observations(FLOODER, 20))
+        suspect = report.primary_suspect
+        assert suspect.known
+        assert suspect.name == "pwned"
+        assert suspect.switch_port == "4"
+        assert report.localized
+
+    def test_unknown_mac_still_reported(self):
+        locator = SourceLocator(min_packets=1)
+        report = locator.locate(observations(FLOODER, 20))
+        assert report.hosts[0].known is False
+        assert not report.localized
+
+    def test_empty_evidence(self):
+        report = SourceLocator().locate([])
+        assert report.total_spoofed_packets == 0
+        assert report.hosts == ()
+        assert report.primary_suspect is None
+
+    def test_multiple_flooders_all_reported(self):
+        second = MACAddress.parse("02:bd:00:00:be:f0")
+        locator = SourceLocator(min_packets=10)
+        report = locator.locate(
+            observations(FLOODER, 60) + observations(second, 40)
+        )
+        assert len(report.hosts) == 2
+        assert {h.mac for h in report.hosts} == {FLOODER, second}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SourceLocator(min_packets=0)

@@ -1,0 +1,149 @@
+"""PPM traceback tests: marking mechanics, reconstruction correctness,
+and the cost law."""
+
+import random
+
+import pytest
+
+from repro.packet.addresses import IPv4Address
+from repro.traceback.ppm import (
+    MARKING_PROBABILITY,
+    AttackPath,
+    PPMCollector,
+    expected_packets_for_full_path,
+    mark_along_path,
+)
+
+
+class TestAttackPath:
+    def test_random_paths_are_distinct_routers(self):
+        path = AttackPath.random(random.Random(1), 20)
+        assert path.length == 20
+        assert len(set(path.routers)) == 20
+
+    def test_true_edges_cover_all_distances(self):
+        path = AttackPath.random(random.Random(2), 6)
+        edges = path.true_edges()
+        assert sorted(e[2] for e in edges) == list(range(6))
+        # Distance 0 is adjacent to the victim (last router).
+        nearest = next(e for e in edges if e[2] == 0)
+        assert nearest[0] == path.routers[-1]
+        assert nearest[1] is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AttackPath(routers=())
+        addr = IPv4Address.parse("10.0.0.1")
+        with pytest.raises(ValueError):
+            AttackPath(routers=(addr, addr))
+
+
+class TestMarking:
+    def test_mark_distance_distribution(self):
+        # P(final mark from distance d) = p(1-p)^d: the farthest router's
+        # marks are the rarest — the crux of the cost law.
+        rng = random.Random(3)
+        path = AttackPath.random(random.Random(4), 8)
+        counts = {}
+        for _ in range(40_000):
+            mark = mark_along_path(path, rng)
+            if mark is not None:
+                counts[mark.distance] = counts.get(mark.distance, 0) + 1
+        assert set(counts) == set(range(8))
+        # Frequency decays with distance.  Adjacent ratios are only
+        # (1−p) ≈ 0.96, far inside sampling noise at this sample size,
+        # so compare well-separated distances rather than neighbours.
+        assert counts[0] > counts[4] > counts[7]
+        # Quantitative check at the two ends.
+        p = MARKING_PROBABILITY
+        total = 40_000
+        assert counts[0] / total == pytest.approx(p, rel=0.15)
+        assert counts[7] / total == pytest.approx(p * (1 - p) ** 7, rel=0.25)
+
+    def test_unmarked_packets_return_none(self):
+        rng = random.Random(5)
+        path = AttackPath.random(random.Random(6), 3)
+        unmarked = sum(
+            mark_along_path(path, rng) is None for _ in range(10_000)
+        )
+        expected = (1 - MARKING_PROBABILITY) ** 3
+        assert unmarked / 10_000 == pytest.approx(expected, rel=0.05)
+
+    def test_marks_are_true_edges(self):
+        rng = random.Random(7)
+        path = AttackPath.random(random.Random(8), 10)
+        true_edges = {
+            (int(s), int(e) if e is not None else None, d)
+            for s, e, d in path.true_edges()
+        }
+        for _ in range(5_000):
+            mark = mark_along_path(path, rng)
+            if mark is None:
+                continue
+            key = (
+                int(mark.start),
+                int(mark.end) if mark.end is not None else None,
+                mark.distance,
+            )
+            assert key in true_edges
+
+    def test_probability_validation(self):
+        path = AttackPath.random(random.Random(9), 3)
+        with pytest.raises(ValueError):
+            mark_along_path(path, random.Random(0), p=0.0)
+
+
+class TestReconstruction:
+    def run_until_reconstructed(self, path, seed=0, cap=500_000):
+        rng = random.Random(seed)
+        collector = PPMCollector()
+        while not collector.has_full_path(path):
+            collector.collect(mark_along_path(path, rng))
+            if collector.packets_seen > cap:
+                raise AssertionError("reconstruction did not converge")
+        return collector
+
+    @pytest.mark.parametrize("length", [1, 3, 8, 15])
+    def test_exact_reconstruction(self, length):
+        path = AttackPath.random(random.Random(length), length)
+        collector = self.run_until_reconstructed(path, seed=length)
+        assert collector.reconstruct() == list(path.routers)
+
+    def test_incomplete_collection_returns_none(self):
+        path = AttackPath.random(random.Random(10), 12)
+        collector = PPMCollector()
+        # A handful of packets cannot cover 12 distance rings.
+        rng = random.Random(11)
+        for _ in range(5):
+            collector.collect(mark_along_path(path, rng))
+        assert collector.reconstruct() != list(path.routers)
+
+    def test_cost_grows_with_path_length(self):
+        # Coupon-collector variance is large, so compare the means of
+        # well-separated lengths over enough trials.
+        costs = []
+        for length in (3, 25):
+            path = AttackPath.random(random.Random(length), length)
+            trials = []
+            for seed in range(10):
+                collector = self.run_until_reconstructed(path, seed=seed)
+                trials.append(collector.packets_seen)
+            costs.append(sum(trials) / len(trials))
+        assert costs[1] > 2.0 * costs[0]
+
+    def test_cost_within_theory_band(self):
+        length = 15
+        path = AttackPath.random(random.Random(20), length)
+        trials = []
+        for seed in range(8):
+            collector = self.run_until_reconstructed(path, seed=seed)
+            trials.append(collector.packets_seen)
+        mean = sum(trials) / len(trials)
+        bound = expected_packets_for_full_path(length)
+        assert 0.3 * bound <= mean <= 3.0 * bound
+
+    def test_theory_validation(self):
+        with pytest.raises(ValueError):
+            expected_packets_for_full_path(0)
+        with pytest.raises(ValueError):
+            expected_packets_for_full_path(5, p=1.0)
