@@ -7,6 +7,8 @@ actually touch::
     repro-syndog attack   --counts trace.csv --rate 5 --start 360 --out mixed.csv
     repro-syndog detect   --counts mixed.csv
     repro-syndog detect   --pcap-out out.pcap --pcap-in in.pcap
+    repro-syndog observe  --trace mixed.csv --metrics-out metrics.prom \
+                          --events-out events.jsonl
     repro-syndog table    2
     repro-syndog figure   5
     repro-syndog theory   --k-bar 1922
@@ -20,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import nullcontext
 from typing import List, Optional, Sequence
 
 from .attack.flooder import FloodSource
@@ -99,6 +102,36 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("--json", metavar="PATH",
                         help="also write the full per-period detection "
                              "record as JSON")
+    detect.add_argument("--metrics-out", metavar="PATH",
+                        help="write pipeline metrics in Prometheus "
+                             "text-exposition format")
+
+    # ------------------------------------------------------------- observe
+    observe = sub.add_parser(
+        "observe",
+        help="run detection with the full observability layer enabled: "
+             "Prometheus metrics, JSONL events, span profile",
+    )
+    obs_source = observe.add_mutually_exclusive_group(required=True)
+    obs_source.add_argument("--trace", help="count-trace CSV")
+    obs_source.add_argument("--pcap-out", help="pcap of the outbound interface")
+    observe.add_argument(
+        "--pcap-in", help="pcap of the inbound interface (with --pcap-out)"
+    )
+    observe.add_argument("--drift", type=float,
+                         default=DEFAULT_PARAMETERS.drift, help="a (default 0.35)")
+    observe.add_argument("--threshold", type=float,
+                         default=DEFAULT_PARAMETERS.threshold,
+                         help="N (default 1.05)")
+    observe.add_argument("--period", type=float,
+                         default=DEFAULT_PARAMETERS.observation_period,
+                         help="t0 seconds (default 20; counts input keeps "
+                              "its own)")
+    observe.add_argument("--metrics-out", metavar="PATH",
+                         help="Prometheus text-exposition output file")
+    observe.add_argument("--events-out", metavar="PATH",
+                         help="JSONL event stream output file "
+                              "(one event per observation period)")
 
     # --------------------------------------------------------------- table
     table = sub.add_parser("table", help="regenerate a paper table (1, 2 or 3)")
@@ -129,6 +162,9 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--sample", type=int, default=6,
                           help="networks actually simulated (uniform sample)")
     campaign.add_argument("--seed", type=int, default=0)
+    campaign.add_argument("--metrics-out", metavar="PATH",
+                          help="write fleet metrics in Prometheus "
+                               "text-exposition format")
 
     # -------------------------------------------------------------- theory
     theory = sub.add_parser(
@@ -183,13 +219,22 @@ def _cmd_attack(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
-def _cmd_detect(args: argparse.Namespace) -> int:
-    parameters = SynDogParameters(
+def _detect_parameters(args: argparse.Namespace) -> SynDogParameters:
+    return SynDogParameters(
         observation_period=args.period,
         drift=args.drift,
         attack_increase=2.0 * args.drift,
         threshold=args.threshold,
     )
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    parameters = _detect_parameters(args)
+    obs = None
+    if args.metrics_out:
+        from .obs import enabled_instrumentation
+
+        obs = enabled_instrumentation(memory_events=False)
     if args.counts:
         trace = load_count_trace(args.counts)
         if trace.period != parameters.observation_period:
@@ -204,8 +249,10 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         for finding in validate_count_trace(trace):
             print(f"[{finding.severity.value}] {finding.code}: "
                   f"{finding.message}", file=sys.stderr)
-        dog = SynDog(parameters=parameters)
-        result = dog.observe_counts(trace.counts)
+        dog = SynDog(parameters=parameters, obs=obs)
+        with (obs.tracer.span("detect.run") if obs is not None
+              else nullcontext()):
+            result = dog.observe_counts(trace.counts)
     else:
         if not args.pcap_in:
             print("detect: --pcap-out requires --pcap-in", file=sys.stderr)
@@ -213,8 +260,11 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         from .experiments.streaming import detect_from_pcaps
 
         result, dog = detect_from_pcaps(
-            args.pcap_out, args.pcap_in, parameters=parameters
+            args.pcap_out, args.pcap_in, parameters=parameters, obs=obs
         )
+    if obs is not None:
+        samples = obs.finalize(args.metrics_out)
+        print(f"wrote {samples} metric samples to {args.metrics_out}")
     if args.json:
         from .experiments.export import detection_result_to_dict, save_json
 
@@ -244,6 +294,56 @@ def _cmd_detect(args: argparse.Namespace) -> int:
                   f"seen by this router")
             print(f"baseline X       : {report.baseline_x:.4f}; "
                   f"attacked X: {report.attack_x:.4f}")
+        return EXIT_ALARM
+    print("verdict          : no flooding source detected")
+    return EXIT_OK
+
+
+def _cmd_observe(args: argparse.Namespace) -> int:
+    """``detect`` with the full observability layer switched on."""
+    from .obs import enabled_instrumentation
+
+    parameters = _detect_parameters(args)
+    obs = enabled_instrumentation(events_path=args.events_out)
+    if args.trace:
+        trace = load_count_trace(args.trace)
+        if trace.period != parameters.observation_period:
+            parameters = SynDogParameters(
+                observation_period=trace.period,
+                drift=args.drift,
+                attack_increase=2.0 * args.drift,
+                threshold=args.threshold,
+            )
+        dog = SynDog(parameters=parameters, obs=obs)
+        with obs.tracer.span("observe.run"):
+            result = dog.observe_counts(trace.counts)
+    else:
+        if not args.pcap_in:
+            print("observe: --pcap-out requires --pcap-in", file=sys.stderr)
+            return EXIT_USAGE
+        from .experiments.streaming import detect_from_pcaps
+
+        with obs.tracer.span("observe.run"):
+            result, dog = detect_from_pcaps(
+                args.pcap_out, args.pcap_in, parameters=parameters, obs=obs
+            )
+    events_emitted = obs.events.events_emitted
+    run_seconds = obs.tracer.total_seconds("observe.run")
+    samples = obs.finalize(args.metrics_out)
+    print(f"periods observed : {len(result.records)}")
+    print(f"events emitted   : {events_emitted}")
+    print(f"detection pass   : {run_seconds * 1e3:.2f} ms wall clock")
+    print(f"K-bar estimate   : {dog.k_bar:.1f} SYN/ACKs per period")
+    print(f"max statistic    : {result.max_statistic:.4f} "
+          f"(threshold N = {parameters.threshold})")
+    if args.metrics_out:
+        print(f"metrics          : {samples} samples -> {args.metrics_out}")
+    if args.events_out:
+        print(f"events           : JSONL -> {args.events_out}")
+    if result.alarmed:
+        print(f"ALARM            : flooding source detected at "
+              f"t = {result.first_alarm_time:.0f}s "
+              f"(period {result.first_alarm_period})")
         return EXIT_ALARM
     print("verdict          : no flooding source detected")
     return EXIT_OK
@@ -327,9 +427,18 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     campaign = DDoSCampaign.evenly_distributed(
         IPv4Address.parse("198.51.100.80"), args.aggregate, args.networks
     )
+    obs = None
+    if args.metrics_out:
+        from .obs import enabled_instrumentation
+
+        obs = enabled_instrumentation(memory_events=False)
     result = simulate_campaign(
-        campaign, profile, base_seed=args.seed, max_networks=args.sample
+        campaign, profile, base_seed=args.seed, max_networks=args.sample,
+        obs=obs,
     )
+    if obs is not None:
+        samples = obs.finalize(args.metrics_out)
+        print(f"wrote {samples} metric samples to {args.metrics_out}")
     f_i = campaign.per_network_rate(0)
     floor = DEFAULT_PARAMETERS.min_detectable_rate(
         profile.k_bar_target or profile.expected_k_bar()
@@ -355,6 +464,7 @@ _COMMANDS = {
     "campaign": _cmd_campaign,
     "attack": _cmd_attack,
     "detect": _cmd_detect,
+    "observe": _cmd_observe,
     "table": _cmd_table,
     "figure": _cmd_figure,
     "theory": _cmd_theory,

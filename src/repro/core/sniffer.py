@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Tuple
 
+from ..obs.runtime import Instrumentation, resolve_instrumentation
 from ..packet.classify import PacketClass, classify_packet
 from ..packet.packet import Packet
 
@@ -115,7 +116,12 @@ class CountExchange:
     periods in between) and then counts toward the new one.
     """
 
-    def __init__(self, observation_period: float, start_time: float = 0.0) -> None:
+    def __init__(
+        self,
+        observation_period: float,
+        start_time: float = 0.0,
+        obs: Optional[Instrumentation] = None,
+    ) -> None:
         if observation_period <= 0:
             raise ValueError(
                 f"observation period must be positive: {observation_period}"
@@ -125,6 +131,34 @@ class CountExchange:
         self.inbound = InboundSniffer()
         self._period_index = 0
         self._period_start = float(start_time)
+        # Hot-path contract (see repro.obs): bind instruments once here;
+        # when disabled every per-packet guard is a single None check.
+        obs = resolve_instrumentation(obs)
+        if obs.enabled:
+            seen = obs.registry.counter(
+                "sniffer_packets_total",
+                "Packets inspected at the sniffers, by direction",
+                ("direction",),
+            )
+            counted = obs.registry.counter(
+                "sniffer_packets_counted_total",
+                "Packets matching the sniffer's target class, by direction",
+                ("direction",),
+            )
+            self._m_out_seen = seen.labels(Direction.OUTBOUND)
+            self._m_in_seen = seen.labels(Direction.INBOUND)
+            self._m_out_counted = counted.labels(Direction.OUTBOUND)
+            self._m_in_counted = counted.labels(Direction.INBOUND)
+            self._m_periods = obs.registry.counter(
+                "exchange_periods_total",
+                "Observation periods closed by the count exchange",
+            )
+        else:
+            self._m_out_seen = None
+            self._m_in_seen = None
+            self._m_out_counted = None
+            self._m_in_counted = None
+            self._m_periods = None
 
     @property
     def current_period_end(self) -> float:
@@ -140,6 +174,8 @@ class CountExchange:
         )
         self._period_index += 1
         self._period_start += self.observation_period
+        if self._m_periods is not None:
+            self._m_periods.inc()
         return report
 
     def _advance_to(self, timestamp: float) -> List[PeriodReport]:
@@ -153,13 +189,21 @@ class CountExchange:
         (possibly empty) list of period reports this packet's timestamp
         caused to close."""
         reports = self._advance_to(packet.timestamp)
-        self.outbound.observe(packet)
+        counted = self.outbound.observe(packet)
+        if self._m_out_seen is not None:
+            self._m_out_seen.inc()
+            if counted:
+                self._m_out_counted.inc()
         return reports
 
     def observe_inbound(self, packet: Packet) -> List[PeriodReport]:
         """Feed one packet seen at the inbound interface."""
         reports = self._advance_to(packet.timestamp)
-        self.inbound.observe(packet)
+        counted = self.inbound.observe(packet)
+        if self._m_in_seen is not None:
+            self._m_in_seen.inc()
+            if counted:
+                self._m_in_counted.inc()
         return reports
 
     def flush(self, end_time: Optional[float] = None) -> List[PeriodReport]:

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
+from ..obs.runtime import Instrumentation, resolve_instrumentation
 from ..packet.packet import Packet
 from .cusum import NonParametricCusum
 from .normalization import NormalizedDifference
@@ -105,11 +106,14 @@ class SynDog:
         start_time: float = 0.0,
         initial_k: Optional[float] = None,
         freeze_k_on_alarm: bool = False,
+        obs: Optional[Instrumentation] = None,
     ) -> None:
         self.parameters = parameters
+        obs = resolve_instrumentation(obs)
         self.exchange = CountExchange(
             observation_period=parameters.observation_period,
             start_time=start_time,
+            obs=obs,
         )
         self.normalizer = NormalizedDifference(
             alpha=parameters.ewma_alpha,
@@ -120,6 +124,50 @@ class SynDog:
             drift=parameters.drift, threshold=parameters.threshold
         )
         self._records: List[DetectionRecord] = []
+        self._prev_alarm = False
+        # Per-period instruments; bound once (see repro.obs hot-path
+        # contract).  Period cadence is t0 = 20 s, so the enabled cost
+        # is negligible even on heavy traffic.
+        if obs.enabled:
+            registry = obs.registry
+            self._m_periods = registry.counter(
+                "syndog_periods_total", "Observation periods processed"
+            )
+            self._m_syn = registry.counter(
+                "syndog_syn_total", "Outbound SYNs aggregated over all periods"
+            )
+            self._m_synack = registry.counter(
+                "syndog_synack_total",
+                "Inbound SYN/ACKs aggregated over all periods",
+            )
+            self._m_transitions = registry.counter(
+                "syndog_alarm_transitions_total",
+                "Alarm state transitions",
+                ("state",),
+            )
+            self._g_statistic = registry.gauge(
+                "syndog_statistic", "Current CUSUM statistic y_n"
+            )
+            self._g_x = registry.gauge(
+                "syndog_x", "Latest normalized difference X_n"
+            )
+            self._g_k_bar = registry.gauge(
+                "syndog_k_bar", "Current EWMA estimate of SYN/ACKs per period"
+            )
+            self._g_alarm = registry.gauge(
+                "syndog_alarm", "Current decision d_N (1 = flooding source)"
+            )
+            self._events = obs.events if obs.events.enabled else None
+        else:
+            self._m_periods = None
+            self._m_syn = None
+            self._m_synack = None
+            self._m_transitions = None
+            self._g_statistic = None
+            self._g_x = None
+            self._g_k_bar = None
+            self._g_alarm = None
+            self._events = None
 
     # ------------------------------------------------------------------
     # Count-level ingestion (trace-driven experiments)
@@ -159,6 +207,40 @@ class SynDog:
             alarm=state.alarm,
         )
         self._records.append(record)
+        if self._m_periods is not None:
+            self._m_periods.inc()
+            self._m_syn.inc(syn_count)
+            self._m_synack.inc(synack_count)
+            self._g_statistic.set(state.statistic)
+            self._g_x.set(x)
+            self._g_k_bar.set(record.k_bar)
+            self._g_alarm.set(1.0 if state.alarm else 0.0)
+            if state.alarm != self._prev_alarm:
+                self._m_transitions.labels(
+                    "raised" if state.alarm else "cleared"
+                ).inc()
+        if self._events is not None:
+            self._events.emit(
+                "period",
+                period_index=period_index,
+                start_time=start_time,
+                end_time=record.end_time,
+                syn=syn_count,
+                synack=synack_count,
+                k_bar=record.k_bar,
+                x=x,
+                statistic=state.statistic,
+                alarm=state.alarm,
+            )
+            if state.alarm != self._prev_alarm:
+                self._events.emit(
+                    "alarm_raised" if state.alarm else "alarm_cleared",
+                    period_index=period_index,
+                    time=record.end_time,
+                    statistic=state.statistic,
+                    k_bar=record.k_bar,
+                )
+        self._prev_alarm = state.alarm
         return record
 
     def observe_counts(

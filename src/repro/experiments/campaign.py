@@ -18,12 +18,14 @@ seconds.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..attack.ddos import DDoSCampaign, TYPICAL_ATTACK_DURATION
 from ..core.parameters import DEFAULT_PARAMETERS, SynDogParameters
 from ..core.syndog import SynDog
+from ..obs.runtime import Instrumentation, resolve_instrumentation
 from ..trace.mixer import AttackWindow, mix_flood_into_counts
 from ..trace.profiles import SiteProfile
 from ..trace.synthetic import generate_count_trace
@@ -101,6 +103,7 @@ def simulate_campaign(
     attack_start: Optional[float] = None,
     max_networks: Optional[int] = None,
     profile_selector=None,
+    obs: Optional[Instrumentation] = None,
 ) -> CampaignResult:
     """Run every participating stub network's SYN-dog over the campaign.
 
@@ -127,6 +130,7 @@ def simulate_campaign(
         compromise hosts wherever they can, so the per-network floors —
         and thus which dogs bark — vary across the fleet.
     """
+    obs = resolve_instrumentation(obs)
     rng = random.Random(base_seed)
     if attack_start is None:
         lo, hi = attack_start_range_minutes(profile)
@@ -140,6 +144,7 @@ def simulate_campaign(
     attack_periods = campaign.duration / parameters.observation_period
     outcomes: List[NetworkOutcome] = []
     for network_id in network_ids:
+        network_start = time.perf_counter()
         local_profile = (
             profile_selector(network_id) if profile_selector else profile
         )
@@ -168,6 +173,33 @@ def simulate_campaign(
                 delay_periods=delay if detected else None,
                 max_statistic=result.max_statistic,
             )
+        )
+        if obs.enabled:
+            obs.registry.histogram(
+                "campaign_network_seconds",
+                "Wall-clock to simulate one stub network",
+            ).observe(time.perf_counter() - network_start)
+            obs.registry.counter(
+                "campaign_networks_total",
+                "Stub networks simulated, by verdict",
+                ("detected",),
+            ).labels(str(detected).lower()).inc()
+            if obs.events.enabled:
+                obs.events.emit(
+                    "campaign_network",
+                    network_id=network_id,
+                    flood_rate=campaign.per_network_rate(network_id),
+                    detected=detected,
+                    delay_periods=delay if detected else None,
+                    max_statistic=result.max_statistic,
+                )
+    if obs.enabled:
+        obs.registry.gauge(
+            "campaign_detection_fraction",
+            "Fraction of simulated networks whose SYN-dog alarmed",
+        ).set(
+            sum(o.detected for o in outcomes) / len(outcomes)
+            if outcomes else 0.0
         )
     return CampaignResult(
         aggregate_rate=campaign.aggregate_rate,

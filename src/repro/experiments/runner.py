@@ -19,6 +19,7 @@ rows of Tables 2 and 3.
 from __future__ import annotations
 
 import random
+import time
 import zlib
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
@@ -28,6 +29,7 @@ from ..attack.flooder import FloodSource
 from ..attack.patterns import RatePattern
 from ..core.parameters import DEFAULT_PARAMETERS, SynDogParameters
 from ..core.syndog import DetectionResult, SynDog
+from ..obs.runtime import Instrumentation, resolve_instrumentation
 from ..trace.events import CountTrace
 from ..trace.mixer import AttackWindow, mix_flood_into_counts
 from ..trace.profiles import AUCKLAND, UNC, SiteProfile
@@ -84,8 +86,20 @@ class DetectionTrialConfig:
     pattern: Optional[RatePattern] = None  #: overrides constant f_i
 
 
-def run_detection_trial(config: DetectionTrialConfig) -> TrialOutcome:
-    """One full Figure 6 trial; see module docstring."""
+def run_detection_trial(
+    config: DetectionTrialConfig,
+    obs: Optional[Instrumentation] = None,
+) -> TrialOutcome:
+    """One full Figure 6 trial; see module docstring.
+
+    With instrumentation enabled the trial's wall-clock (generation +
+    mixing + detection, measured on :func:`time.perf_counter`) lands in
+    the ``trial_seconds{site}`` histogram and a ``trial`` event.  The
+    inner detector deliberately stays on the null default — per-period
+    events from thousands of Monte-Carlo trials would drown the log.
+    """
+    obs = resolve_instrumentation(obs)
+    trial_start = time.perf_counter()
     profile = config.profile
     parameters = config.parameters
     background = generate_count_trace(
@@ -111,7 +125,7 @@ def run_detection_trial(config: DetectionTrialConfig) -> TrialOutcome:
     # the paper's detection probabilities are per-attack).
     attack_periods = config.attack_duration / parameters.observation_period
     detected = delay is not None and delay <= attack_periods
-    return TrialOutcome(
+    outcome = TrialOutcome(
         site=profile.name,
         flood_rate=config.flood_rate,
         seed=config.seed,
@@ -121,6 +135,31 @@ def run_detection_trial(config: DetectionTrialConfig) -> TrialOutcome:
         delay_periods=delay if detected else None,
         max_statistic=result.max_statistic,
     )
+    if obs.enabled:
+        elapsed = time.perf_counter() - trial_start
+        obs.registry.histogram(
+            "trial_seconds",
+            "Wall-clock per detection trial",
+            ("site",),
+        ).labels(profile.name).observe(elapsed)
+        obs.registry.counter(
+            "trials_total",
+            "Detection trials run, by site and verdict",
+            ("site", "detected"),
+        ).labels(profile.name, str(detected).lower()).inc()
+        if obs.events.enabled:
+            obs.events.emit(
+                "trial",
+                site=profile.name,
+                flood_rate=config.flood_rate,
+                seed=config.seed,
+                attack_start=window.start,
+                detected=detected,
+                delay_periods=outcome.delay_periods,
+                max_statistic=result.max_statistic,
+                wall_seconds=elapsed,
+            )
+    return outcome
 
 
 def run_detection_sweep(
@@ -130,9 +169,11 @@ def run_detection_sweep(
     parameters: SynDogParameters = DEFAULT_PARAMETERS,
     base_seed: int = 0,
     attack_duration: float = TYPICAL_ATTACK_DURATION,
+    obs: Optional[Instrumentation] = None,
 ) -> List[DetectionPerformance]:
     """The Table 2 / Table 3 experiment: sweep f_i, many randomized
     trials each, aggregate probability and mean delay."""
+    obs = resolve_instrumentation(obs)
     start_lo, start_hi = attack_start_range_minutes(profile)
     rows: List[DetectionPerformance] = []
     for rate in flood_rates:
@@ -144,19 +185,21 @@ def run_detection_sweep(
         )
         start_rng = random.Random(start_seed)
         outcomes = []
-        for trial in range(num_trials):
-            start_minute = start_rng.randint(start_lo, start_hi)
-            outcomes.append(
-                run_detection_trial(
-                    DetectionTrialConfig(
-                        profile=profile,
-                        flood_rate=rate,
-                        seed=base_seed + trial,
-                        attack_start=60.0 * start_minute,
-                        attack_duration=attack_duration,
-                        parameters=parameters,
+        with obs.tracer.span("runner.sweep_rate"):
+            for trial in range(num_trials):
+                start_minute = start_rng.randint(start_lo, start_hi)
+                outcomes.append(
+                    run_detection_trial(
+                        DetectionTrialConfig(
+                            profile=profile,
+                            flood_rate=rate,
+                            seed=base_seed + trial,
+                            attack_start=60.0 * start_minute,
+                            attack_duration=attack_duration,
+                            parameters=parameters,
+                        ),
+                        obs=obs,
                     )
                 )
-            )
         rows.append(aggregate_trials(rate, outcomes))
     return rows

@@ -19,6 +19,7 @@ from typing import Iterable, Iterator, Optional, Tuple, Union
 
 from ..core.parameters import DEFAULT_PARAMETERS, SynDogParameters
 from ..core.syndog import DetectionResult, SynDog
+from ..obs.runtime import Instrumentation
 from ..packet.packet import Packet
 from ..pcap.reader import PcapReader
 
@@ -123,13 +124,14 @@ def detect_from_pcaps(
     inbound_path: PathLike,
     parameters: SynDogParameters = DEFAULT_PARAMETERS,
     stop_at_first_alarm: bool = False,
+    obs: Optional[Instrumentation] = None,
 ) -> Tuple[DetectionResult, SynDog]:
     """Run SYN-dog over two interface capture files in constant memory.
 
     Returns the detection result together with the detector (whose live
     K̄ and Eq. 8 floor the caller may want to report).
     """
-    detector = SynDog(parameters=parameters)
+    detector = SynDog(parameters=parameters, obs=obs)
     with PcapReader.open(outbound_path) as outbound_reader, \
             PcapReader.open(inbound_path) as inbound_reader:
         result = stream_detection(

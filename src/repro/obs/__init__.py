@@ -1,0 +1,96 @@
+"""Observability for the detection path: metrics, tracing, events.
+
+The paper's agent is O(1)-state and meant to sit on a busy leaf router;
+operating one means watching it.  This package is a dependency-free
+observability layer threaded through the whole pipeline —
+classification, sniffing, CUSUM, routers, experiments — with two
+export formats (Prometheus text exposition and JSONL event streams)
+and a hard rule: **zero cost when disabled**.  The default everywhere
+is :data:`~repro.obs.runtime.NULL_INSTRUMENTATION`; components bind
+no-op instruments to ``None`` at construction so the hot path pays a
+single pointer check.
+
+Modules
+-------
+``metrics``
+    Counter / Gauge / Histogram families with labeled children and a
+    get-or-create :class:`MetricsRegistry` (plus the no-op
+    :class:`NullRegistry`).
+``tracing``
+    perf_counter span timers with per-name aggregates.
+``events``
+    Structured events fanned out to JSONL / in-memory sinks.
+``exporters``
+    Prometheus text rendering + parsing, JSONL views, tracer folding.
+``runtime``
+    The :class:`Instrumentation` bundle, the process-wide default, and
+    the ``instrumented(...)`` scope manager.
+"""
+
+from .events import (
+    EventLog,
+    JsonlSink,
+    MemorySink,
+    NullEventLog,
+    read_jsonl,
+)
+from .exporters import (
+    export_tracer,
+    parse_prometheus_text,
+    registry_to_dicts,
+    render_prometheus,
+    write_prometheus,
+)
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from .runtime import (
+    NULL_INSTRUMENTATION,
+    Instrumentation,
+    enabled_instrumentation,
+    get_instrumentation,
+    instrumented,
+    resolve_instrumentation,
+    set_instrumentation,
+)
+from .tracing import NullTracer, SpanRecord, SpanStats, Tracer
+
+__all__ = [
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    # tracing
+    "Tracer",
+    "NullTracer",
+    "SpanRecord",
+    "SpanStats",
+    # events
+    "EventLog",
+    "JsonlSink",
+    "MemorySink",
+    "NullEventLog",
+    "read_jsonl",
+    # exporters
+    "render_prometheus",
+    "write_prometheus",
+    "parse_prometheus_text",
+    "registry_to_dicts",
+    "export_tracer",
+    # runtime
+    "Instrumentation",
+    "NULL_INSTRUMENTATION",
+    "enabled_instrumentation",
+    "get_instrumentation",
+    "set_instrumentation",
+    "instrumented",
+    "resolve_instrumentation",
+]

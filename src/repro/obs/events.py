@@ -1,0 +1,146 @@
+"""Structured event logging with JSONL sinks.
+
+Metrics answer "how much"; events answer "what happened, in order".
+The detection pipeline emits one structured event per observation
+period (the CUSUM trajectory an operator tails in production), plus
+discrete events for alarm transitions, responses and experiment
+trials.  Every event is a flat JSON-serializable dict with an ``event``
+kind and a monotonically increasing ``seq``, so a JSONL stream can be
+re-ordered, filtered with ``jq``, or replayed.
+
+Sinks are write-only observers.  :class:`MemorySink` retains events
+in-process (tests, summaries); :class:`JsonlSink` streams one JSON
+object per line to a file — the format every log shipper understands.
+:class:`NullEventLog` is the disabled default.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, IO, List, Optional, Union
+
+__all__ = [
+    "EventLog",
+    "JsonlSink",
+    "MemorySink",
+    "NullEventLog",
+    "read_jsonl",
+]
+
+PathLike = Union[str, Path]
+Event = Dict[str, Any]
+
+
+class MemorySink:
+    """Keeps events in a list (optionally bounded)."""
+
+    def __init__(self, max_events: Optional[int] = None) -> None:
+        self.events: List[Event] = []
+        self.max_events = max_events
+        self.dropped = 0
+
+    def write(self, event: Event) -> None:
+        if self.max_events is not None and len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(event)
+
+    def close(self) -> None:
+        pass
+
+    def of_kind(self, kind: str) -> List[Event]:
+        return [event for event in self.events if event.get("event") == kind]
+
+
+class JsonlSink:
+    """Streams events to a file as JSON Lines.
+
+    Accepts a path (opened and owned — closed by :meth:`close`) or an
+    already-open text stream (borrowed — left open).  Keys are kept in
+    insertion order: ``event`` and ``seq`` first, then the payload, so
+    the raw file is human-scannable.
+    """
+
+    def __init__(self, target: Union[PathLike, IO[str]]) -> None:
+        if isinstance(target, (str, Path)):
+            self._stream: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self._stream = target
+            self._owns_stream = False
+        self.events_written = 0
+
+    def write(self, event: Event) -> None:
+        self._stream.write(json.dumps(event, separators=(",", ":")) + "\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        self._stream.flush()
+        if self._owns_stream:
+            self._stream.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class EventLog:
+    """The emitting side: stamps ``event`` and ``seq``, fans out to
+    every sink.  With no sinks it still counts emissions (cheap), so a
+    summary can report how chatty a run was."""
+
+    enabled = True
+
+    def __init__(self, *sinks: Any) -> None:
+        self._sinks: List[Any] = list(sinks)
+        self._seq = 0
+
+    def add_sink(self, sink: Any) -> None:
+        self._sinks.append(sink)
+
+    def emit(self, kind: str, **fields: Any) -> Event:
+        event: Event = {"event": kind, "seq": self._seq}
+        event.update(fields)
+        self._seq += 1
+        for sink in self._sinks:
+            sink.write(event)
+        return event
+
+    @property
+    def events_emitted(self) -> int:
+        return self._seq
+
+    def close(self) -> None:
+        for sink in self._sinks:
+            sink.close()
+
+
+class NullEventLog:
+    """Disabled event log: ``emit`` does nothing and returns nothing."""
+
+    enabled = False
+    events_emitted = 0
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        return None
+
+    def add_sink(self, sink: Any) -> None:
+        raise ValueError("cannot attach a sink to the null event log; "
+                         "build an enabled Instrumentation instead")
+
+    def close(self) -> None:
+        pass
+
+
+def read_jsonl(path: PathLike) -> List[Event]:
+    """Load a JSONL file back into event dicts (blank lines skipped)."""
+    events: List[Event] = []
+    with open(path, "r", encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

@@ -1,0 +1,206 @@
+"""Render a :class:`~repro.obs.metrics.MetricsRegistry` for the outside
+world.
+
+Two formats:
+
+* **Prometheus text exposition** (`# HELP` / `# TYPE` / sample lines
+  with escaped labels) — what a scrape endpoint or node-exporter
+  textfile collector consumes.  :func:`parse_prometheus_text` is the
+  matching minimal parser, used by the test-suite to prove the output
+  is machine-readable and by tooling that wants the numbers back.
+* **JSONL** via :func:`registry_to_dicts` — one dict per sample, for
+  shipping metrics down the same pipe as the event log.
+
+:func:`export_tracer` folds a :class:`~repro.obs.tracing.Tracer`'s
+aggregate span profile into a registry as ``trace_span_*`` families so
+one scrape carries both metrics and timings.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Tuple, Union
+
+from .metrics import MetricsRegistry
+from .tracing import Tracer
+
+__all__ = [
+    "render_prometheus",
+    "write_prometheus",
+    "parse_prometheus_text",
+    "registry_to_dicts",
+    "export_tracer",
+]
+
+PathLike = Union[str, Path]
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", r"\\").replace("\n", r"\n").replace('"', r"\"")
+    )
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _render_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in labels.items()
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format 0.0.4."""
+    lines: List[str] = []
+    for family in registry.collect():
+        if family.help:
+            lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for sample in family.samples():
+            lines.append(
+                f"{family.name}{sample.suffix}"
+                f"{_render_labels(sample.labels)} "
+                f"{_format_value(sample.value)}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(registry: MetricsRegistry, path: PathLike) -> int:
+    """Write the exposition file; returns the number of sample lines."""
+    text = render_prometheus(registry)
+    Path(path).write_text(text, encoding="utf-8")
+    return sum(
+        1 for line in text.splitlines() if line and not line.startswith("#")
+    )
+
+
+# ----------------------------------------------------------------------
+# Parsing (round-trip validation and tooling)
+# ----------------------------------------------------------------------
+def _parse_labels(text: str) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    i = 0
+    while i < len(text):
+        eq = text.index("=", i)
+        name = text[i:eq].strip().lstrip(",").strip()
+        if text[eq + 1] != '"':
+            raise ValueError(f"unquoted label value near {text[eq:]!r}")
+        j = eq + 2
+        value_chars: List[str] = []
+        while text[j] != '"':
+            if text[j] == "\\":
+                j += 1
+                escaped = text[j]
+                value_chars.append(
+                    {"n": "\n", "\\": "\\", '"': '"'}.get(escaped, escaped)
+                )
+            else:
+                value_chars.append(text[j])
+            j += 1
+        labels[name] = "".join(value_chars)
+        i = j + 1
+    return labels
+
+
+def parse_prometheus_text(
+    text: str,
+) -> List[Tuple[str, Dict[str, str], float]]:
+    """Parse exposition text into ``(name, labels, value)`` tuples.
+
+    Raises ValueError on malformed sample lines — which is exactly what
+    makes it useful as an acceptance check for the renderer.
+    """
+    samples: List[Tuple[str, Dict[str, str], float]] = []
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if "{" in line:
+            brace = line.index("{")
+            name = line[:brace]
+            close = line.rindex("}")
+            labels = _parse_labels(line[brace + 1:close])
+            value_text = line[close + 1:].strip()
+        else:
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(f"malformed sample line: {line!r}")
+            name, value_text = parts[0], parts[1]
+            labels = {}
+        if not name or not all(c.isalnum() or c in "_:" for c in name):
+            raise ValueError(f"malformed metric name: {name!r}")
+        value_text = value_text.split()[0]  # ignore optional timestamp
+        if value_text == "+Inf":
+            value = float("inf")
+        elif value_text == "-Inf":
+            value = float("-inf")
+        else:
+            value = float(value_text)
+        samples.append((name, labels, value))
+    return samples
+
+
+# ----------------------------------------------------------------------
+# Registry → dicts (JSONL-friendly)
+# ----------------------------------------------------------------------
+def registry_to_dicts(registry: MetricsRegistry) -> List[Dict[str, Any]]:
+    """One dict per sample — the JSONL view of a scrape."""
+    rows: List[Dict[str, Any]] = []
+    for family in registry.collect():
+        for sample in family.samples():
+            rows.append(
+                {
+                    "metric": family.name + sample.suffix,
+                    "type": family.kind,
+                    "labels": dict(sample.labels),
+                    "value": sample.value,
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Tracer → registry
+# ----------------------------------------------------------------------
+def export_tracer(tracer: Tracer, registry: MetricsRegistry) -> None:
+    """Fold the tracer's aggregate profile into *registry* as
+    ``trace_span_count`` / ``_seconds_total`` / ``_seconds_max`` /
+    ``_seconds_mean`` families labeled by span name."""
+    stats = tracer.stats()
+    if not stats:
+        return
+    count = registry.counter(
+        "trace_span_count", "Finished spans per name", ("span",)
+    )
+    total = registry.gauge(
+        "trace_span_seconds_total", "Total time in span", ("span",)
+    )
+    peak = registry.gauge(
+        "trace_span_seconds_max", "Slowest single span", ("span",)
+    )
+    mean = registry.gauge(
+        "trace_span_seconds_mean", "Mean span duration", ("span",)
+    )
+    for name in sorted(stats):
+        entry = stats[name]
+        child = count.labels(name)
+        child.inc(entry.count - child.value)  # idempotent re-export
+        total.labels(name).set(entry.total_seconds)
+        peak.labels(name).set(entry.max_seconds)
+        mean.labels(name).set(entry.mean_seconds)

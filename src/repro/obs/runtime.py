@@ -1,0 +1,142 @@
+"""The instrumentation bundle and its process-wide default.
+
+Every instrumented component in the pipeline takes an optional
+``obs: Instrumentation`` argument.  Passing one wires that component to
+an explicit registry/tracer/event-log trio; passing ``None`` (the
+universal default) resolves the *current* process-wide instrumentation,
+which is :data:`NULL_INSTRUMENTATION` unless the operator installed a
+live one.  Components check ``obs.enabled`` **once, at construction**,
+and bind their instruments to ``None`` when disabled — the hot-path
+contract that keeps the default pipeline indistinguishable from an
+uninstrumented build (``benchmarks/test_obs_overhead.py`` holds the
+line at ≤10%).
+
+Typical operator setup::
+
+    from repro.obs import enabled_instrumentation, instrumented
+
+    obs = enabled_instrumentation(events_path="events.jsonl")
+    with instrumented(obs):
+        dog = SynDog()            # picks up obs automatically
+        ...
+    obs.finalize("metrics.prom")  # folds tracer stats in and writes
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional, Union
+
+from .events import EventLog, JsonlSink, MemorySink, NullEventLog
+from .exporters import export_tracer, write_prometheus
+from .metrics import MetricsRegistry, NullRegistry
+from .tracing import NullTracer, Tracer
+
+__all__ = [
+    "Instrumentation",
+    "NULL_INSTRUMENTATION",
+    "enabled_instrumentation",
+    "get_instrumentation",
+    "set_instrumentation",
+    "instrumented",
+    "resolve_instrumentation",
+]
+
+
+class Instrumentation:
+    """A registry + tracer + event log, handed around as one object."""
+
+    def __init__(
+        self,
+        registry: Optional[Any] = None,
+        tracer: Optional[Any] = None,
+        events: Optional[Any] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else NullRegistry()
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self.events = events if events is not None else NullEventLog()
+
+    @property
+    def enabled(self) -> bool:
+        return (
+            self.registry.enabled
+            or self.tracer.enabled
+            or self.events.enabled
+        )
+
+    def finalize(self, metrics_path: Optional[Union[str, Any]] = None) -> int:
+        """End-of-run bookkeeping: fold tracer aggregates into the
+        registry, write the Prometheus file (when asked), close event
+        sinks.  Returns the number of exported sample lines (0 when no
+        metrics path was given)."""
+        samples = 0
+        if self.registry.enabled and self.tracer.enabled:
+            export_tracer(self.tracer, self.registry)
+        if metrics_path is not None and self.registry.enabled:
+            samples = write_prometheus(self.registry, metrics_path)
+        self.events.close()
+        return samples
+
+    def __repr__(self) -> str:
+        return (
+            f"Instrumentation(enabled={self.enabled}, "
+            f"metrics={len(self.registry)}, "
+            f"events={self.events.events_emitted})"
+        )
+
+
+#: The disabled default: all three components are no-ops.
+NULL_INSTRUMENTATION = Instrumentation()
+
+_current: Instrumentation = NULL_INSTRUMENTATION
+
+
+def enabled_instrumentation(
+    events_path: Optional[Any] = None,
+    memory_events: bool = True,
+    max_memory_events: Optional[int] = 100_000,
+) -> Instrumentation:
+    """A fully live bundle: real registry, real tracer, event log with
+    a JSONL sink at *events_path* (when given) and/or an in-memory sink
+    (bounded, for summaries)."""
+    sinks = []
+    if events_path is not None:
+        sinks.append(JsonlSink(events_path))
+    if memory_events:
+        sinks.append(MemorySink(max_events=max_memory_events))
+    return Instrumentation(
+        registry=MetricsRegistry(),
+        tracer=Tracer(),
+        events=EventLog(*sinks),
+    )
+
+
+def get_instrumentation() -> Instrumentation:
+    """The current process-wide instrumentation."""
+    return _current
+
+
+def set_instrumentation(obs: Optional[Instrumentation]) -> Instrumentation:
+    """Install *obs* (None restores the null default); returns the
+    previous one so callers can restore it."""
+    global _current
+    previous = _current
+    _current = obs if obs is not None else NULL_INSTRUMENTATION
+    return previous
+
+
+@contextmanager
+def instrumented(obs: Instrumentation) -> Iterator[Instrumentation]:
+    """Scope *obs* as the process default for the ``with`` block."""
+    previous = set_instrumentation(obs)
+    try:
+        yield obs
+    finally:
+        set_instrumentation(previous)
+
+
+def resolve_instrumentation(
+    obs: Optional[Instrumentation],
+) -> Instrumentation:
+    """What instrumented components call on their ``obs=None`` default."""
+    return obs if obs is not None else _current

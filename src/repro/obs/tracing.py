@@ -1,0 +1,160 @@
+"""Lightweight span tracing for the detection hot paths.
+
+A full distributed tracer is overkill for a single-process agent; what
+the repro needs is *where the time goes*: how long one detection pass
+takes, how much of a router replay is spent in observer fan-out, how
+long each Monte-Carlo trial runs.  :class:`Tracer` provides
+
+* ``with tracer.span("detect.run"): ...`` — a context-manager timer
+  built on :func:`time.perf_counter` (monotonic, immune to wall-clock
+  steps);
+* per-name aggregate statistics (count / total / min / max), which is
+  the profile an operator actually reads;
+* an optional bounded ring of raw :class:`SpanRecord` entries for
+  fine-grained inspection and JSONL export.
+
+:class:`NullTracer` is the default everywhere: its ``span`` returns a
+shared no-op context manager, so an un-configured pipeline pays one
+attribute check per span site and nothing else.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional
+
+__all__ = ["SpanRecord", "SpanStats", "Tracer", "NullTracer"]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span: name, start offset and duration in seconds
+    (both on the perf_counter clock)."""
+
+    name: str
+    start: float
+    duration: float
+
+
+class SpanStats:
+    """Aggregate profile of one span name."""
+
+    __slots__ = ("name", "count", "total_seconds", "min_seconds", "max_seconds")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total_seconds = 0.0
+        self.min_seconds = float("inf")
+        self.max_seconds = 0.0
+
+    def record(self, duration: float) -> None:
+        self.count += 1
+        self.total_seconds += duration
+        if duration < self.min_seconds:
+            self.min_seconds = duration
+        if duration > self.max_seconds:
+            self.max_seconds = duration
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"SpanStats({self.name!r}, count={self.count}, "
+            f"total={self.total_seconds:.6f}s, mean={self.mean_seconds:.6f}s)"
+        )
+
+
+class _SpanTimer:
+    """The object ``tracer.span(name)`` hands to the ``with`` block."""
+
+    __slots__ = ("_tracer", "name", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str) -> None:
+        self._tracer = tracer
+        self.name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_SpanTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._tracer._finish(self.name, self._start, time.perf_counter())
+
+
+class Tracer:
+    """Collects spans; keeps aggregates always, raw records up to
+    *max_records* (a bounded deque — long runs cannot grow memory)."""
+
+    enabled = True
+
+    def __init__(self, max_records: int = 4096) -> None:
+        self._stats: Dict[str, SpanStats] = {}
+        self._records: Deque[SpanRecord] = deque(maxlen=max_records)
+        self._epoch = time.perf_counter()
+
+    def span(self, name: str) -> _SpanTimer:
+        return _SpanTimer(self, name)
+
+    def _finish(self, name: str, start: float, end: float) -> None:
+        duration = end - start
+        stats = self._stats.get(name)
+        if stats is None:
+            stats = SpanStats(name)
+            self._stats[name] = stats
+        stats.record(duration)
+        self._records.append(
+            SpanRecord(name=name, start=start - self._epoch, duration=duration)
+        )
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, SpanStats]:
+        """Aggregate profile keyed by span name."""
+        return dict(self._stats)
+
+    def records(self, name: Optional[str] = None) -> List[SpanRecord]:
+        """The retained raw spans (newest last), optionally filtered."""
+        if name is None:
+            return list(self._records)
+        return [record for record in self._records if record.name == name]
+
+    def total_seconds(self, name: str) -> float:
+        stats = self._stats.get(name)
+        return stats.total_seconds if stats is not None else 0.0
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled tracer: ``span`` hands back one shared no-op context
+    manager."""
+
+    enabled = False
+
+    def span(self, name: str) -> _NullSpan:
+        return _NULL_SPAN
+
+    def stats(self) -> Dict[str, SpanStats]:
+        return {}
+
+    def records(self, name: Optional[str] = None) -> List[SpanRecord]:
+        return []
+
+    def total_seconds(self, name: str) -> float:
+        return 0.0

@@ -15,6 +15,7 @@ from typing import Callable, List, Optional, Tuple
 
 from ..core.parameters import DEFAULT_PARAMETERS, SynDogParameters
 from ..core.syndog import DetectionRecord, DetectionResult, SynDog
+from ..obs.runtime import Instrumentation, resolve_instrumentation
 from ..packet.packet import Packet
 from ..traceback.locator import LocalizationReport, SourceLocator
 from .leafrouter import LeafRouter
@@ -58,9 +59,14 @@ class SynDogAgent:
         auto_respond: bool = True,
         on_alarm: Optional[AlarmCallback] = None,
         start_time: float = 0.0,
+        obs: Optional[Instrumentation] = None,
     ) -> None:
         self.router = router
-        self.detector = SynDog(parameters=parameters, start_time=start_time)
+        obs = resolve_instrumentation(obs)
+        self.detector = SynDog(
+            parameters=parameters, start_time=start_time, obs=obs
+        )
+        self._events = obs.events if obs.events.enabled else None
         self.auto_respond = auto_respond
         self.on_alarm = on_alarm
         self.locator = SourceLocator(inventory=router.inventory)
@@ -100,6 +106,18 @@ class SynDogAgent:
             localization=localization,
         )
         self.alarm_events.append(event)
+        if self._events is not None:
+            self._events.emit(
+                "response",
+                router=self.router.name,
+                time=event.time,
+                period_index=event.period_index,
+                statistic=event.statistic,
+                ingress_filter_activated=self.auto_respond,
+                hosts_localized=(
+                    len(localization.hosts) if localization is not None else 0
+                ),
+            )
         if self.on_alarm is not None:
             self.on_alarm(event)
 

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..core.parameters import DEFAULT_PARAMETERS, SynDogParameters
+from ..obs.runtime import Instrumentation, resolve_instrumentation
 from ..packet.addresses import IPv4Network
 from ..packet.packet import Packet
 from ..traceback.locator import LocatedHost
@@ -72,11 +73,31 @@ class Federation:
         self,
         parameters: SynDogParameters = DEFAULT_PARAMETERS,
         on_alarm: Optional[Callable[[MemberAlarm], None]] = None,
+        obs: Optional[Instrumentation] = None,
     ) -> None:
         self.parameters = parameters
         self.on_alarm = on_alarm
         self._members: Dict[str, Tuple[LeafRouter, SynDogAgent]] = {}
         self._bus: List[MemberAlarm] = []
+        self._obs = resolve_instrumentation(obs)
+        if self._obs.enabled:
+            self._m_fed_packets = self._obs.registry.counter(
+                "federation_packets_total",
+                "Packets replayed through the fleet, by member network",
+                ("network",),
+            )
+            self._m_fed_alarms = self._obs.registry.counter(
+                "federation_alarms_total",
+                "Member alarms seen on the federation bus",
+                ("network",),
+            )
+            self._events = (
+                self._obs.events if self._obs.events.enabled else None
+            )
+        else:
+            self._m_fed_packets = None
+            self._m_fed_alarms = None
+            self._events = None
 
     # ------------------------------------------------------------------
     # Membership
@@ -88,15 +109,30 @@ class Federation:
         caller can register host inventory."""
         if name in self._members:
             raise ValueError(f"network {name!r} already enrolled")
-        router = LeafRouter(stub_network=stub_network, name=f"router-{name}")
+        router = LeafRouter(
+            stub_network=stub_network, name=f"router-{name}", obs=self._obs
+        )
 
         def relay(event: AlarmEvent, network_name: str = name) -> None:
             member_alarm = MemberAlarm(network_name=network_name, event=event)
             self._bus.append(member_alarm)
+            if self._m_fed_alarms is not None:
+                self._m_fed_alarms.labels(network_name).inc()
+            if self._events is not None:
+                self._events.emit(
+                    "federation_alarm",
+                    network=network_name,
+                    time=event.time,
+                    period_index=event.period_index,
+                    statistic=event.statistic,
+                    k_bar=event.k_bar,
+                )
             if self.on_alarm is not None:
                 self.on_alarm(member_alarm)
 
-        agent = SynDogAgent(router, parameters=self.parameters, on_alarm=relay)
+        agent = SynDogAgent(
+            router, parameters=self.parameters, on_alarm=relay, obs=self._obs
+        )
         self._members[name] = (router, agent)
         return router, agent
 
@@ -124,7 +160,10 @@ class Federation:
         """Replay one member's traffic through its router; returns the
         number of packets processed."""
         router, _agent = self.member(name)
-        return router.replay(outbound, inbound)
+        processed = router.replay(outbound, inbound)
+        if self._m_fed_packets is not None:
+            self._m_fed_packets.labels(name).inc(processed)
+        return processed
 
     def finish(self, end_time: Optional[float] = None) -> None:
         """Close trailing observation periods on every member."""

@@ -16,9 +16,12 @@ forwarding path.
 
 from __future__ import annotations
 
+import time
+from contextlib import nullcontext
 from typing import Callable, Iterable, List, Optional
 
 from ..defense.ingress import IngressFilter
+from ..obs.runtime import Instrumentation, resolve_instrumentation
 from ..packet.addresses import IPv4Network
 from ..packet.classify import PacketClassifier
 from ..packet.packet import Packet
@@ -31,14 +34,39 @@ PacketSink = Callable[[Packet], None]
 
 
 class Interface:
-    """One router interface: classifier statistics + observer taps."""
+    """One router interface: classifier statistics + observer taps.
 
-    def __init__(self, name: str) -> None:
+    With instrumentation enabled the interface exports
+    ``router_packets_total{interface,outcome}`` and times the passive
+    observer fan-out into ``router_observer_seconds{interface}`` — the
+    latency SYN-dog adds to the forwarding path, which the paper claims
+    (and ``benchmarks/test_obs_overhead.py`` verifies) is negligible.
+    """
+
+    def __init__(self, name: str, obs: Optional[Instrumentation] = None) -> None:
         self.name = name
-        self.classifier = PacketClassifier()
+        obs = resolve_instrumentation(obs)
+        self.classifier = PacketClassifier(obs=obs)
         self._observers: List[PacketObserver] = []
         self.packets_forwarded = 0
         self.packets_dropped = 0
+        if obs.enabled:
+            outcomes = obs.registry.counter(
+                "router_packets_total",
+                "Packets handled per interface, by outcome",
+                ("interface", "outcome"),
+            )
+            self._m_forwarded = outcomes.labels(name, "forwarded")
+            self._m_dropped = outcomes.labels(name, "dropped")
+            self._h_observer = obs.registry.histogram(
+                "router_observer_seconds",
+                "Wall-clock spent in passive observer taps per packet",
+                ("interface",),
+            ).labels(name)
+        else:
+            self._m_forwarded = None
+            self._m_dropped = None
+            self._h_observer = None
 
     def attach(self, observer: PacketObserver) -> None:
         """Register a passive tap (e.g. a SYN-dog sniffer feed)."""
@@ -46,8 +74,24 @@ class Interface:
 
     def process(self, packet: Packet) -> None:
         self.classifier.classify(packet)
-        for observer in self._observers:
-            observer(packet)
+        if self._h_observer is None:
+            for observer in self._observers:
+                observer(packet)
+        else:
+            start = time.perf_counter()
+            for observer in self._observers:
+                observer(packet)
+            self._h_observer.observe(time.perf_counter() - start)
+
+    def note_forwarded(self) -> None:
+        self.packets_forwarded += 1
+        if self._m_forwarded is not None:
+            self._m_forwarded.inc()
+
+    def note_dropped(self) -> None:
+        self.packets_dropped += 1
+        if self._m_dropped is not None:
+            self._m_dropped.inc()
 
 
 class LeafRouter:
@@ -71,11 +115,14 @@ class LeafRouter:
         ingress_filter: Optional[IngressFilter] = None,
         inventory: Optional[HostInventory] = None,
         name: str = "leaf-router",
+        obs: Optional[Instrumentation] = None,
     ) -> None:
         self.name = name
         self.stub_network = stub_network
-        self.outbound = Interface("outbound")
-        self.inbound = Interface("inbound")
+        obs = resolve_instrumentation(obs)
+        self.outbound = Interface("outbound", obs=obs)
+        self.inbound = Interface("inbound", obs=obs)
+        self._tracer = obs.tracer if obs.enabled and obs.tracer.enabled else None
         self.to_internet = to_internet
         self.to_intranet = to_intranet
         self.ingress_filter = (
@@ -103,9 +150,9 @@ class LeafRouter:
         if packet.src_ip in self.stub_network and packet.src_mac not in self.inventory:
             self.inventory.register(packet.src_mac, ip=packet.src_ip)
         if not self.ingress_filter.check(packet):
-            self.outbound.packets_dropped += 1
+            self.outbound.note_dropped()
             return False
-        self.outbound.packets_forwarded += 1
+        self.outbound.note_forwarded()
         if self.to_internet is not None:
             self.to_internet(packet.forwarded())
         return True
@@ -113,7 +160,7 @@ class LeafRouter:
     def forward_inbound(self, packet: Packet) -> bool:
         """A packet from the Internet heading into the stub network."""
         self.inbound.process(packet)
-        self.inbound.packets_forwarded += 1
+        self.inbound.note_forwarded()
         if self.to_intranet is not None:
             self.to_intranet(packet.forwarded())
         return True
@@ -133,9 +180,15 @@ class LeafRouter:
             + [(packet, False) for packet in inbound],
             key=lambda item: item[0].timestamp,
         )
-        for packet, is_outbound in merged:
-            if is_outbound:
-                self.forward_outbound(packet)
-            else:
-                self.forward_inbound(packet)
+        span = (
+            self._tracer.span("router.replay")
+            if self._tracer is not None
+            else nullcontext()
+        )
+        with span:
+            for packet, is_outbound in merged:
+                if is_outbound:
+                    self.forward_outbound(packet)
+                else:
+                    self.forward_inbound(packet)
         return len(merged)

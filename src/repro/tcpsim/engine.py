@@ -26,7 +26,18 @@ class SimulationError(RuntimeError):
 @dataclass(frozen=True)
 class ScheduledEvent:
     """Handle returned by :meth:`EventScheduler.schedule`; lets the owner
-    cancel a pending event (e.g. a retransmission timer on ACK)."""
+    cancel a pending event (e.g. a retransmission timer on ACK).
+
+    Ordering contract: ``sequence`` is drawn from a monotonic
+    ``itertools.count`` at *schedule* time — never from a clock.  Two
+    events at the same simulated ``time`` therefore always compare in
+    insertion order, even when timestamps are derived from
+    :func:`time.perf_counter` (whose resolution can make distinct
+    schedule calls produce byte-identical floats) or from repeated
+    identical delays.  This is what makes every simulation replayable
+    from its RNG seeds alone; ``tests/tcpsim/test_engine.py`` holds the
+    tie-break behaviour as a regression.
+    """
 
     time: float
     sequence: int

@@ -1,0 +1,136 @@
+"""Prometheus text rendering, its round-trip parser, and tracer export."""
+
+import pytest
+
+from repro.obs.exporters import (
+    export_tracer,
+    parse_prometheus_text,
+    registry_to_dicts,
+    render_prometheus,
+    write_prometheus,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+
+def build_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    packets = registry.counter(
+        "packets_total", "Packets seen", ("direction",)
+    )
+    packets.labels("out").inc(42)
+    packets.labels("in").inc(7)
+    registry.gauge("k_bar", "EWMA estimate").set(692.5)
+    histogram = registry.histogram(
+        "trial_seconds", "Trial wall clock", buckets=(0.5, 1.0)
+    )
+    histogram.observe(0.25)
+    histogram.observe(0.85)
+    return registry
+
+
+class TestRender:
+    def test_help_and_type_lines(self):
+        text = render_prometheus(build_registry())
+        assert "# HELP packets_total Packets seen" in text
+        assert "# TYPE packets_total counter" in text
+        assert "# TYPE k_bar gauge" in text
+        assert "# TYPE trial_seconds histogram" in text
+
+    def test_sample_lines(self):
+        text = render_prometheus(build_registry())
+        assert 'packets_total{direction="out"} 42' in text
+        assert 'packets_total{direction="in"} 7' in text
+        assert "k_bar 692.5" in text
+        assert 'trial_seconds_bucket{le="+Inf"} 2' in text
+        assert "trial_seconds_sum 1.1" in text
+        assert "trial_seconds_count 2" in text
+
+    def test_integral_floats_render_without_decimal(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(3.0)
+        assert "g 3\n" in render_prometheus(registry)
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("x_total", labelnames=("path",))
+        counter.labels('tricky"\\\n').inc()
+        text = render_prometheus(registry)
+        assert r'x_total{path="tricky\"\\\n"} 1' in text
+        # And the parser undoes the escaping exactly.
+        [(_, labels, value)] = parse_prometheus_text(text)
+        assert labels == {"path": 'tricky"\\\n'}
+        assert value == 1.0
+
+    def test_empty_registry_renders_empty_string(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+
+class TestRoundTrip:
+    def test_parse_recovers_every_sample(self):
+        registry = build_registry()
+        samples = parse_prometheus_text(render_prometheus(registry))
+        as_map = {
+            (name, tuple(sorted(labels.items()))): value
+            for name, labels, value in samples
+        }
+        assert as_map[("packets_total", (("direction", "out"),))] == 42.0
+        assert as_map[("k_bar", ())] == 692.5
+        assert as_map[("trial_seconds_bucket", (("le", "+Inf"),))] == 2.0
+        # 2 counter children + gauge + 2 buckets + Inf + sum + count
+        assert len(samples) == 8
+
+    def test_parser_rejects_malformed_lines(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("just_a_name_no_value")
+        with pytest.raises(ValueError):
+            parse_prometheus_text("bad name 1")
+
+    def test_write_returns_sample_line_count(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        count = write_prometheus(build_registry(), path)
+        text = path.read_text()
+        assert count == 8
+        assert len(parse_prometheus_text(text)) == count
+
+
+class TestRegistryToDicts:
+    def test_rows_carry_type_and_labels(self):
+        rows = registry_to_dicts(build_registry())
+        by_metric = {}
+        for row in rows:
+            by_metric.setdefault(row["metric"], []).append(row)
+        assert {r["labels"]["direction"] for r in by_metric["packets_total"]} \
+            == {"out", "in"}
+        assert by_metric["k_bar"][0]["type"] == "gauge"
+        assert by_metric["trial_seconds_count"][0]["value"] == 2.0
+
+
+class TestExportTracer:
+    def test_span_profile_lands_in_registry(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("detect.run"):
+                pass
+        registry = MetricsRegistry()
+        export_tracer(tracer, registry)
+        count = registry.get("trace_span_count")
+        assert count.labels("detect.run").value == 3.0
+        total = registry.get("trace_span_seconds_total")
+        assert total.labels("detect.run").value > 0.0
+        assert "trace_span_seconds_max" in registry
+        assert "trace_span_seconds_mean" in registry
+
+    def test_re_export_is_idempotent(self):
+        tracer = Tracer()
+        with tracer.span("s"):
+            pass
+        registry = MetricsRegistry()
+        export_tracer(tracer, registry)
+        export_tracer(tracer, registry)
+        assert registry.get("trace_span_count").labels("s").value == 1.0
+
+    def test_empty_tracer_registers_nothing(self):
+        registry = MetricsRegistry()
+        export_tracer(Tracer(), registry)
+        assert len(registry) == 0

@@ -1,0 +1,117 @@
+"""The Instrumentation bundle and the process-wide default."""
+
+import pytest
+
+from repro.obs.events import MemorySink
+from repro.obs.exporters import parse_prometheus_text
+from repro.obs.runtime import (
+    NULL_INSTRUMENTATION,
+    Instrumentation,
+    enabled_instrumentation,
+    get_instrumentation,
+    instrumented,
+    resolve_instrumentation,
+    set_instrumentation,
+)
+
+
+class TestInstrumentation:
+    def test_default_bundle_is_fully_disabled(self):
+        obs = Instrumentation()
+        assert obs.enabled is False
+        assert obs.registry.enabled is False
+        assert obs.tracer.enabled is False
+        assert obs.events.enabled is False
+
+    def test_enabled_bundle(self):
+        obs = enabled_instrumentation()
+        assert obs.enabled is True
+        assert obs.registry.enabled is True
+        assert obs.tracer.enabled is True
+        assert obs.events.enabled is True
+
+    def test_partial_bundle_counts_as_enabled(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        obs = Instrumentation(registry=MetricsRegistry())
+        assert obs.enabled is True
+        assert obs.events.enabled is False
+
+    def test_events_path_gets_a_jsonl_sink(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        obs = enabled_instrumentation(events_path=path, memory_events=False)
+        obs.events.emit("period", period_index=0)
+        obs.finalize()
+        from repro.obs.events import read_jsonl
+
+        [event] = read_jsonl(path)
+        assert event["event"] == "period"
+
+    def test_memory_sink_is_bounded(self):
+        obs = enabled_instrumentation(max_memory_events=3)
+        for _ in range(10):
+            obs.events.emit("period")
+        sinks = obs.events._sinks
+        [memory] = [s for s in sinks if isinstance(s, MemorySink)]
+        assert len(memory.events) == 3
+        assert memory.dropped == 7
+
+
+class TestFinalize:
+    def test_folds_tracer_and_writes_metrics(self, tmp_path):
+        obs = enabled_instrumentation()
+        obs.registry.counter("periods_total").inc(5)
+        with obs.tracer.span("detect.run"):
+            pass
+        path = tmp_path / "metrics.prom"
+        samples = obs.finalize(path)
+        parsed = parse_prometheus_text(path.read_text())
+        assert samples == len(parsed)
+        names = {name for name, _, _ in parsed}
+        assert "periods_total" in names
+        assert "trace_span_count" in names
+
+    def test_null_finalize_writes_nothing(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        assert NULL_INSTRUMENTATION.finalize(path) == 0
+        assert not path.exists()
+
+    def test_finalize_without_path_returns_zero(self):
+        obs = enabled_instrumentation()
+        obs.registry.counter("x").inc()
+        assert obs.finalize() == 0
+
+
+class TestProcessDefault:
+    def test_default_is_the_null_bundle(self):
+        assert get_instrumentation() is NULL_INSTRUMENTATION
+        assert resolve_instrumentation(None) is NULL_INSTRUMENTATION
+
+    def test_explicit_obs_wins_over_default(self):
+        obs = enabled_instrumentation()
+        assert resolve_instrumentation(obs) is obs
+
+    def test_instrumented_scopes_and_restores(self):
+        obs = enabled_instrumentation()
+        with instrumented(obs) as scoped:
+            assert scoped is obs
+            assert get_instrumentation() is obs
+            assert resolve_instrumentation(None) is obs
+        assert get_instrumentation() is NULL_INSTRUMENTATION
+
+    def test_instrumented_restores_on_exception(self):
+        obs = enabled_instrumentation()
+        with pytest.raises(RuntimeError):
+            with instrumented(obs):
+                raise RuntimeError("boom")
+        assert get_instrumentation() is NULL_INSTRUMENTATION
+
+    def test_set_returns_previous_and_none_resets(self):
+        obs = enabled_instrumentation()
+        previous = set_instrumentation(obs)
+        try:
+            assert previous is NULL_INSTRUMENTATION
+            assert set_instrumentation(None) is obs
+            assert get_instrumentation() is NULL_INSTRUMENTATION
+        finally:
+            set_instrumentation(None)

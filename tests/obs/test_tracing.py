@@ -1,0 +1,97 @@
+"""Span tracing: timers, aggregates, bounded record retention."""
+
+from repro.obs.tracing import NullTracer, SpanStats, Tracer
+
+
+class TestTracer:
+    def test_span_records_aggregates(self):
+        tracer = Tracer()
+        for _ in range(4):
+            with tracer.span("detect.run"):
+                pass
+        stats = tracer.stats()["detect.run"]
+        assert stats.count == 4
+        assert stats.total_seconds > 0.0
+        assert stats.min_seconds <= stats.mean_seconds <= stats.max_seconds
+
+    def test_separate_names_tracked_separately(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert set(tracer.stats()) == {"a", "b"}
+        assert tracer.total_seconds("a") > 0.0
+        assert tracer.total_seconds("missing") == 0.0
+
+    def test_records_retained_and_filterable(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [r.name for r in tracer.records()] == ["a", "b"]
+        assert [r.name for r in tracer.records("b")] == ["b"]
+        record = tracer.records("a")[0]
+        assert record.duration >= 0.0
+        assert record.start >= 0.0  # offset from tracer epoch
+
+    def test_raw_records_are_bounded(self):
+        tracer = Tracer(max_records=8)
+        for _ in range(50):
+            with tracer.span("s"):
+                pass
+        assert len(tracer.records()) == 8
+        # Aggregates keep the full picture even after records rotate.
+        assert tracer.stats()["s"].count == 50
+
+    def test_nested_spans_both_finish(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert tracer.stats()["outer"].count == 1
+        assert tracer.stats()["inner"].count == 1
+        assert (
+            tracer.stats()["outer"].total_seconds
+            >= tracer.stats()["inner"].total_seconds
+        )
+
+    def test_span_finishes_even_on_exception(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("failing"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert tracer.stats()["failing"].count == 1
+
+
+class TestSpanStats:
+    def test_mean_of_empty_stats_is_zero(self):
+        assert SpanStats("x").mean_seconds == 0.0
+
+    def test_record_updates_extrema(self):
+        stats = SpanStats("x")
+        stats.record(2.0)
+        stats.record(1.0)
+        stats.record(3.0)
+        assert stats.count == 3
+        assert stats.min_seconds == 1.0
+        assert stats.max_seconds == 3.0
+        assert stats.mean_seconds == 2.0
+
+
+class TestNullTracer:
+    def test_all_calls_are_noops(self):
+        tracer = NullTracer()
+        with tracer.span("anything"):
+            pass
+        assert tracer.enabled is False
+        assert tracer.stats() == {}
+        assert tracer.records() == []
+        assert tracer.total_seconds("anything") == 0.0
+
+    def test_span_object_is_shared(self):
+        tracer = NullTracer()
+        assert tracer.span("a") is tracer.span("b")

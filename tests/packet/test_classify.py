@@ -7,8 +7,11 @@ from repro.packet.classify import (
     ClassifierStats,
     PacketClass,
     PacketClassifier,
+    RejectionStep,
     classify_ip_bytes,
     classify_packet,
+    explain_ip_bytes,
+    explain_packet,
 )
 from repro.packet.ip import IPv4Header
 from repro.packet.packet import Packet, make_ack, make_rst, make_syn, make_syn_ack
@@ -130,5 +133,116 @@ class TestClassifierFrontend:
     def test_stats_reset(self):
         stats = ClassifierStats()
         stats.record(PacketClass.SYN)
+        stats.record_rejection(RejectionStep.FRAGMENT)
         stats.reset()
         assert stats.total == 0
+        assert stats.rejected == 0
+
+
+class TestPerStepRejectionStats:
+    """The three-step classification, step by step: every rejection is
+    attributed to the check that made it (proto, fragment offset, flag
+    decode), and the frontend's aggregate statistics expose them."""
+
+    def test_step1b_protocol_check_decoded_path(self):
+        udp = Packet(
+            timestamp=0.0,
+            ip=IPv4Header(src="1.1.1.1", dst="2.2.2.2", protocol=17),
+            transport=UDPDatagram(53, 53),
+        )
+        assert explain_packet(udp) == (
+            PacketClass.NON_TCP, RejectionStep.NON_TCP_PROTOCOL
+        )
+
+    def test_step1b_fragment_check_decoded_path(self):
+        fragment = tcp_packet(TCPFlags.SYN, fragment_offset=100)
+        assert explain_packet(fragment) == (
+            PacketClass.NON_TCP, RejectionStep.FRAGMENT
+        )
+
+    def test_step2_flag_decode_decoded_path(self):
+        # Protocol says TCP but the payload cannot carry the flag byte.
+        stub = Packet(
+            timestamp=0.0,
+            ip=IPv4Header(src="1.1.1.1", dst="2.2.2.2", protocol=6),
+            transport=b"\x00\x01",
+        )
+        assert explain_packet(stub) == (
+            PacketClass.NON_TCP, RejectionStep.TRUNCATED_FLAGS
+        )
+
+    def test_accepted_packet_has_no_rejection_step(self):
+        assert explain_packet(tcp_packet(TCPFlags.SYN)) == (
+            PacketClass.SYN, None
+        )
+
+    @pytest.mark.parametrize(
+        "mutate,expected_step",
+        [
+            (lambda wire: b"\x45\x00", RejectionStep.NOT_IPV4),
+            (
+                lambda wire: bytes([0x65]) + wire[1:],
+                RejectionStep.NOT_IPV4,
+            ),
+            (
+                lambda wire: bytes([0x41]) + wire[1:],  # IHL = 4 bytes
+                RejectionStep.BAD_IHL,
+            ),
+            (
+                lambda wire: wire[:9] + b"\x11" + wire[10:],  # proto=UDP
+                RejectionStep.NON_TCP_PROTOCOL,
+            ),
+            (
+                lambda wire: wire[:6] + b"\x00\x08" + wire[8:],  # frag=8
+                RejectionStep.FRAGMENT,
+            ),
+            (lambda wire: wire[:20], RejectionStep.TRUNCATED_FLAGS),
+        ],
+    )
+    def test_byte_path_attributes_each_step(self, mutate, expected_step):
+        wire = make_syn(0.0, "1.1.1.1", "2.2.2.2").encode_ip()
+        packet_class, step = explain_ip_bytes(mutate(wire))
+        assert packet_class is PacketClass.NON_TCP
+        assert step is expected_step
+
+    def test_explain_agrees_with_classify_everywhere(self):
+        wire = make_syn(0.0, "1.1.1.1", "2.2.2.2").encode_ip()
+        for raw in (wire, wire[:20], b"\x45\x00", wire[:9] + b"\x11" + wire[10:]):
+            assert explain_ip_bytes(raw)[0] is classify_ip_bytes(raw)
+
+    def test_frontend_accumulates_per_step_rejections(self):
+        classifier = PacketClassifier()
+        classifier.classify(make_syn(0.0, "1.1.1.1", "2.2.2.2"))
+        classifier.classify(
+            Packet(
+                timestamp=0.1,
+                ip=IPv4Header(src="1.1.1.1", dst="2.2.2.2", protocol=17),
+                transport=UDPDatagram(53, 53),
+            )
+        )
+        classifier.classify(tcp_packet(TCPFlags.SYN, fragment_offset=64))
+        classifier.classify(
+            Packet(
+                timestamp=0.2,
+                ip=IPv4Header(src="1.1.1.1", dst="2.2.2.2", protocol=6),
+                transport=b"",
+            )
+        )
+        stats = classifier.stats
+        assert stats.total == 4
+        assert stats.accepted == 1
+        assert stats.rejected == 3
+        assert stats.rejected_by(RejectionStep.NON_TCP_PROTOCOL) == 1
+        assert stats.rejected_by(RejectionStep.FRAGMENT) == 1
+        assert stats.rejected_by(RejectionStep.TRUNCATED_FLAGS) == 1
+        assert stats.rejected_by(RejectionStep.NOT_IPV4) == 0
+
+    def test_frontend_byte_path_shares_the_same_stats(self):
+        classifier = PacketClassifier()
+        wire = make_syn(0.0, "1.1.1.1", "2.2.2.2").encode_ip()
+        assert classifier.classify_bytes(wire) is PacketClass.SYN
+        assert classifier.classify_bytes(wire[:20]) is PacketClass.NON_TCP
+        assert classifier.classify_bytes(b"bad") is PacketClass.NON_TCP
+        assert classifier.stats.accepted == 1
+        assert classifier.stats.rejected_by(RejectionStep.TRUNCATED_FLAGS) == 1
+        assert classifier.stats.rejected_by(RejectionStep.NOT_IPV4) == 1

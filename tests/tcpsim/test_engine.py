@@ -1,8 +1,10 @@
 """Discrete-event scheduler tests: ordering, cancellation, determinism."""
 
+import time
+
 import pytest
 
-from repro.tcpsim.engine import EventScheduler, SimulationError
+from repro.tcpsim.engine import EventScheduler, ScheduledEvent, SimulationError
 
 
 class TestOrdering:
@@ -42,6 +44,59 @@ class TestOrdering:
         scheduler.run()
         assert order == ["first", "second"]
         assert scheduler.now == 2.0
+
+    # Regression: same-timestamp ordering must come from the monotonic
+    # schedule-time sequence, never from anything clock-derived — two
+    # perf_counter() reads can return byte-identical floats, and a heap
+    # over bare (time, callback) pairs would then compare callables and
+    # blow up (or, with any clock-based tiebreak, reorder arbitrarily).
+    def test_same_timestamp_events_stay_in_insertion_order_at_scale(self):
+        scheduler = EventScheduler()
+        order = []
+        timestamp = time.perf_counter()  # one identical float for all
+        for i in range(200):
+            scheduler.schedule(timestamp, lambda i=i: order.append(i))
+        scheduler.run()
+        assert order == list(range(200))
+
+    def test_same_timestamp_order_survives_interleaved_cancels(self):
+        scheduler = EventScheduler()
+        order = []
+        handles = [
+            scheduler.schedule(1.0, lambda i=i: order.append(i))
+            for i in range(10)
+        ]
+        for i in (1, 4, 7):  # lazy deletion must not disturb the rest
+            scheduler.cancel(handles[i])
+        scheduler.run()
+        assert order == [0, 2, 3, 5, 6, 8, 9]
+
+    def test_same_timestamp_events_scheduled_mid_run_go_last(self):
+        scheduler = EventScheduler()
+        order = []
+
+        def first():
+            order.append("first")
+            # Same simulated instant: must run after already-pending
+            # events at that time (higher sequence), in the same run.
+            scheduler.schedule(1.0, lambda: order.append("late"))
+
+        scheduler.schedule(1.0, first)
+        scheduler.schedule(1.0, lambda: order.append("second"))
+        scheduler.run()
+        assert order == ["first", "second", "late"]
+
+    def test_scheduled_event_handles_order_by_time_then_sequence(self):
+        assert ScheduledEvent(1.0, 0) < ScheduledEvent(1.0, 1)
+        assert ScheduledEvent(1.0, 5) < ScheduledEvent(2.0, 0)
+        assert not ScheduledEvent(1.0, 1) < ScheduledEvent(1.0, 1)
+
+    def test_sequence_is_monotonic_across_same_time_schedules(self):
+        scheduler = EventScheduler()
+        handles = [scheduler.schedule(3.0, lambda: None) for _ in range(5)]
+        sequences = [handle.sequence for handle in handles]
+        assert sequences == sorted(sequences)
+        assert len(set(sequences)) == 5
 
 
 class TestRunUntil:

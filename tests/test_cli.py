@@ -163,6 +163,115 @@ class TestJsonExport:
         assert payload["rows"][0]["flood_rate"] == 1.5
 
 
+class TestObserveCommand:
+    @pytest.fixture
+    def mixed_csv(self, background_csv, tmp_path):
+        mixed = tmp_path / "mixed.csv"
+        code = main([
+            "attack", "--counts", str(background_csv), "--rate", "5",
+            "--start", "360", "--out", str(mixed),
+        ])
+        assert code == EXIT_OK
+        return mixed
+
+    def test_observe_produces_metrics_and_events(
+        self, mixed_csv, tmp_path, capsys
+    ):
+        from repro.obs import parse_prometheus_text, read_jsonl
+
+        metrics = tmp_path / "metrics.prom"
+        events = tmp_path / "events.jsonl"
+        code = main([
+            "observe", "--trace", str(mixed_csv),
+            "--metrics-out", str(metrics), "--events-out", str(events),
+        ])
+        assert code == EXIT_ALARM
+        out = capsys.readouterr().out
+        assert "periods observed" in out
+        # The Prometheus file is machine-readable and carries the
+        # detector families.
+        samples = parse_prometheus_text(metrics.read_text())
+        names = {name for name, _, _ in samples}
+        assert "syndog_periods_total" in names
+        assert "syndog_statistic" in names
+        assert "trace_span_count" in names
+        # One JSONL event per observation period, with the full
+        # trajectory point (the acceptance contract).
+        all_events = read_jsonl(events)
+        periods = [e for e in all_events if e["event"] == "period"]
+        assert len(periods) == 90
+        for i, event in enumerate(periods):
+            assert event["period_index"] == i
+            assert {"x", "statistic", "alarm"} <= set(event)
+        assert any(e["event"] == "alarm_raised" for e in all_events)
+
+    def test_observe_clean_trace_no_alarm(self, background_csv, tmp_path):
+        code = main([
+            "observe", "--trace", str(background_csv),
+            "--metrics-out", str(tmp_path / "m.prom"),
+        ])
+        assert code == EXIT_OK
+
+    def test_observe_pcap_pair(self, tmp_path):
+        from repro.obs import parse_prometheus_text
+
+        main([
+            "generate", "--site", "harvard", "--seed", "2",
+            "--duration", "300", "--format", "pcap",
+            "--out", str(tmp_path / "h"),
+        ])
+        metrics = tmp_path / "metrics.prom"
+        code = main([
+            "observe",
+            "--pcap-out", str(tmp_path / "h.out.pcap"),
+            "--pcap-in", str(tmp_path / "h.in.pcap"),
+            "--metrics-out", str(metrics),
+        ])
+        assert code == EXIT_OK
+        names = {
+            name for name, _, _ in parse_prometheus_text(metrics.read_text())
+        }
+        # Packet-level ingestion exercises the sniffers too.
+        assert "sniffer_packets_total" in names
+
+    def test_observe_pcap_out_without_in_rejected(self, tmp_path):
+        from repro.cli import EXIT_USAGE
+
+        code = main(["observe", "--pcap-out", str(tmp_path / "x.pcap")])
+        assert code == EXIT_USAGE
+
+    def test_detect_metrics_out(self, mixed_csv, tmp_path, capsys):
+        from repro.obs import parse_prometheus_text
+
+        metrics = tmp_path / "detect.prom"
+        code = main([
+            "detect", "--counts", str(mixed_csv), "--quiet",
+            "--metrics-out", str(metrics),
+        ])
+        assert code == EXIT_ALARM
+        assert "metric samples" in capsys.readouterr().out
+        names = {
+            name for name, _, _ in parse_prometheus_text(metrics.read_text())
+        }
+        assert "syndog_periods_total" in names
+
+    def test_campaign_metrics_out(self, tmp_path, capsys):
+        from repro.obs import parse_prometheus_text
+
+        metrics = tmp_path / "campaign.prom"
+        code = main([
+            "campaign", "--aggregate", "5000", "--networks", "500",
+            "--site", "auckland", "--sample", "2",
+            "--metrics-out", str(metrics),
+        ])
+        assert code == EXIT_ALARM
+        names = {
+            name for name, _, _ in parse_prometheus_text(metrics.read_text())
+        }
+        assert "campaign_networks_total" in names
+        assert "campaign_detection_fraction" in names
+
+
 class TestCampaignCommand:
     def test_concentrated_campaign_detected(self, capsys):
         code = main([
