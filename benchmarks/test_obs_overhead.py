@@ -23,6 +23,10 @@ from pathlib import Path
 from conftest import emit
 
 from repro.core.cusum import NonParametricCusum
+from repro.obs.events import EventLog, MemorySink
+from repro.obs.recorder import FlightRecorder
+from repro.obs.runtime import Instrumentation
+from repro.obs.server import ObsServer
 from repro.core.normalization import NormalizedDifference
 from repro.core.parameters import DEFAULT_PARAMETERS
 from repro.core.sniffer import InboundSniffer, OutboundSniffer, PeriodReport
@@ -184,3 +188,60 @@ def test_default_instrumentation_is_free(benchmark):
             dog.observe_outbound(packet)
 
     benchmark(observe_thousand)
+
+
+def test_flight_recorder_overhead_within_budget():
+    """The live half of the stack must be as cheap as the dead half.
+
+    Flight recorder recording every period, events into a bounded
+    in-memory sink, and the telemetry server up (idle — nobody
+    scraping): per-packet cost is still the null-instrument fast path
+    plus a per-*period* snapshot, so the same ≤10% budget applies.
+    """
+    packets = syn_stream()
+
+    def recorded_syndog():
+        events = EventLog(MemorySink(max_events=10_000))
+        obs = Instrumentation(
+            events=events,
+            recorder=FlightRecorder(
+                capacity=32, post_alarm_periods=5, events=events
+            ),
+        )
+        return SynDog(obs=obs)
+
+    time_pass(BareSynDog, packets[:1000])
+    time_pass(recorded_syndog, packets[:1000])
+
+    server_obs = Instrumentation(events=EventLog(MemorySink()))
+    with ObsServer(server_obs):
+        bare = time_pass(BareSynDog, packets)
+        recorded = time_pass(recorded_syndog, packets)
+    ratio = recorded / bare
+
+    artifact = json.loads(ARTIFACT.read_text()) if ARTIFACT.exists() else {
+        "bench": "obs_overhead",
+        "max_ratio": MAX_OVERHEAD_RATIO,
+    }
+    artifact.update(
+        recorder_bare_seconds=bare,
+        recorder_seconds=recorded,
+        recorder_ratio=ratio,
+        recorder_per_packet_ns=recorded / NUM_PACKETS * 1e9,
+    )
+    ARTIFACT.write_text(json.dumps(artifact, indent=2) + "\n")
+
+    emit(
+        "Observability overhead (flight recorder + idle server)\n"
+        f"  bare replica : {bare * 1e3:8.2f} ms\n"
+        f"  recorded     : {recorded * 1e3:8.2f} ms "
+        f"({artifact['recorder_per_packet_ns']:.0f} ns/packet)\n"
+        f"  ratio        : {ratio:8.3f}  (budget {MAX_OVERHEAD_RATIO})\n"
+        f"  artifact     : {ARTIFACT}"
+    )
+
+    assert ratio <= MAX_OVERHEAD_RATIO, (
+        f"flight-recorder-enabled SynDog.observe_outbound is "
+        f"{(ratio - 1) * 100:.1f}% slower than the bare path "
+        f"(budget {(MAX_OVERHEAD_RATIO - 1) * 100:.0f}%)"
+    )

@@ -8,7 +8,8 @@ actually touch::
     repro-syndog detect   --counts mixed.csv
     repro-syndog detect   --pcap-out out.pcap --pcap-in in.pcap
     repro-syndog observe  --trace mixed.csv --metrics-out metrics.prom \
-                          --events-out events.jsonl
+                          --events-out events.jsonl --serve 9100
+    repro-syndog report   events.jsonl --format markdown
     repro-syndog table    2
     repro-syndog figure   5
     repro-syndog theory   --k-bar 1922
@@ -22,8 +23,8 @@ from __future__ import annotations
 
 import argparse
 import sys
-from contextlib import nullcontext
-from typing import List, Optional, Sequence
+from contextlib import contextmanager, nullcontext
+from typing import Iterator, List, Optional, Sequence
 
 from .attack.flooder import FloodSource
 from .core.parameters import DEFAULT_PARAMETERS, SynDogParameters
@@ -105,6 +106,10 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("--metrics-out", metavar="PATH",
                         help="write pipeline metrics in Prometheus "
                              "text-exposition format")
+    detect.add_argument("--serve", type=int, metavar="PORT",
+                        help="serve live telemetry (/metrics /healthz "
+                             "/events) on PORT for the run's duration "
+                             "(0 picks a free port)")
 
     # ------------------------------------------------------------- observe
     observe = sub.add_parser(
@@ -132,6 +137,28 @@ def build_parser() -> argparse.ArgumentParser:
     observe.add_argument("--events-out", metavar="PATH",
                          help="JSONL event stream output file "
                               "(one event per observation period)")
+    observe.add_argument("--serve", type=int, metavar="PORT",
+                         help="serve live telemetry (/metrics /healthz "
+                              "/events) on PORT for the run's duration "
+                              "(0 picks a free port)")
+
+    # -------------------------------------------------------------- report
+    report = sub.add_parser(
+        "report",
+        help="forensic report over one or more events JSONL files: "
+             "alarm timelines, detection latency, false alarms, "
+             "CUSUM traces",
+    )
+    report.add_argument("events", nargs="+", metavar="EVENTS_JSONL",
+                        help="events JSONL file(s) from observe "
+                             "--events-out")
+    report.add_argument("--format", choices=("text", "markdown", "json"),
+                        default="text")
+    report.add_argument("--min-alarm-periods", type=int, default=2,
+                        help="alarm spans clearing in fewer periods "
+                             "count as false alarms (default 2)")
+    report.add_argument("--out", metavar="PATH",
+                        help="write the report here instead of stdout")
 
     # --------------------------------------------------------------- table
     table = sub.add_parser("table", help="regenerate a paper table (1, 2 or 3)")
@@ -165,6 +192,10 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--metrics-out", metavar="PATH",
                           help="write fleet metrics in Prometheus "
                                "text-exposition format")
+    campaign.add_argument("--serve", type=int, metavar="PORT",
+                          help="serve live telemetry (/metrics /healthz "
+                               "/events) on PORT for the run's duration "
+                               "(0 picks a free port)")
 
     # -------------------------------------------------------------- theory
     theory = sub.add_parser(
@@ -219,6 +250,25 @@ def _cmd_attack(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+@contextmanager
+def _serving(obs, port: Optional[int]) -> Iterator[None]:
+    """Run the block with the telemetry server up (no-op without a
+    port); the server stops — gracefully — when the block exits."""
+    if port is None or obs is None:
+        yield
+        return
+    from .obs.server import ObsServer
+
+    server = ObsServer(obs, port=port)
+    server.start()
+    print(f"telemetry         : serving {server.url}"
+          f"  (/metrics /healthz /events)")
+    try:
+        yield
+    finally:
+        server.stop()
+
+
 def _detect_parameters(args: argparse.Namespace) -> SynDogParameters:
     return SynDogParameters(
         observation_period=args.period,
@@ -231,40 +281,45 @@ def _detect_parameters(args: argparse.Namespace) -> SynDogParameters:
 def _cmd_detect(args: argparse.Namespace) -> int:
     parameters = _detect_parameters(args)
     obs = None
-    if args.metrics_out:
+    if args.metrics_out or args.serve is not None:
         from .obs import enabled_instrumentation
 
-        obs = enabled_instrumentation(memory_events=False)
-    if args.counts:
-        trace = load_count_trace(args.counts)
-        if trace.period != parameters.observation_period:
-            parameters = SynDogParameters(
-                observation_period=trace.period,
-                drift=args.drift,
-                attack_increase=2.0 * args.drift,
-                threshold=args.threshold,
+        # A live scrape server wants /events to answer, so keep the
+        # in-memory sink when serving.
+        obs = enabled_instrumentation(memory_events=args.serve is not None)
+    with _serving(obs, args.serve):
+        if args.counts:
+            trace = load_count_trace(args.counts)
+            if trace.period != parameters.observation_period:
+                parameters = SynDogParameters(
+                    observation_period=trace.period,
+                    drift=args.drift,
+                    attack_increase=2.0 * args.drift,
+                    threshold=args.threshold,
+                )
+            from .trace.validation import validate_count_trace
+
+            for finding in validate_count_trace(trace):
+                print(f"[{finding.severity.value}] {finding.code}: "
+                      f"{finding.message}", file=sys.stderr)
+            dog = SynDog(parameters=parameters, obs=obs)
+            with (obs.tracer.span("detect.run") if obs is not None
+                  else nullcontext()):
+                result = dog.observe_counts(trace.counts)
+        else:
+            if not args.pcap_in:
+                print("detect: --pcap-out requires --pcap-in",
+                      file=sys.stderr)
+                return EXIT_USAGE
+            from .experiments.streaming import detect_from_pcaps
+
+            result, dog = detect_from_pcaps(
+                args.pcap_out, args.pcap_in, parameters=parameters, obs=obs
             )
-        from .trace.validation import validate_count_trace
-
-        for finding in validate_count_trace(trace):
-            print(f"[{finding.severity.value}] {finding.code}: "
-                  f"{finding.message}", file=sys.stderr)
-        dog = SynDog(parameters=parameters, obs=obs)
-        with (obs.tracer.span("detect.run") if obs is not None
-              else nullcontext()):
-            result = dog.observe_counts(trace.counts)
-    else:
-        if not args.pcap_in:
-            print("detect: --pcap-out requires --pcap-in", file=sys.stderr)
-            return EXIT_USAGE
-        from .experiments.streaming import detect_from_pcaps
-
-        result, dog = detect_from_pcaps(
-            args.pcap_out, args.pcap_in, parameters=parameters, obs=obs
-        )
     if obs is not None:
         samples = obs.finalize(args.metrics_out)
-        print(f"wrote {samples} metric samples to {args.metrics_out}")
+        if args.metrics_out:
+            print(f"wrote {samples} metric samples to {args.metrics_out}")
     if args.json:
         from .experiments.export import detection_result_to_dict, save_json
 
@@ -305,33 +360,43 @@ def _cmd_observe(args: argparse.Namespace) -> int:
 
     parameters = _detect_parameters(args)
     obs = enabled_instrumentation(events_path=args.events_out)
-    if args.trace:
-        trace = load_count_trace(args.trace)
-        if trace.period != parameters.observation_period:
-            parameters = SynDogParameters(
-                observation_period=trace.period,
-                drift=args.drift,
-                attack_increase=2.0 * args.drift,
-                threshold=args.threshold,
-            )
-        dog = SynDog(parameters=parameters, obs=obs)
-        with obs.tracer.span("observe.run"):
-            result = dog.observe_counts(trace.counts)
-    else:
-        if not args.pcap_in:
-            print("observe: --pcap-out requires --pcap-in", file=sys.stderr)
-            return EXIT_USAGE
-        from .experiments.streaming import detect_from_pcaps
+    with _serving(obs, args.serve):
+        if args.trace:
+            trace = load_count_trace(args.trace)
+            if trace.period != parameters.observation_period:
+                parameters = SynDogParameters(
+                    observation_period=trace.period,
+                    drift=args.drift,
+                    attack_increase=2.0 * args.drift,
+                    threshold=args.threshold,
+                )
+            dog = SynDog(parameters=parameters, obs=obs)
+            with obs.tracer.span("observe.run"):
+                result = dog.observe_counts(trace.counts)
+        else:
+            if not args.pcap_in:
+                print("observe: --pcap-out requires --pcap-in",
+                      file=sys.stderr)
+                return EXIT_USAGE
+            from .experiments.streaming import detect_from_pcaps
 
-        with obs.tracer.span("observe.run"):
-            result, dog = detect_from_pcaps(
-                args.pcap_out, args.pcap_in, parameters=parameters, obs=obs
-            )
+            with obs.tracer.span("observe.run"):
+                result, dog = detect_from_pcaps(
+                    args.pcap_out, args.pcap_in, parameters=parameters,
+                    obs=obs,
+                )
     events_emitted = obs.events.events_emitted
     run_seconds = obs.tracer.total_seconds("observe.run")
     samples = obs.finalize(args.metrics_out)
+    summary = obs.summary()
     print(f"periods observed : {len(result.records)}")
     print(f"events emitted   : {events_emitted}")
+    if summary["events_dropped"]:
+        print(f"events DROPPED   : {summary['events_dropped']} "
+              f"(bounded memory sink overflowed)")
+    if summary["alarm_contexts"]:
+        print(f"alarm contexts   : {summary['alarm_contexts']} "
+              f"(flight recorder)")
     print(f"detection pass   : {run_seconds * 1e3:.2f} ms wall clock")
     print(f"K-bar estimate   : {dog.k_bar:.1f} SYN/ACKs per period")
     print(f"max statistic    : {result.max_statistic:.4f} "
@@ -428,17 +493,19 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         IPv4Address.parse("198.51.100.80"), args.aggregate, args.networks
     )
     obs = None
-    if args.metrics_out:
+    if args.metrics_out or args.serve is not None:
         from .obs import enabled_instrumentation
 
-        obs = enabled_instrumentation(memory_events=False)
-    result = simulate_campaign(
-        campaign, profile, base_seed=args.seed, max_networks=args.sample,
-        obs=obs,
-    )
+        obs = enabled_instrumentation(memory_events=args.serve is not None)
+    with _serving(obs, args.serve):
+        result = simulate_campaign(
+            campaign, profile, base_seed=args.seed, max_networks=args.sample,
+            obs=obs,
+        )
     if obs is not None:
         samples = obs.finalize(args.metrics_out)
-        print(f"wrote {samples} metric samples to {args.metrics_out}")
+        if args.metrics_out:
+            print(f"wrote {samples} metric samples to {args.metrics_out}")
     f_i = campaign.per_network_rate(0)
     floor = DEFAULT_PARAMETERS.min_detectable_rate(
         profile.k_bar_target or profile.expected_k_bar()
@@ -459,12 +526,37 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Forensics over events JSONL: what happened, from the log alone."""
+    from .obs.analyze import analyze_files, render_report
+
+    for path in args.events:
+        from pathlib import Path
+
+        if not Path(path).exists():
+            print(f"report: no such events file: {path}", file=sys.stderr)
+            return EXIT_USAGE
+    report = analyze_files(
+        args.events, min_alarm_periods=args.min_alarm_periods
+    )
+    rendered = render_report(report, fmt=args.format)
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(rendered + "\n", encoding="utf-8")
+        print(f"wrote {args.format} report to {args.out}")
+    else:
+        print(rendered)
+    return EXIT_ALARM if report.detection_count else EXIT_OK
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "campaign": _cmd_campaign,
     "attack": _cmd_attack,
     "detect": _cmd_detect,
     "observe": _cmd_observe,
+    "report": _cmd_report,
     "table": _cmd_table,
     "figure": _cmd_figure,
     "theory": _cmd_theory,

@@ -132,9 +132,11 @@ class CountExchange:
         self._period_index = 0
         self._period_start = float(start_time)
         # Hot-path contract (see repro.obs): bind instruments once here;
-        # when disabled every per-packet guard is a single None check.
+        # when the registry is disabled (even if events or the flight
+        # recorder are live) every per-packet guard is a single None
+        # check — null-instrument method calls are not free at 100k pps.
         obs = resolve_instrumentation(obs)
-        if obs.enabled:
+        if obs.registry.enabled:
             seen = obs.registry.counter(
                 "sniffer_packets_total",
                 "Packets inspected at the sniffers, by direction",

@@ -20,6 +20,7 @@ Two ingestion styles are offered:
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
@@ -31,6 +32,11 @@ from .parameters import DEFAULT_PARAMETERS, SynDogParameters
 from .sniffer import CountExchange, PeriodReport
 
 __all__ = ["SynDog", "DetectionRecord", "DetectionResult"]
+
+#: Fallback agent names (``syndog-0``, ``syndog-1``, ...) so several
+#: anonymous detectors sharing one flight recorder / event log stay
+#: distinguishable.
+_AGENT_SEQ = itertools.count()
 
 
 @dataclass(frozen=True)
@@ -98,6 +104,10 @@ class SynDog:
         period's SYN/ACK count initializes the estimate.
     freeze_k_on_alarm:
         When True, K̄ stops updating while the alarm is active.
+    name:
+        The agent's identity in events, flight-recorder tapes and
+        ``/healthz`` (a deployed agent uses its router's name);
+        defaults to a process-unique ``syndog-<n>``.
     """
 
     def __init__(
@@ -107,8 +117,10 @@ class SynDog:
         initial_k: Optional[float] = None,
         freeze_k_on_alarm: bool = False,
         obs: Optional[Instrumentation] = None,
+        name: Optional[str] = None,
     ) -> None:
         self.parameters = parameters
+        self.name = name if name is not None else f"syndog-{next(_AGENT_SEQ)}"
         obs = resolve_instrumentation(obs)
         self.exchange = CountExchange(
             observation_period=parameters.observation_period,
@@ -128,7 +140,7 @@ class SynDog:
         # Per-period instruments; bound once (see repro.obs hot-path
         # contract).  Period cadence is t0 = 20 s, so the enabled cost
         # is negligible even on heavy traffic.
-        if obs.enabled:
+        if obs.registry.enabled:
             registry = obs.registry
             self._m_periods = registry.counter(
                 "syndog_periods_total", "Observation periods processed"
@@ -157,7 +169,6 @@ class SynDog:
             self._g_alarm = registry.gauge(
                 "syndog_alarm", "Current decision d_N (1 = flooding source)"
             )
-            self._events = obs.events if obs.events.enabled else None
         else:
             self._m_periods = None
             self._m_syn = None
@@ -167,7 +178,8 @@ class SynDog:
             self._g_x = None
             self._g_k_bar = None
             self._g_alarm = None
-            self._events = None
+        self._events = obs.events if obs.events.enabled else None
+        self._recorder = obs.recorder if obs.recorder.enabled else None
 
     # ------------------------------------------------------------------
     # Count-level ingestion (trace-driven experiments)
@@ -222,6 +234,7 @@ class SynDog:
         if self._events is not None:
             self._events.emit(
                 "period",
+                agent=self.name,
                 period_index=period_index,
                 start_time=start_time,
                 end_time=record.end_time,
@@ -230,16 +243,36 @@ class SynDog:
                 k_bar=record.k_bar,
                 x=x,
                 statistic=state.statistic,
+                threshold=self.parameters.threshold,
                 alarm=state.alarm,
             )
             if state.alarm != self._prev_alarm:
                 self._events.emit(
                     "alarm_raised" if state.alarm else "alarm_cleared",
+                    agent=self.name,
                     period_index=period_index,
                     time=record.end_time,
                     statistic=state.statistic,
                     k_bar=record.k_bar,
                 )
+        if self._recorder is not None:
+            # The flight-recorder snapshot: the full trajectory point,
+            # threshold included, so an alarm_context replays on its own.
+            self._recorder.record(
+                self.name,
+                {
+                    "period_index": period_index,
+                    "start_time": start_time,
+                    "end_time": record.end_time,
+                    "syn": syn_count,
+                    "synack": synack_count,
+                    "k_bar": record.k_bar,
+                    "x": x,
+                    "statistic": state.statistic,
+                    "threshold": self.parameters.threshold,
+                    "alarm": state.alarm,
+                },
+            )
         self._prev_alarm = state.alarm
         return record
 

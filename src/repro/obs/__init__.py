@@ -25,8 +25,25 @@ Modules
 ``runtime``
     The :class:`Instrumentation` bundle, the process-wide default, and
     the ``instrumented(...)`` scope manager.
+``recorder``
+    The per-agent flight recorder: detector-state ring buffers and
+    self-describing ``alarm_context`` events.
+``server``
+    The live scrape endpoint: ``/metrics`` + ``/healthz`` + ``/events``
+    from a daemon-thread HTTP server.
+``analyze``
+    Offline forensics over events JSONL (``repro report``): alarm
+    timelines, detection latency, false-alarm counts, CUSUM traces.
 """
 
+from .analyze import (
+    AgentTimeline,
+    AlarmSpan,
+    EventsReport,
+    analyze_events,
+    analyze_files,
+    render_report,
+)
 from .events import (
     EventLog,
     JsonlSink,
@@ -35,10 +52,12 @@ from .events import (
     read_jsonl,
 )
 from .exporters import (
+    export_event_stats,
     export_tracer,
     parse_prometheus_text,
     registry_to_dicts,
     render_prometheus,
+    summarize_histograms,
     write_prometheus,
 )
 from .metrics import (
@@ -49,6 +68,7 @@ from .metrics import (
     MetricsRegistry,
     NullRegistry,
 )
+from .recorder import FlightRecorder, NullFlightRecorder
 from .runtime import (
     NULL_INSTRUMENTATION,
     Instrumentation,
@@ -58,6 +78,7 @@ from .runtime import (
     resolve_instrumentation,
     set_instrumentation,
 )
+from .server import ObsServer
 from .tracing import NullTracer, SpanRecord, SpanStats, Tracer
 
 __all__ = [
@@ -85,6 +106,20 @@ __all__ = [
     "parse_prometheus_text",
     "registry_to_dicts",
     "export_tracer",
+    "export_event_stats",
+    "summarize_histograms",
+    # recorder
+    "FlightRecorder",
+    "NullFlightRecorder",
+    # server
+    "ObsServer",
+    # analyze
+    "AlarmSpan",
+    "AgentTimeline",
+    "EventsReport",
+    "analyze_events",
+    "analyze_files",
+    "render_report",
     # runtime
     "Instrumentation",
     "NULL_INSTRUMENTATION",

@@ -52,6 +52,12 @@ class MemorySink:
     def of_kind(self, kind: str) -> List[Event]:
         return [event for event in self.events if event.get("event") == kind]
 
+    def tail(self, n: int) -> List[Event]:
+        """The last *n* retained events (what ``/events?n=K`` serves)."""
+        if n <= 0:
+            return []
+        return self.events[-n:]
+
 
 class JsonlSink:
     """Streams events to a file as JSON Lines.
@@ -101,6 +107,16 @@ class EventLog:
     def add_sink(self, sink: Any) -> None:
         self._sinks.append(sink)
 
+    def sinks(self) -> List[Any]:
+        """The attached sinks (read-only view for exporters/servers)."""
+        return list(self._sinks)
+
+    @property
+    def dropped(self) -> int:
+        """Events silently dropped by bounded sinks — must be surfaced
+        (``obs_events_dropped_total``), or event loss is invisible."""
+        return sum(getattr(sink, "dropped", 0) for sink in self._sinks)
+
     def emit(self, kind: str, **fields: Any) -> Event:
         event: Event = {"event": kind, "seq": self._seq}
         event.update(fields)
@@ -123,9 +139,13 @@ class NullEventLog:
 
     enabled = False
     events_emitted = 0
+    dropped = 0
 
     def emit(self, kind: str, **fields: Any) -> None:
         return None
+
+    def sinks(self) -> List[Any]:
+        return []
 
     def add_sink(self, sink: Any) -> None:
         raise ValueError("cannot attach a sink to the null event log; "

@@ -18,10 +18,12 @@ one scrape carries both metrics and timings.
 
 from __future__ import annotations
 
+import os
+import tempfile
 from pathlib import Path
 from typing import Any, Dict, List, Tuple, Union
 
-from .metrics import MetricsRegistry
+from .metrics import Histogram, MetricsRegistry
 from .tracing import Tracer
 
 __all__ = [
@@ -30,6 +32,8 @@ __all__ = [
     "parse_prometheus_text",
     "registry_to_dicts",
     "export_tracer",
+    "export_event_stats",
+    "summarize_histograms",
 ]
 
 PathLike = Union[str, Path]
@@ -82,9 +86,27 @@ def render_prometheus(registry: MetricsRegistry) -> str:
 
 
 def write_prometheus(registry: MetricsRegistry, path: PathLike) -> int:
-    """Write the exposition file; returns the number of sample lines."""
+    """Write the exposition file; returns the number of sample lines.
+
+    The write is atomic (temp file in the same directory, then
+    ``os.replace``) so a concurrent file-based scraper or ``tail``
+    never observes a partially written metrics file.
+    """
     text = render_prometheus(registry)
-    Path(path).write_text(text, encoding="utf-8")
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent) or ".", prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as stream:
+            stream.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
     return sum(
         1 for line in text.splitlines() if line and not line.startswith("#")
     )
@@ -173,6 +195,65 @@ def registry_to_dicts(registry: MetricsRegistry) -> List[Dict[str, Any]]:
                 }
             )
     return rows
+
+
+# ----------------------------------------------------------------------
+# Histogram summaries (quantile view of a scrape)
+# ----------------------------------------------------------------------
+def summarize_histograms(
+    registry: MetricsRegistry,
+    quantiles: Tuple[float, ...] = (0.5, 0.95, 0.99),
+) -> List[Dict[str, Any]]:
+    """One row per histogram child: count, sum, mean and interpolated
+    quantiles (p50/p95/p99 by default).  Empty histograms are skipped —
+    there is nothing to estimate."""
+    rows: List[Dict[str, Any]] = []
+    for family in registry.collect():
+        if not isinstance(family, Histogram):
+            continue
+        children: List[Tuple[Dict[str, str], Histogram]]
+        if family.labelnames:
+            children = [
+                (dict(zip(family.labelnames, key)), child)
+                for key, child in family._children.items()
+            ]
+        else:
+            children = [({}, family)]
+        for labels, child in children:
+            if child.count == 0:
+                continue
+            row: Dict[str, Any] = {
+                "metric": family.name,
+                "labels": labels,
+                "count": child.count,
+                "sum": child.sum,
+                "mean": child.sum / child.count,
+            }
+            for q in quantiles:
+                row[f"p{round(q * 100):d}"] = child.quantile(q)
+            rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Event log → registry (loss accounting)
+# ----------------------------------------------------------------------
+def export_event_stats(events: Any, registry: MetricsRegistry) -> None:
+    """Fold the event log's emission/loss counters into *registry* as
+    ``obs_events_emitted_total`` / ``obs_events_dropped_total`` so a
+    scrape (or the final ``.prom``) makes silent event loss visible.
+    Idempotent, like :func:`export_tracer`."""
+    if not getattr(events, "enabled", False):
+        return
+    emitted = registry.counter(
+        "obs_events_emitted_total", "Structured events emitted this run"
+    )
+    emitted.inc(events.events_emitted - emitted.value)
+    dropped = registry.counter(
+        "obs_events_dropped_total",
+        "Events dropped by bounded sinks (silent loss made visible)",
+    )
+    dropped.inc(getattr(events, "dropped", 0) - dropped.value)
 
 
 # ----------------------------------------------------------------------

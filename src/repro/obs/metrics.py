@@ -243,6 +243,44 @@ class Histogram(_Family):
         self._require_unlabeled()
         return self._sum
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the *q*-quantile by linear interpolation over the
+        cumulative buckets (the ``histogram_quantile`` convention).
+
+        Returns None for an empty histogram.  Observations above the
+        highest bucket cannot be interpolated; quantiles landing there
+        return the highest finite bound — the estimate Prometheus
+        itself gives for the +Inf bucket.
+        """
+        self._require_unlabeled()
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1]: {q}")
+        if self._count == 0:
+            return None
+        target = q * self._count
+        cumulative = 0
+        for i, (bound, bucket_count) in enumerate(
+            zip(self.buckets, self._bucket_counts)
+        ):
+            previous = cumulative
+            cumulative += bucket_count
+            if bucket_count and target <= cumulative:
+                if bound == math.inf:
+                    # An explicit +Inf bucket: fall back to the bound
+                    # below it (nothing to interpolate toward).
+                    return self.buckets[i - 1] if i > 0 else 0.0
+                if i > 0:
+                    lower = self.buckets[i - 1]
+                elif bound > 0:
+                    lower = 0.0  # first positive bucket starts at zero
+                else:
+                    return bound  # all mass at/below a non-positive edge
+                fraction = max(0.0, target - previous) / bucket_count
+                return lower + (bound - lower) * fraction
+        # Overflow: observations beyond the last finite bucket.
+        bounds = [b for b in self.buckets if b != math.inf]
+        return bounds[-1] if bounds else None
+
     def _own_samples(self) -> Iterator[Sample]:
         cumulative = 0
         for bound, bucket_count in zip(self.buckets, self._bucket_counts):
@@ -358,6 +396,9 @@ class _NullInstrument:
 
     def observe(self, value: float) -> None:
         pass
+
+    def quantile(self, q: float) -> None:
+        return None
 
     def time(self) -> "_NullInstrument":
         return self

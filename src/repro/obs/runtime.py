@@ -28,8 +28,9 @@ from contextlib import contextmanager
 from typing import Any, Iterator, Optional, Union
 
 from .events import EventLog, JsonlSink, MemorySink, NullEventLog
-from .exporters import export_tracer, write_prometheus
+from .exporters import export_event_stats, export_tracer, write_prometheus
 from .metrics import MetricsRegistry, NullRegistry
+from .recorder import FlightRecorder, NullFlightRecorder
 from .tracing import NullTracer, Tracer
 
 __all__ = [
@@ -44,17 +45,30 @@ __all__ = [
 
 
 class Instrumentation:
-    """A registry + tracer + event log, handed around as one object."""
+    """A registry + tracer + event log + flight recorder, handed around
+    as one object."""
 
     def __init__(
         self,
         registry: Optional[Any] = None,
         tracer: Optional[Any] = None,
         events: Optional[Any] = None,
+        recorder: Optional[Any] = None,
     ) -> None:
         self.registry = registry if registry is not None else NullRegistry()
         self.tracer = tracer if tracer is not None else NullTracer()
         self.events = events if events is not None else NullEventLog()
+        self.recorder = (
+            recorder if recorder is not None else NullFlightRecorder()
+        )
+        # A live recorder handed in without its own event log emits
+        # alarm contexts into the bundle's (when that one is live).
+        if (
+            self.recorder.enabled
+            and getattr(self.recorder, "_events", None) is None
+            and self.events.enabled
+        ):
+            self.recorder.bind_events(self.events)
 
     @property
     def enabled(self) -> bool:
@@ -62,20 +76,46 @@ class Instrumentation:
             self.registry.enabled
             or self.tracer.enabled
             or self.events.enabled
+            or self.recorder.enabled
         )
 
     def finalize(self, metrics_path: Optional[Union[str, Any]] = None) -> int:
-        """End-of-run bookkeeping: fold tracer aggregates into the
-        registry, write the Prometheus file (when asked), close event
+        """End-of-run bookkeeping: flush pending alarm contexts, fold
+        tracer aggregates and event-loss counters into the registry,
+        write the Prometheus file (when asked, atomically), close event
         sinks.  Returns the number of exported sample lines (0 when no
         metrics path was given)."""
         samples = 0
-        if self.registry.enabled and self.tracer.enabled:
-            export_tracer(self.tracer, self.registry)
+        self.recorder.flush()
+        if self.registry.enabled:
+            if self.tracer.enabled:
+                export_tracer(self.tracer, self.registry)
+            export_event_stats(self.events, self.registry)
         if metrics_path is not None and self.registry.enabled:
             samples = write_prometheus(self.registry, metrics_path)
         self.events.close()
         return samples
+
+    def summary(self) -> dict:
+        """The run's observability bookkeeping in one dict — what a CLI
+        prints after ``finalize``.  ``events_dropped`` is here on
+        purpose: bounded sinks drop silently and an operator must see
+        that loss."""
+        return {
+            "enabled": self.enabled,
+            "metrics_families": len(self.registry),
+            "events_emitted": self.events.events_emitted,
+            "events_dropped": getattr(self.events, "dropped", 0),
+            "alarm_contexts": self.recorder.contexts_emitted,
+            "agents": self.recorder.status(),
+        }
+
+    def memory_events(self) -> Optional[MemorySink]:
+        """The bundle's in-memory event sink, when one is attached."""
+        for sink in getattr(self.events, "sinks", lambda: [])():
+            if isinstance(sink, MemorySink):
+                return sink
+        return None
 
     def __repr__(self) -> str:
         return (
@@ -95,19 +135,34 @@ def enabled_instrumentation(
     events_path: Optional[Any] = None,
     memory_events: bool = True,
     max_memory_events: Optional[int] = 100_000,
+    flight_recorder: bool = True,
+    recorder_capacity: int = 120,
+    recorder_post_periods: int = 5,
 ) -> Instrumentation:
     """A fully live bundle: real registry, real tracer, event log with
     a JSONL sink at *events_path* (when given) and/or an in-memory sink
-    (bounded, for summaries)."""
+    (bounded, for summaries), plus a flight recorder so every alarm
+    carries its pre-alarm detector-state window."""
     sinks = []
     if events_path is not None:
         sinks.append(JsonlSink(events_path))
     if memory_events:
         sinks.append(MemorySink(max_events=max_memory_events))
+    events = EventLog(*sinks)
+    recorder = (
+        FlightRecorder(
+            capacity=recorder_capacity,
+            post_alarm_periods=recorder_post_periods,
+            events=events,
+        )
+        if flight_recorder
+        else None
+    )
     return Instrumentation(
         registry=MetricsRegistry(),
         tracer=Tracer(),
-        events=EventLog(*sinks),
+        events=events,
+        recorder=recorder,
     )
 
 

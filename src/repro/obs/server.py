@@ -1,0 +1,269 @@
+"""A live telemetry endpoint for a running detector fleet.
+
+PR 1's obs layer writes its exports when a run *finishes*; an operator
+watching a live SYN-dog wants to scrape it while it runs.  This module
+is the serving half: :class:`ObsServer` wraps one
+:class:`~repro.obs.runtime.Instrumentation` bundle in a
+``ThreadingHTTPServer`` on a daemon thread — dependency-free, stdlib
+only — with three endpoints:
+
+``GET /metrics``
+    The current registry in Prometheus text exposition format 0.0.4,
+    with the tracer span profile and event-loss counters folded in at
+    scrape time, exactly as ``finalize`` would write them.
+``GET /healthz``
+    A JSON liveness probe: uptime, events emitted/dropped, and — via
+    the flight recorder — per-agent period counts and alarm state.
+``GET /events?n=K[&kind=period]``
+    The last K events from the bundle's in-memory sink as JSON, for a
+    quick ``curl | jq`` without shipping the whole JSONL.
+
+The server never mutates detector state and holds no locks against the
+detection path: scrapes read the live counters (safe under the GIL for
+these single-attribute reads) so a scrape can never stall ingestion.
+
+Usage::
+
+    obs = enabled_instrumentation()
+    with ObsServer(obs, port=9100) as server:
+        print("scrape", server.url + "/metrics")
+        run_detection(obs)
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from .events import MemorySink
+from .exporters import export_event_stats, export_tracer, render_prometheus
+
+__all__ = ["ObsServer", "PROMETHEUS_CONTENT_TYPE"]
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+DEFAULT_EVENT_TAIL = 100
+
+
+class ObsServer:
+    """Serve one instrumentation bundle over HTTP from a daemon thread.
+
+    ``port=0`` binds an ephemeral port (the resolved one is on
+    :attr:`port` after :meth:`start`).  :meth:`stop` is graceful and
+    idempotent; the object is also a context manager.
+    """
+
+    def __init__(
+        self,
+        obs: Any,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.obs = obs
+        self.host = host
+        self._requested_port = port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started_monotonic = 0.0
+        self._started_unix = 0.0
+        self.requests_served = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._httpd is not None
+
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            return self._requested_port
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def uptime_seconds(self) -> float:
+        if not self.running:
+            return 0.0
+        return time.monotonic() - self._started_monotonic
+
+    # ------------------------------------------------------------------
+    def start(self) -> "ObsServer":
+        if self.running:
+            return self
+        handler = _build_handler(self)
+        self._httpd = ThreadingHTTPServer(
+            (self.host, self._requested_port), handler
+        )
+        self._httpd.daemon_threads = True
+        self._started_monotonic = time.monotonic()
+        self._started_unix = time.time()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=f"obs-server-{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        httpd, thread = self._httpd, self._thread
+        self._httpd, self._thread = None, None
+        if httpd is None:
+            return
+        httpd.shutdown()
+        if thread is not None:
+            thread.join(timeout=timeout)
+        httpd.server_close()
+
+    def __enter__(self) -> "ObsServer":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Endpoint payloads (also the testable surface, no sockets needed)
+    # ------------------------------------------------------------------
+    def metrics_text(self) -> Optional[str]:
+        """The live scrape body, or None when the registry is disabled."""
+        registry = self.obs.registry
+        if not getattr(registry, "enabled", False):
+            return None
+        tracer = self.obs.tracer
+        if getattr(tracer, "enabled", False):
+            export_tracer(tracer, registry)
+        export_event_stats(self.obs.events, registry)
+        return render_prometheus(registry)
+
+    def health(self) -> Dict[str, Any]:
+        """The ``/healthz`` JSON document."""
+        obs = self.obs
+        recorder = getattr(obs, "recorder", None)
+        agents = recorder.status() if recorder is not None else {}
+        events = obs.events
+        dropped = getattr(events, "dropped", 0)
+        return {
+            "status": "ok",
+            "uptime_seconds": round(self.uptime_seconds, 3),
+            "started_unix": self._started_unix,
+            "requests_served": self.requests_served,
+            "metrics_families": len(obs.registry),
+            "events_emitted": getattr(events, "events_emitted", 0),
+            "events_dropped": dropped,
+            "alarm_contexts": getattr(recorder, "contexts_emitted", 0),
+            "periods_observed": sum(
+                status["periods"] for status in agents.values()
+            ),
+            "alarms_active": sum(
+                1 for status in agents.values() if status["alarm"]
+            ),
+            "agents": agents,
+        }
+
+    def events_tail(
+        self, n: int = DEFAULT_EVENT_TAIL, kind: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """The ``/events`` JSON document: last *n* in-memory events."""
+        events = self.obs.events
+        sink = None
+        for candidate in getattr(events, "sinks", lambda: [])():
+            if isinstance(candidate, MemorySink):
+                sink = candidate
+                break
+        if sink is None:
+            return {
+                "events": [],
+                "count": 0,
+                "emitted": getattr(events, "events_emitted", 0),
+                "dropped": 0,
+                "note": "no in-memory event sink attached",
+            }
+        selected = sink.of_kind(kind) if kind is not None else sink.events
+        tail = selected[-max(0, n):] if n else []
+        return {
+            "events": tail,
+            "count": len(tail),
+            "emitted": getattr(events, "events_emitted", 0),
+            "dropped": sink.dropped,
+        }
+
+
+def _build_handler(server: ObsServer):
+    class _Handler(BaseHTTPRequestHandler):
+        server_version = "repro-obs/1.0"
+        protocol_version = "HTTP/1.1"
+
+        # The scrape server must never spam the run's stdout.
+        def log_message(self, fmt: str, *args: Any) -> None:
+            pass
+
+        def _send(
+            self, status: int, body: bytes, content_type: str
+        ) -> None:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+            body = json.dumps(payload, indent=2).encode("utf-8") + b"\n"
+            self._send(status, body, "application/json; charset=utf-8")
+
+        def do_GET(self) -> None:  # noqa: N802 - http.server API
+            server.requests_served += 1
+            parts = urlsplit(self.path)
+            route = parts.path.rstrip("/") or "/"
+            try:
+                if route == "/metrics":
+                    text = server.metrics_text()
+                    if text is None:
+                        self._send_json(
+                            503, {"error": "metrics registry disabled"}
+                        )
+                        return
+                    self._send(
+                        200, text.encode("utf-8"), PROMETHEUS_CONTENT_TYPE
+                    )
+                elif route == "/healthz":
+                    self._send_json(200, server.health())
+                elif route == "/events":
+                    query = parse_qs(parts.query)
+                    n, kind = _parse_events_query(query)
+                    self._send_json(200, server.events_tail(n=n, kind=kind))
+                elif route == "/":
+                    self._send_json(
+                        200,
+                        {
+                            "service": "repro-syndog telemetry",
+                            "endpoints": ["/metrics", "/healthz", "/events"],
+                        },
+                    )
+                else:
+                    self._send_json(404, {"error": f"no route {route!r}"})
+            except ValueError as error:
+                self._send_json(400, {"error": str(error)})
+            except BrokenPipeError:  # scraper went away mid-response
+                pass
+
+    return _Handler
+
+
+def _parse_events_query(
+    query: Dict[str, list],
+) -> Tuple[int, Optional[str]]:
+    raw_n = query.get("n", [str(DEFAULT_EVENT_TAIL)])[-1]
+    try:
+        n = int(raw_n)
+    except ValueError:
+        raise ValueError(f"n must be an integer: {raw_n!r}") from None
+    if n < 0:
+        raise ValueError(f"n must be >= 0: {n}")
+    kind = query.get("kind", [None])[-1]
+    return n, kind

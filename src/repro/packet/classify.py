@@ -214,7 +214,7 @@ class PacketClassifier:
     def __init__(self, obs: Optional[Instrumentation] = None) -> None:
         self.stats = ClassifierStats()
         obs = resolve_instrumentation(obs)
-        if obs.enabled:
+        if obs.registry.enabled:
             by_class = obs.registry.counter(
                 "classifier_packets_total",
                 "Packets classified, by resulting class",

@@ -63,8 +63,12 @@ class SynDogAgent:
     ) -> None:
         self.router = router
         obs = resolve_instrumentation(obs)
+        # The detector inherits the router's identity so the flight
+        # recorder, events and /healthz attribute periods and alarms to
+        # the right leaf router.
         self.detector = SynDog(
-            parameters=parameters, start_time=start_time, obs=obs
+            parameters=parameters, start_time=start_time, obs=obs,
+            name=router.name,
         )
         self._events = obs.events if obs.events.enabled else None
         self.auto_respond = auto_respond

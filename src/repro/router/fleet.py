@@ -80,7 +80,7 @@ class Federation:
         self._members: Dict[str, Tuple[LeafRouter, SynDogAgent]] = {}
         self._bus: List[MemberAlarm] = []
         self._obs = resolve_instrumentation(obs)
-        if self._obs.enabled:
+        if self._obs.registry.enabled:
             self._m_fed_packets = self._obs.registry.counter(
                 "federation_packets_total",
                 "Packets replayed through the fleet, by member network",
@@ -91,13 +91,10 @@ class Federation:
                 "Member alarms seen on the federation bus",
                 ("network",),
             )
-            self._events = (
-                self._obs.events if self._obs.events.enabled else None
-            )
         else:
             self._m_fed_packets = None
             self._m_fed_alarms = None
-            self._events = None
+        self._events = self._obs.events if self._obs.events.enabled else None
 
     # ------------------------------------------------------------------
     # Membership
@@ -173,6 +170,23 @@ class Federation:
     # ------------------------------------------------------------------
     # Incident view
     # ------------------------------------------------------------------
+    def status(self) -> Dict[str, Dict[str, object]]:
+        """Live per-member state, in the same shape the telemetry
+        server's ``/healthz`` reports agents: periods observed, current
+        alarm decision, latest statistic and K̄."""
+        report: Dict[str, Dict[str, object]] = {}
+        for name, (router, agent) in sorted(self._members.items()):
+            detector = agent.detector
+            report[name] = {
+                "router": router.name,
+                "periods": len(detector.records),
+                "alarm": detector.alarm,
+                "statistic": detector.statistic,
+                "k_bar": detector.k_bar,
+                "alarms_seen": len(agent.alarm_events),
+            }
+        return report
+
     @property
     def alarms(self) -> Tuple[MemberAlarm, ...]:
         return tuple(self._bus)

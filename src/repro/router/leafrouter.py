@@ -50,7 +50,7 @@ class Interface:
         self._observers: List[PacketObserver] = []
         self.packets_forwarded = 0
         self.packets_dropped = 0
-        if obs.enabled:
+        if obs.registry.enabled:
             outcomes = obs.registry.counter(
                 "router_packets_total",
                 "Packets handled per interface, by outcome",
@@ -122,7 +122,7 @@ class LeafRouter:
         obs = resolve_instrumentation(obs)
         self.outbound = Interface("outbound", obs=obs)
         self.inbound = Interface("inbound", obs=obs)
-        self._tracer = obs.tracer if obs.enabled and obs.tracer.enabled else None
+        self._tracer = obs.tracer if obs.tracer.enabled else None
         self.to_internet = to_internet
         self.to_intranet = to_intranet
         self.ingress_filter = (

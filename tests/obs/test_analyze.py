@@ -1,0 +1,191 @@
+"""Offline forensics: reconstructing a run from its events JSONL."""
+
+import json
+
+import pytest
+
+from repro.core.syndog import SynDog
+from repro.obs import enabled_instrumentation
+from repro.obs.analyze import (
+    analyze_events,
+    analyze_files,
+    render_report,
+)
+
+
+def period_event(seq, period, statistic, alarm, agent="a", threshold=1.05):
+    return {
+        "event": "period",
+        "seq": seq,
+        "agent": agent,
+        "period_index": period,
+        "start_time": period * 20.0,
+        "end_time": (period + 1) * 20.0,
+        "syn": 100,
+        "synack": 100,
+        "k_bar": 100.0,
+        "x": 0.0,
+        "statistic": statistic,
+        "threshold": threshold,
+        "alarm": alarm,
+    }
+
+
+def run_events(series, agent="a"):
+    """Build period events from a (statistic, alarm) series."""
+    return [
+        period_event(i, i, statistic, alarm, agent=agent)
+        for i, (statistic, alarm) in enumerate(series)
+    ]
+
+
+class TestReconstruction:
+    def test_latency_measured_from_cusum_onset(self):
+        # At rest for 5 periods, climbing for 3, alarm on period 8.
+        series = [(0.0, False)] * 5 + [
+            (0.4, False), (0.8, False), (1.0, False), (1.3, True),
+            (1.6, True), (1.9, True),
+        ]
+        report = analyze_events(run_events(series))
+        [span] = report.spans
+        assert span.raised_period == 8
+        assert span.onset_period == 4  # the last y_n == 0 period
+        assert span.latency_periods == 4
+        assert span.peak_statistic == 1.9
+        assert span.cleared_period is None  # still up at end of log
+        assert not span.false_alarm
+        assert report.first_detection_latency == 4
+
+    def test_false_alarm_is_a_short_blip(self):
+        series = (
+            [(0.0, False)] * 4
+            + [(1.1, True), (0.2, False)]          # 1-period blip
+            + [(0.0, False)] * 4
+            + [(1.2, True)] + [(2.0, True)] * 5    # sustained detection
+            + [(0.3, False)]
+        )
+        report = analyze_events(run_events(series), min_alarm_periods=2)
+        assert report.alarm_count == 2
+        assert report.false_alarm_count == 1
+        assert report.detection_count == 1
+        blip, real = report.spans
+        assert blip.false_alarm and blip.duration_periods == 1
+        assert not real.false_alarm and real.duration_periods == 6
+
+    def test_agents_separated_and_contexts_counted(self):
+        events = run_events([(0.0, False)] * 3, agent="a") + run_events(
+            [(0.0, False), (1.2, True)], agent="b"
+        )
+        events.append({"event": "alarm_context", "seq": 99, "agent": "b"})
+        report = analyze_events(events)
+        assert set(report.agents) == {"a", "b"}
+        assert report.agents["a"].periods == 3
+        assert report.agents["b"].alarm_contexts == 1
+        assert report.by_kind["alarm_context"] == 1
+
+    def test_threshold_and_times_recovered(self):
+        report = analyze_events(run_events([(0.0, False), (0.5, False)]))
+        timeline = report.agents["a"]
+        assert timeline.threshold == 1.05
+        assert timeline.first_time == 0.0
+        assert timeline.last_time == 40.0
+
+
+class TestEndToEndJsonl:
+    """The acceptance bar: `repro report` reproduces the run's latency
+    and false-alarm counts from the JSONL alone."""
+
+    def make_run(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        obs = enabled_instrumentation(events_path=path)
+        dog = SynDog(obs=obs, name="router-x")
+        for _ in range(15):
+            dog.observe_period(100, 100)       # quiet baseline
+        for _ in range(10):
+            dog.observe_period(400, 100)       # flood
+        for _ in range(8):
+            dog.observe_period(100, 100)       # flood ends, alarm decays
+        obs.finalize()
+        return path, dog
+
+    def test_report_matches_detector_ground_truth(self, tmp_path):
+        path, dog = self.make_run(tmp_path)
+        records = dog.records
+        first_alarm = next(r for r in records if r.alarm)
+        # Ground truth onset from the in-memory records, same bracketing.
+        onset = max(
+            r.period_index for r in records
+            if r.period_index < first_alarm.period_index and r.statistic == 0.0
+        )
+        report = analyze_files([path])
+        [span] = report.spans
+        assert span.agent == "router-x"
+        assert span.raised_period == first_alarm.period_index
+        assert span.latency_periods == first_alarm.period_index - onset
+        assert report.false_alarm_count == 0
+        assert report.detection_count == 1
+        # The flight recorder's context rode along in the same JSONL.
+        assert report.agents["router-x"].alarm_contexts == 1
+
+    def test_multi_file_merge_prefixes_agents(self, tmp_path):
+        (tmp_path / "one").mkdir()
+        first, _ = self.make_run(tmp_path / "one")
+        second = tmp_path / "two.jsonl"
+        obs = enabled_instrumentation(events_path=second)
+        SynDog(obs=obs, name="router-x").observe_period(100, 100)
+        obs.finalize()
+        report = analyze_files([first, second])
+        assert any(key.endswith(":router-x") for key in report.agents)
+        assert len(report.agents) == 2
+        assert len(report.sources) == 2
+
+
+class TestRendering:
+    def sample_report(self):
+        series = [(0.0, False)] * 12 + [(1.2, True)] * 4 + [(0.1, False)]
+        return analyze_events(run_events(series, agent="router-a"))
+
+    def test_text_contains_timeline_and_sparkline(self):
+        text = render_report(self.sample_report(), fmt="text")
+        assert "agent router-a" in text
+        assert "detection latency" in text
+        assert "raised t=" in text
+        assert "y_n" in text
+
+    def test_markdown_has_table_and_timeline(self):
+        markdown = render_report(self.sample_report(), fmt="markdown")
+        assert "| agent |" in markdown
+        assert "## Alarm timeline" in markdown
+
+    def test_json_round_trips(self):
+        payload = json.loads(render_report(self.sample_report(), fmt="json"))
+        assert payload["alarms"] == 1
+        assert payload["agents"]["router-a"]["periods"] == 17
+        [span] = payload["agents"]["router-a"]["spans"]
+        assert span["latency_periods"] == 1
+
+    def test_unknown_format_raises(self):
+        with pytest.raises(ValueError):
+            render_report(self.sample_report(), fmt="yaml")
+
+
+class TestEdges:
+    def test_no_files_raises(self):
+        with pytest.raises(ValueError):
+            analyze_files([])
+
+    def test_empty_event_stream(self):
+        report = analyze_events([])
+        assert report.alarm_count == 0
+        assert report.first_detection_latency is None
+        assert "n/a" in render_report(report, fmt="text")
+
+    def test_pre_agent_field_jsonl_still_analyzes(self):
+        # PR 1 JSONL had no agent field.
+        events = [
+            {k: v for k, v in period_event(i, i, 0.0, False).items()
+             if k not in ("agent", "threshold")}
+            for i in range(3)
+        ]
+        report = analyze_events(events)
+        assert report.agents["agent"].periods == 3

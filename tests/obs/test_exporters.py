@@ -134,3 +134,75 @@ class TestExportTracer:
         registry = MetricsRegistry()
         export_tracer(Tracer(), registry)
         assert len(registry) == 0
+
+
+class TestAtomicWrite:
+    def test_no_temp_files_left_behind(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        write_prometheus(build_registry(), path)
+        write_prometheus(build_registry(), path)  # overwrite in place
+        assert [p.name for p in tmp_path.iterdir()] == ["metrics.prom"]
+        assert parse_prometheus_text(path.read_text())
+
+    def test_replaces_previous_content_completely(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        write_prometheus(build_registry(), path)
+        from repro.obs.metrics import MetricsRegistry
+
+        small = MetricsRegistry()
+        small.gauge("only_one").set(1.0)
+        write_prometheus(small, path)
+        [(name, _, value)] = parse_prometheus_text(path.read_text())
+        assert (name, value) == ("only_one", 1.0)
+
+
+class TestExportEventStats:
+    def test_dropped_and_emitted_counters_exported(self):
+        from repro.obs.events import EventLog, MemorySink
+        from repro.obs.exporters import export_event_stats
+        from repro.obs.metrics import MetricsRegistry
+
+        log = EventLog(MemorySink(max_events=2))
+        for _ in range(5):
+            log.emit("period")
+        registry = MetricsRegistry()
+        export_event_stats(log, registry)
+        assert registry.get("obs_events_emitted_total").value == 5.0
+        assert registry.get("obs_events_dropped_total").value == 3.0
+        # Idempotent re-export, then incremental growth.
+        export_event_stats(log, registry)
+        assert registry.get("obs_events_dropped_total").value == 3.0
+        log.emit("period")
+        export_event_stats(log, registry)
+        assert registry.get("obs_events_emitted_total").value == 6.0
+        assert registry.get("obs_events_dropped_total").value == 4.0
+
+    def test_disabled_event_log_exports_nothing(self):
+        from repro.obs.events import NullEventLog
+        from repro.obs.exporters import export_event_stats
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        export_event_stats(NullEventLog(), registry)
+        assert len(registry) == 0
+
+
+class TestSummarizeHistograms:
+    def test_rows_carry_quantiles(self):
+        from repro.obs.exporters import summarize_histograms
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        latency = registry.histogram(
+            "op_seconds", "per-op latency", ("op",), buckets=(0.1, 1.0)
+        )
+        for _ in range(10):
+            latency.labels("scan").observe(0.05)
+        registry.histogram("empty_seconds", buckets=(1.0,))  # skipped
+        [row] = summarize_histograms(registry)
+        assert row["metric"] == "op_seconds"
+        assert row["labels"] == {"op": "scan"}
+        assert row["count"] == 10
+        assert row["mean"] == pytest.approx(0.05)
+        assert 0.0 < row["p50"] <= 0.1
+        assert set(row) >= {"p50", "p95", "p99"}

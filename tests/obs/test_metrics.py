@@ -181,3 +181,54 @@ class TestNullRegistry:
         registry = NullRegistry()
         assert registry.counter("a") is registry.gauge("b")
         assert registry.gauge("b") is registry.histogram("c")
+
+
+class TestHistogramQuantile:
+    """quantile(q): linear interpolation over cumulative buckets."""
+
+    def test_interpolates_inside_a_bucket(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 1.5, 3.0):
+            histogram.observe(value)
+        # target = 0.5 * 4 = 2 observations -> halfway into (1, 2].
+        assert histogram.quantile(0.5) == pytest.approx(1.5)
+        # target = 3 -> exactly the (1, 2] bucket's upper edge.
+        assert histogram.quantile(0.75) == pytest.approx(2.0)
+        # target = 3.8 -> 80% into (2, 4].
+        assert histogram.quantile(0.95) == pytest.approx(3.6)
+
+    def test_first_bucket_interpolates_from_zero(self):
+        histogram = Histogram("h", buckets=(10.0, 20.0))
+        histogram.observe(5.0)
+        histogram.observe(7.0)
+        assert histogram.quantile(0.5) == pytest.approx(5.0)
+        assert histogram.quantile(1.0) == pytest.approx(10.0)
+
+    def test_overflow_returns_highest_finite_bound(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0))
+        histogram.observe(0.5)
+        histogram.observe(100.0)  # beyond every bucket
+        assert histogram.quantile(0.99) == 2.0
+
+    def test_empty_histogram_returns_none(self):
+        assert Histogram("h", buckets=(1.0,)).quantile(0.5) is None
+
+    def test_q_zero_is_lower_edge_of_first_nonempty_bucket(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        histogram.observe(3.0)  # only the (2, 4] bucket has mass
+        assert histogram.quantile(0.0) == pytest.approx(2.0)
+
+    def test_out_of_range_q_raises(self):
+        histogram = Histogram("h", buckets=(1.0,))
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+        with pytest.raises(ValueError):
+            histogram.quantile(-0.1)
+
+    def test_non_positive_first_bucket_edge(self):
+        histogram = Histogram("h", buckets=(-1.0, 1.0))
+        histogram.observe(-2.0)
+        assert histogram.quantile(0.5) == -1.0
+
+    def test_null_registry_quantile_is_none(self):
+        assert NullRegistry().histogram("h").quantile(0.5) is None

@@ -1,0 +1,142 @@
+"""The live telemetry server: /metrics, /healthz and /events over HTTP.
+
+These tests scrape a *running* (not finalized) bundle — the whole point
+of the server — by feeding the detector between requests.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.syndog import SynDog
+from repro.obs import enabled_instrumentation, parse_prometheus_text
+from repro.obs.events import EventLog, MemorySink
+from repro.obs.runtime import Instrumentation
+from repro.obs.server import ObsServer
+
+
+def get(url: str):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.status, response.headers, response.read()
+
+
+@pytest.fixture
+def live():
+    obs = enabled_instrumentation(recorder_post_periods=2)
+    server = ObsServer(obs)
+    server.start()
+    yield obs, server
+    server.stop()
+
+
+class TestMetricsEndpoint:
+    def test_mid_run_scrape_round_trips(self, live):
+        obs, server = live
+        dog = SynDog(obs=obs, name="router-a")
+        for _ in range(3):
+            dog.observe_period(100, 100)
+        status, headers, body = get(server.url + "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        samples = parse_prometheus_text(body.decode("utf-8"))
+        as_map = {name: value for name, labels, value in samples}
+        assert as_map["syndog_periods_total"] == 3.0
+        # Scrape again mid-run: the counters moved — this is live state,
+        # not a final export.
+        dog.observe_period(100, 100)
+        _, _, body = get(server.url + "/metrics")
+        samples = parse_prometheus_text(body.decode("utf-8"))
+        as_map = {name: value for name, labels, value in samples}
+        assert as_map["syndog_periods_total"] == 4.0
+        # Event-loss accounting is folded into every scrape.
+        assert "obs_events_emitted_total" in as_map
+        assert as_map["obs_events_dropped_total"] == 0.0
+
+    def test_disabled_registry_scrape_is_503(self):
+        obs = Instrumentation(events=EventLog(MemorySink()))
+        with ObsServer(obs) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                get(server.url + "/metrics")
+            assert excinfo.value.code == 503
+
+
+class TestHealthEndpoint:
+    def test_health_reports_agents_and_alarm_state(self, live):
+        obs, server = live
+        dog = SynDog(obs=obs, name="router-a")
+        for _ in range(11):
+            dog.observe_period(100, 100)
+        dog.observe_period(5000, 100)  # flood -> alarm
+        status, _, body = get(server.url + "/healthz")
+        health = json.loads(body)
+        assert status == 200
+        assert health["status"] == "ok"
+        assert health["uptime_seconds"] >= 0.0
+        assert health["periods_observed"] == 12
+        assert health["alarms_active"] == 1
+        agent = health["agents"]["router-a"]
+        assert agent["alarm"] is True
+        assert agent["periods"] == 12
+        assert health["events_emitted"] == obs.events.events_emitted
+        assert health["events_dropped"] == 0
+
+
+class TestEventsEndpoint:
+    def test_tail_and_kind_filter(self, live):
+        obs, server = live
+        dog = SynDog(obs=obs, name="router-a")
+        for _ in range(5):
+            dog.observe_period(100, 100)
+        _, _, body = get(server.url + "/events?n=3")
+        payload = json.loads(body)
+        assert payload["count"] == 3
+        assert [e["period_index"] for e in payload["events"]] == [2, 3, 4]
+        _, _, body = get(server.url + "/events?n=100&kind=period")
+        payload = json.loads(body)
+        assert payload["count"] == 5
+        assert all(e["event"] == "period" for e in payload["events"])
+
+    def test_bad_n_is_a_400(self, live):
+        _, server = live
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get(server.url + "/events?n=bogus")
+        assert excinfo.value.code == 400
+
+    def test_without_memory_sink_responds_with_note(self):
+        obs = enabled_instrumentation(memory_events=False)
+        with ObsServer(obs) as server:
+            _, _, body = get(server.url + "/events")
+            payload = json.loads(body)
+            assert payload["events"] == []
+            assert "note" in payload
+
+
+class TestServerLifecycle:
+    def test_unknown_route_is_404_and_root_lists_endpoints(self, live):
+        _, server = live
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get(server.url + "/nope")
+        assert excinfo.value.code == 404
+        _, _, body = get(server.url + "/")
+        assert "/metrics" in json.loads(body)["endpoints"]
+
+    def test_ephemeral_port_resolved_and_stop_idempotent(self):
+        obs = enabled_instrumentation()
+        server = ObsServer(obs, port=0)
+        server.start()
+        assert server.port > 0
+        assert server.running
+        server.stop()
+        server.stop()  # second stop is a no-op
+        assert not server.running
+        with pytest.raises(urllib.error.URLError):
+            get(f"http://127.0.0.1:{server.port}/healthz")
+
+    def test_start_twice_is_a_no_op(self):
+        obs = enabled_instrumentation()
+        with ObsServer(obs) as server:
+            port = server.port
+            server.start()
+            assert server.port == port

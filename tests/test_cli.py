@@ -289,3 +289,110 @@ class TestCampaignCommand:
         ])
         assert code == EXIT_OK
         assert "hides below" in capsys.readouterr().out
+
+
+class TestReportCommand:
+    @pytest.fixture
+    def events_jsonl(self, background_csv, tmp_path):
+        mixed = tmp_path / "mixed.csv"
+        main([
+            "attack", "--counts", str(background_csv), "--rate", "5",
+            "--start", "360", "--out", str(mixed),
+        ])
+        events = tmp_path / "events.jsonl"
+        code = main([
+            "observe", "--trace", str(mixed),
+            "--events-out", str(events),
+        ])
+        assert code == EXIT_ALARM
+        return events
+
+    def test_report_reconstructs_detection_from_jsonl(
+        self, events_jsonl, capsys
+    ):
+        code = main(["report", str(events_jsonl)])
+        assert code == EXIT_ALARM
+        out = capsys.readouterr().out
+        assert "detection latency" in out
+        assert "false alarms" in out
+        assert "raised t=" in out
+
+    def test_report_json_format(self, events_jsonl, tmp_path):
+        import json
+
+        out = tmp_path / "report.json"
+        code = main([
+            "report", str(events_jsonl), "--format", "json",
+            "--out", str(out),
+        ])
+        assert code == EXIT_ALARM
+        payload = json.loads(out.read_text())
+        assert payload["alarms"] >= 1
+        assert payload["detections"] >= 1
+        assert payload["false_alarms"] == 0
+        [timeline] = payload["agents"].values()
+        assert timeline["periods"] == 90
+        assert timeline["spans"][0]["latency_periods"] >= 1
+
+    def test_report_markdown_format(self, events_jsonl, capsys):
+        code = main(["report", str(events_jsonl), "--format", "markdown"])
+        assert code == EXIT_ALARM
+        out = capsys.readouterr().out
+        assert "| agent |" in out
+        assert "## Alarm timeline" in out
+
+    def test_report_missing_file_is_usage_error(self, tmp_path, capsys):
+        from repro.cli import EXIT_USAGE
+
+        code = main(["report", str(tmp_path / "nope.jsonl")])
+        assert code == EXIT_USAGE
+        assert "no such events file" in capsys.readouterr().err
+
+
+class TestServeFlag:
+    def test_observe_serve_announces_endpoints(
+        self, background_csv, capsys
+    ):
+        code = main([
+            "observe", "--trace", str(background_csv), "--serve", "0",
+        ])
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "serving http://127.0.0.1:" in out
+        assert "/metrics /healthz /events" in out
+
+    def test_observe_serve_scrapes_mid_run(
+        self, background_csv, monkeypatch
+    ):
+        """The acceptance bar: a GET against /metrics issued while the
+        run is still in flight round-trips through the parser."""
+        import urllib.request
+
+        from repro.obs import parse_prometheus_text
+        from repro.obs.server import ObsServer
+
+        scraped = []
+        original = ObsServer.start
+
+        def start_and_scrape(self):
+            original(self)
+            with urllib.request.urlopen(
+                self.url + "/metrics", timeout=5
+            ) as response:
+                scraped.append(response.read().decode("utf-8"))
+
+        monkeypatch.setattr(ObsServer, "start", start_and_scrape)
+        code = main([
+            "observe", "--trace", str(background_csv), "--serve", "0",
+        ])
+        assert code == EXIT_OK
+        [body] = scraped
+        assert isinstance(parse_prometheus_text(body), list)
+
+    def test_detect_serve_without_metrics_out(self, background_csv, capsys):
+        code = main([
+            "detect", "--counts", str(background_csv), "--quiet",
+            "--serve", "0",
+        ])
+        assert code == EXIT_OK
+        assert "serving http://127.0.0.1:" in capsys.readouterr().out
