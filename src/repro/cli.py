@@ -10,6 +10,7 @@ actually touch::
     repro-syndog observe  --trace mixed.csv --metrics-out metrics.prom \
                           --events-out events.jsonl --serve 9100
     repro-syndog report   events.jsonl --format markdown
+    repro-syndog chaos    --seed 42 --schedule lossy-crash --out report.json
     repro-syndog table    2
     repro-syndog figure   5
     repro-syndog theory   --k-bar 1922
@@ -40,6 +41,7 @@ __all__ = ["main", "build_parser"]
 
 EXIT_OK = 0
 EXIT_ALARM = 2  # detect: a flooding source was found
+EXIT_DEGRADED = 3  # chaos: degradation exceeded the allowed envelope
 EXIT_USAGE = 64
 
 
@@ -196,6 +198,41 @@ def build_parser() -> argparse.ArgumentParser:
                           help="serve live telemetry (/metrics /healthz "
                                "/events) on PORT for the run's duration "
                                "(0 picks a free port)")
+
+    # --------------------------------------------------------------- chaos
+    from .faults.schedule import BUILTIN_SCHEDULES, DEFAULT_SCHEDULE
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the fault-injection campaign and assert the "
+             "degradation envelope (baseline vs faulted detection)",
+    )
+    chaos.add_argument("--seed", type=int, default=42,
+                       help="root seed: same seed + schedule = "
+                            "byte-identical report")
+    chaos.add_argument("--schedule", choices=sorted(BUILTIN_SCHEDULES),
+                       default=DEFAULT_SCHEDULE,
+                       help=f"built-in fault schedule "
+                            f"(default {DEFAULT_SCHEDULE})")
+    chaos.add_argument("--site", choices=sorted(SITE_PROFILES),
+                       default="auckland")
+    chaos.add_argument("--rate", type=float, default=5.0,
+                       help="flood SYN/s mixed into the background")
+    chaos.add_argument("--attack-start", type=float, default=360.0,
+                       help="flood onset (s)")
+    chaos.add_argument("--attack-duration", type=float, default=600.0,
+                       help="flood duration (s)")
+    chaos.add_argument("--duration", type=float, default=1800.0,
+                       help="total trace length (s)")
+    chaos.add_argument("--max-delay-ratio", type=float, default=2.0,
+                       help="envelope: faulted detection delay must stay "
+                            "within this multiple of the baseline")
+    chaos.add_argument("--out", metavar="PATH",
+                       help="write the degradation report as "
+                            "deterministic JSON")
+    chaos.add_argument("--metrics-out", metavar="PATH",
+                       help="write fault/degradation metrics in "
+                            "Prometheus text-exposition format")
 
     # -------------------------------------------------------------- theory
     theory = sub.add_parser(
@@ -460,6 +497,44 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Fault-injection campaign: baseline vs faulted detection, with a
+    hard exit-code verdict on the degradation envelope."""
+    import json
+
+    from .experiments.chaos import render_chaos_report, run_chaos_campaign
+    from .faults.schedule import get_schedule
+    from .obs import enabled_instrumentation
+
+    obs = enabled_instrumentation()
+    report = run_chaos_campaign(
+        site=args.site,
+        seed=args.seed,
+        schedule=get_schedule(args.schedule),
+        rate=args.rate,
+        attack_start=args.attack_start,
+        attack_duration=args.attack_duration,
+        duration=args.duration,
+        max_delay_ratio=args.max_delay_ratio,
+        obs=obs,
+    )
+    print(render_chaos_report(report))
+    if args.out:
+        from pathlib import Path
+
+        # sort_keys + no timestamps: two runs with the same seed and
+        # schedule must produce byte-identical files (CI diffs them).
+        Path(args.out).write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"report           : JSON -> {args.out}")
+    samples = obs.finalize(args.metrics_out)
+    if args.metrics_out:
+        print(f"metrics          : {samples} samples -> {args.metrics_out}")
+    return EXIT_OK if report.within_envelope else EXIT_DEGRADED
+
+
 def _cmd_theory(args: argparse.Namespace) -> int:
     parameters = DEFAULT_PARAMETERS
     k_bar = args.k_bar
@@ -557,6 +632,7 @@ _COMMANDS = {
     "detect": _cmd_detect,
     "observe": _cmd_observe,
     "report": _cmd_report,
+    "chaos": _cmd_chaos,
     "table": _cmd_table,
     "figure": _cmd_figure,
     "theory": _cmd_theory,

@@ -130,6 +130,34 @@ class NonParametricCusum:
         self._minimum_sum = 0.0
         self._first_alarm_index = None
 
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """The test's complete mutable state as a JSON-serializable dict.
+
+        Together with :meth:`load_state` this is what lets a SYN-dog
+        survive an agent crash without silently resetting the
+        change-point test (a reset would grant the next attack a fresh
+        warm-up to hide in).
+        """
+        return {
+            "n": self._n,
+            "statistic": self._statistic,
+            "cumulative_sum": self._cumulative_sum,
+            "minimum_sum": self._minimum_sum,
+            "first_alarm_index": self._first_alarm_index,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore the exact state produced by :meth:`state_dict`."""
+        self._n = int(state["n"])
+        self._statistic = float(state["statistic"])
+        self._cumulative_sum = float(state["cumulative_sum"])
+        self._minimum_sum = float(state["minimum_sum"])
+        first_alarm = state.get("first_alarm_index")
+        self._first_alarm_index = None if first_alarm is None else int(first_alarm)
+
     def __repr__(self) -> str:
         return (
             f"NonParametricCusum(drift={self.drift}, threshold={self.threshold}, "

@@ -78,6 +78,17 @@ class EwmaEstimator:
     def initialized(self) -> bool:
         return self._estimate is not None
 
+    @property
+    def raw_estimate(self) -> Optional[float]:
+        """The unclamped estimate (None before the first observation) —
+        what a checkpoint must carry so restore is exact even below the
+        floor."""
+        return self._estimate
+
+    def load(self, estimate: Optional[float]) -> None:
+        """Restore the raw estimate captured by :attr:`raw_estimate`."""
+        self._estimate = None if estimate is None else float(estimate)
+
     def reset(self) -> None:
         self._estimate = None
 

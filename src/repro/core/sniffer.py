@@ -166,6 +166,30 @@ class CountExchange:
     def current_period_end(self) -> float:
         return self._period_start + self.observation_period
 
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """The period clock as a JSON-serializable dict.
+
+        Partial in-period counters are deliberately *not* captured: a
+        crash loses the packets counted since the last period boundary,
+        and pretending otherwise would fabricate counts.  Restore
+        resumes the clock at the checkpointed boundary with empty
+        counters.
+        """
+        return {
+            "period_index": self._period_index,
+            "period_start": self._period_start,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Resume the period clock from :meth:`state_dict` output."""
+        self._period_index = int(state["period_index"])
+        self._period_start = float(state["period_start"])
+        self.outbound.drain()
+        self.inbound.drain()
+
     def _close_period(self) -> PeriodReport:
         report = PeriodReport(
             period_index=self._period_index,

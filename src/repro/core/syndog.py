@@ -31,7 +31,11 @@ from .normalization import NormalizedDifference
 from .parameters import DEFAULT_PARAMETERS, SynDogParameters
 from .sniffer import CountExchange, PeriodReport
 
-__all__ = ["SynDog", "DetectionRecord", "DetectionResult"]
+__all__ = ["SynDog", "DetectionRecord", "DetectionResult", "CHECKPOINT_VERSION"]
+
+#: Version tag written into every checkpoint so a future format change
+#: can refuse (or migrate) stale state instead of silently misreading it.
+CHECKPOINT_VERSION = 1
 
 #: Fallback agent names (``syndog-0``, ``syndog-1``, ...) so several
 #: anonymous detectors sharing one flight recorder / event log stay
@@ -52,6 +56,7 @@ class DetectionRecord:
     x: float           #: normalized difference X_n = Δ_n / K̄
     statistic: float   #: CUSUM statistic y_n
     alarm: bool        #: decision d_N(y_n)
+    degraded: bool = False  #: counts were carried forward / held, not observed
 
 
 @dataclass(frozen=True)
@@ -104,6 +109,12 @@ class SynDog:
         period's SYN/ACK count initializes the estimate.
     freeze_k_on_alarm:
         When True, K̄ stops updating while the alarm is active.
+    staleness_cap:
+        Degraded-mode bound: how many *consecutive* missing observation
+        periods may be bridged by carrying the last observed counts
+        forward (each such period is surfaced with ``degraded=True``).
+        Beyond the cap the detector *holds* — the statistic freezes and
+        K̄ stops updating — rather than keep re-feeding stale counts.
     name:
         The agent's identity in events, flight-recorder tapes and
         ``/healthz`` (a deployed agent uses its router's name);
@@ -116,10 +127,14 @@ class SynDog:
         start_time: float = 0.0,
         initial_k: Optional[float] = None,
         freeze_k_on_alarm: bool = False,
+        staleness_cap: int = 3,
         obs: Optional[Instrumentation] = None,
         name: Optional[str] = None,
     ) -> None:
+        if staleness_cap < 0:
+            raise ValueError(f"staleness_cap cannot be negative: {staleness_cap}")
         self.parameters = parameters
+        self.staleness_cap = int(staleness_cap)
         self.name = name if name is not None else f"syndog-{next(_AGENT_SEQ)}"
         obs = resolve_instrumentation(obs)
         self.exchange = CountExchange(
@@ -137,6 +152,13 @@ class SynDog:
         )
         self._records: List[DetectionRecord] = []
         self._prev_alarm = False
+        self._freeze_k_on_alarm = freeze_k_on_alarm
+        # Degradation / restart bookkeeping: periods observed before a
+        # restore, the last real counts (carry-forward source), and how
+        # many periods in a row went missing.
+        self._period_offset = 0
+        self._last_counts: Optional[Tuple[int, int]] = None
+        self._consecutive_missing = 0
         # Per-period instruments; bound once (see repro.obs hot-path
         # contract).  Period cadence is t0 = 20 s, so the enabled cost
         # is negligible even on heavy traffic.
@@ -169,6 +191,12 @@ class SynDog:
             self._g_alarm = registry.gauge(
                 "syndog_alarm", "Current decision d_N (1 = flooding source)"
             )
+            self._m_degraded = registry.counter(
+                "degraded_periods_total",
+                "Observation periods handled in degraded mode "
+                "(carried forward or held), by agent",
+                ("agent",),
+            ).labels(self.name)
         else:
             self._m_periods = None
             self._m_syn = None
@@ -178,6 +206,7 @@ class SynDog:
             self._g_x = None
             self._g_k_bar = None
             self._g_alarm = None
+            self._m_degraded = None
         self._events = obs.events if obs.events.enabled else None
         self._recorder = obs.recorder if obs.recorder.enabled else None
 
@@ -197,12 +226,57 @@ class SynDog:
         wrappers) the period index is derived from it so record indices
         and times always agree on one absolute clock.
         """
+        record = self._ingest(syn_count, synack_count, start_time, degraded=False)
+        self._last_counts = (syn_count, synack_count)
+        self._consecutive_missing = 0
+        return record
+
+    def observe_missing_period(
+        self, start_time: Optional[float] = None
+    ) -> DetectionRecord:
+        """Handle one observation period whose report never arrived.
+
+        A stalled sniffer, a lost IPC message or a restart gap must not
+        silently reset (or silently skew) the change-point test, so
+        missed periods are processed *explicitly*:
+
+        * up to ``staleness_cap`` consecutive misses, the last observed
+          counts are carried forward through the normal pipeline — the
+          statistic keeps evolving on the best available estimate;
+        * beyond the cap (or before any period was ever observed) the
+          detector holds: the statistic and K̄ freeze and an empty
+          record is emitted.
+
+        Either way the record is flagged ``degraded=True`` and counted
+        in ``degraded_periods_total``, so a chaos run (or a production
+        incident) is visible in every export.
+        """
+        self._consecutive_missing += 1
+        if (
+            self._last_counts is None
+            or self._consecutive_missing > self.staleness_cap
+        ):
+            return self._hold_period(start_time)
+        syn_count, synack_count = self._last_counts
+        return self._ingest(syn_count, synack_count, start_time, degraded=True)
+
+    def _period_coordinates(
+        self, start_time: Optional[float]
+    ) -> Tuple[int, float]:
         t0 = self.parameters.observation_period
         if start_time is None:
-            period_index = len(self._records)
-            start_time = period_index * t0
-        else:
-            period_index = int(round(start_time / t0))
+            period_index = self._period_offset + len(self._records)
+            return period_index, period_index * t0
+        return int(round(start_time / t0)), start_time
+
+    def _ingest(
+        self,
+        syn_count: int,
+        synack_count: int,
+        start_time: Optional[float],
+        degraded: bool,
+    ) -> DetectionRecord:
+        period_index, start_time = self._period_coordinates(start_time)
         x = self.normalizer.observe(
             syn_count, synack_count, alarm_active=self.cusum.alarm
         )
@@ -210,49 +284,76 @@ class SynDog:
         record = DetectionRecord(
             period_index=period_index,
             start_time=start_time,
-            end_time=start_time + t0,
+            end_time=start_time + self.parameters.observation_period,
             syn_count=syn_count,
             synack_count=synack_count,
             k_bar=self.normalizer.k_bar,
             x=x,
             statistic=state.statistic,
             alarm=state.alarm,
+            degraded=degraded,
         )
+        self._emit_record(record)
+        return record
+
+    def _hold_period(self, start_time: Optional[float]) -> DetectionRecord:
+        """Freeze-in-place handling of a stale gap: period index and
+        clock advance, statistic and K̄ do not."""
+        period_index, start_time = self._period_coordinates(start_time)
+        record = DetectionRecord(
+            period_index=period_index,
+            start_time=start_time,
+            end_time=start_time + self.parameters.observation_period,
+            syn_count=0,
+            synack_count=0,
+            k_bar=self.normalizer.k_bar,
+            x=0.0,
+            statistic=self.cusum.statistic,
+            alarm=self.cusum.alarm,
+            degraded=True,
+        )
+        self._emit_record(record)
+        return record
+
+    def _emit_record(self, record: DetectionRecord) -> None:
         self._records.append(record)
         if self._m_periods is not None:
             self._m_periods.inc()
-            self._m_syn.inc(syn_count)
-            self._m_synack.inc(synack_count)
-            self._g_statistic.set(state.statistic)
-            self._g_x.set(x)
+            self._m_syn.inc(record.syn_count)
+            self._m_synack.inc(record.synack_count)
+            self._g_statistic.set(record.statistic)
+            self._g_x.set(record.x)
             self._g_k_bar.set(record.k_bar)
-            self._g_alarm.set(1.0 if state.alarm else 0.0)
-            if state.alarm != self._prev_alarm:
+            self._g_alarm.set(1.0 if record.alarm else 0.0)
+            if record.degraded:
+                self._m_degraded.inc()
+            if record.alarm != self._prev_alarm:
                 self._m_transitions.labels(
-                    "raised" if state.alarm else "cleared"
+                    "raised" if record.alarm else "cleared"
                 ).inc()
         if self._events is not None:
             self._events.emit(
                 "period",
                 agent=self.name,
-                period_index=period_index,
-                start_time=start_time,
+                period_index=record.period_index,
+                start_time=record.start_time,
                 end_time=record.end_time,
-                syn=syn_count,
-                synack=synack_count,
+                syn=record.syn_count,
+                synack=record.synack_count,
                 k_bar=record.k_bar,
-                x=x,
-                statistic=state.statistic,
+                x=record.x,
+                statistic=record.statistic,
                 threshold=self.parameters.threshold,
-                alarm=state.alarm,
+                alarm=record.alarm,
+                degraded=record.degraded,
             )
-            if state.alarm != self._prev_alarm:
+            if record.alarm != self._prev_alarm:
                 self._events.emit(
-                    "alarm_raised" if state.alarm else "alarm_cleared",
+                    "alarm_raised" if record.alarm else "alarm_cleared",
                     agent=self.name,
-                    period_index=period_index,
+                    period_index=record.period_index,
                     time=record.end_time,
-                    statistic=state.statistic,
+                    statistic=record.statistic,
                     k_bar=record.k_bar,
                 )
         if self._recorder is not None:
@@ -261,20 +362,20 @@ class SynDog:
             self._recorder.record(
                 self.name,
                 {
-                    "period_index": period_index,
-                    "start_time": start_time,
+                    "period_index": record.period_index,
+                    "start_time": record.start_time,
                     "end_time": record.end_time,
-                    "syn": syn_count,
-                    "synack": synack_count,
+                    "syn": record.syn_count,
+                    "synack": record.synack_count,
                     "k_bar": record.k_bar,
-                    "x": x,
-                    "statistic": state.statistic,
+                    "x": record.x,
+                    "statistic": record.statistic,
                     "threshold": self.parameters.threshold,
-                    "alarm": state.alarm,
+                    "alarm": record.alarm,
+                    "degraded": record.degraded,
                 },
             )
-        self._prev_alarm = state.alarm
-        return record
+        self._prev_alarm = record.alarm
 
     def observe_counts(
         self, counts: Iterable[Tuple[int, int]]
@@ -367,10 +468,98 @@ class SynDog:
             first_alarm_time=None if first_alarm is None else first_alarm.end_time,
         )
 
+    @property
+    def degraded_periods(self) -> int:
+        """How many of this agent's records were produced in degraded
+        mode (carried forward or held)."""
+        return sum(1 for record in self._records if record.degraded)
+
     def min_detectable_rate(self) -> float:
         """The agent's *current* detection floor (Eq. 8) given its live
         K̄ estimate — 37 SYN/s at a UNC-sized site, 1.75 at Auckland."""
         return self.parameters.min_detectable_rate(self.k_bar)
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> dict:
+        """The agent's complete O(1) detection state as a
+        JSON-serializable dict.
+
+        Everything a restarted process needs to continue the run as if
+        never interrupted: the EWMA K̄ estimate, the CUSUM state, the
+        period clock, and the degraded-mode bookkeeping.  The per-period
+        record history is *not* included — it is O(n) evidence, already
+        exported through events/metrics, and a restart must not need it.
+        """
+        return {
+            "version": CHECKPOINT_VERSION,
+            "name": self.name,
+            "next_period_index": self._period_offset + len(self._records),
+            "prev_alarm": self._prev_alarm,
+            "k_estimate": self.normalizer.estimator.raw_estimate,
+            "cusum": self.cusum.state_dict(),
+            "exchange": self.exchange.state_dict(),
+            "last_counts": (
+                None if self._last_counts is None else list(self._last_counts)
+            ),
+            "consecutive_missing": self._consecutive_missing,
+            "parameters": {
+                "observation_period": self.parameters.observation_period,
+                "drift": self.parameters.drift,
+                "attack_increase": self.parameters.attack_increase,
+                "threshold": self.parameters.threshold,
+                "ewma_alpha": self.parameters.ewma_alpha,
+                "normal_mean": self.parameters.normal_mean,
+            },
+            "staleness_cap": self.staleness_cap,
+            "freeze_k_on_alarm": self._freeze_k_on_alarm,
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        state: dict,
+        parameters: Optional[SynDogParameters] = None,
+        obs: Optional[Instrumentation] = None,
+        name: Optional[str] = None,
+    ) -> "SynDog":
+        """Rebuild an agent from a :meth:`checkpoint` dict.
+
+        The restored agent produces records from ``next_period_index``
+        onward that are bit-identical to what the uninterrupted agent
+        would have produced — the guarantee the checkpoint round-trip
+        tests pin down.  ``parameters``/``obs``/``name`` default to the
+        checkpointed values (parameters are always reconstructed from
+        the checkpoint unless overridden, so a restart cannot silently
+        change the test's configuration).
+        """
+        version = state.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint version {version!r} "
+                f"(this build writes {CHECKPOINT_VERSION})"
+            )
+        if parameters is None:
+            parameters = SynDogParameters(**state["parameters"])
+        dog = cls(
+            parameters=parameters,
+            staleness_cap=int(state.get("staleness_cap", 3)),
+            freeze_k_on_alarm=bool(state.get("freeze_k_on_alarm", False)),
+            obs=obs,
+            name=name if name is not None else state.get("name"),
+        )
+        dog._period_offset = int(state["next_period_index"])
+        dog._prev_alarm = bool(state["prev_alarm"])
+        dog.normalizer.estimator.load(state["k_estimate"])
+        dog.cusum.load_state(state["cusum"])
+        dog.exchange.load_state(state["exchange"])
+        last_counts = state.get("last_counts")
+        dog._last_counts = (
+            None if last_counts is None else (int(last_counts[0]), int(last_counts[1]))
+        )
+        dog._consecutive_missing = int(state.get("consecutive_missing", 0))
+        return dog
 
     def clear_alarm(self) -> None:
         """Operator acknowledgement: reset the CUSUM statistic to zero

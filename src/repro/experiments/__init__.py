@@ -3,6 +3,7 @@ detection/false-alarm metrics, and regenerators for every table and
 figure in the paper's evaluation (Section 4)."""
 
 from .campaign import CampaignResult, NetworkOutcome, simulate_campaign
+from .chaos import ChaosArm, ChaosReport, render_chaos_report, run_chaos_campaign
 from .sensitivity import SensitivityCell, recommend_parameters, sweep_parameters
 from .streaming import (
     counts_from_pcaps,
@@ -59,6 +60,10 @@ __all__ = [
     "CampaignResult",
     "NetworkOutcome",
     "simulate_campaign",
+    "ChaosArm",
+    "ChaosReport",
+    "render_chaos_report",
+    "run_chaos_campaign",
     "SensitivityCell",
     "recommend_parameters",
     "sweep_parameters",

@@ -96,7 +96,8 @@ def counts_from_pcaps(
     with PcapReader.open(outbound_path) as outbound_reader, \
             PcapReader.open(inbound_path) as inbound_reader:
         for packet, is_outbound in merge_directional_streams(
-            outbound_reader.iter_packets(), inbound_reader.iter_packets()
+            outbound_reader.iter_packets(strict=False),
+            inbound_reader.iter_packets(strict=False),
         ):
             last_timestamp = packet.timestamp
             if is_outbound:
@@ -134,10 +135,14 @@ def detect_from_pcaps(
     detector = SynDog(parameters=parameters, obs=obs)
     with PcapReader.open(outbound_path) as outbound_reader, \
             PcapReader.open(inbound_path) as inbound_reader:
+        # Tolerant reads: a capture truncated mid-record (crashed
+        # tcpdump, full disk, chaos injection) degrades to "stream ended
+        # here" instead of aborting detection; the loss stays visible on
+        # the readers' truncation/skipped_records counters.
         result = stream_detection(
             detector,
-            outbound_reader.iter_packets(),
-            inbound_reader.iter_packets(),
+            outbound_reader.iter_packets(strict=False),
+            inbound_reader.iter_packets(strict=False),
             stop_at_first_alarm=stop_at_first_alarm,
         )
     return result, detector

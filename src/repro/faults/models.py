@@ -1,0 +1,202 @@
+"""Composable fault primitives.
+
+Every function takes the :class:`random.Random` it draws from as an
+explicit argument and touches no other source of nondeterminism — the
+schedule/injector layer owns seeding, so any fault sequence can be
+replayed exactly.  Packet-stream transforms are generators: they
+compose by nesting and keep the pipeline's O(1)-memory property even
+when the underlying capture is unbounded.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, Iterator, List, Optional
+
+from ..packet.packet import Packet
+from ..pcap.format import GLOBAL_HEADER_LENGTH, RECORD_HEADER_LENGTH
+
+__all__ = [
+    "drop_burst_stream",
+    "duplicate_stream",
+    "reorder_stream",
+    "truncate_frame",
+    "corrupt_header",
+    "skew_timestamp",
+    "thin_count",
+    "truncate_pcap_image",
+]
+
+FaultCallback = Callable[[str, int], None]
+
+
+def _note(on_fault: Optional[FaultCallback], kind: str, count: int = 1) -> None:
+    if on_fault is not None and count > 0:
+        on_fault(kind, count)
+
+
+# ----------------------------------------------------------------------
+# Packet-level models
+# ----------------------------------------------------------------------
+def drop_burst_stream(
+    packets: Iterable[Packet],
+    rng: random.Random,
+    burst_probability: float,
+    mean_burst_length: float = 4.0,
+    on_fault: Optional[FaultCallback] = None,
+) -> Iterator[Packet]:
+    """Drop *bursts* of consecutive packets (congestion loss is bursty,
+    not i.i.d.).  Each surviving packet starts a burst with
+    ``burst_probability``; burst lengths are geometric with the given
+    mean."""
+    if not 0.0 <= burst_probability <= 1.0:
+        raise ValueError(f"burst_probability out of range: {burst_probability}")
+    if mean_burst_length < 1.0:
+        raise ValueError(f"mean_burst_length must be >= 1: {mean_burst_length}")
+    dropping = 0
+    for packet in packets:
+        if dropping > 0:
+            dropping -= 1
+            _note(on_fault, "drop-burst")
+            continue
+        if rng.random() < burst_probability:
+            # This packet opens the burst and is itself lost.
+            burst_length = max(
+                1, int(round(rng.expovariate(1.0 / mean_burst_length)))
+            )
+            dropping = burst_length - 1
+            _note(on_fault, "drop-burst")
+            continue
+        yield packet
+
+
+def duplicate_stream(
+    packets: Iterable[Packet],
+    rng: random.Random,
+    probability: float,
+    on_fault: Optional[FaultCallback] = None,
+) -> Iterator[Packet]:
+    """Duplicate packets with the given probability — what a flapping
+    link or a retransmitting NIC does to a passive sniffer, and a
+    direct attack on naive counters."""
+    for packet in packets:
+        yield packet
+        if rng.random() < probability:
+            _note(on_fault, "duplicate")
+            yield packet
+
+
+def reorder_stream(
+    packets: Iterable[Packet],
+    rng: random.Random,
+    probability: float,
+    window: int = 4,
+    on_fault: Optional[FaultCallback] = None,
+) -> Iterator[Packet]:
+    """Displace packets within a small buffer (multi-path reordering).
+
+    A displaced packet is held back up to ``window`` positions; the
+    stream stays near-sorted, matching real reordering depth."""
+    if window < 1:
+        raise ValueError(f"window must be >= 1: {window}")
+    held: List[Packet] = []
+    for packet in packets:
+        if rng.random() < probability:
+            held.append(packet)
+            _note(on_fault, "reorder")
+            if len(held) > window:
+                yield held.pop(0)
+            continue
+        yield packet
+        while held and rng.random() < 0.5:
+            yield held.pop(0)
+    yield from held
+
+
+# ----------------------------------------------------------------------
+# Wire-byte models (exercise the classifier quarantine path)
+# ----------------------------------------------------------------------
+def truncate_frame(
+    raw: bytes,
+    rng: random.Random,
+    min_keep: int = 1,
+    on_fault: Optional[FaultCallback] = None,
+) -> bytes:
+    """Cut a frame short at a random point (a snaplen'd or damaged
+    capture).  Keeps at least ``min_keep`` bytes."""
+    if len(raw) <= min_keep:
+        return raw
+    keep = rng.randrange(min_keep, len(raw))
+    _note(on_fault, "truncate-frame")
+    return raw[:keep]
+
+
+def corrupt_header(
+    raw: bytes,
+    rng: random.Random,
+    on_fault: Optional[FaultCallback] = None,
+) -> bytes:
+    """Flip one random byte within the first 20 bytes — version, IHL,
+    protocol and fragment fields all live there, so this lands frames
+    in every quarantine bucket over enough draws."""
+    if not raw:
+        return raw
+    position = rng.randrange(min(20, len(raw)))
+    flipped = raw[position] ^ (1 << rng.randrange(8))
+    _note(on_fault, "corrupt-header")
+    return raw[:position] + bytes((flipped,)) + raw[position + 1:]
+
+
+# ----------------------------------------------------------------------
+# Timing-level models
+# ----------------------------------------------------------------------
+def skew_timestamp(
+    timestamp: float,
+    rng: random.Random,
+    offset: float = 0.0,
+    jitter: float = 0.0,
+) -> float:
+    """A skewed/jittered observation clock: constant ``offset`` plus
+    uniform ±``jitter`` noise.  Clamped at zero (pcap timestamps are
+    non-negative)."""
+    noise = rng.uniform(-jitter, jitter) if jitter > 0 else 0.0
+    return max(0.0, timestamp + offset + noise)
+
+
+# ----------------------------------------------------------------------
+# Count-level models
+# ----------------------------------------------------------------------
+def thin_count(count: int, loss: float, rng: random.Random) -> int:
+    """Binomial thinning: each of ``count`` packets independently
+    survives with probability ``1 - loss``.  Exact (not an expectation)
+    so chaos runs reproduce the integer counts bit for bit."""
+    if count < 0:
+        raise ValueError(f"count cannot be negative: {count}")
+    if not 0.0 <= loss <= 1.0:
+        raise ValueError(f"loss out of range: {loss}")
+    if loss == 0.0 or count == 0:
+        return count
+    if loss == 1.0:
+        return 0
+    survived = 0
+    for _ in range(count):
+        if rng.random() >= loss:
+            survived += 1
+    return survived
+
+
+# ----------------------------------------------------------------------
+# Component-level models
+# ----------------------------------------------------------------------
+def truncate_pcap_image(image: bytes, keep_fraction: float) -> bytes:
+    """Truncate an in-memory pcap mid-record (a crashed tcpdump / full
+    disk).  The cut point is chosen to fall *inside* a record so the
+    tolerant-reader path is actually exercised, never at a clean record
+    boundary."""
+    if not 0.0 < keep_fraction < 1.0:
+        raise ValueError(f"keep_fraction must be in (0,1): {keep_fraction}")
+    minimum = GLOBAL_HEADER_LENGTH + RECORD_HEADER_LENGTH + 1
+    cut = max(minimum, int(len(image) * keep_fraction))
+    if cut >= len(image):
+        cut = len(image) - 1
+    return image[:cut]

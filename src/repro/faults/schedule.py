@@ -1,0 +1,226 @@
+"""Fault schedules: named, serializable chaos scenarios.
+
+A :class:`FaultSchedule` is the unit of reproducibility: it names a
+composition of :class:`FaultSpec` entries — which fault, with which
+parameters, active over which wall-clock window — and, paired with a
+seed, fully determines a chaos run.  Schedules round-trip through
+plain dicts so a degradation report can embed the exact scenario it
+measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+__all__ = [
+    "FaultKind",
+    "FaultSpec",
+    "FaultSchedule",
+    "BUILTIN_SCHEDULES",
+    "DEFAULT_SCHEDULE",
+    "get_schedule",
+]
+
+
+class FaultKind:
+    """The fault-model vocabulary (string constants, not an enum, so
+    schedules serialize to plain JSON without adapters)."""
+
+    # packet level
+    DROP_BURST = "drop-burst"
+    DUPLICATE = "duplicate"
+    REORDER = "reorder"
+    TRUNCATE_FRAME = "truncate-frame"
+    CORRUPT_HEADER = "corrupt-header"
+    # timing level
+    CLOCK_SKEW = "clock-skew"
+    REPORT_LOSS = "report-loss"
+    # component level
+    COUNTER_DESYNC = "counter-desync"
+    CRASH = "crash"
+    PCAP_TRUNCATION = "pcap-truncation"
+
+    ALL = (
+        DROP_BURST,
+        DUPLICATE,
+        REORDER,
+        TRUNCATE_FRAME,
+        CORRUPT_HEADER,
+        CLOCK_SKEW,
+        REPORT_LOSS,
+        COUNTER_DESYNC,
+        CRASH,
+        PCAP_TRUNCATION,
+    )
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault model plus its parameters and activity window.
+
+    ``start``/``end`` bound the wall-clock seconds during which the
+    fault is live (``end=None`` means until the trace ends), so a
+    schedule can express "loss bursts for the whole run, one crash at
+    t = 420 s"."""
+
+    kind: str
+    params: Mapping[str, float] = field(default_factory=dict)
+    start: float = 0.0
+    end: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FaultKind.ALL:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; known: {FaultKind.ALL}"
+            )
+        if self.start < 0:
+            raise ValueError(f"start cannot be negative: {self.start}")
+        if self.end is not None and self.end <= self.start:
+            raise ValueError(
+                f"end must exceed start: [{self.start}, {self.end})"
+            )
+        # Freeze the params mapping so FaultSpec is safely hashable-ish
+        # and a schedule cannot be mutated after the fact.
+        object.__setattr__(self, "params", dict(self.params))
+
+    def active_at(self, time: float) -> bool:
+        if time < self.start:
+            return False
+        return self.end is None or time < self.end
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "params": dict(self.params),
+            "start": self.start,
+            "end": self.end,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FaultSpec":
+        return cls(
+            kind=data["kind"],
+            params=data.get("params", {}),
+            start=data.get("start", 0.0),
+            end=data.get("end"),
+        )
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A named composition of fault specs."""
+
+    name: str
+    specs: Tuple[FaultSpec, ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    def of_kind(self, kind: str) -> Tuple[FaultSpec, ...]:
+        return tuple(spec for spec in self.specs if spec.kind == kind)
+
+    def active_at(self, kind: str, time: float) -> Tuple[FaultSpec, ...]:
+        return tuple(
+            spec for spec in self.specs
+            if spec.kind == kind and spec.active_at(time)
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "specs": [spec.to_dict() for spec in self.specs],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FaultSchedule":
+        return cls(
+            name=data["name"],
+            specs=tuple(
+                FaultSpec.from_dict(entry) for entry in data.get("specs", ())
+            ),
+            description=data.get("description", ""),
+        )
+
+
+def _builtin(name: str, description: str, *specs: FaultSpec) -> FaultSchedule:
+    return FaultSchedule(name=name, description=description, specs=specs)
+
+
+#: The built-in scenario library.  Windows assume the canonical chaos
+#: campaign (30-minute trace, flood from t = 360 s), but every spec
+#: window clips harmlessly against shorter traces.
+BUILTIN_SCHEDULES: Dict[str, FaultSchedule] = {
+    schedule.name: schedule
+    for schedule in (
+        _builtin(
+            "clean",
+            "No faults — the control arm of any chaos comparison.",
+        ),
+        _builtin(
+            "packet-loss",
+            "Bursty congestion loss on both interfaces plus a mildly "
+            "desynced SYN/ACK counter.",
+            FaultSpec(
+                FaultKind.DROP_BURST,
+                {"burst_probability": 0.04, "loss": 0.3,
+                 "mean_burst_length": 3.0},
+            ),
+            FaultSpec(
+                FaultKind.COUNTER_DESYNC,
+                {"probability": 0.05, "max_fraction": 0.1},
+            ),
+        ),
+        _builtin(
+            "crash-restart",
+            "One agent crash mid-attack with a two-period outage, plus "
+            "occasional lost period reports.",
+            FaultSpec(
+                FaultKind.CRASH,
+                {"at_time": 420.0, "outage_periods": 2.0},
+            ),
+            FaultSpec(FaultKind.REPORT_LOSS, {"probability": 0.03}),
+        ),
+        _builtin(
+            "lossy-crash",
+            "The default chaos scenario: bursty packet loss for the "
+            "whole run, lost period reports, and an agent crash during "
+            "the flood — loss, stall and restart at once.",
+            FaultSpec(
+                FaultKind.DROP_BURST,
+                {"burst_probability": 0.04, "loss": 0.3,
+                 "mean_burst_length": 3.0},
+            ),
+            FaultSpec(FaultKind.REPORT_LOSS, {"probability": 0.03}),
+            FaultSpec(
+                FaultKind.CRASH,
+                {"at_time": 420.0, "outage_periods": 2.0},
+            ),
+        ),
+        _builtin(
+            "clock-skew",
+            "A skewed, jittery observation clock: period boundaries "
+            "drift by up to a quarter period.",
+            FaultSpec(
+                FaultKind.CLOCK_SKEW,
+                {"offset": 1.5, "jitter": 5.0},
+            ),
+        ),
+    )
+}
+
+#: The schedule ``repro chaos`` runs when none is named.
+DEFAULT_SCHEDULE = "lossy-crash"
+
+
+def get_schedule(name: str) -> FaultSchedule:
+    """Look up a built-in schedule by name."""
+    try:
+        return BUILTIN_SCHEDULES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown fault schedule {name!r}; "
+            f"built-ins: {sorted(BUILTIN_SCHEDULES)}"
+        ) from None

@@ -17,9 +17,11 @@ from .addresses import (
 )
 from .checksum import internet_checksum, tcp_pseudo_header, verify_checksum
 from .classify import (
+    QUARANTINE_STEPS,
     ClassifierStats,
     PacketClass,
     PacketClassifier,
+    RejectionStep,
     classify_ip_bytes,
     classify_packet,
 )
@@ -42,6 +44,8 @@ __all__ = [
     "ClassifierStats",
     "PacketClass",
     "PacketClassifier",
+    "RejectionStep",
+    "QUARANTINE_STEPS",
     "classify_ip_bytes",
     "classify_packet",
     "ETHERTYPE_ARP",

@@ -33,6 +33,7 @@ from .tcp import TCP_PROTOCOL_NUMBER, SegmentKind, TCPFlags
 __all__ = [
     "PacketClass",
     "RejectionStep",
+    "QUARANTINE_STEPS",
     "classify_packet",
     "classify_ip_bytes",
     "explain_packet",
@@ -67,6 +68,18 @@ class RejectionStep(enum.Enum):
     NON_TCP_PROTOCOL = "non-tcp-protocol"  # step 1b: protocol ≠ 6
     FRAGMENT = "fragment"                # step 1b: fragment offset ≠ 0
     TRUNCATED_FLAGS = "truncated-flags"  # step 2: flag byte beyond buffer
+
+
+#: The rejection steps that indicate a *malformed* frame (the quarantine
+#: path) as opposed to well-formed traffic that simply is not first-
+#: fragment TCP.  A corrupted or truncated header must land here —
+#: counted, skipped, never raised — because on a flooded link garbage
+#: frames are the operating regime, not the exception.
+QUARANTINE_STEPS = (
+    RejectionStep.NOT_IPV4,
+    RejectionStep.BAD_IHL,
+    RejectionStep.TRUNCATED_FLAGS,
+)
 
 
 _KIND_TO_CLASS: Dict[SegmentKind, PacketClass] = {
@@ -186,6 +199,13 @@ class ClassifierStats:
     def rejected(self) -> int:
         return sum(self.rejections.values())
 
+    @property
+    def quarantined(self) -> int:
+        """Malformed frames counted-and-skipped (the quarantine path):
+        not-IPv4 / bad-IHL / truncated-flags rejections, as opposed to
+        healthy non-TCP traffic."""
+        return sum(self.rejections[step] for step in QUARANTINE_STEPS)
+
     def __getitem__(self, packet_class: PacketClass) -> int:
         return self.counts[packet_class]
 
@@ -257,6 +277,11 @@ class PacketClassifier:
             if step is not None:
                 self._m_step[step].inc()
         return packet_class
+
+    @property
+    def quarantined(self) -> int:
+        """Malformed frames this classifier counted-and-skipped."""
+        return self.stats.quarantined
 
     def classify_many(self, packets: Iterable[Packet]) -> ClassifierStats:
         for packet in packets:

@@ -12,6 +12,7 @@ from .format import (
     MAGIC_NANOS,
     GlobalHeader,
     PcapFormatError,
+    PcapTruncatedError,
     RecordHeader,
 )
 from .reader import PcapReader, iter_pcap, pcap_bytes_to_packets, read_pcap
@@ -24,6 +25,7 @@ __all__ = [
     "MAGIC_NANOS",
     "GlobalHeader",
     "PcapFormatError",
+    "PcapTruncatedError",
     "RecordHeader",
     "PcapReader",
     "iter_pcap",

@@ -22,6 +22,7 @@ __all__ = [
     "GlobalHeader",
     "RecordHeader",
     "PcapFormatError",
+    "PcapTruncatedError",
 ]
 
 MAGIC_MICROS = 0xA1B2C3D4
@@ -39,6 +40,28 @@ RECORD_HEADER_LENGTH = struct.calcsize("<" + _RECORD)
 
 class PcapFormatError(ValueError):
     """Raised when a pcap file is malformed or unsupported."""
+
+
+class PcapTruncatedError(PcapFormatError):
+    """A pcap stream ended mid-record.
+
+    Carries forensic context so the caller can report exactly how much
+    of the capture was salvaged before the cut:
+
+    ``byte_offset``
+        Stream offset (bytes from the start of the file) at which the
+        incomplete record begins.
+    ``records_read``
+        How many complete records were successfully read before it.
+    """
+
+    def __init__(self, message: str, byte_offset: int, records_read: int) -> None:
+        super().__init__(
+            f"{message} (offset {byte_offset}, "
+            f"after {records_read} complete record(s))"
+        )
+        self.byte_offset = byte_offset
+        self.records_read = records_read
 
 
 @dataclass(frozen=True)

@@ -5,13 +5,23 @@ The reader is a generator — traces the size of the paper's (three hours
 of an Internet access link) never need to be resident in memory, which
 mirrors how the real SYN-dog processes an unbounded packet stream with
 O(1) state.
+
+Robustness contract: a malformed *global header* raises
+:class:`PcapFormatError` immediately (nothing sensible follows it); a
+stream ending *mid-record* raises :class:`PcapTruncatedError` carrying
+the byte offset and the number of complete records salvaged — or, in
+tolerant mode (``strict=False``, what the trace-tooling convenience
+functions use), stops cleanly while stashing the error on
+:attr:`PcapReader.truncation` so the loss is still visible.  Records
+that fail to *decode* are counted in :attr:`PcapReader.skipped_records`
+rather than silently dropped.
 """
 
 from __future__ import annotations
 
 import io
 from pathlib import Path
-from typing import BinaryIO, Iterator, List, Tuple, Union
+from typing import BinaryIO, Iterator, List, Optional, Tuple, Union
 
 from ..packet.packet import Packet
 from .format import (
@@ -21,6 +31,7 @@ from .format import (
     RECORD_HEADER_LENGTH,
     GlobalHeader,
     PcapFormatError,
+    PcapTruncatedError,
     RecordHeader,
 )
 
@@ -32,9 +43,17 @@ class PcapReader:
 
     Iterating yields ``(timestamp, wire_bytes)`` tuples via
     :meth:`iter_records`, or decoded packets via :meth:`iter_packets`.
-    Malformed *records* (truncated tail) terminate iteration cleanly;
-    a malformed *global header* raises :class:`PcapFormatError`
-    immediately, because nothing sensible can be read after it.
+    Running totals are kept on the reader itself so callers can audit
+    what a pass over the file actually saw:
+
+    ``records_read``
+        Complete records returned so far.
+    ``skipped_records``
+        Records that failed to decode and were skipped
+        (``iter_packets(skip_undecodable=True)``).
+    ``truncation``
+        The :class:`PcapTruncatedError` encountered in tolerant mode,
+        or None when the stream ended cleanly (so far).
     """
 
     def __init__(self, stream: BinaryIO) -> None:
@@ -46,6 +65,10 @@ class PcapReader:
             raise PcapFormatError(
                 f"unsupported linktype: {self.header.network}"
             )
+        self._offset = len(header_bytes)
+        self.records_read = 0
+        self.skipped_records = 0
+        self.truncation: Optional[PcapTruncatedError] = None
 
     @classmethod
     def open(cls, path: Union[str, Path]) -> "PcapReader":
@@ -58,33 +81,64 @@ class PcapReader:
         reader._owns_stream = True
         return reader
 
-    def iter_records(self) -> Iterator[Tuple[float, bytes]]:
-        """Yield (timestamp_seconds, captured_bytes) for every record."""
+    def iter_records(self, strict: bool = True) -> Iterator[Tuple[float, bytes]]:
+        """Yield (timestamp_seconds, captured_bytes) for every record.
+
+        With ``strict=True`` (default) a stream that ends mid-record
+        raises :class:`PcapTruncatedError`; with ``strict=False`` the
+        iterator stops cleanly at the last complete record and the
+        error is kept on :attr:`truncation` for inspection.
+        """
         while True:
+            record_offset = self._offset
             header_bytes = self._stream.read(RECORD_HEADER_LENGTH)
             if not header_bytes:
-                return  # clean EOF
+                return  # clean EOF at a record boundary
+            self._offset += len(header_bytes)
             if len(header_bytes) < RECORD_HEADER_LENGTH:
-                return  # truncated tail: stop without error
+                error = PcapTruncatedError(
+                    f"record header cut short at {len(header_bytes)} bytes",
+                    byte_offset=record_offset,
+                    records_read=self.records_read,
+                )
+                if strict:
+                    raise error
+                self.truncation = error
+                return
             record = RecordHeader.decode(header_bytes, self.header.byte_order)
             if record.incl_len > self.header.snaplen + 65536:
                 raise PcapFormatError(
                     f"implausible capture length {record.incl_len}"
                 )
             captured = self._stream.read(record.incl_len)
+            self._offset += len(captured)
             if len(captured) < record.incl_len:
-                return  # truncated tail
+                error = PcapTruncatedError(
+                    f"record body cut short: {len(captured)} of "
+                    f"{record.incl_len} captured bytes",
+                    byte_offset=record_offset,
+                    records_read=self.records_read,
+                )
+                if strict:
+                    raise error
+                self.truncation = error
+                return
+            self.records_read += 1
             yield record.timestamp(self.header.nanosecond), captured
 
-    def iter_packets(self, skip_undecodable: bool = True) -> Iterator[Packet]:
+    def iter_packets(
+        self, skip_undecodable: bool = True, strict: bool = True
+    ) -> Iterator[Packet]:
         """Yield decoded packets.
 
         Records that fail to decode (non-IPv4 frames, mangled headers)
-        are skipped by default, matching the tolerant behaviour of trace
-        tooling; pass ``skip_undecodable=False`` to propagate the error.
+        are skipped by default — and *counted* in
+        :attr:`skipped_records`, so decode loss is never silent — or
+        propagated with ``skip_undecodable=False``.  ``strict`` has
+        :meth:`iter_records` truncation semantics.
         """
         ethernet = self.header.network == LINKTYPE_ETHERNET
-        for timestamp, wire in self.iter_records():
+        for timestamp, wire in self.iter_records(strict=strict):
             try:
                 if ethernet:
                     yield Packet.decode_frame(wire, timestamp=timestamp)
@@ -93,6 +147,7 @@ class PcapReader:
             except ValueError:
                 if not skip_undecodable:
                     raise
+                self.skipped_records += 1
 
     def __iter__(self) -> Iterator[Packet]:
         return self.iter_packets()
@@ -109,18 +164,20 @@ class PcapReader:
 
 
 def read_pcap(path: Union[str, Path]) -> List[Packet]:
-    """Read an entire pcap file into a list of packets."""
+    """Read an entire pcap file into a list of packets (tolerant of a
+    truncated tail, as trace tooling conventionally is)."""
     with PcapReader.open(path) as reader:
-        return list(reader.iter_packets())
+        return list(reader.iter_packets(strict=False))
 
 
 def iter_pcap(path: Union[str, Path]) -> Iterator[Packet]:
-    """Stream packets from a pcap file (the file is closed at exhaustion)."""
+    """Stream packets from a pcap file (the file is closed at
+    exhaustion; a truncated tail stops the stream cleanly)."""
     with PcapReader.open(path) as reader:
-        yield from reader.iter_packets()
+        yield from reader.iter_packets(strict=False)
 
 
 def pcap_bytes_to_packets(image: bytes) -> List[Packet]:
-    """Decode an in-memory pcap image into packets."""
+    """Decode an in-memory pcap image into packets (tolerant mode)."""
     reader = PcapReader(io.BytesIO(image))
-    return list(reader.iter_packets())
+    return list(reader.iter_packets(strict=False))

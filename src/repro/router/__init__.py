@@ -3,13 +3,14 @@ SYN-dog agent with its alarm-time response hooks, and the federation
 view across a fleet of agents."""
 
 from .agent import AlarmEvent, SynDogAgent
-from .fleet import Federation, FederationIncident, MemberAlarm
+from .fleet import Federation, FederationFeedError, FederationIncident, MemberAlarm
 from .leafrouter import Interface, LeafRouter
 
 __all__ = [
     "AlarmEvent",
     "SynDogAgent",
     "Federation",
+    "FederationFeedError",
     "FederationIncident",
     "MemberAlarm",
     "Interface",

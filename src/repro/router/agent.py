@@ -50,6 +50,10 @@ class SynDogAgent:
         ingress filter and produces a localization report.
     on_alarm:
         Optional callback invoked at the first alarm.
+    detector:
+        Optional prebuilt :class:`SynDog` — what a supervisor passes
+        when restarting a crashed agent from its last checkpoint, so
+        the change-point test resumes instead of resetting.
     """
 
     def __init__(
@@ -60,13 +64,14 @@ class SynDogAgent:
         on_alarm: Optional[AlarmCallback] = None,
         start_time: float = 0.0,
         obs: Optional[Instrumentation] = None,
+        detector: Optional[SynDog] = None,
     ) -> None:
         self.router = router
         obs = resolve_instrumentation(obs)
         # The detector inherits the router's identity so the flight
         # recorder, events and /healthz attribute periods and alarms to
         # the right leaf router.
-        self.detector = SynDog(
+        self.detector = detector if detector is not None else SynDog(
             parameters=parameters, start_time=start_time, obs=obs,
             name=router.name,
         )

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..core.parameters import DEFAULT_PARAMETERS, SynDogParameters
+from ..core.syndog import SynDog
 from ..obs.runtime import Instrumentation, resolve_instrumentation
 from ..packet.addresses import IPv4Network
 from ..packet.packet import Packet
@@ -29,7 +30,38 @@ from ..traceback.locator import LocatedHost
 from .agent import AlarmEvent, SynDogAgent
 from .leafrouter import LeafRouter
 
-__all__ = ["Federation", "FederationIncident", "MemberAlarm"]
+__all__ = [
+    "Federation",
+    "FederationFeedError",
+    "FederationIncident",
+    "MemberAlarm",
+]
+
+
+class FederationFeedError(RuntimeError):
+    """One or more members failed while the whole fleet was being fed.
+
+    Raised *after* every member got its traffic, so a single crashing
+    agent cannot starve its healthy peers of delivery.  ``errors`` maps
+    member name → the exception it raised; ``processed`` maps member
+    name → packets successfully replayed (0 for the failed ones).
+    """
+
+    def __init__(
+        self,
+        errors: Dict[str, BaseException],
+        processed: Dict[str, int],
+    ) -> None:
+        summary = ", ".join(
+            f"{name}: {type(error).__name__}: {error}"
+            for name, error in sorted(errors.items())
+        )
+        super().__init__(
+            f"{len(errors)} federation member(s) failed during feed "
+            f"[{summary}]"
+        )
+        self.errors = dict(errors)
+        self.processed = dict(processed)
 
 
 @dataclass(frozen=True)
@@ -42,10 +74,19 @@ class MemberAlarm:
 
 @dataclass(frozen=True)
 class FederationIncident:
-    """The merged incident view across all alarming members."""
+    """The merged incident view across all alarming members.
+
+    Quorum-aware: ``members_down`` names the agents that were crashed
+    (and not restarted) when the incident was assembled, and ``quorum``
+    is the alive fraction — an incident cut while half the fleet is
+    down must say so, because "no alarm from network X" means nothing
+    when X's agent was not observing.
+    """
 
     alarms: Tuple[MemberAlarm, ...]
     suspects: Tuple[Tuple[str, LocatedHost], ...]  #: (network, host) pairs
+    members_down: Tuple[str, ...] = ()
+    quorum: float = 1.0
 
     @property
     def networks_alarming(self) -> List[str]:
@@ -54,6 +95,11 @@ class FederationIncident:
     @property
     def hosts_localized(self) -> int:
         return sum(1 for _network, host in self.suspects if host.known)
+
+    @property
+    def degraded(self) -> bool:
+        """True when the view was assembled with members missing."""
+        return bool(self.members_down)
 
 
 class Federation:
@@ -74,11 +120,19 @@ class Federation:
         parameters: SynDogParameters = DEFAULT_PARAMETERS,
         on_alarm: Optional[Callable[[MemberAlarm], None]] = None,
         obs: Optional[Instrumentation] = None,
+        auto_restart: bool = False,
     ) -> None:
         self.parameters = parameters
         self.on_alarm = on_alarm
+        #: Supervisor policy: when True a member that crashes mid-feed
+        #: is immediately restarted from its last checkpoint instead of
+        #: staying down until :meth:`restart_member` is called.
+        self.auto_restart = auto_restart
         self._members: Dict[str, Tuple[LeafRouter, SynDogAgent]] = {}
         self._bus: List[MemberAlarm] = []
+        self._checkpoints: Dict[str, dict] = {}
+        self._down: Dict[str, str] = {}
+        self._restarts: Dict[str, int] = {}
         self._obs = resolve_instrumentation(obs)
         if self._obs.registry.enabled:
             self._m_fed_packets = self._obs.registry.counter(
@@ -91,9 +145,26 @@ class Federation:
                 "Member alarms seen on the federation bus",
                 ("network",),
             )
+            self._m_fed_failures = self._obs.registry.counter(
+                "federation_member_failures_total",
+                "Member crashes observed by the federation supervisor",
+                ("network",),
+            )
+            self._m_fed_restarts = self._obs.registry.counter(
+                "federation_member_restarts_total",
+                "Members restarted from checkpoint by the supervisor",
+                ("network",),
+            )
+            self._g_fed_down = self._obs.registry.gauge(
+                "federation_members_down",
+                "Members currently crashed and awaiting restart",
+            )
         else:
             self._m_fed_packets = None
             self._m_fed_alarms = None
+            self._m_fed_failures = None
+            self._m_fed_restarts = None
+            self._g_fed_down = None
         self._events = self._obs.events if self._obs.events.enabled else None
 
     # ------------------------------------------------------------------
@@ -109,7 +180,9 @@ class Federation:
         router = LeafRouter(
             stub_network=stub_network, name=f"router-{name}", obs=self._obs
         )
+        return self._install_member(name, router, detector=None)
 
+    def _alarm_relay(self, name: str) -> Callable[[AlarmEvent], None]:
         def relay(event: AlarmEvent, network_name: str = name) -> None:
             member_alarm = MemberAlarm(network_name=network_name, event=event)
             self._bus.append(member_alarm)
@@ -127,8 +200,20 @@ class Federation:
             if self.on_alarm is not None:
                 self.on_alarm(member_alarm)
 
+        return relay
+
+    def _install_member(
+        self,
+        name: str,
+        router: LeafRouter,
+        detector: Optional[SynDog],
+    ) -> Tuple[LeafRouter, SynDogAgent]:
         agent = SynDogAgent(
-            router, parameters=self.parameters, on_alarm=relay, obs=self._obs
+            router,
+            parameters=self.parameters,
+            on_alarm=self._alarm_relay(name),
+            obs=self._obs,
+            detector=detector,
         )
         self._members[name] = (router, agent)
         return router, agent
@@ -155,17 +240,141 @@ class Federation:
         inbound: Iterable[Packet],
     ) -> int:
         """Replay one member's traffic through its router; returns the
-        number of packets processed."""
-        router, _agent = self.member(name)
-        processed = router.replay(outbound, inbound)
+        number of packets processed.
+
+        A member that raises mid-replay is marked down (its packets
+        from the crash point on are lost, as they would be on a real
+        router) and — with ``auto_restart`` — immediately restarted
+        from its last checkpoint.  Without auto-restart the exception
+        propagates after the crash is recorded.
+        """
+        router, agent = self.member(name)
+        try:
+            processed = router.replay(outbound, inbound)
+        except Exception as error:
+            self._note_crash(name, error)
+            if self.auto_restart:
+                self.restart_member(name)
+                return 0
+            raise
+        self._checkpoints[name] = agent.detector.checkpoint()
         if self._m_fed_packets is not None:
             self._m_fed_packets.labels(name).inc(processed)
         return processed
 
+    def feed_all(
+        self,
+        traffic: Dict[str, Tuple[Iterable[Packet], Iterable[Packet]]],
+    ) -> Dict[str, int]:
+        """Feed every named member its ``(outbound, inbound)`` streams.
+
+        One member's exception does not abort delivery to the rest:
+        every member is fed first, then — if any failed and were not
+        auto-restarted — a single :class:`FederationFeedError`
+        aggregating the per-member errors is raised.  Returns packets
+        processed per member when all succeed.
+        """
+        errors: Dict[str, BaseException] = {}
+        processed: Dict[str, int] = {}
+        for name in sorted(traffic):
+            outbound, inbound = traffic[name]
+            try:
+                processed[name] = self.feed(name, outbound, inbound)
+            except Exception as error:
+                errors[name] = error
+                processed[name] = 0
+        if errors:
+            raise FederationFeedError(errors, processed)
+        return processed
+
     def finish(self, end_time: Optional[float] = None) -> None:
-        """Close trailing observation periods on every member."""
-        for _router, agent in self._members.values():
-            agent.finish(end_time=end_time)
+        """Close trailing observation periods on every member still up
+        (a crashed member has no live period to close)."""
+        for name, (_router, agent) in self._members.items():
+            if name not in self._down:
+                agent.finish(end_time=end_time)
+
+    # ------------------------------------------------------------------
+    # Supervision
+    # ------------------------------------------------------------------
+    def _note_crash(self, name: str, error: BaseException) -> None:
+        self._down[name] = f"{type(error).__name__}: {error}"
+        if self._m_fed_failures is not None:
+            self._m_fed_failures.labels(name).inc()
+        if self._g_fed_down is not None:
+            self._g_fed_down.set(float(len(self._down)))
+        if self._events is not None:
+            self._events.emit(
+                "federation_member_crashed",
+                network=name,
+                error=self._down[name],
+                has_checkpoint=name in self._checkpoints,
+            )
+
+    def restart_member(self, name: str) -> Tuple[LeafRouter, SynDogAgent]:
+        """Supervisor restart: rebuild the member's router and agent,
+        restoring the detector from its last checkpoint.
+
+        Detection state (K̄, CUSUM statistic, period clock) survives the
+        restart; packets seen between the checkpoint and the crash are
+        gone, which the detector's degraded mode absorbs.  The MAC
+        inventory and ingress filter are carried over — they are the
+        localization evidence an operator would not want wiped by a
+        process bounce.
+        """
+        old_router, _old_agent = self.member(name)
+        state = self._checkpoints.get(name)
+        router = LeafRouter(
+            stub_network=old_router.stub_network,
+            ingress_filter=old_router.ingress_filter,
+            inventory=old_router.inventory,
+            name=old_router.name,
+            obs=self._obs,
+        )
+        detector = (
+            SynDog.restore(state, obs=self._obs, name=router.name)
+            if state is not None
+            else None
+        )
+        member = self._install_member(name, router, detector)
+        self._down.pop(name, None)
+        self._restarts[name] = self._restarts.get(name, 0) + 1
+        if self._m_fed_restarts is not None:
+            self._m_fed_restarts.labels(name).inc()
+        if self._g_fed_down is not None:
+            self._g_fed_down.set(float(len(self._down)))
+        if self._events is not None:
+            self._events.emit(
+                "federation_member_restarted",
+                network=name,
+                from_checkpoint=state is not None,
+                restarts=self._restarts[name],
+            )
+        return member
+
+    def checkpoint_member(self, name: str) -> dict:
+        """Take (and retain) a checkpoint of one member's detector."""
+        _router, agent = self.member(name)
+        state = agent.detector.checkpoint()
+        self._checkpoints[name] = state
+        return state
+
+    @property
+    def members_down(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._down))
+
+    @property
+    def restarts(self) -> Dict[str, int]:
+        """Restart count per member (members never restarted absent)."""
+        return dict(self._restarts)
+
+    @property
+    def quorum(self) -> float:
+        """Alive fraction of the fleet (1.0 for an empty federation)."""
+        if not self._members:
+            return 1.0
+        alive = len(self._members) - len(self._down)
+        return alive / len(self._members)
 
     # ------------------------------------------------------------------
     # Incident view
@@ -184,6 +393,8 @@ class Federation:
                 "statistic": detector.statistic,
                 "k_bar": detector.k_bar,
                 "alarms_seen": len(agent.alarm_events),
+                "down": name in self._down,
+                "restarts": self._restarts.get(name, 0),
             }
         return report
 
@@ -205,5 +416,8 @@ class Federation:
                 suspects.append((alarm.network_name, host))
         suspects.sort(key=lambda item: -item[1].spoofed_packet_count)
         return FederationIncident(
-            alarms=tuple(self._bus), suspects=tuple(suspects)
+            alarms=tuple(self._bus),
+            suspects=tuple(suspects),
+            members_down=self.members_down,
+            quorum=self.quorum,
         )

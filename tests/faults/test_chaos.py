@@ -1,0 +1,151 @@
+"""Injector and chaos-campaign tests: reproducibility is the product —
+same (schedule, seed) must mean the same faults, the same degraded
+periods, and a byte-identical report."""
+
+import json
+
+from repro.experiments.chaos import render_chaos_report, run_chaos_campaign
+from repro.faults import (
+    FaultInjector,
+    FaultKind,
+    FaultSchedule,
+    FaultSpec,
+    get_schedule,
+)
+from repro.obs import enabled_instrumentation
+from repro.obs.exporters import render_prometheus
+from repro.trace import AUCKLAND, generate_count_trace
+
+
+def auckland_trace(duration=1800.0):
+    return generate_count_trace(AUCKLAND, seed=42, duration=duration)
+
+
+class TestFaultInjector:
+    def test_plan_is_deterministic_in_seed(self):
+        trace = auckland_trace()
+        schedule = get_schedule("lossy-crash")
+        plan_a = FaultInjector(schedule, seed=42).plan_counts(trace)
+        plan_b = FaultInjector(schedule, seed=42).plan_counts(trace)
+        assert plan_a == plan_b
+
+    def test_different_seeds_differ(self):
+        trace = auckland_trace()
+        schedule = get_schedule("packet-loss")
+        plan_a = FaultInjector(schedule, seed=1).plan_counts(trace)
+        plan_b = FaultInjector(schedule, seed=2).plan_counts(trace)
+        assert plan_a.actions != plan_b.actions
+
+    def test_clean_schedule_injects_nothing(self):
+        trace = auckland_trace(duration=600.0)
+        injector = FaultInjector(get_schedule("clean"), seed=0)
+        plan = injector.plan_counts(trace)
+        assert injector.injected == {}
+        assert plan.missing_periods == 0
+        assert all(action.kind == "observe" for action in plan.actions)
+        assert [
+            (action.syn, action.synack) for action in plan.actions
+        ] == list(trace.counts)
+
+    def test_report_loss_becomes_missing_actions(self):
+        trace = auckland_trace()
+        schedule = FaultSchedule(
+            name="loss-only",
+            specs=(FaultSpec(FaultKind.REPORT_LOSS, {"probability": 0.2}),),
+        )
+        injector = FaultInjector(schedule, seed=7)
+        plan = injector.plan_counts(trace)
+        assert plan.missing_periods > 0
+        assert injector.injected[FaultKind.REPORT_LOSS] == plan.missing_periods
+
+    def test_crash_spec_materializes_inside_trace(self):
+        trace = auckland_trace()
+        plan = FaultInjector(
+            get_schedule("crash-restart"), seed=0
+        ).plan_counts(trace)
+        assert len(plan.crashes) == 1
+        crash = plan.crashes[0]
+        assert 0 <= crash.period_index < trace.num_periods
+        assert crash.outage_periods == 2
+
+    def test_activity_window_respected(self):
+        trace = auckland_trace()
+        schedule = FaultSchedule(
+            name="late-loss",
+            specs=(
+                FaultSpec(
+                    FaultKind.REPORT_LOSS, {"probability": 1.0}, start=600.0
+                ),
+            ),
+        )
+        plan = FaultInjector(schedule, seed=0).plan_counts(trace)
+        first_missing = next(
+            action.period_index for action in plan.actions
+            if action.kind == "missing"
+        )
+        assert first_missing == int(600.0 // trace.period)
+        # Every period before the window is untouched.
+        for action in plan.actions[:first_missing]:
+            assert action.kind == "observe" and not action.faults
+
+    def test_metrics_counter_tracks_injections(self):
+        obs = enabled_instrumentation()
+        injector = FaultInjector(get_schedule("lossy-crash"), seed=42, obs=obs)
+        injector.plan_counts(auckland_trace())
+        text = render_prometheus(obs.registry)
+        lines = [line for line in text.splitlines()
+                 if line.startswith("faults_injected_total{")]
+        assert lines
+        total = sum(float(line.rsplit(" ", 1)[1]) for line in lines)
+        assert total == injector.total_injected > 0
+
+
+class TestChaosCampaign:
+    def test_report_is_byte_identical_across_runs(self):
+        kwargs = dict(seed=42, schedule=get_schedule("lossy-crash"))
+        first = run_chaos_campaign(**kwargs)
+        second = run_chaos_campaign(**kwargs)
+        dump = lambda report: json.dumps(  # noqa: E731
+            report.to_dict(), sort_keys=True
+        )
+        assert dump(first) == dump(second)
+
+    def test_default_scenario_stays_within_envelope(self):
+        report = run_chaos_campaign(seed=42)
+        assert report.baseline.alarmed
+        assert report.faulted.alarmed
+        assert report.delay_ratio is not None
+        assert report.delay_ratio <= report.max_delay_ratio
+        assert report.within_envelope
+
+    def test_faults_and_degradation_are_nonzero_and_exported(self):
+        obs = enabled_instrumentation()
+        report = run_chaos_campaign(
+            seed=42, schedule=get_schedule("lossy-crash"), obs=obs
+        )
+        assert report.total_faults > 0
+        assert report.faulted.degraded_periods > 0
+        assert report.faulted.restarts == 1
+        text = render_prometheus(obs.registry)
+        exported = {
+            line.split(" ")[0]: float(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith(("faults_injected_total{",
+                                "degraded_periods_total{"))
+        }
+        assert any(value > 0 for name, value in exported.items()
+                   if name.startswith("faults_injected_total"))
+        assert any(value > 0 for name, value in exported.items()
+                   if name.startswith("degraded_periods_total"))
+
+    def test_clean_schedule_matches_baseline_exactly(self):
+        report = run_chaos_campaign(seed=42, schedule=get_schedule("clean"))
+        assert report.faulted.degraded_periods == 0
+        assert report.faulted.first_alarm_time == report.baseline.first_alarm_time
+        assert report.delay_ratio == 1.0
+
+    def test_render_mentions_verdict(self):
+        report = run_chaos_campaign(seed=42, duration=1200.0)
+        rendered = render_chaos_report(report)
+        assert "verdict" in rendered
+        assert report.schedule.name in rendered

@@ -1,0 +1,157 @@
+"""Fault-primitive tests: every model is deterministic in its RNG and
+does exactly the damage it advertises."""
+
+import random
+
+import pytest
+
+from repro.faults.models import (
+    corrupt_header,
+    drop_burst_stream,
+    duplicate_stream,
+    reorder_stream,
+    skew_timestamp,
+    thin_count,
+    truncate_frame,
+    truncate_pcap_image,
+)
+from repro.packet.packet import make_syn
+from repro.pcap.format import GLOBAL_HEADER_LENGTH, RECORD_HEADER_LENGTH
+from repro.pcap.reader import pcap_bytes_to_packets
+from repro.pcap.writer import packets_to_pcap_bytes
+
+
+def stream(n=200):
+    return [make_syn(i * 0.1, "10.0.0.1", "8.8.8.8", src_port=1024 + i)
+            for i in range(n)]
+
+
+class TestDropBurst:
+    def test_deterministic_in_rng(self):
+        packets = stream()
+        first = list(drop_burst_stream(packets, random.Random(7), 0.1))
+        second = list(drop_burst_stream(packets, random.Random(7), 0.1))
+        assert first == second
+
+    def test_drops_in_bursts(self):
+        packets = stream(2000)
+        survivors = list(
+            drop_burst_stream(packets, random.Random(3), 0.05,
+                              mean_burst_length=5.0)
+        )
+        assert 0 < len(survivors) < len(packets)
+        # Survivors keep their original relative order.
+        times = [p.timestamp for p in survivors]
+        assert times == sorted(times)
+
+    def test_callback_counts_drops(self):
+        packets = stream(500)
+        tally = {}
+        survivors = list(
+            drop_burst_stream(
+                packets, random.Random(1), 0.1,
+                on_fault=lambda kind, n: tally.__setitem__(
+                    kind, tally.get(kind, 0) + n),
+            )
+        )
+        assert tally["drop-burst"] == len(packets) - len(survivors)
+
+    def test_zero_probability_is_identity(self):
+        packets = stream(50)
+        assert list(drop_burst_stream(packets, random.Random(0), 0.0)) == packets
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            list(drop_burst_stream(stream(1), random.Random(0), 1.5))
+        with pytest.raises(ValueError):
+            list(drop_burst_stream(stream(1), random.Random(0), 0.1,
+                                   mean_burst_length=0.5))
+
+
+class TestDuplicateAndReorder:
+    def test_duplicates_appear_adjacent(self):
+        packets = stream(300)
+        out = list(duplicate_stream(packets, random.Random(5), 0.2))
+        assert len(out) > len(packets)
+        extras = len(out) - len(packets)
+        # Every duplicate is the same object, immediately re-yielded.
+        adjacent = sum(1 for a, b in zip(out, out[1:]) if a is b)
+        assert adjacent == extras
+
+    def test_reorder_preserves_multiset(self):
+        packets = stream(300)
+        out = list(reorder_stream(packets, random.Random(9), 0.3, window=4))
+        assert sorted(id(p) for p in out) == sorted(id(p) for p in packets)
+        assert out != packets  # something actually moved
+
+    def test_reorder_displacement_bounded_by_window(self):
+        packets = stream(300)
+        window = 4
+        out = list(reorder_stream(packets, random.Random(9), 0.3,
+                                  window=window))
+        position = {id(p): i for i, p in enumerate(packets)}
+        # A held packet can only fall behind, and only by a bounded
+        # number of buffer slots relative to packets that overtook it.
+        for new_index, packet in enumerate(out):
+            assert new_index >= position[id(packet)] - window
+
+
+class TestWireDamage:
+    def test_truncate_frame_shortens(self):
+        raw = bytes(range(60))
+        cut = truncate_frame(raw, random.Random(2))
+        assert 1 <= len(cut) < len(raw)
+        assert raw.startswith(cut)
+
+    def test_truncate_frame_respects_min_keep(self):
+        raw = bytes(10)
+        assert truncate_frame(raw, random.Random(0), min_keep=10) == raw
+
+    def test_corrupt_header_flips_one_bit(self):
+        raw = bytes(40)
+        damaged = corrupt_header(raw, random.Random(4))
+        assert len(damaged) == len(raw)
+        diffs = [(a ^ b) for a, b in zip(raw, damaged) if a != b]
+        assert len(diffs) == 1
+        assert bin(diffs[0]).count("1") == 1
+        # Damage lands within the first 20 bytes (the IPv4 fixed header).
+        assert next(i for i, (a, b) in enumerate(zip(raw, damaged))
+                    if a != b) < 20
+
+
+class TestTimingAndCounts:
+    def test_skew_is_offset_plus_bounded_jitter(self):
+        rng = random.Random(11)
+        for _ in range(100):
+            skewed = skew_timestamp(100.0, rng, offset=1.5, jitter=5.0)
+            assert 100.0 + 1.5 - 5.0 <= skewed <= 100.0 + 1.5 + 5.0
+
+    def test_skew_clamps_at_zero(self):
+        assert skew_timestamp(0.0, random.Random(0), offset=-10.0) == 0.0
+
+    def test_thin_count_bounds_and_determinism(self):
+        assert thin_count(100, 0.0, random.Random(0)) == 100
+        assert thin_count(100, 1.0, random.Random(0)) == 0
+        first = thin_count(1000, 0.3, random.Random(6))
+        assert first == thin_count(1000, 0.3, random.Random(6))
+        assert 0 < first < 1000
+
+    def test_thin_count_validates(self):
+        with pytest.raises(ValueError):
+            thin_count(-1, 0.5, random.Random(0))
+        with pytest.raises(ValueError):
+            thin_count(10, 1.5, random.Random(0))
+
+
+class TestPcapTruncation:
+    def test_cut_lands_mid_record(self):
+        image = packets_to_pcap_bytes(stream(20))
+        cut = truncate_pcap_image(image, 0.5)
+        assert GLOBAL_HEADER_LENGTH + RECORD_HEADER_LENGTH < len(cut) < len(image)
+        # The tolerant reader salvages a prefix of the stream.
+        salvaged = pcap_bytes_to_packets(cut)
+        assert 0 < len(salvaged) < 20
+
+    def test_validates_fraction(self):
+        with pytest.raises(ValueError):
+            truncate_pcap_image(b"x" * 100, 1.0)

@@ -1,0 +1,79 @@
+"""FaultSchedule tests: validation, activity windows, serialization
+round-trips, and the built-in scenario library."""
+
+import pytest
+
+from repro.faults.schedule import (
+    BUILTIN_SCHEDULES,
+    DEFAULT_SCHEDULE,
+    FaultKind,
+    FaultSchedule,
+    FaultSpec,
+    get_schedule,
+)
+
+
+class TestFaultSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            FaultSpec("meteor-strike")
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            FaultSpec(FaultKind.CRASH, start=-1.0)
+        with pytest.raises(ValueError):
+            FaultSpec(FaultKind.CRASH, start=100.0, end=100.0)
+
+    def test_activity_window_half_open(self):
+        spec = FaultSpec(FaultKind.DROP_BURST, start=60.0, end=120.0)
+        assert not spec.active_at(59.9)
+        assert spec.active_at(60.0)
+        assert spec.active_at(119.9)
+        assert not spec.active_at(120.0)
+
+    def test_open_ended_window(self):
+        spec = FaultSpec(FaultKind.DROP_BURST, start=60.0)
+        assert spec.active_at(1e9)
+
+    def test_round_trip(self):
+        spec = FaultSpec(
+            FaultKind.CLOCK_SKEW, {"offset": 1.5}, start=10.0, end=20.0
+        )
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestFaultSchedule:
+    def test_round_trip(self):
+        schedule = get_schedule("lossy-crash")
+        restored = FaultSchedule.from_dict(schedule.to_dict())
+        assert restored == schedule
+
+    def test_of_kind_and_active_at(self):
+        schedule = get_schedule("lossy-crash")
+        assert len(schedule.of_kind(FaultKind.CRASH)) == 1
+        assert schedule.active_at(FaultKind.DROP_BURST, 0.0)
+        assert schedule.active_at(FaultKind.PCAP_TRUNCATION, 0.0) == ()
+
+    def test_specs_frozen_as_tuple(self):
+        schedule = FaultSchedule(
+            name="one", specs=[FaultSpec(FaultKind.DUPLICATE)]
+        )
+        assert isinstance(schedule.specs, tuple)
+
+
+class TestBuiltins:
+    def test_default_is_builtin(self):
+        assert DEFAULT_SCHEDULE in BUILTIN_SCHEDULES
+
+    def test_clean_schedule_is_empty(self):
+        assert get_schedule("clean").specs == ()
+
+    @pytest.mark.parametrize("name", sorted(BUILTIN_SCHEDULES))
+    def test_every_builtin_round_trips(self, name):
+        schedule = get_schedule(name)
+        assert schedule.name == name
+        assert FaultSchedule.from_dict(schedule.to_dict()) == schedule
+
+    def test_unknown_name_raises_with_catalog(self):
+        with pytest.raises(KeyError, match="clean"):
+            get_schedule("no-such-schedule")

@@ -1,0 +1,129 @@
+"""Malformed-input hardening tests for the classifier (satellite of the
+robustness PR): hostile or damaged bytes must land in quarantine stats,
+never raise."""
+
+import random
+
+import pytest
+
+from repro.packet.classify import (
+    QUARANTINE_STEPS,
+    PacketClass,
+    PacketClassifier,
+    RejectionStep,
+    classify_ip_bytes,
+    explain_ip_bytes,
+)
+from repro.packet.packet import make_syn
+
+
+def valid_syn_bytes():
+    return make_syn(0.0, "10.0.0.1", "8.8.8.8").encode_ip()
+
+
+class TestMalformedBytesNeverRaise:
+    @pytest.mark.parametrize("raw", [
+        b"",                     # empty
+        b"\x45",                 # one byte
+        valid_syn_bytes()[:19],  # one short of a fixed IPv4 header
+    ])
+    def test_short_ip_header_is_not_ipv4(self, raw):
+        packet_class, step = explain_ip_bytes(raw)
+        assert packet_class is PacketClass.NON_TCP
+        assert step is RejectionStep.NOT_IPV4
+
+    def test_wrong_version_nibble(self):
+        raw = bytearray(valid_syn_bytes())
+        raw[0] = (6 << 4) | (raw[0] & 0x0F)  # claim IPv6
+        packet_class, step = explain_ip_bytes(bytes(raw))
+        assert packet_class is PacketClass.NON_TCP
+        assert step is RejectionStep.NOT_IPV4
+
+    @pytest.mark.parametrize("ihl", [0, 1, 4])
+    def test_bogus_ihl(self, ihl):
+        raw = bytearray(valid_syn_bytes())
+        raw[0] = (4 << 4) | ihl  # header length below 20 bytes
+        packet_class, step = explain_ip_bytes(bytes(raw))
+        assert packet_class is PacketClass.NON_TCP
+        assert step is RejectionStep.BAD_IHL
+
+    def test_nonzero_fragment_offset(self):
+        raw = bytearray(valid_syn_bytes())
+        raw[6] = (raw[6] & 0xE0) | 0x01  # fragment offset = 256 eighths
+        packet_class, step = explain_ip_bytes(bytes(raw))
+        assert packet_class is PacketClass.NON_TCP
+        assert step is RejectionStep.FRAGMENT
+
+    def test_truncated_tcp_header(self):
+        raw = valid_syn_bytes()[:25]  # IP header intact, flag byte gone
+        packet_class, step = explain_ip_bytes(raw)
+        assert packet_class is PacketClass.NON_TCP
+        assert step is RejectionStep.TRUNCATED_FLAGS
+
+    def test_random_garbage_never_raises(self):
+        rng = random.Random(0xC0FFEE)
+        for _ in range(2000):
+            raw = bytes(rng.randrange(256)
+                        for _ in range(rng.randrange(0, 80)))
+            packet_class = classify_ip_bytes(raw)  # must not raise
+            assert isinstance(packet_class, PacketClass)
+
+    def test_bit_flipped_syns_never_raise(self):
+        rng = random.Random(99)
+        base = valid_syn_bytes()
+        for _ in range(2000):
+            raw = bytearray(base)
+            position = rng.randrange(len(raw))
+            raw[position] ^= 1 << rng.randrange(8)
+            classify_ip_bytes(bytes(raw))  # must not raise
+
+
+class TestQuarantineAccounting:
+    def test_quarantine_steps_are_the_malformed_ones(self):
+        assert set(QUARANTINE_STEPS) == {
+            RejectionStep.NOT_IPV4,
+            RejectionStep.BAD_IHL,
+            RejectionStep.TRUNCATED_FLAGS,
+        }
+        # Legitimate non-TCP traffic is rejected but NOT quarantined.
+        assert RejectionStep.NON_TCP_PROTOCOL not in QUARANTINE_STEPS
+        assert RejectionStep.FRAGMENT not in QUARANTINE_STEPS
+
+    def test_classifier_counts_quarantined_frames(self):
+        classifier = PacketClassifier()
+        classifier.classify_bytes(valid_syn_bytes())     # accepted
+        classifier.classify_bytes(b"\x00" * 8)           # NOT_IPV4
+        classifier.classify_bytes(valid_syn_bytes()[:25])  # TRUNCATED_FLAGS
+        bad_ihl = bytearray(valid_syn_bytes())
+        bad_ihl[0] = (4 << 4) | 2
+        classifier.classify_bytes(bytes(bad_ihl))        # BAD_IHL
+        udp_like = bytearray(valid_syn_bytes())
+        udp_like[9] = 17
+        classifier.classify_bytes(bytes(udp_like))       # honest non-TCP
+
+        assert classifier.stats.total == 5
+        assert classifier.stats.accepted == 1
+        assert classifier.quarantined == 3
+        assert classifier.stats.quarantined == 3
+        assert classifier.stats.rejected_by(RejectionStep.NOT_IPV4) == 1
+        assert classifier.stats.rejected_by(RejectionStep.BAD_IHL) == 1
+        assert classifier.stats.rejected_by(RejectionStep.TRUNCATED_FLAGS) == 1
+
+    def test_damaged_stream_keeps_counting(self):
+        """A stream that is half garbage still yields exact accounting:
+        accepted + rejected == total, with quarantine explaining the
+        malformed share."""
+        rng = random.Random(5)
+        classifier = PacketClassifier()
+        good = bad = 0
+        for index in range(400):
+            raw = valid_syn_bytes()
+            if index % 2:
+                raw = raw[: rng.randrange(0, 20)]  # violently truncated
+                bad += 1
+            else:
+                good += 1
+            classifier.classify_bytes(raw)
+        assert classifier.stats.total == 400
+        assert classifier.stats.accepted == good
+        assert classifier.quarantined == bad

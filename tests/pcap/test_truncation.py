@@ -1,0 +1,113 @@
+"""PcapTruncatedError and tolerant-reader tests (satellite of the
+robustness PR): mid-record EOF must be a *diagnosable* event — offset
+and salvage count in strict mode, clean stop plus a stashed error in
+tolerant mode — and undecodable records must be counted, not lost."""
+
+import io
+
+import pytest
+
+from repro.packet.packet import make_syn, make_syn_ack
+from repro.pcap.format import (
+    GLOBAL_HEADER_LENGTH,
+    RECORD_HEADER_LENGTH,
+    PcapFormatError,
+    PcapTruncatedError,
+)
+from repro.pcap.reader import PcapReader, pcap_bytes_to_packets
+from repro.pcap.writer import PcapWriter, packets_to_pcap_bytes
+
+
+def sample_packets(n=6):
+    packets = []
+    for index in range(n):
+        packets.append(
+            make_syn(index * 1.0, "10.0.0.1", "8.8.8.8",
+                     src_port=2000 + index)
+        )
+    return packets
+
+
+def pcap_image(packets=None):
+    return packets_to_pcap_bytes(packets or sample_packets())
+
+
+class TestStrictMode:
+    def test_mid_body_truncation_raises_with_coordinates(self):
+        image = pcap_image()
+        # Cut inside the third record's body: two records survive.
+        reader = PcapReader(io.BytesIO(image))
+        offsets = [GLOBAL_HEADER_LENGTH]
+        for _timestamp, wire in reader.iter_records():
+            offsets.append(offsets[-1] + RECORD_HEADER_LENGTH + len(wire))
+        cut_at = offsets[2] + RECORD_HEADER_LENGTH + 3  # 3 bytes into body 3
+        damaged = image[:cut_at]
+
+        reader = PcapReader(io.BytesIO(damaged))
+        with pytest.raises(PcapTruncatedError) as excinfo:
+            list(reader.iter_records())
+        error = excinfo.value
+        assert error.records_read == 2
+        assert error.byte_offset == offsets[2]
+        assert "2 complete record" in str(error)
+
+    def test_mid_header_truncation_raises(self):
+        image = pcap_image()
+        damaged = image[: GLOBAL_HEADER_LENGTH + RECORD_HEADER_LENGTH - 5]
+        reader = PcapReader(io.BytesIO(damaged))
+        with pytest.raises(PcapTruncatedError) as excinfo:
+            list(reader.iter_records())
+        assert excinfo.value.records_read == 0
+        assert excinfo.value.byte_offset == GLOBAL_HEADER_LENGTH
+
+    def test_truncated_is_a_format_error(self):
+        # Existing catch-all handlers for PcapFormatError keep working.
+        assert issubclass(PcapTruncatedError, PcapFormatError)
+
+    def test_iter_packets_strict_propagates(self):
+        image = pcap_image()
+        reader = PcapReader(io.BytesIO(image[:-4]))
+        with pytest.raises(PcapTruncatedError):
+            list(reader.iter_packets(strict=True))
+
+
+class TestTolerantMode:
+    def test_stops_cleanly_and_stashes_error(self):
+        image = pcap_image()
+        reader = PcapReader(io.BytesIO(image[:-4]))
+        packets = list(reader.iter_packets(strict=False))
+        assert len(packets) == 5
+        assert reader.records_read == 5
+        assert isinstance(reader.truncation, PcapTruncatedError)
+        assert reader.truncation.records_read == 5
+
+    def test_clean_file_has_no_truncation(self):
+        reader = PcapReader(io.BytesIO(pcap_image()))
+        assert len(list(reader.iter_packets())) == 6
+        assert reader.truncation is None
+
+    def test_convenience_functions_are_tolerant(self):
+        image = pcap_image()
+        assert len(pcap_bytes_to_packets(image[:-4])) == 5
+
+
+class TestSkipCounting:
+    def _image_with_garbage_record(self):
+        buffer = io.BytesIO()
+        with PcapWriter(buffer) as writer:
+            writer.write_packet(make_syn(0.0, "10.0.0.1", "8.8.8.8"))
+            writer.write_raw(1.0, b"\xde\xad\xbe\xef")  # undecodable frame
+            writer.write_packet(make_syn_ack(2.0, "8.8.8.8", "10.0.0.1"))
+        return buffer.getvalue()
+
+    def test_undecodable_records_counted_not_silent(self):
+        reader = PcapReader(io.BytesIO(self._image_with_garbage_record()))
+        packets = list(reader.iter_packets(skip_undecodable=True))
+        assert len(packets) == 2
+        assert reader.skipped_records == 1
+        assert reader.records_read == 3  # the garbage record WAS read
+
+    def test_skip_undecodable_false_raises(self):
+        reader = PcapReader(io.BytesIO(self._image_with_garbage_record()))
+        with pytest.raises(ValueError):
+            list(reader.iter_packets(skip_undecodable=False))

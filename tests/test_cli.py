@@ -396,3 +396,53 @@ class TestServeFlag:
         ])
         assert code == EXIT_OK
         assert "serving http://127.0.0.1:" in capsys.readouterr().out
+
+
+class TestChaos:
+    def test_chaos_within_envelope_exits_ok(self, capsys):
+        code = main(["chaos", "--seed", "42", "--schedule", "lossy-crash"])
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "degradation within envelope" in out
+        assert "faults injected" in out
+
+    def test_chaos_report_is_byte_identical(self, tmp_path, capsys):
+        first = tmp_path / "chaos1.json"
+        second = tmp_path / "chaos2.json"
+        for path in (first, second):
+            code = main([
+                "chaos", "--seed", "42", "--schedule", "lossy-crash",
+                "--out", str(path),
+            ])
+            assert code == EXIT_OK
+        assert first.read_bytes() == second.read_bytes()
+        import json
+
+        report = json.loads(first.read_text())
+        assert report["within_envelope"] is True
+        assert report["faulted"]["degraded_periods"] > 0
+        assert sum(report["faults_injected"].values()) > 0
+
+    def test_chaos_metrics_export_fault_counters(self, tmp_path, capsys):
+        metrics = tmp_path / "chaos.prom"
+        code = main([
+            "chaos", "--seed", "42", "--metrics-out", str(metrics),
+        ])
+        assert code == EXIT_OK
+        text = metrics.read_text()
+        assert "faults_injected_total{" in text
+        assert "degraded_periods_total{" in text
+
+    def test_chaos_impossible_envelope_exits_degraded(self, capsys):
+        from repro.cli import EXIT_DEGRADED
+
+        code = main([
+            "chaos", "--seed", "42", "--schedule", "lossy-crash",
+            "--max-delay-ratio", "0.0",
+        ])
+        assert code == EXIT_DEGRADED
+        assert "EXCEEDS" in capsys.readouterr().out
+
+    def test_chaos_unknown_schedule_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--schedule", "no-such-schedule"])
