@@ -15,12 +15,21 @@ something meaningful per experiment.
 
 from __future__ import annotations
 
+import os
+from typing import Optional
+
 import pytest
 
 #: Trials per table row.  The paper does not state its trial count; 20
 #: randomized (seed, start-time) trials per rate keep the full suite
 #: within minutes while estimating probabilities to ±~0.1.
 NUM_TRIALS = 20
+
+#: Worker processes for sharded sweeps (:mod:`repro.parallel`).
+#: ``REPRO_BENCH_WORKERS`` overrides; the default ``None`` means every
+#: core.  Results are byte-identical at any value, so the benches are
+#: free to use all of them.
+WORKERS: Optional[int] = int(os.environ.get("REPRO_BENCH_WORKERS", 0)) or None
 
 
 def emit(text: str) -> None:
@@ -32,3 +41,8 @@ def emit(text: str) -> None:
 @pytest.fixture(scope="session")
 def num_trials() -> int:
     return NUM_TRIALS
+
+
+@pytest.fixture(scope="session")
+def workers() -> Optional[int]:
+    return WORKERS

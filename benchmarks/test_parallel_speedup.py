@@ -1,0 +1,84 @@
+"""Serial vs parallel wall-clock on the Table 2/3 detection grid.
+
+The sharded engine's bargain: ``--workers N`` must change *nothing*
+about the output (held row-by-row here, byte-level in
+``tests/parallel/test_differential.py``) while buying real wall-clock
+on real grids.  This bench times the full Table 3 sweep — 5 flood
+rates x NUM_TRIALS Auckland trials — serially and at 4 workers, writes
+the measurement to ``BENCH_parallel.json``, and enforces the >= 3x
+target at 4 workers whenever the machine actually has >= 4 cores (a
+1-core container can only record an honest ~1x; CI's 4-vCPU runners
+enforce).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import NUM_TRIALS, emit
+
+from repro.experiments.tables import TABLE3_PAPER
+from repro.experiments.runner import run_detection_sweep
+from repro.trace.profiles import AUCKLAND
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+
+PARALLEL_WORKERS = 4
+TARGET_SPEEDUP = 3.0
+RATES = sorted(TABLE3_PAPER)
+
+
+def timed_sweep(workers):
+    start = time.perf_counter()
+    rows = run_detection_sweep(
+        AUCKLAND, RATES, num_trials=NUM_TRIALS, base_seed=0, workers=workers
+    )
+    return rows, time.perf_counter() - start
+
+
+def test_parallel_speedup_on_table3_grid():
+    cores = os.cpu_count() or 1
+
+    serial_rows, serial_seconds = timed_sweep(workers=1)
+    parallel_rows, parallel_seconds = timed_sweep(workers=PARALLEL_WORKERS)
+    speedup = serial_seconds / parallel_seconds
+
+    # Equivalence first: the speedup is worthless if the answer moved.
+    assert parallel_rows == serial_rows
+
+    enforced = cores >= PARALLEL_WORKERS
+    artifact = {
+        "bench": "parallel_speedup",
+        "grid": {
+            "site": AUCKLAND.name,
+            "flood_rates": RATES,
+            "num_trials": NUM_TRIALS,
+            "items": len(RATES) * NUM_TRIALS,
+        },
+        "cpu_count": cores,
+        "workers": PARALLEL_WORKERS,
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": speedup,
+        "target_speedup": TARGET_SPEEDUP,
+        "target_enforced": enforced,
+    }
+    ARTIFACT.write_text(json.dumps(artifact, indent=2) + "\n")
+
+    emit(
+        "Parallel sharded sweep (Table 3 grid, "
+        f"{artifact['grid']['items']} trials)\n"
+        f"  cpu cores    : {cores}\n"
+        f"  serial       : {serial_seconds:8.2f} s\n"
+        f"  {PARALLEL_WORKERS} workers    : {parallel_seconds:8.2f} s\n"
+        f"  speedup      : {speedup:8.2f}x  (target {TARGET_SPEEDUP}x, "
+        f"{'enforced' if enforced else 'recorded only — too few cores'})\n"
+        f"  artifact     : {ARTIFACT}"
+    )
+
+    if enforced:
+        assert speedup >= TARGET_SPEEDUP, (
+            f"{PARALLEL_WORKERS} workers bought only {speedup:.2f}x on "
+            f"{cores} cores (target {TARGET_SPEEDUP}x)"
+        )

@@ -23,8 +23,8 @@ from repro.experiments.tables import TABLE2_PAPER, table2
 from repro.trace.profiles import UNC
 
 
-def test_table2(benchmark):
-    rows, rendered = table2(num_trials=NUM_TRIALS)
+def test_table2(benchmark, workers):
+    rows, rendered = table2(num_trials=NUM_TRIALS, workers=workers)
     emit(rendered)
 
     measured = {row.flood_rate: row.measured for row in rows}

@@ -21,8 +21,8 @@ from repro.experiments.tables import TABLE3_PAPER, table3
 from repro.trace.profiles import AUCKLAND
 
 
-def test_table3(benchmark):
-    rows, rendered = table3(num_trials=NUM_TRIALS)
+def test_table3(benchmark, workers):
+    rows, rendered = table3(num_trials=NUM_TRIALS, workers=workers)
     emit(rendered)
 
     measured = {row.flood_rate: row.measured for row in rows}

@@ -11,6 +11,8 @@ actually touch::
                           --events-out events.jsonl --serve 9100
     repro-syndog report   events.jsonl --format markdown
     repro-syndog chaos    --seed 42 --schedule lossy-crash --out report.json
+    repro-syndog campaign --networks 1000 --workers 4 --json campaign.json
+    repro-syndog sensitivity --site auckland --workers 4
     repro-syndog table    2
     repro-syndog figure   5
     repro-syndog theory   --k-bar 1922
@@ -166,6 +168,9 @@ def build_parser() -> argparse.ArgumentParser:
     table = sub.add_parser("table", help="regenerate a paper table (1, 2 or 3)")
     table.add_argument("number", type=int, choices=(1, 2, 3))
     table.add_argument("--trials", type=int, default=10)
+    table.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="worker processes sharding the trials "
+                            "(tables 2 and 3; default: all cores)")
     table.add_argument("--json", metavar="PATH",
                        help="also write the rows as JSON (tables 2 and 3)")
 
@@ -191,6 +196,13 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--sample", type=int, default=6,
                           help="networks actually simulated (uniform sample)")
     campaign.add_argument("--seed", type=int, default=0)
+    campaign.add_argument("--workers", type=int, default=None, metavar="N",
+                          help="worker processes sharding the simulated "
+                               "networks (default: all cores; output is "
+                               "byte-identical for every N)")
+    campaign.add_argument("--json", metavar="PATH",
+                          help="write the campaign result as "
+                               "deterministic JSON")
     campaign.add_argument("--metrics-out", metavar="PATH",
                           help="write fleet metrics in Prometheus "
                                "text-exposition format")
@@ -224,6 +236,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="flood duration (s)")
     chaos.add_argument("--duration", type=float, default=1800.0,
                        help="total trace length (s)")
+    chaos.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="worker processes sharding the baseline/"
+                            "faulted arms (default: all cores; the "
+                            "report is byte-identical for every N)")
     chaos.add_argument("--max-delay-ratio", type=float, default=2.0,
                        help="envelope: faulted detection delay must stay "
                             "within this multiple of the baseline")
@@ -233,6 +249,38 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--metrics-out", metavar="PATH",
                        help="write fault/degradation metrics in "
                             "Prometheus text-exposition format")
+
+    # --------------------------------------------------------- sensitivity
+    sensitivity = sub.add_parser(
+        "sensitivity",
+        help="sweep the (a, N) tuning grid: false-alarm rate vs "
+             "detection delay per cell, with an operator recommendation",
+    )
+    sensitivity.add_argument("--site", choices=sorted(SITE_PROFILES),
+                             default="auckland")
+    sensitivity.add_argument("--drifts", type=float, nargs="+",
+                             default=[0.05, 0.1, 0.2, 0.35, 0.5],
+                             help="drift (a) values to sweep")
+    sensitivity.add_argument("--thresholds", type=float, nargs="+",
+                             default=[0.3, 0.6, 1.05, 2.0],
+                             help="threshold (N) values to sweep")
+    sensitivity.add_argument("--rate", type=float, default=5.0,
+                             help="reference flood SYN/s for the "
+                                  "detection-delay column")
+    sensitivity.add_argument("--traces", type=int, default=5,
+                             help="normal traces and attack trials per cell")
+    sensitivity.add_argument("--seed", type=int, default=0)
+    sensitivity.add_argument("--max-false-alarm-rate", type=float,
+                             default=0.0,
+                             help="false-alarm budget for the "
+                                  "recommendation (onsets per period)")
+    sensitivity.add_argument("--workers", type=int, default=None,
+                             metavar="N",
+                             help="worker processes sharding trace "
+                                  "synthesis (default: all cores; cells "
+                                  "are byte-identical for every N)")
+    sensitivity.add_argument("--json", metavar="PATH",
+                             help="write the grid as deterministic JSON")
 
     # -------------------------------------------------------------- theory
     theory = sub.add_parser(
@@ -460,7 +508,7 @@ def _cmd_table(args: argparse.Namespace) -> int:
     from .experiments.tables import table2, table3
 
     rows, rendered = (table2 if args.number == 2 else table3)(
-        num_trials=args.trials
+        num_trials=args.trials, workers=args.workers
     )
     print(rendered)
     if args.json:
@@ -517,6 +565,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         duration=args.duration,
         max_delay_ratio=args.max_delay_ratio,
         obs=obs,
+        workers=args.workers,
     )
     print(render_chaos_report(report))
     if args.out:
@@ -575,12 +624,17 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     with _serving(obs, args.serve):
         result = simulate_campaign(
             campaign, profile, base_seed=args.seed, max_networks=args.sample,
-            obs=obs,
+            obs=obs, workers=args.workers,
         )
     if obs is not None:
         samples = obs.finalize(args.metrics_out)
         if args.metrics_out:
             print(f"wrote {samples} metric samples to {args.metrics_out}")
+    if args.json:
+        from .experiments.export import campaign_result_to_dict, save_json
+
+        save_json(campaign_result_to_dict(result), args.json)
+        print(f"wrote campaign result to {args.json}")
     f_i = campaign.per_network_rate(0)
     floor = DEFAULT_PARAMETERS.min_detectable_rate(
         profile.k_bar_target or profile.expected_k_bar()
@@ -598,6 +652,58 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
               f"of the sampled volume")
         return EXIT_ALARM
     print("verdict         : the campaign hides below every sampled floor")
+    return EXIT_OK
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    """The Section 4.2.3 tuning sweep as an operator command: measure
+    every (a, N) cell, print the grid, and recommend the most sensitive
+    setting inside the false-alarm budget."""
+    from .experiments.sensitivity import recommend_parameters, sweep_parameters
+
+    profile = get_profile(args.site)
+    cells = sweep_parameters(
+        profile,
+        drifts=args.drifts,
+        thresholds=args.thresholds,
+        flood_rate=args.rate,
+        num_normal_traces=args.traces,
+        num_attack_trials=args.traces,
+        base_seed=args.seed,
+        workers=args.workers,
+    )
+    rows = [
+        [
+            cell.drift,
+            cell.threshold,
+            f"{cell.false_alarm_rate:.4f}",
+            f"{cell.detection_probability:.0%}",
+            ("-" if cell.mean_delay_periods is None
+             else f"{cell.mean_delay_periods:.1f}"),
+            f"{cell.f_min:.2f}",
+        ]
+        for cell in cells
+    ]
+    print(render_table(
+        ["a", "N", "FA/period", "P(detect)", "delay", "f_min"],
+        rows,
+        title=f"sensitivity grid ({profile.name}, {args.rate:.1f} SYN/s)",
+    ))
+    pick = recommend_parameters(
+        cells, max_false_alarm_rate=args.max_false_alarm_rate
+    )
+    if pick is None:
+        print("recommendation  : no cell fits the false-alarm budget")
+    else:
+        print(f"recommendation  : a={pick.drift} N={pick.threshold} "
+              f"(floor {pick.f_min:.2f} SYN/s)")
+    if args.json:
+        from .experiments.export import save_json, sensitivity_cells_to_dict
+
+        save_json(
+            sensitivity_cells_to_dict(cells, site=profile.name), args.json
+        )
+        print(f"wrote sensitivity grid to {args.json}")
     return EXIT_OK
 
 
@@ -633,6 +739,7 @@ _COMMANDS = {
     "observe": _cmd_observe,
     "report": _cmd_report,
     "chaos": _cmd_chaos,
+    "sensitivity": _cmd_sensitivity,
     "table": _cmd_table,
     "figure": _cmd_figure,
     "theory": _cmd_theory,

@@ -31,7 +31,13 @@ from ..trace.profiles import SiteProfile
 from ..trace.synthetic import generate_count_trace
 from .runner import attack_start_range_minutes
 
-__all__ = ["CampaignResult", "NetworkOutcome", "simulate_campaign"]
+__all__ = [
+    "CampaignResult",
+    "NetworkOutcome",
+    "NetworkTask",
+    "simulate_campaign",
+    "simulate_network",
+]
 
 
 @dataclass(frozen=True)
@@ -95,6 +101,74 @@ class CampaignResult:
         return self.attributable_rate / self.simulated_rate
 
 
+@dataclass(frozen=True)
+class NetworkTask:
+    """Everything one stub network's simulation depends on — a plain,
+    picklable grid item for :mod:`repro.parallel`."""
+
+    network_id: int
+    profile: SiteProfile
+    seed: int
+    flood_rate: float
+    sources: Tuple  #: FloodSources of this network's slaves
+    attack_start: float
+    attack_duration: float
+    parameters: SynDogParameters
+
+
+def simulate_network(
+    task: NetworkTask,
+    obs: Optional[Instrumentation] = None,
+) -> NetworkOutcome:
+    """Simulate one stub network: background + local slaves through its
+    SYN-dog.  A pure function of the task (plus wall-clock telemetry),
+    shared verbatim by the serial and sharded paths."""
+    obs = resolve_instrumentation(obs)
+    network_start = time.perf_counter()
+    window = AttackWindow(task.attack_start, task.attack_duration)
+    attack_periods = (
+        task.attack_duration / task.parameters.observation_period
+    )
+    background = generate_count_trace(
+        task.profile,
+        seed=task.seed,
+        period=task.parameters.observation_period,
+    )
+    counts = background
+    for source in task.sources:
+        counts = mix_flood_into_counts(counts, source, window)
+    result = SynDog(parameters=task.parameters).observe_counts(counts.counts)
+    delay = result.detection_delay_periods(window.start)
+    detected = delay is not None and delay <= attack_periods
+    outcome = NetworkOutcome(
+        network_id=task.network_id,
+        flood_rate=task.flood_rate,
+        detected=detected,
+        delay_periods=delay if detected else None,
+        max_statistic=result.max_statistic,
+    )
+    if obs.enabled:
+        obs.registry.histogram(
+            "campaign_network_seconds",
+            "Wall-clock to simulate one stub network",
+        ).observe(time.perf_counter() - network_start)
+        obs.registry.counter(
+            "campaign_networks_total",
+            "Stub networks simulated, by verdict",
+            ("detected",),
+        ).labels(str(detected).lower()).inc()
+        if obs.events.enabled:
+            obs.events.emit(
+                "campaign_network",
+                network_id=task.network_id,
+                flood_rate=task.flood_rate,
+                detected=detected,
+                delay_periods=delay if detected else None,
+                max_statistic=result.max_statistic,
+            )
+    return outcome
+
+
 def simulate_campaign(
     campaign: DDoSCampaign,
     profile: SiteProfile,
@@ -104,6 +178,7 @@ def simulate_campaign(
     max_networks: Optional[int] = None,
     profile_selector=None,
     obs: Optional[Instrumentation] = None,
+    workers: Optional[int] = 1,
 ) -> CampaignResult:
     """Run every participating stub network's SYN-dog over the campaign.
 
@@ -129,6 +204,11 @@ def simulate_campaign(
         networks); overrides *profile* per network.  Real campaigns
         compromise hosts wherever they can, so the per-network floors —
         and thus which dogs bark — vary across the fleet.
+    workers:
+        Shard the network grid across this many processes
+        (:mod:`repro.parallel`; ``None`` means every core).  Seeds,
+        rates and the attack window are all fixed in the parent before
+        sharding, so the result is byte-identical to ``workers=1``.
     """
     obs = resolve_instrumentation(obs)
     rng = random.Random(base_seed)
@@ -141,10 +221,8 @@ def simulate_campaign(
     if max_networks is not None:
         network_ids = network_ids[:max_networks]
 
-    attack_periods = campaign.duration / parameters.observation_period
-    outcomes: List[NetworkOutcome] = []
+    tasks: List[NetworkTask] = []
     for network_id in network_ids:
-        network_start = time.perf_counter()
         local_profile = (
             profile_selector(network_id) if profile_selector else profile
         )
@@ -154,45 +232,28 @@ def simulate_campaign(
                 f"{local_profile.duration}s trace of {local_profile.name} "
                 f"(network {network_id}); pick an earlier attack_start"
             )
-        background = generate_count_trace(
-            local_profile,
-            seed=base_seed * 100_003 + network_id,
-            period=parameters.observation_period,
-        )
-        counts = background
-        for source in campaign.sources_in_network(network_id):
-            counts = mix_flood_into_counts(counts, source, window)
-        result = SynDog(parameters=parameters).observe_counts(counts.counts)
-        delay = result.detection_delay_periods(window.start)
-        detected = delay is not None and delay <= attack_periods
-        outcomes.append(
-            NetworkOutcome(
+        tasks.append(
+            NetworkTask(
                 network_id=network_id,
+                profile=local_profile,
+                seed=base_seed * 100_003 + network_id,
                 flood_rate=campaign.per_network_rate(network_id),
-                detected=detected,
-                delay_periods=delay if detected else None,
-                max_statistic=result.max_statistic,
+                sources=tuple(campaign.sources_in_network(network_id)),
+                attack_start=window.start,
+                attack_duration=window.duration,
+                parameters=parameters,
             )
         )
-        if obs.enabled:
-            obs.registry.histogram(
-                "campaign_network_seconds",
-                "Wall-clock to simulate one stub network",
-            ).observe(time.perf_counter() - network_start)
-            obs.registry.counter(
-                "campaign_networks_total",
-                "Stub networks simulated, by verdict",
-                ("detected",),
-            ).labels(str(detected).lower()).inc()
-            if obs.events.enabled:
-                obs.events.emit(
-                    "campaign_network",
-                    network_id=network_id,
-                    flood_rate=campaign.per_network_rate(network_id),
-                    detected=detected,
-                    delay_periods=delay if detected else None,
-                    max_statistic=result.max_statistic,
-                )
+
+    from ..parallel import WorkPlan, effective_workers, run_plan
+
+    if effective_workers(workers) == 1:
+        outcomes = [simulate_network(task, obs=obs) for task in tasks]
+    else:
+        outcomes = run_plan(
+            WorkPlan.partition(tasks), simulate_network,
+            workers=workers, obs=obs,
+        )
     if obs.enabled:
         obs.registry.gauge(
             "campaign_detection_fraction",

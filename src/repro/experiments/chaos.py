@@ -35,7 +35,14 @@ from ..trace.mixer import AttackWindow, mix_flood_into_counts
 from ..trace.profiles import get_profile
 from ..trace.synthetic import generate_count_trace
 
-__all__ = ["ChaosReport", "ChaosArm", "run_chaos_campaign", "render_chaos_report"]
+__all__ = [
+    "ChaosReport",
+    "ChaosArm",
+    "ChaosArmTask",
+    "run_chaos_arm",
+    "run_chaos_campaign",
+    "render_chaos_report",
+]
 
 
 @dataclass(frozen=True)
@@ -198,6 +205,69 @@ def _run_faulted_arm(
     return records, restarts
 
 
+@dataclass(frozen=True)
+class ChaosArmTask:
+    """One arm's full scenario description — a picklable grid item for
+    :mod:`repro.parallel`.  Each arm regenerates the mixed trace from
+    the scenario (deterministic, so both arms see identical counts
+    without sharing memory)."""
+
+    arm: str  #: "baseline" | "faulted"
+    site: str
+    seed: int
+    schedule: FaultSchedule
+    rate: float
+    attack_start: float
+    attack_duration: float
+    duration: float
+    parameters: SynDogParameters
+    staleness_cap: int
+
+
+def run_chaos_arm(task: ChaosArmTask, obs: Optional[Instrumentation] = None) -> dict:
+    """Run one arm end to end; returns the summarized arm plus the
+    injection bookkeeping (empty for the baseline)."""
+    profile = get_profile(task.site)
+    background = generate_count_trace(
+        profile, seed=task.seed,
+        period=task.parameters.observation_period,
+        duration=task.duration,
+    )
+    mixed = mix_flood_into_counts(
+        background,
+        FloodSource(pattern=task.rate),
+        AttackWindow(task.attack_start, task.attack_duration),
+    )
+    period = task.parameters.observation_period
+    if task.arm == "baseline":
+        # Clean inputs, uninstrumented control.
+        dog = SynDog(parameters=task.parameters, name="chaos-baseline")
+        result = dog.observe_counts(mixed.counts)
+        return {
+            "site": profile.name,
+            "arm": _summarize_arm(
+                list(result.records), task.attack_start, period
+            ),
+            "injected": {},
+            "missing_periods": 0,
+            "perturbed_periods": 0,
+        }
+    injector = FaultInjector(task.schedule, seed=task.seed, obs=obs)
+    plan = injector.plan_counts(mixed)
+    records, restarts = _run_faulted_arm(
+        plan, task.parameters, task.staleness_cap, obs
+    )
+    return {
+        "site": profile.name,
+        "arm": _summarize_arm(
+            records, task.attack_start, period, restarts=restarts
+        ),
+        "injected": dict(injector.injected),
+        "missing_periods": plan.missing_periods,
+        "perturbed_periods": plan.perturbed_periods,
+    }
+
+
 def run_chaos_campaign(
     site: str = "auckland",
     seed: int = 42,
@@ -210,6 +280,7 @@ def run_chaos_campaign(
     staleness_cap: int = 3,
     max_delay_ratio: float = 2.0,
     obs: Optional[Instrumentation] = None,
+    workers: Optional[int] = 1,
 ) -> ChaosReport:
     """Run the baseline and faulted arms and bound the degradation.
 
@@ -218,40 +289,37 @@ def run_chaos_campaign(
     from t = 360 s, 30 minutes of traffic.  Only the faulted arm is
     instrumented (``obs``), so exported fault and degradation counters
     describe the chaos run, not the control.
+
+    ``workers`` > 1 runs the two arms as :mod:`repro.parallel` grid
+    items (each regenerating the deterministic trace); the report is
+    byte-identical to the serial one.
     """
     if schedule is None:
         from ..faults.schedule import DEFAULT_SCHEDULE, get_schedule
 
         schedule = get_schedule(DEFAULT_SCHEDULE)
-    profile = get_profile(site)
-    background = generate_count_trace(
-        profile, seed=seed, period=parameters.observation_period,
-        duration=duration,
-    )
-    mixed = mix_flood_into_counts(
-        background,
-        FloodSource(pattern=rate),
-        AttackWindow(attack_start, attack_duration),
-    )
-    # Baseline arm: clean inputs, uninstrumented control.
-    baseline_dog = SynDog(parameters=parameters, name="chaos-baseline")
-    baseline_result = baseline_dog.observe_counts(mixed.counts)
-    baseline = _summarize_arm(
-        list(baseline_result.records), attack_start,
-        parameters.observation_period,
-    )
-    # Faulted arm: same counts through the injection plan.
-    injector = FaultInjector(schedule, seed=seed, obs=obs)
-    plan = injector.plan_counts(mixed)
-    faulted_records, restarts = _run_faulted_arm(
-        plan, parameters, staleness_cap, obs
-    )
-    faulted = _summarize_arm(
-        faulted_records, attack_start, parameters.observation_period,
-        restarts=restarts,
-    )
+    tasks = [
+        ChaosArmTask(
+            arm=arm, site=site, seed=seed, schedule=schedule, rate=rate,
+            attack_start=attack_start, attack_duration=attack_duration,
+            duration=duration, parameters=parameters,
+            staleness_cap=staleness_cap,
+        )
+        for arm in ("baseline", "faulted")
+    ]
+
+    from ..parallel import WorkPlan, effective_workers, run_plan
+
+    if effective_workers(workers) == 1:
+        results = [run_chaos_arm(tasks[0]), run_chaos_arm(tasks[1], obs=obs)]
+    else:
+        results = run_plan(
+            WorkPlan.partition(tasks), _chaos_arm_worker,
+            workers=workers, obs=obs,
+        )
+    baseline_result, faulted_result = results
     return ChaosReport(
-        site=profile.name,
+        site=baseline_result["site"],
         seed=seed,
         schedule=schedule,
         rate=rate,
@@ -259,12 +327,18 @@ def run_chaos_campaign(
         attack_duration=attack_duration,
         duration=duration,
         max_delay_ratio=max_delay_ratio,
-        baseline=baseline,
-        faulted=faulted,
-        faults_injected=dict(injector.injected),
-        missing_periods=plan.missing_periods,
-        perturbed_periods=plan.perturbed_periods,
+        baseline=baseline_result["arm"],
+        faulted=faulted_result["arm"],
+        faults_injected=faulted_result["injected"],
+        missing_periods=faulted_result["missing_periods"],
+        perturbed_periods=faulted_result["perturbed_periods"],
     )
+
+
+def _chaos_arm_worker(task: ChaosArmTask, obs: Instrumentation) -> dict:
+    """Engine adapter: only the faulted arm instruments, matching the
+    serial path's "the control stays dark" contract."""
+    return run_chaos_arm(task, obs=obs if task.arm == "faulted" else None)
 
 
 def render_chaos_report(report: ChaosReport) -> str:

@@ -25,6 +25,8 @@ __all__ = [
     "figure_to_dict",
     "table_rows_to_dict",
     "attack_report_to_dict",
+    "campaign_result_to_dict",
+    "sensitivity_cells_to_dict",
     "save_json",
 ]
 
@@ -115,6 +117,57 @@ def attack_report_to_dict(report: AttackReport) -> Dict[str, Any]:
         "estimated_rate": report.estimated_rate,
         "baseline_x": report.baseline_x,
         "attack_x": report.attack_x,
+    })
+
+
+def campaign_result_to_dict(result: "CampaignResult") -> Dict[str, Any]:
+    """Serialize a fleet campaign: the federation view plus every
+    network's outcome.  Timestamp-free and fully determined by the
+    campaign inputs, so two runs with the same seeds — at *any*
+    ``--workers`` value — produce byte-identical files (the contract
+    ``tests/parallel/test_differential.py`` and CI pin down)."""
+    return _clean({
+        "aggregate_rate": result.aggregate_rate,
+        "num_networks": result.num_networks,
+        "attack_start": result.attack_start,
+        "attack_duration": result.attack_duration,
+        "detection_fraction": result.detection_fraction,
+        "first_alarm_delay": result.first_alarm_delay,
+        "attributable_rate": result.attributable_rate,
+        "attributable_fraction": result.attributable_fraction,
+        "outcomes": [
+            {
+                "network_id": outcome.network_id,
+                "flood_rate": outcome.flood_rate,
+                "detected": outcome.detected,
+                "delay_periods": outcome.delay_periods,
+                "max_statistic": round(outcome.max_statistic, 9),
+            }
+            for outcome in result.outcomes
+        ],
+    })
+
+
+def sensitivity_cells_to_dict(
+    cells: Sequence["SensitivityCell"], site: str = ""
+) -> Dict[str, Any]:
+    """Serialize a parameter-sensitivity sweep (deterministic for the
+    same grid + seeds, any worker count)."""
+    return _clean({
+        "site": site,
+        "cells": [
+            {
+                "drift": cell.drift,
+                "threshold": cell.threshold,
+                "false_alarm_onsets": cell.false_alarm_onsets,
+                "normal_periods": cell.normal_periods,
+                "false_alarm_rate": round(cell.false_alarm_rate, 9),
+                "detection_probability": cell.detection_probability,
+                "mean_delay_periods": cell.mean_delay_periods,
+                "f_min": round(cell.f_min, 9),
+            }
+            for cell in cells
+        ],
     })
 
 

@@ -41,6 +41,7 @@ __all__ = [
     "run_normal_operation",
     "run_detection_trial",
     "run_detection_sweep",
+    "sweep_trial_configs",
     "DetectionTrialConfig",
 ]
 
@@ -162,20 +163,23 @@ def run_detection_trial(
     return outcome
 
 
-def run_detection_sweep(
+def sweep_trial_configs(
     profile: SiteProfile,
     flood_rates: Sequence[float],
     num_trials: int = 20,
     parameters: SynDogParameters = DEFAULT_PARAMETERS,
     base_seed: int = 0,
     attack_duration: float = TYPICAL_ATTACK_DURATION,
-    obs: Optional[Instrumentation] = None,
-) -> List[DetectionPerformance]:
-    """The Table 2 / Table 3 experiment: sweep f_i, many randomized
-    trials each, aggregate probability and mean delay."""
-    obs = resolve_instrumentation(obs)
+) -> List[DetectionTrialConfig]:
+    """The sweep's full (rate, trial) grid, in canonical serial order.
+
+    Every per-trial random draw — the seed, the attack-start minute —
+    is made *here*, in the parent, so the grid is a pure function of
+    the sweep arguments and can be dealt to any number of workers
+    without perturbing a single RNG stream.
+    """
     start_lo, start_hi = attack_start_range_minutes(profile)
-    rows: List[DetectionPerformance] = []
+    configs: List[DetectionTrialConfig] = []
     for rate in flood_rates:
         # NOTE: not Python's hash() — string hashing is randomized per
         # process, which would make the sweep non-reproducible between
@@ -184,22 +188,62 @@ def run_detection_sweep(
             f"{profile.name}:{rate}:{base_seed}".encode("utf-8")
         )
         start_rng = random.Random(start_seed)
-        outcomes = []
-        with obs.tracer.span("runner.sweep_rate"):
-            for trial in range(num_trials):
-                start_minute = start_rng.randint(start_lo, start_hi)
-                outcomes.append(
-                    run_detection_trial(
-                        DetectionTrialConfig(
-                            profile=profile,
-                            flood_rate=rate,
-                            seed=base_seed + trial,
-                            attack_start=60.0 * start_minute,
-                            attack_duration=attack_duration,
-                            parameters=parameters,
-                        ),
-                        obs=obs,
-                    )
+        for trial in range(num_trials):
+            start_minute = start_rng.randint(start_lo, start_hi)
+            configs.append(
+                DetectionTrialConfig(
+                    profile=profile,
+                    flood_rate=rate,
+                    seed=base_seed + trial,
+                    attack_start=60.0 * start_minute,
+                    attack_duration=attack_duration,
+                    parameters=parameters,
                 )
-        rows.append(aggregate_trials(rate, outcomes))
+            )
+    return configs
+
+
+def run_detection_sweep(
+    profile: SiteProfile,
+    flood_rates: Sequence[float],
+    num_trials: int = 20,
+    parameters: SynDogParameters = DEFAULT_PARAMETERS,
+    base_seed: int = 0,
+    attack_duration: float = TYPICAL_ATTACK_DURATION,
+    obs: Optional[Instrumentation] = None,
+    workers: Optional[int] = 1,
+) -> List[DetectionPerformance]:
+    """The Table 2 / Table 3 experiment: sweep f_i, many randomized
+    trials each, aggregate probability and mean delay.
+
+    ``workers`` > 1 shards the (rate, trial) grid across processes via
+    :mod:`repro.parallel`; every trial's seed and attack start are
+    fixed by :func:`sweep_trial_configs` before sharding, so the rows —
+    and the observability stream, wall-clock fields aside — match the
+    serial run exactly (``workers=None`` means every core).
+    """
+    obs = resolve_instrumentation(obs)
+    configs = sweep_trial_configs(
+        profile, flood_rates, num_trials, parameters, base_seed,
+        attack_duration,
+    )
+    from ..parallel import WorkPlan, effective_workers, run_plan
+
+    if effective_workers(workers) == 1:
+        outcomes = []
+        with obs.tracer.span("runner.sweep"):
+            for config in configs:
+                outcomes.append(run_detection_trial(config, obs=obs))
+    else:
+        plan = WorkPlan.partition(configs)
+        with obs.tracer.span("runner.sweep"):
+            outcomes = run_plan(
+                plan, run_detection_trial, workers=workers, obs=obs
+            )
+    # The grid is rate-major (sweep_trial_configs), so row i's trials
+    # are the i-th block of num_trials outcomes.
+    rows: List[DetectionPerformance] = []
+    for i, rate in enumerate(flood_rates):
+        block = outcomes[i * num_trials:(i + 1) * num_trials]
+        rows.append(aggregate_trials(rate, block))
     return rows

@@ -26,7 +26,12 @@ from ..trace.profiles import SiteProfile
 from ..trace.synthetic import generate_count_trace
 from .metrics import estimate_false_alarm_time
 
-__all__ = ["SensitivityCell", "sweep_parameters", "recommend_parameters"]
+__all__ = [
+    "SensitivityCell",
+    "SeriesTask",
+    "sweep_parameters",
+    "recommend_parameters",
+]
 
 
 @dataclass(frozen=True)
@@ -58,6 +63,36 @@ def _normalized_series(trace: CountTrace, alpha: float) -> List[float]:
     ]
 
 
+@dataclass(frozen=True)
+class SeriesTask:
+    """One trace's normalization job — a picklable grid item for
+    :mod:`repro.parallel` (trace synthesis + EWMA normalization is the
+    sweep's expensive phase; the (a, N) grid loop over the finished
+    series stays in the parent)."""
+
+    kind: str  #: "normal" | "attack"
+    profile: SiteProfile
+    seed: int
+    alpha: float
+    period: float
+    flood_rate: float = 0.0
+    attack_start: float = 0.0
+    attack_duration: float = 0.0
+
+
+def _series_for_task(task: SeriesTask, obs=None) -> List[float]:
+    trace: CountTrace = generate_count_trace(
+        task.profile, seed=task.seed, period=task.period
+    )
+    if task.kind == "attack":
+        trace = mix_flood_into_counts(
+            trace,
+            FloodSource(pattern=task.flood_rate),
+            AttackWindow(task.attack_start, task.attack_duration),
+        )
+    return _normalized_series(trace, task.alpha)
+
+
 def sweep_parameters(
     profile: SiteProfile,
     drifts: Sequence[float],
@@ -69,12 +104,18 @@ def sweep_parameters(
     attack_duration: float = 600.0,
     base_seed: int = 0,
     k_bar: Optional[float] = None,
+    workers: Optional[int] = 1,
 ) -> List[SensitivityCell]:
     """Measure the (a, N) grid.
 
     The X_n series depends only on the EWMA (not on a or N), so each
     trace is normalized once and every grid cell re-runs only the O(n)
     CUSUM recursion — the sweep is cheap even on fine grids.
+
+    ``workers`` > 1 shards the per-trace synthesis + normalization
+    across processes (:mod:`repro.parallel`; ``None`` means every
+    core); each trace's seed is fixed up front, so the cells are
+    identical to a serial sweep.
     """
     alpha = DEFAULT_PARAMETERS.ewma_alpha
     period = DEFAULT_PARAMETERS.observation_period
@@ -82,24 +123,31 @@ def sweep_parameters(
         profile.k_bar_target or profile.expected_k_bar(period)
     )
 
-    normal_series = [
-        _normalized_series(
-            generate_count_trace(profile, seed=base_seed + i, period=period),
-            alpha,
+    tasks = [
+        SeriesTask(
+            kind="normal", profile=profile, seed=base_seed + i,
+            alpha=alpha, period=period,
         )
         for i in range(num_normal_traces)
+    ] + [
+        SeriesTask(
+            kind="attack", profile=profile, seed=base_seed + 1000 + i,
+            alpha=alpha, period=period, flood_rate=flood_rate,
+            attack_start=attack_start, attack_duration=attack_duration,
+        )
+        for i in range(num_attack_trials)
     ]
-    attack_series = []
-    for i in range(num_attack_trials):
-        background = generate_count_trace(
-            profile, seed=base_seed + 1000 + i, period=period
+
+    from ..parallel import WorkPlan, effective_workers, run_plan
+
+    if effective_workers(workers) == 1:
+        series = [_series_for_task(task) for task in tasks]
+    else:
+        series = run_plan(
+            WorkPlan.partition(tasks), _series_for_task, workers=workers
         )
-        mixed = mix_flood_into_counts(
-            background,
-            FloodSource(pattern=flood_rate),
-            AttackWindow(attack_start, attack_duration),
-        )
-        attack_series.append(_normalized_series(mixed, alpha))
+    normal_series = series[:num_normal_traces]
+    attack_series = series[num_normal_traces:]
 
     attack_start_period = int(attack_start // period)
     attack_periods = attack_duration / period

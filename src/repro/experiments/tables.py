@@ -103,8 +103,13 @@ def detection_table(
     num_trials: int = 20,
     parameters: SynDogParameters = DEFAULT_PARAMETERS,
     base_seed: int = 0,
+    workers: Optional[int] = 1,
 ) -> List[DetectionTableRow]:
-    """Run the sweep behind Table 2 or 3 and pair rows with the paper."""
+    """Run the sweep behind Table 2 or 3 and pair rows with the paper.
+
+    ``workers`` > 1 shards the trials across processes
+    (:mod:`repro.parallel`); the rows are identical either way.
+    """
     rates = sorted(paper_rows)
     performances = run_detection_sweep(
         profile,
@@ -112,6 +117,7 @@ def detection_table(
         num_trials=num_trials,
         parameters=parameters,
         base_seed=base_seed,
+        workers=workers,
     )
     return [
         DetectionTableRow(
@@ -153,18 +159,26 @@ def _render_detection_table(
     )
 
 
-def table2(num_trials: int = 20, base_seed: int = 0) -> Tuple[List[DetectionTableRow], str]:
+def table2(
+    num_trials: int = 20, base_seed: int = 0, workers: Optional[int] = 1
+) -> Tuple[List[DetectionTableRow], str]:
     """Table 2: detection performance of the SYN-dog at UNC."""
-    rows = detection_table(UNC, TABLE2_PAPER, num_trials=num_trials, base_seed=base_seed)
+    rows = detection_table(
+        UNC, TABLE2_PAPER, num_trials=num_trials, base_seed=base_seed,
+        workers=workers,
+    )
     return rows, _render_detection_table(
         "Table 2: Detection Performance of the SYN-dog at UNC", rows
     )
 
 
-def table3(num_trials: int = 20, base_seed: int = 0) -> Tuple[List[DetectionTableRow], str]:
+def table3(
+    num_trials: int = 20, base_seed: int = 0, workers: Optional[int] = 1
+) -> Tuple[List[DetectionTableRow], str]:
     """Table 3: detection performance of the SYN-dog at Auckland."""
     rows = detection_table(
-        AUCKLAND, TABLE3_PAPER, num_trials=num_trials, base_seed=base_seed
+        AUCKLAND, TABLE3_PAPER, num_trials=num_trials, base_seed=base_seed,
+        workers=workers,
     )
     return rows, _render_detection_table(
         "Table 3: Detection Performance of the SYN-dog at Auckland", rows

@@ -34,6 +34,11 @@ Modules
 ``analyze``
     Offline forensics over events JSONL (``repro report``): alarm
     timelines, detection latency, false-alarm counts, CUSUM traces.
+``merge``
+    Folding per-shard registries/event groups from
+    :mod:`repro.parallel` workers into the parent bundle, plus the
+    deterministic (wall-clock-free) projections that byte-identity
+    tests compare.
 """
 
 from .analyze import (
@@ -59,6 +64,17 @@ from .exporters import (
     render_prometheus,
     summarize_histograms,
     write_prometheus,
+)
+from .merge import (
+    canonical_event,
+    canonical_events,
+    deterministic_families,
+    merge_event_groups,
+    merge_snapshot,
+    merge_snapshots,
+    merged_registry,
+    registry_snapshot,
+    render_deterministic,
 )
 from .metrics import (
     DEFAULT_LATENCY_BUCKETS,
@@ -108,6 +124,16 @@ __all__ = [
     "export_tracer",
     "export_event_stats",
     "summarize_histograms",
+    # merge
+    "registry_snapshot",
+    "merge_snapshot",
+    "merge_snapshots",
+    "merged_registry",
+    "deterministic_families",
+    "render_deterministic",
+    "canonical_event",
+    "canonical_events",
+    "merge_event_groups",
     # recorder
     "FlightRecorder",
     "NullFlightRecorder",

@@ -1,0 +1,27 @@
+"""Sharded parallel execution of experiment grids.
+
+``WorkPlan`` deals a grid into worker-count-independent shards;
+``run_plan`` executes them across processes (or inline at
+``workers=1``) and merges results and observability back into the
+parent — byte-identical output for any worker count.  See
+``docs/architecture.md`` ("Parallel execution") for the design.
+"""
+
+from .engine import ObsCapture, ShardResult, WorkerCrashError, run_plan
+from .workplan import (
+    DEFAULT_NUM_SHARDS,
+    WorkPlan,
+    derive_seed,
+    effective_workers,
+)
+
+__all__ = [
+    "DEFAULT_NUM_SHARDS",
+    "ObsCapture",
+    "ShardResult",
+    "WorkPlan",
+    "WorkerCrashError",
+    "derive_seed",
+    "effective_workers",
+    "run_plan",
+]

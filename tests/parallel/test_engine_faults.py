@@ -1,0 +1,154 @@
+"""Crash handling in the sharded engine.
+
+The repro.faults agent-crash model aimed at the engine itself: a
+``crash`` spec with ``{"shard": k, "attempt": a, "after_items": n}``
+hard-kills (``os._exit``) that attempt of that shard mid-stream.  The
+contract under test:
+
+* a shard that dies once is rescheduled exactly once, and the final
+  payloads, metrics and events are **byte-identical** to an unfaulted
+  run (a shard's outputs are a pure function of the shard);
+* a shard that dies twice raises :class:`WorkerCrashError` loudly,
+  carrying both causes;
+* a worker that *raises* (rather than dies) gets the same
+  one-reschedule treatment.
+"""
+
+import json
+
+import pytest
+
+from repro.faults.schedule import FaultKind, FaultSchedule, FaultSpec
+from repro.obs.events import EventLog, MemorySink
+from repro.obs.merge import canonical_events, render_deterministic
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.runtime import Instrumentation
+from repro.parallel import WorkPlan, WorkerCrashError, run_plan
+
+ITEMS = list(range(10))
+
+
+def checked_worker(item, obs):
+    """A worker with the full observable surface: a payload, a counter,
+    and an event."""
+    obs.registry.counter("parallel_demo_items_total", "items done").inc()
+    obs.events.emit("demo_item", value=item, square=item * item)
+    return {"item": item, "square": item * item}
+
+
+def raising_worker(item, obs):
+    if item == 5:
+        raise RuntimeError("sniffer segfault")
+    return item
+
+
+def crash_schedule(specs):
+    return FaultSchedule(name="engine-crash", specs=tuple(specs))
+
+
+def fresh_obs():
+    sink = MemorySink(max_events=None)
+    return Instrumentation(
+        registry=MetricsRegistry(), events=EventLog(sink)
+    ), sink
+
+
+def run(workers, fault_schedule=None, num_shards=4):
+    obs, sink = fresh_obs()
+    payloads = run_plan(
+        WorkPlan.partition(ITEMS, num_shards),
+        checked_worker,
+        workers=workers,
+        obs=obs,
+        fault_schedule=fault_schedule,
+    )
+    return {
+        "payloads": json.dumps(payloads, sort_keys=True),
+        "metrics": render_deterministic(obs.registry),
+        "events": canonical_events(sink.events),
+    }
+
+
+class TestCrashReschedule:
+    def test_mid_shard_crash_is_rescheduled_once_byte_identical(self):
+        baseline = run(workers=1)
+        schedule = crash_schedule([
+            FaultSpec(
+                FaultKind.CRASH,
+                params={"shard": 1, "attempt": 0, "after_items": 1},
+            )
+        ])
+        crashed = run(workers=2, fault_schedule=schedule)
+        assert crashed == baseline
+
+    def test_crash_at_shard_end_still_recovers(self):
+        """Dying *after* the last item but before reporting loses the
+        whole shard; the retry must still reproduce it."""
+        baseline = run(workers=1)
+        plan = WorkPlan.partition(ITEMS, 4)
+        last = len(plan.shard(0))
+        schedule = crash_schedule([
+            FaultSpec(
+                FaultKind.CRASH,
+                params={"shard": 0, "attempt": 0, "after_items": last},
+            )
+        ])
+        crashed = run(workers=3, fault_schedule=schedule)
+        assert crashed == baseline
+
+    def test_double_crash_fails_loudly(self):
+        schedule = crash_schedule([
+            FaultSpec(
+                FaultKind.CRASH,
+                params={"shard": 2, "attempt": 0, "after_items": 0},
+            ),
+            FaultSpec(
+                FaultKind.CRASH,
+                params={"shard": 2, "attempt": 1, "after_items": 0},
+            ),
+        ])
+        obs, _sink = fresh_obs()
+        with pytest.raises(WorkerCrashError) as excinfo:
+            run_plan(
+                WorkPlan.partition(ITEMS, 4),
+                checked_worker,
+                workers=2,
+                obs=obs,
+                fault_schedule=schedule,
+            )
+        error = excinfo.value
+        assert error.shard_index == 2
+        assert len(error.causes) == 2
+        assert "exit code 73" in str(error)
+        assert "rescheduled once" in str(error)
+
+    def test_inline_path_ignores_crash_specs(self):
+        """``workers=1`` runs in the parent process; an injected crash
+        must not ``os._exit`` the caller."""
+        schedule = crash_schedule([
+            FaultSpec(
+                FaultKind.CRASH,
+                params={"shard": 0, "attempt": 0, "after_items": 0},
+            )
+        ])
+        assert run(workers=1, fault_schedule=schedule) == run(workers=1)
+
+
+class TestRaisingWorker:
+    def test_deterministic_exception_fails_both_attempts(self):
+        with pytest.raises(WorkerCrashError) as excinfo:
+            run_plan(
+                WorkPlan.partition(ITEMS, 4),
+                raising_worker,
+                workers=2,
+            )
+        assert "sniffer segfault" in str(excinfo.value)
+        assert len(excinfo.value.causes) == 2
+
+    def test_inline_exception_propagates_directly(self):
+        with pytest.raises(RuntimeError, match="sniffer segfault"):
+            run_plan(
+                WorkPlan.partition(ITEMS, 4),
+                raising_worker,
+                workers=1,
+            )

@@ -1,0 +1,123 @@
+"""Property-based tests on the work plan.
+
+The invariants everything else (byte-identity, crash retry) rests on:
+
+* the shards are a **disjoint exact cover** of the grid — every index
+  appears in exactly one shard, in ascending order;
+* the partition is a function of the grid alone, never of the worker
+  count — the same plan feeds 1 worker or 64;
+* per-item seeds derived with :func:`derive_seed` are stable across
+  calls and collision-free across distinct part tuples.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.parallel import (
+    DEFAULT_NUM_SHARDS,
+    WorkPlan,
+    derive_seed,
+    effective_workers,
+)
+
+grids = st.integers(min_value=0, max_value=300)
+shard_counts = st.integers(min_value=1, max_value=64)
+
+
+class TestPartitionIsExactCover:
+    @given(num_items=grids, num_shards=shard_counts)
+    def test_disjoint_exact_cover(self, num_items, num_shards):
+        plan = WorkPlan.partition(list(range(num_items)), num_shards)
+        seen = []
+        for shard_index in range(plan.num_shards):
+            shard = plan.shard(shard_index)
+            indices = [grid_index for grid_index, _item in shard]
+            assert indices == sorted(indices)
+            seen.extend(indices)
+        assert sorted(seen) == list(range(num_items))
+
+    @given(num_items=grids, num_shards=shard_counts)
+    def test_items_carried_verbatim(self, num_items, num_shards):
+        items = [f"item-{i}" for i in range(num_items)]
+        plan = WorkPlan.partition(items, num_shards)
+        for shard_index in range(plan.num_shards):
+            for grid_index, item in plan.shard(shard_index):
+                assert item == items[grid_index]
+
+    @given(num_items=grids, num_shards=shard_counts)
+    def test_shard_count_clamped_to_grid(self, num_items, num_shards):
+        plan = WorkPlan.partition(list(range(num_items)), num_shards)
+        assert 1 <= plan.num_shards <= max(num_items, 1)
+        for shard_index in range(plan.num_shards):
+            if num_items >= plan.num_shards:
+                assert plan.shard(shard_index)
+
+    @given(num_items=grids)
+    def test_default_shard_count_is_worker_independent(self, num_items):
+        """The partition must not know how many workers will run it —
+        that is the whole byte-identity argument."""
+        items = list(range(num_items))
+        plan = WorkPlan.partition(items)
+        assert plan.num_shards == max(1, min(num_items or 1, DEFAULT_NUM_SHARDS))
+        again = WorkPlan.partition(items)
+        assert again.shards() == plan.shards()
+
+    @given(num_items=grids, num_shards=shard_counts)
+    def test_merge_order_ends_on_last_grid_item(self, num_items, num_shards):
+        """Last-write-wins gauges require the shard holding the final
+        grid item to merge last."""
+        plan = WorkPlan.partition(list(range(num_items)), num_shards)
+        order = plan.merge_order()
+        assert sorted(order) == list(range(plan.num_shards))
+        if num_items:
+            last_shard = order[-1]
+            indices = [i for i, _ in plan.shard(last_shard)]
+            assert indices[-1] == num_items - 1
+
+
+class TestSeedDerivation:
+    @given(
+        parts=st.lists(
+            st.one_of(st.integers(), st.text(max_size=20)),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_stable_across_calls(self, parts):
+        assert derive_seed(*parts) == derive_seed(*parts)
+        assert 0 <= derive_seed(*parts) < 2 ** 64
+
+    @given(a=st.integers(min_value=0, max_value=10 ** 6),
+           b=st.integers(min_value=0, max_value=10 ** 6))
+    def test_distinct_parts_distinct_seeds(self, a, b):
+        if a != b:
+            assert derive_seed("trial", a) != derive_seed("trial", b)
+
+    def test_separator_prevents_concatenation_collisions(self):
+        assert derive_seed("ab", "c") != derive_seed("a", "bc")
+        assert derive_seed(1, 23) != derive_seed(12, 3)
+
+    def test_bits_validation(self):
+        assert derive_seed("x", bits=32) < 2 ** 32
+        with pytest.raises(ValueError):
+            derive_seed("x", bits=7)
+        with pytest.raises(ValueError):
+            derive_seed("x", bits=520)
+
+
+class TestEffectiveWorkers:
+    def test_explicit_passthrough(self):
+        assert effective_workers(1) == 1
+        assert effective_workers(4) == 4
+
+    def test_none_means_all_cores(self):
+        import os
+
+        assert effective_workers(None) == (os.cpu_count() or 1)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            effective_workers(0)
+        with pytest.raises(ValueError):
+            effective_workers(-2)
