@@ -245,3 +245,90 @@ def test_flight_recorder_overhead_within_budget():
         f"{(ratio - 1) * 100:.1f}% slower than the bare path "
         f"(budget {(MAX_OVERHEAD_RATIO - 1) * 100:.0f}%)"
     )
+
+
+def test_tsdb_overhead_within_budget():
+    """The history store must be marginal on an instrumented pipeline.
+
+    Full ``enabled_instrumentation`` with the TSDB recording every
+    per-period detector sample plus registry snapshots and the builtin
+    alert rules evaluating at every period watermark — versus the same
+    instrumented pipeline with the history layer switched off.  TSDB
+    appends and alert evaluations happen once per *period* (every 2000
+    packets here), so the marginal per-packet budget is the same ≤10%.
+    """
+    from repro.obs.alerts import builtin_rules
+    from repro.obs.runtime import enabled_instrumentation
+
+    packets = syn_stream()
+
+    def plain_syndog():
+        obs = enabled_instrumentation(
+            max_memory_events=10_000, tsdb=False
+        )
+        return SynDog(obs=obs)
+
+    def tsdb_syndog():
+        obs = enabled_instrumentation(
+            max_memory_events=10_000,
+            alert_rules=builtin_rules(
+                threshold=DEFAULT_PARAMETERS.threshold
+            ),
+        )
+        return SynDog(obs=obs)
+
+    time_pass(plain_syndog, packets[:1000])
+    time_pass(tsdb_syndog, packets[:1000])
+
+    # Interleave the two sides repeat-by-repeat so scheduler drift
+    # lands on both equally; best-of-min filters the rest.
+    bare = historied = float("inf")
+    for _ in range(REPEATS):
+        detector = plain_syndog()
+        start = time.perf_counter()
+        for packet in packets:
+            detector.observe_outbound(packet)
+        bare = min(bare, time.perf_counter() - start)
+        detector = tsdb_syndog()
+        start = time.perf_counter()
+        for packet in packets:
+            detector.observe_outbound(packet)
+        historied = min(historied, time.perf_counter() - start)
+    ratio = historied / bare
+
+    artifact = json.loads(ARTIFACT.read_text()) if ARTIFACT.exists() else {
+        "bench": "obs_overhead",
+        "max_ratio": MAX_OVERHEAD_RATIO,
+    }
+    artifact.update(
+        tsdb_bare_seconds=bare,
+        tsdb_seconds=historied,
+        tsdb_ratio=ratio,
+        tsdb_per_packet_ns=historied / NUM_PACKETS * 1e9,
+    )
+    ARTIFACT.write_text(json.dumps(artifact, indent=2) + "\n")
+
+    emit(
+        "Observability overhead (TSDB history + builtin alert rules)\n"
+        f"  no history   : {bare * 1e3:8.2f} ms\n"
+        f"  with history : {historied * 1e3:8.2f} ms "
+        f"({artifact['tsdb_per_packet_ns']:.0f} ns/packet)\n"
+        f"  ratio        : {ratio:8.3f}  (budget {MAX_OVERHEAD_RATIO})\n"
+        f"  artifact     : {ARTIFACT}"
+    )
+
+    # Sanity: the history actually recorded the run.
+    dog = tsdb_syndog()
+    for packet in packets:
+        dog.observe_outbound(packet)
+    dog.flush()
+    (cusum,) = dog._tsdb.series("syndog_cusum")
+    assert len(cusum.samples) == int(
+        NUM_PACKETS * PACKET_SPACING / DEFAULT_PARAMETERS.observation_period
+    )
+
+    assert ratio <= MAX_OVERHEAD_RATIO, (
+        f"tsdb-enabled SynDog.observe_outbound is "
+        f"{(ratio - 1) * 100:.1f}% slower than the history-free "
+        f"instrumented path (budget {(MAX_OVERHEAD_RATIO - 1) * 100:.0f}%)"
+    )

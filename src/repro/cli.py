@@ -8,8 +8,10 @@ actually touch::
     repro-syndog detect   --counts mixed.csv
     repro-syndog detect   --pcap-out out.pcap --pcap-in in.pcap
     repro-syndog observe  --trace mixed.csv --metrics-out metrics.prom \
-                          --events-out events.jsonl --serve 9100
+                          --events-out events.jsonl --serve 9100 --alerts
     repro-syndog report   events.jsonl --format markdown
+    repro-syndog query    'max_over_time(syndog_cusum[5m])' --events events.jsonl
+    repro-syndog alerts   --events events.jsonl --json
     repro-syndog chaos    --seed 42 --schedule lossy-crash --out report.json
     repro-syndog campaign --networks 1000 --workers 4 --json campaign.json
     repro-syndog sensitivity --site auckland --workers 4
@@ -143,8 +145,68 @@ def build_parser() -> argparse.ArgumentParser:
                               "(one event per observation period)")
     observe.add_argument("--serve", type=int, metavar="PORT",
                          help="serve live telemetry (/metrics /healthz "
-                              "/events) on PORT for the run's duration "
-                              "(0 picks a free port)")
+                              "/events /query /alerts) on PORT for the "
+                              "run's duration (0 picks a free port)")
+    observe.add_argument("--hold", type=float, default=None,
+                         metavar="SECONDS",
+                         help="with --serve: keep the server up this "
+                              "long after the run so scrapers can query "
+                              "the finished history")
+    observe.add_argument("--alerts", action="store_true",
+                         help="arm the builtin alert rules for live "
+                              "per-period evaluation")
+    observe.add_argument("--rules", metavar="JSON",
+                         help="alert rules file (implies --alerts)")
+    observe.add_argument("--trace-out", metavar="PATH",
+                         help="write the span profile as Chrome "
+                              "trace-event JSON (chrome://tracing, "
+                              "Perfetto)")
+
+    # --------------------------------------------------------------- query
+    query = sub.add_parser(
+        "query",
+        help="evaluate a PromQL-lite expression over recorded telemetry "
+             "(offline events JSONL or a live telemetry server)",
+    )
+    query.add_argument("expr", metavar="EXPR",
+                       help="e.g. 'max_over_time(syndog_cusum[5m])' or "
+                            'syndog_x_n{agent="syn-dog"}')
+    query_source = query.add_mutually_exclusive_group(required=True)
+    query_source.add_argument("--events", metavar="JSONL",
+                              help="events JSONL from observe "
+                                   "--events-out")
+    query_source.add_argument("--url", metavar="URL",
+                              help="base URL of a live telemetry server "
+                                   "(observe --serve)")
+    query.add_argument("--at", type=float, default=None, metavar="T",
+                       help="evaluation time in trace seconds "
+                            "(default: newest sample)")
+    query.add_argument("--json", action="store_true",
+                       help="print the raw result document as JSON")
+
+    # -------------------------------------------------------------- alerts
+    alerts = sub.add_parser(
+        "alerts",
+        help="evaluate alert rules over recorded telemetry and print "
+             "the lifecycle history (exit 2 when any rule fired)",
+    )
+    alerts_source = alerts.add_mutually_exclusive_group(required=True)
+    alerts_source.add_argument("--events", metavar="JSONL",
+                               help="events JSONL from observe "
+                                    "--events-out (deterministic replay)")
+    alerts_source.add_argument("--url", metavar="URL",
+                               help="base URL of a live telemetry server "
+                                    "(live alert state)")
+    alerts.add_argument("--rules", metavar="JSON",
+                        help="alert rules file (default: the builtin "
+                             "watch-the-watchers rules)")
+    alerts.add_argument("--threshold", type=float,
+                        default=DEFAULT_PARAMETERS.threshold,
+                        help="CUSUM threshold N the builtin "
+                             "near-threshold rule watermarks against "
+                             "(default 1.05)")
+    alerts.add_argument("--json", action="store_true",
+                        help="print the full alerts document as JSON")
 
     # -------------------------------------------------------------- report
     report = sub.add_parser(
@@ -249,6 +311,16 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--metrics-out", metavar="PATH",
                        help="write fault/degradation metrics in "
                             "Prometheus text-exposition format")
+    chaos.add_argument("--alerts-out", metavar="PATH",
+                       help="replay the builtin alert rules over the "
+                            "campaign's telemetry history and write the "
+                            "deterministic alerts document as JSON "
+                            "(byte-identical for every --workers N)")
+    chaos.add_argument("--max-memory-events", type=int, default=100_000,
+                       metavar="N",
+                       help="bound on the in-memory event sink (small "
+                            "bounds exercise drop accounting and the "
+                            "events_dropping alert)")
 
     # --------------------------------------------------------- sensitivity
     sensitivity = sub.add_parser(
@@ -336,9 +408,13 @@ def _cmd_attack(args: argparse.Namespace) -> int:
 
 
 @contextmanager
-def _serving(obs, port: Optional[int]) -> Iterator[None]:
+def _serving(
+    obs, port: Optional[int], hold: Optional[float] = None
+) -> Iterator[None]:
     """Run the block with the telemetry server up (no-op without a
-    port); the server stops — gracefully — when the block exits."""
+    port); the server stops — gracefully — when the block exits.
+    *hold* keeps it up that many seconds after the block so scrapers
+    can still query the finished run's history."""
     if port is None or obs is None:
         yield
         return
@@ -347,9 +423,14 @@ def _serving(obs, port: Optional[int]) -> Iterator[None]:
     server = ObsServer(obs, port=port)
     server.start()
     print(f"telemetry         : serving {server.url}"
-          f"  (/metrics /healthz /events)")
+          f"  (/metrics /healthz /events /query /alerts)")
     try:
         yield
+        if hold:
+            import time
+
+            print(f"telemetry         : holding for {hold:g}s")
+            time.sleep(hold)
     finally:
         server.stop()
 
@@ -444,8 +525,18 @@ def _cmd_observe(args: argparse.Namespace) -> int:
     from .obs import enabled_instrumentation
 
     parameters = _detect_parameters(args)
-    obs = enabled_instrumentation(events_path=args.events_out)
-    with _serving(obs, args.serve):
+    alert_rules = None
+    if args.alerts or args.rules:
+        from .obs.alerts import builtin_rules, rules_from_file
+
+        alert_rules = (
+            rules_from_file(args.rules) if args.rules
+            else builtin_rules(threshold=args.threshold)
+        )
+    obs = enabled_instrumentation(
+        events_path=args.events_out, alert_rules=alert_rules
+    )
+    with _serving(obs, args.serve, hold=args.hold):
         if args.trace:
             trace = load_count_trace(args.trace)
             if trace.period != parameters.observation_period:
@@ -490,6 +581,23 @@ def _cmd_observe(args: argparse.Namespace) -> int:
         print(f"metrics          : {samples} samples -> {args.metrics_out}")
     if args.events_out:
         print(f"events           : JSONL -> {args.events_out}")
+    if alert_rules is not None:
+        doc = obs.alerts.to_dict()
+        fired = sorted({
+            transition["rule"]
+            for transition in doc["transitions"]
+            if transition["to"] == "firing"
+        })
+        print(f"alerts           : {len(doc['rules'])} rules, "
+              f"{doc['evaluations']} evaluations, "
+              f"{len(doc['transitions'])} transitions")
+        if fired:
+            print(f"alerts fired     : {', '.join(fired)}")
+    if args.trace_out:
+        from .obs.exporters import write_chrome_trace
+
+        spans = write_chrome_trace(obs.tracer, args.trace_out)
+        print(f"trace            : {spans} span events -> {args.trace_out}")
     if result.alarmed:
         print(f"ALARM            : flooding source detected at "
               f"t = {result.first_alarm_time:.0f}s "
@@ -497,6 +605,158 @@ def _cmd_observe(args: argparse.Namespace) -> int:
         return EXIT_ALARM
     print("verdict          : no flooding source detected")
     return EXIT_OK
+
+
+def _fetch_json(url: str) -> dict:
+    """GET *url* and decode the JSON body (raises OSError/ValueError)."""
+    import json
+    from urllib.request import urlopen
+
+    with urlopen(url) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def _server_url(base: str, path: str, params: Optional[dict] = None) -> str:
+    from urllib.parse import urlencode
+
+    base = base.rstrip("/")
+    if not base.startswith("http://") and not base.startswith("https://"):
+        base = "http://" + base
+    url = base + path
+    if params:
+        url += "?" + urlencode(params)
+    return url
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    """Evaluate one PromQL-lite expression over recorded telemetry."""
+    import json
+
+    from .obs.tsdb import QueryError
+
+    if args.url:
+        params = {"expr": args.expr}
+        if args.at is not None:
+            params["at"] = args.at
+        try:
+            doc = _fetch_json(_server_url(args.url, "/query", params))
+        except (OSError, ValueError) as exc:
+            print(f"query: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+    else:
+        from pathlib import Path
+
+        from .obs.events import read_jsonl
+        from .obs.tsdb import tsdb_from_events
+
+        if not Path(args.events).exists():
+            print(f"query: no such events file: {args.events}",
+                  file=sys.stderr)
+            return EXIT_USAGE
+        tsdb = tsdb_from_events(read_jsonl(args.events))
+        try:
+            result = tsdb.query(args.expr, at=args.at)
+        except QueryError as exc:
+            print(f"query: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        at = args.at if args.at is not None else tsdb.last_time()
+        doc = {"expr": args.expr, "at": at, "result": result,
+               "count": len(result)}
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return EXIT_OK
+    print(f"expr             : {doc.get('expr', args.expr)}")
+    at = doc.get("at")
+    print(f"evaluated at     : "
+          f"{'-' if at is None else f't = {at:g}s'}")
+    rows = doc.get("result") or []
+    if not rows:
+        print("result           : empty vector")
+        return EXIT_OK
+    print(f"result           : {len(rows)} series")
+    for entry in rows:
+        labels = entry.get("labels") or {}
+        rendered = "{" + ", ".join(
+            f'{key}="{value}"' for key, value in sorted(labels.items())
+        ) + "}"
+        print(f"  {rendered} {entry['value']:g}")
+    return EXIT_OK
+
+
+def _render_alerts_text(doc: dict) -> str:
+    """Human view of an alerts document (live or replayed)."""
+    if not doc.get("enabled", False):
+        return "alerting         : disabled (no alert manager)"
+    lines = [
+        f"rules            : {len(doc.get('rules', []))}",
+        f"evaluations      : {doc.get('evaluations', 0)}"
+        + (" (closed)" if doc.get("closed") else ""),
+    ]
+    states = doc.get("states", {})
+    for rule in doc.get("rules", []):
+        state = states.get(rule["name"], {})
+        lines.append(
+            f"  {rule['name']:<24} [{rule.get('severity', '?'):>4}] "
+            f"state={state.get('state', '?')} "
+            f"fired={state.get('fired_count', 0)} "
+            f"resolved={state.get('resolved_count', 0)}"
+        )
+    transitions = doc.get("transitions", [])
+    lines.append(f"transitions      : {len(transitions)}")
+    for transition in transitions:
+        value = transition.get("value")
+        lines.append(
+            f"  t={transition['t']:>7g}s {transition['rule']:<24} "
+            f"-> {transition['to']}"
+            + ("" if value is None else f" (value {value:g})")
+        )
+    for name, message in doc.get("rule_errors", {}).items():
+        lines.append(f"  rule error: {name}: {message}")
+    return "\n".join(lines)
+
+
+def _cmd_alerts(args: argparse.Namespace) -> int:
+    """Alert-rule evaluation over recorded telemetry: live state from a
+    server, or a deterministic replay over an events JSONL."""
+    import json
+
+    if args.url:
+        try:
+            doc = _fetch_json(_server_url(args.url, "/alerts"))
+        except (OSError, ValueError) as exc:
+            print(f"alerts: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+    else:
+        from pathlib import Path
+
+        from .obs.alerts import builtin_rules, replay_rules, rules_from_file
+        from .obs.events import read_jsonl
+        from .obs.tsdb import tsdb_from_events
+
+        if not Path(args.events).exists():
+            print(f"alerts: no such events file: {args.events}",
+                  file=sys.stderr)
+            return EXIT_USAGE
+        try:
+            rules = (
+                rules_from_file(args.rules) if args.rules
+                else builtin_rules(threshold=args.threshold)
+            )
+        except (ValueError, OSError) as exc:
+            print(f"alerts: bad rules file: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        tsdb = tsdb_from_events(read_jsonl(args.events))
+        doc = replay_rules(rules, tsdb).to_dict()
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(_render_alerts_text(doc))
+    fired = doc.get("firing") or [
+        transition["rule"]
+        for transition in doc.get("transitions", ())
+        if transition["to"] == "firing"
+    ]
+    return EXIT_ALARM if fired else EXIT_OK
 
 
 def _cmd_table(args: argparse.Namespace) -> int:
@@ -550,11 +810,15 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     hard exit-code verdict on the degradation envelope."""
     import json
 
-    from .experiments.chaos import render_chaos_report, run_chaos_campaign
+    from .experiments.chaos import (
+        chaos_alerts_document,
+        render_chaos_report,
+        run_chaos_campaign,
+    )
     from .faults.schedule import get_schedule
     from .obs import enabled_instrumentation
 
-    obs = enabled_instrumentation()
+    obs = enabled_instrumentation(max_memory_events=args.max_memory_events)
     report = run_chaos_campaign(
         site=args.site,
         seed=args.seed,
@@ -578,6 +842,23 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             encoding="utf-8",
         )
         print(f"report           : JSON -> {args.out}")
+    if args.alerts_out:
+        from pathlib import Path
+
+        # The replayed document depends only on the merged telemetry
+        # history, so it is byte-identical for every --workers N.
+        alerts_doc = chaos_alerts_document(obs)
+        Path(args.alerts_out).write_text(
+            json.dumps(alerts_doc, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        fired = sorted({
+            transition["rule"]
+            for transition in alerts_doc["transitions"]
+            if transition["to"] == "firing"
+        })
+        print(f"alerts           : JSON -> {args.alerts_out}"
+              + (f"  (fired: {', '.join(fired)})" if fired else ""))
     samples = obs.finalize(args.metrics_out)
     if args.metrics_out:
         print(f"metrics          : {samples} samples -> {args.metrics_out}")
@@ -738,6 +1019,8 @@ _COMMANDS = {
     "detect": _cmd_detect,
     "observe": _cmd_observe,
     "report": _cmd_report,
+    "query": _cmd_query,
+    "alerts": _cmd_alerts,
     "chaos": _cmd_chaos,
     "sensitivity": _cmd_sensitivity,
     "table": _cmd_table,

@@ -209,6 +209,8 @@ class SynDog:
             self._m_degraded = None
         self._events = obs.events if obs.events.enabled else None
         self._recorder = obs.recorder if obs.recorder.enabled else None
+        self._tsdb = obs.tsdb if obs.tsdb.enabled else None
+        self._alerts = obs.alerts if obs.alerts.enabled else None
 
     # ------------------------------------------------------------------
     # Count-level ingestion (trace-driven experiments)
@@ -317,6 +319,26 @@ class SynDog:
 
     def _emit_record(self, record: DetectionRecord) -> None:
         self._records.append(record)
+        if self._tsdb is not None:
+            # Snapshot the pipeline *before* this period's emissions
+            # (the parallel merge re-creates exactly this watermark by
+            # ticking before re-emitting each period event), then
+            # retain the full per-period trajectory point.
+            t = record.end_time
+            self._tsdb.tick(t)
+            labels = {"agent": self.name}
+            self._tsdb.append(
+                "syndog_delta", labels, t,
+                float(record.syn_count - record.synack_count),
+            )
+            self._tsdb.append("syndog_x_n", labels, t, record.x)
+            self._tsdb.append("syndog_cusum", labels, t, record.statistic)
+            self._tsdb.append(
+                "syndog_alarm_active", labels, t, 1.0 if record.alarm else 0.0
+            )
+            self._tsdb.append(
+                "syndog_degraded", labels, t, 1.0 if record.degraded else 0.0
+            )
         if self._m_periods is not None:
             self._m_periods.inc()
             self._m_syn.inc(record.syn_count)
@@ -376,6 +398,9 @@ class SynDog:
                 },
             )
         self._prev_alarm = record.alarm
+        if self._alerts is not None:
+            # Rules see this period's samples: evaluate after the feed.
+            self._alerts.evaluate(record.end_time)
 
     def observe_counts(
         self, counts: Iterable[Tuple[int, int]]

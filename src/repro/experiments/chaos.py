@@ -41,6 +41,7 @@ __all__ = [
     "ChaosArmTask",
     "run_chaos_arm",
     "run_chaos_campaign",
+    "chaos_alerts_document",
     "render_chaos_report",
 ]
 
@@ -339,6 +340,26 @@ def _chaos_arm_worker(task: ChaosArmTask, obs: Instrumentation) -> dict:
     """Engine adapter: only the faulted arm instruments, matching the
     serial path's "the control stays dark" contract."""
     return run_chaos_arm(task, obs=obs if task.arm == "faulted" else None)
+
+
+def chaos_alerts_document(
+    obs: Instrumentation,
+    parameters: SynDogParameters = DEFAULT_PARAMETERS,
+) -> dict:
+    """The campaign's deterministic alerts document: the builtin rule
+    set replayed over the run's telemetry history.
+
+    Replay walks the (possibly worker-merged) store's logical sample
+    times, so the same scenario yields byte-identical output at any
+    ``--workers`` value — what ``repro chaos --alerts-out`` writes and
+    CI byte-compares.
+    """
+    from ..obs.alerts import builtin_rules, replay_rules
+
+    manager = replay_rules(
+        builtin_rules(threshold=parameters.threshold), obs.tsdb
+    )
+    return manager.to_dict()
 
 
 def render_chaos_report(report: ChaosReport) -> str:

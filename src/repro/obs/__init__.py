@@ -39,7 +39,25 @@ Modules
     :mod:`repro.parallel` workers into the parent bundle, plus the
     deterministic (wall-clock-free) projections that byte-identity
     tests compare.
+``tsdb``
+    Bounded in-memory telemetry history: every per-period detector
+    sample plus registry snapshots, with deterministic downsampling,
+    worker-merge support and a PromQL-lite query engine.
+``alerts``
+    Declarative alert rules over the history store:
+    pending→firing→resolved lifecycle, builtin watch-the-watchers
+    rules, live evaluation and deterministic replay.
 """
+
+from .alerts import (
+    AlertManager,
+    AlertRule,
+    NullAlertManager,
+    builtin_rules,
+    replay_rules,
+    rules_from_dicts,
+    rules_from_file,
+)
 
 from .analyze import (
     AgentTimeline,
@@ -57,12 +75,14 @@ from .events import (
     read_jsonl,
 )
 from .exporters import (
+    chrome_trace,
     export_event_stats,
     export_tracer,
     parse_prometheus_text,
     registry_to_dicts,
     render_prometheus,
     summarize_histograms,
+    write_chrome_trace,
     write_prometheus,
 )
 from .merge import (
@@ -72,9 +92,11 @@ from .merge import (
     merge_event_groups,
     merge_snapshot,
     merge_snapshots,
+    merge_tsdb_snapshots,
     merged_registry,
     registry_snapshot,
     render_deterministic,
+    tsdb_snapshot,
 )
 from .metrics import (
     DEFAULT_LATENCY_BUCKETS,
@@ -96,6 +118,15 @@ from .runtime import (
 )
 from .server import ObsServer
 from .tracing import NullTracer, SpanRecord, SpanStats, Tracer
+from .tsdb import (
+    NullTSDB,
+    QueryError,
+    TimeSeriesDB,
+    canonical_tsdb,
+    merge_tsdb,
+    parse_query,
+    tsdb_from_events,
+)
 
 __all__ = [
     # metrics
@@ -124,6 +155,8 @@ __all__ = [
     "export_tracer",
     "export_event_stats",
     "summarize_histograms",
+    "chrome_trace",
+    "write_chrome_trace",
     # merge
     "registry_snapshot",
     "merge_snapshot",
@@ -134,6 +167,24 @@ __all__ = [
     "canonical_event",
     "canonical_events",
     "merge_event_groups",
+    "tsdb_snapshot",
+    "merge_tsdb_snapshots",
+    # tsdb
+    "TimeSeriesDB",
+    "NullTSDB",
+    "QueryError",
+    "parse_query",
+    "tsdb_from_events",
+    "merge_tsdb",
+    "canonical_tsdb",
+    # alerts
+    "AlertRule",
+    "AlertManager",
+    "NullAlertManager",
+    "builtin_rules",
+    "rules_from_dicts",
+    "rules_from_file",
+    "replay_rules",
     # recorder
     "FlightRecorder",
     "NullFlightRecorder",

@@ -18,6 +18,7 @@ one scrape carries both metrics and timings.
 
 from __future__ import annotations
 
+import json
 import os
 import tempfile
 from pathlib import Path
@@ -34,6 +35,8 @@ __all__ = [
     "export_tracer",
     "export_event_stats",
     "summarize_histograms",
+    "chrome_trace",
+    "write_chrome_trace",
 ]
 
 PathLike = Union[str, Path]
@@ -285,3 +288,54 @@ def export_tracer(tracer: Tracer, registry: MetricsRegistry) -> None:
         total.labels(name).set(entry.total_seconds)
         peak.labels(name).set(entry.max_seconds)
         mean.labels(name).set(entry.mean_seconds)
+
+
+# ----------------------------------------------------------------------
+# Tracer → Chrome trace events (chrome://tracing / Perfetto)
+# ----------------------------------------------------------------------
+def chrome_trace(tracer: Tracer, pid: int = 0, tid: int = 0) -> Dict[str, Any]:
+    """The tracer's raw span ring as a Chrome trace-event document.
+
+    Complete events (``"ph": "X"``) with microsecond timestamps
+    relative to the tracer's epoch — load the JSON straight into
+    ``chrome://tracing`` or https://ui.perfetto.dev to see the span
+    profile on a real timeline instead of as folded aggregates.
+    """
+    events = [
+        {
+            "name": record.name,
+            "cat": "repro",
+            "ph": "X",
+            "ts": record.start * 1e6,
+            "dur": record.duration * 1e6,
+            "pid": pid,
+            "tid": tid,
+        }
+        for record in tracer.records()
+    ]
+    events.sort(key=lambda event: event["ts"])
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    tracer: Tracer, path: PathLike, pid: int = 0, tid: int = 0
+) -> int:
+    """Write :func:`chrome_trace` to *path* (atomically, like
+    :func:`write_prometheus`); returns the number of trace events."""
+    document = chrome_trace(tracer, pid=pid, tid=tid)
+    path = Path(path)
+    handle, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent) or ".", prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(handle, "w", encoding="utf-8") as stream:
+            json.dump(document, stream, indent=1)
+            stream.write("\n")
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return len(document["traceEvents"])

@@ -47,6 +47,8 @@ __all__ = [
     "canonical_event",
     "canonical_events",
     "merge_event_groups",
+    "tsdb_snapshot",
+    "merge_tsdb_snapshots",
     "NONDETERMINISTIC_EVENT_FIELDS",
 ]
 
@@ -170,7 +172,15 @@ def merged_registry(snapshots: Iterable[Snapshot]) -> MetricsRegistry:
 # The deterministic view (what equivalence tests byte-compare)
 # ----------------------------------------------------------------------
 def _is_deterministic_name(name: str) -> bool:
-    return "_seconds" not in name and not name.startswith("trace_span_")
+    # parallel_worker_* counters measure scheduling accidents (crash
+    # reschedules) — facts about the host, like wall time, not about
+    # the workload — so they are excluded from byte-identity the same
+    # way timings are.
+    return (
+        "_seconds" not in name
+        and not name.startswith("trace_span_")
+        and not name.startswith("parallel_worker_")
+    )
 
 
 def deterministic_families(registry: MetricsRegistry) -> List[Any]:
@@ -221,6 +231,7 @@ def canonical_events(
 def merge_event_groups(
     events: Any,
     groups: Iterable[Tuple[int, Sequence[Event]]],
+    tsdb: Optional[Any] = None,
 ) -> int:
     """Re-emit per-item event groups into a live event log in grid
     order.
@@ -229,10 +240,24 @@ def merge_event_groups(
     over all shards is sorted by grid index — the order a serial run
     would have emitted — and every event is re-stamped with the
     parent's ``seq``.  Returns the number of events re-emitted.
+
+    When a live *tsdb* is passed, the parent's event-loss watermark
+    series are reconstructed during the replay: before re-emitting each
+    ``period`` event the store ticks at that period's end time, exactly
+    where the serial detector ticked — so ``obs_events_dropped_total``
+    history (drops happen *here*, against the parent's bounded sinks)
+    is byte-identical to a serial run's.
     """
     emitted = 0
+    tick = (
+        tsdb.tick_events
+        if tsdb is not None and getattr(tsdb, "enabled", False)
+        else None
+    )
     for _index, item_events in sorted(groups, key=lambda group: group[0]):
         for event in item_events:
+            if tick is not None and event.get("event") == "period":
+                tick(float(event.get("end_time", 0.0)))
             payload = {
                 key: value
                 for key, value in event.items()
@@ -241,3 +266,23 @@ def merge_event_groups(
             events.emit(event["event"], **payload)
             emitted += 1
     return emitted
+
+
+# ----------------------------------------------------------------------
+# Time-series history
+# ----------------------------------------------------------------------
+def tsdb_snapshot(tsdb: Any) -> Dict[str, Any]:
+    """A shard TSDB as plain dicts (feed samples only — a shard's
+    registry-snapshot series would describe partial counters)."""
+    return tsdb.to_dict(include_registry=False)
+
+
+def merge_tsdb_snapshots(
+    tsdb: Any, snapshots: Iterable[Dict[str, Any]]
+) -> Any:
+    """Fold shard TSDB snapshots into the parent store, **in the given
+    order** (the engine passes shard merge-order; ties on sample time
+    resolve to the earlier shard, deterministically)."""
+    for snapshot in snapshots:
+        tsdb.merge_from(snapshot)
+    return tsdb

@@ -41,7 +41,8 @@ class _Tape:
     """One agent's ring buffer plus its pending alarm context."""
 
     __slots__ = (
-        "ring", "prev_alarm", "pending", "periods", "alarms", "last"
+        "ring", "prev_alarm", "pending", "periods", "alarms", "degraded",
+        "last",
     )
 
     def __init__(self, capacity: int) -> None:
@@ -50,6 +51,7 @@ class _Tape:
         self.pending: Optional[Dict[str, Any]] = None
         self.periods = 0
         self.alarms = 0
+        self.degraded = 0
         self.last: Optional[Snapshot] = None
 
 
@@ -110,6 +112,8 @@ class FlightRecorder:
             tape = self._tapes[agent] = _Tape(self.capacity)
         tape.periods += 1
         tape.last = snapshot
+        if snapshot.get("degraded"):
+            tape.degraded += 1
         alarm = bool(snapshot.get("alarm"))
 
         emitted: Optional[Dict[str, Any]] = None
@@ -190,6 +194,7 @@ class FlightRecorder:
                 "periods": tape.periods,
                 "alarm": tape.prev_alarm,
                 "alarms_seen": tape.alarms,
+                "degraded_periods": tape.degraded,
                 "statistic": last.get("statistic"),
                 "k_bar": last.get("k_bar"),
                 "last_period_index": last.get("period_index"),

@@ -27,11 +27,13 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Any, Iterator, Optional, Union
 
+from .alerts import AlertManager, NullAlertManager
 from .events import EventLog, JsonlSink, MemorySink, NullEventLog
 from .exporters import export_event_stats, export_tracer, write_prometheus
 from .metrics import MetricsRegistry, NullRegistry
 from .recorder import FlightRecorder, NullFlightRecorder
 from .tracing import NullTracer, Tracer
+from .tsdb import NullTSDB, TimeSeriesDB
 
 __all__ = [
     "Instrumentation",
@@ -45,8 +47,8 @@ __all__ = [
 
 
 class Instrumentation:
-    """A registry + tracer + event log + flight recorder, handed around
-    as one object."""
+    """A registry + tracer + event log + flight recorder + telemetry
+    history store + alert manager, handed around as one object."""
 
     def __init__(
         self,
@@ -54,6 +56,8 @@ class Instrumentation:
         tracer: Optional[Any] = None,
         events: Optional[Any] = None,
         recorder: Optional[Any] = None,
+        tsdb: Optional[Any] = None,
+        alerts: Optional[Any] = None,
     ) -> None:
         self.registry = registry if registry is not None else NullRegistry()
         self.tracer = tracer if tracer is not None else NullTracer()
@@ -61,6 +65,8 @@ class Instrumentation:
         self.recorder = (
             recorder if recorder is not None else NullFlightRecorder()
         )
+        self.tsdb = tsdb if tsdb is not None else NullTSDB()
+        self.alerts = alerts if alerts is not None else NullAlertManager()
         # A live recorder handed in without its own event log emits
         # alarm contexts into the bundle's (when that one is live).
         if (
@@ -69,6 +75,17 @@ class Instrumentation:
             and self.events.enabled
         ):
             self.recorder.bind_events(self.events)
+        # The history store snapshots whatever this bundle records; the
+        # alert manager queries the store and annotates firings with
+        # event-log / flight-recorder context.
+        if self.tsdb.enabled:
+            self.tsdb.bind(registry=self.registry, events=self.events)
+        if self.alerts.enabled:
+            self.alerts.bind(
+                tsdb=self.tsdb,
+                events=self.events if self.events.enabled else None,
+                recorder=self.recorder if self.recorder.enabled else None,
+            )
 
     @property
     def enabled(self) -> bool:
@@ -77,6 +94,7 @@ class Instrumentation:
             or self.tracer.enabled
             or self.events.enabled
             or self.recorder.enabled
+            or self.tsdb.enabled
         )
 
     def finalize(self, metrics_path: Optional[Union[str, Any]] = None) -> int:
@@ -87,6 +105,9 @@ class Instrumentation:
         metrics path was given)."""
         samples = 0
         self.recorder.flush()
+        # Close live alerts before the event log: end-of-stream
+        # resolutions must still reach the JSONL sinks.
+        self.alerts.close()
         if self.registry.enabled:
             if self.tracer.enabled:
                 export_tracer(self.tracer, self.registry)
@@ -108,6 +129,8 @@ class Instrumentation:
             "events_dropped": getattr(self.events, "dropped", 0),
             "alarm_contexts": self.recorder.contexts_emitted,
             "agents": self.recorder.status(),
+            "tsdb_series": len(self.tsdb),
+            "alerts_firing": self.alerts.firing(),
         }
 
     def memory_events(self) -> Optional[MemorySink]:
@@ -138,11 +161,17 @@ def enabled_instrumentation(
     flight_recorder: bool = True,
     recorder_capacity: int = 120,
     recorder_post_periods: int = 5,
+    tsdb: bool = True,
+    tsdb_retention: int = 4096,
+    alert_rules: Optional[Any] = None,
 ) -> Instrumentation:
     """A fully live bundle: real registry, real tracer, event log with
     a JSONL sink at *events_path* (when given) and/or an in-memory sink
-    (bounded, for summaries), plus a flight recorder so every alarm
-    carries its pre-alarm detector-state window."""
+    (bounded, for summaries), a flight recorder so every alarm carries
+    its pre-alarm detector-state window, and a bounded telemetry
+    history store (``tsdb=False`` opts out).  Passing *alert_rules* (a
+    sequence of :class:`~repro.obs.alerts.AlertRule`) additionally arms
+    live alert evaluation every observation period."""
     sinks = []
     if events_path is not None:
         sinks.append(JsonlSink(events_path))
@@ -163,6 +192,8 @@ def enabled_instrumentation(
         tracer=Tracer(),
         events=events,
         recorder=recorder,
+        tsdb=TimeSeriesDB(retention=tsdb_retention) if tsdb else None,
+        alerts=AlertManager(rules=alert_rules) if alert_rules else None,
     )
 
 

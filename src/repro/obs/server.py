@@ -14,9 +14,19 @@ only — with three endpoints:
 ``GET /healthz``
     A JSON liveness probe: uptime, events emitted/dropped, and — via
     the flight recorder — per-agent period counts and alarm state.
+    ``status`` is honest: ``alarming`` when any agent's alarm is up or
+    an alert rule is firing, ``degraded`` on event drops / degraded
+    periods / pending alerts, ``ok`` otherwise.
 ``GET /events?n=K[&kind=period]``
     The last K events from the bundle's in-memory sink as JSON, for a
     quick ``curl | jq`` without shipping the whole JSONL.
+``GET /query?expr=EXPR[&at=T]``
+    Evaluate a PromQL-lite expression (:mod:`repro.obs.tsdb`) against
+    the bundle's telemetry history store; 400 on a malformed
+    expression, 503 when the store is disabled.
+``GET /alerts``
+    The alert manager's full document — rules, lifecycle states and
+    the transition history (:mod:`repro.obs.alerts`).
 
 The server never mutates detector state and holds no locks against the
 detection path: scrapes read the live counters (safe under the GIL for
@@ -41,6 +51,7 @@ from urllib.parse import parse_qs, urlsplit
 
 from .events import MemorySink
 from .exporters import export_event_stats, export_tracer, render_prometheus
+from .tsdb import QueryError
 
 __all__ = ["ObsServer", "PROMETHEUS_CONTENT_TYPE"]
 
@@ -69,7 +80,19 @@ class ObsServer:
         self._thread: Optional[threading.Thread] = None
         self._started_monotonic = 0.0
         self._started_unix = 0.0
-        self.requests_served = 0
+        # ThreadingHTTPServer handles each request on its own thread;
+        # a bare += would race (read-modify-write is not atomic).
+        self._requests_lock = threading.Lock()
+        self._requests_served = 0
+
+    @property
+    def requests_served(self) -> int:
+        with self._requests_lock:
+            return self._requests_served
+
+    def _count_request(self) -> None:
+        with self._requests_lock:
+            self._requests_served += 1
 
     # ------------------------------------------------------------------
     @property
@@ -142,14 +165,36 @@ class ObsServer:
         return render_prometheus(registry)
 
     def health(self) -> Dict[str, Any]:
-        """The ``/healthz`` JSON document."""
+        """The ``/healthz`` JSON document, with a derived ``status``:
+
+        * ``alarming`` — an agent's alarm is currently up, or an alert
+          rule is firing;
+        * ``degraded`` — events have been dropped, periods ran in
+          degraded mode, or an alert rule is pending;
+        * ``ok`` — none of the above.
+        """
         obs = self.obs
         recorder = getattr(obs, "recorder", None)
         agents = recorder.status() if recorder is not None else {}
         events = obs.events
         dropped = getattr(events, "dropped", 0)
+        alerts = getattr(obs, "alerts", None)
+        firing = alerts.firing() if alerts is not None else []
+        pending = alerts.pending() if alerts is not None else []
+        alarms_active = sum(
+            1 for status in agents.values() if status["alarm"]
+        )
+        degraded_periods = sum(
+            status.get("degraded_periods", 0) for status in agents.values()
+        )
+        if alarms_active or firing:
+            status = "alarming"
+        elif dropped or degraded_periods or pending:
+            status = "degraded"
+        else:
+            status = "ok"
         return {
-            "status": "ok",
+            "status": status,
             "uptime_seconds": round(self.uptime_seconds, 3),
             "started_unix": self._started_unix,
             "requests_served": self.requests_served,
@@ -160,9 +205,10 @@ class ObsServer:
             "periods_observed": sum(
                 status["periods"] for status in agents.values()
             ),
-            "alarms_active": sum(
-                1 for status in agents.values() if status["alarm"]
-            ),
+            "alarms_active": alarms_active,
+            "degraded_periods": degraded_periods,
+            "alerts_firing": firing,
+            "alerts_pending": pending,
             "agents": agents,
         }
 
@@ -193,6 +239,34 @@ class ObsServer:
             "dropped": sink.dropped,
         }
 
+    def query_result(
+        self, expr: str, at: Optional[float] = None
+    ) -> Optional[Dict[str, Any]]:
+        """The ``/query`` JSON document, or None when the bundle has no
+        telemetry history store.  Raises
+        :class:`~repro.obs.tsdb.QueryError` on a malformed expression
+        (the handler maps it to a 400)."""
+        tsdb = getattr(self.obs, "tsdb", None)
+        if tsdb is None or not getattr(tsdb, "enabled", False):
+            return None
+        if at is None:
+            at = tsdb.last_time()
+        result = tsdb.query(expr, at=at)
+        return {
+            "expr": expr,
+            "at": at,
+            "result": result,
+            "count": len(result),
+        }
+
+    def alerts_document(self) -> Dict[str, Any]:
+        """The ``/alerts`` JSON document (``{"enabled": false}`` when
+        no alert manager is armed)."""
+        alerts = getattr(self.obs, "alerts", None)
+        if alerts is None:
+            return {"enabled": False}
+        return alerts.to_dict()
+
 
 def _build_handler(server: ObsServer):
     class _Handler(BaseHTTPRequestHandler):
@@ -210,14 +284,15 @@ def _build_handler(server: ObsServer):
             self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
             self.end_headers()
-            self.wfile.write(body)
+            if self.command != "HEAD":
+                self.wfile.write(body)
 
         def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
             body = json.dumps(payload, indent=2).encode("utf-8") + b"\n"
             self._send(status, body, "application/json; charset=utf-8")
 
         def do_GET(self) -> None:  # noqa: N802 - http.server API
-            server.requests_served += 1
+            server._count_request()
             parts = urlsplit(self.path)
             route = parts.path.rstrip("/") or "/"
             try:
@@ -237,20 +312,45 @@ def _build_handler(server: ObsServer):
                     query = parse_qs(parts.query)
                     n, kind = _parse_events_query(query)
                     self._send_json(200, server.events_tail(n=n, kind=kind))
+                elif route == "/query":
+                    query = parse_qs(parts.query)
+                    expr, at = _parse_query_params(query)
+                    payload = server.query_result(expr, at=at)
+                    if payload is None:
+                        self._send_json(
+                            503, {"error": "telemetry history disabled"}
+                        )
+                        return
+                    self._send_json(200, payload)
+                elif route == "/alerts":
+                    self._send_json(200, server.alerts_document())
                 elif route == "/":
                     self._send_json(
                         200,
                         {
                             "service": "repro-syndog telemetry",
-                            "endpoints": ["/metrics", "/healthz", "/events"],
+                            "endpoints": [
+                                "/metrics",
+                                "/healthz",
+                                "/events",
+                                "/query",
+                                "/alerts",
+                            ],
                         },
                     )
                 else:
                     self._send_json(404, {"error": f"no route {route!r}"})
             except ValueError as error:
+                # Includes QueryError: malformed expressions are client
+                # errors, not server faults.
                 self._send_json(400, {"error": str(error)})
             except BrokenPipeError:  # scraper went away mid-response
                 pass
+
+        def do_HEAD(self) -> None:  # noqa: N802 - http.server API
+            # Same routing and status codes as GET; _send suppresses
+            # the body (probes use HEAD to stay cheap).
+            self.do_GET()
 
     return _Handler
 
@@ -267,3 +367,18 @@ def _parse_events_query(
         raise ValueError(f"n must be >= 0: {n}")
     kind = query.get("kind", [None])[-1]
     return n, kind
+
+
+def _parse_query_params(
+    query: Dict[str, list],
+) -> Tuple[str, Optional[float]]:
+    expr = query.get("expr", [None])[-1]
+    if not expr:
+        raise ValueError("missing required parameter: expr")
+    raw_at = query.get("at", [None])[-1]
+    if raw_at is None:
+        return expr, None
+    try:
+        return expr, float(raw_at)
+    except ValueError:
+        raise ValueError(f"at must be a number: {raw_at!r}") from None

@@ -1,0 +1,796 @@
+"""Telemetry history: a bounded in-memory time-series store + queries.
+
+SYN-dog's entire output *is* a time series — per-period ΔSYN, the
+normalized X_n, the CUSUM statistic y_n, the alarm decision — yet the
+rest of the obs stack only ever exposes the instantaneous state (the
+live ``/metrics`` scrape) or the raw firehose (events JSONL).  An
+operator asking "how close did y_n get to the threshold over the last
+hour?" needs *retained* samples and a way to query them.  This module
+is both halves:
+
+:class:`TimeSeriesDB`
+    A dependency-free in-memory TSDB.  Series are identified by
+    ``(name, labels)``; every series is a bounded ring with
+    deterministic stride-2 downsampling of its oldest half when the
+    retention cap is hit, so a long-running agent holds history at
+    O(retention) memory per series, forever.  Two sample sources:
+
+    * **feed samples** — appended explicitly by instrumented
+      components (the detector's per-period trajectory, the event-loss
+      watermarks).  These carry only logical period time, so they are
+      bit-reproducible run over run and shard over shard.
+    * **registry snapshots** — per-period copies of every
+      counter/gauge child in the bound registry, taken by
+      :meth:`tick`.  These describe *the bundle that recorded them*;
+      in sharded runs (:mod:`repro.parallel`) each worker sees only
+      its shard's partial counters, so snapshot series are recorded by
+      the live (parent-driven) path only and are excluded from
+      deterministic comparisons (``source == "registry"``).
+
+PromQL-lite (:func:`parse_query` / :meth:`TimeSeriesDB.query`)
+    A small expression language over the store::
+
+        syndog_cusum{agent="router-a"}
+        max_over_time(syndog_cusum[5m]) > 0.8 * 1.05
+        rate(obs_events_dropped_total[2m]) > 0
+
+    Supported: instant selectors with ``=`` / ``!=`` label matchers,
+    the range functions ``rate`` / ``increase`` / ``avg_over_time`` /
+    ``max_over_time`` / ``min_over_time`` / ``sum_over_time`` /
+    ``count_over_time`` / ``last_over_time`` over ``[30s|5m|1h]``
+    windows, and a trailing comparison (``> >= < <= == !=``) against a
+    constant arithmetic expression, which — as in PromQL — *filters*
+    the result vector.  An alert rule "fires" when its filtered vector
+    is non-empty (:mod:`repro.obs.alerts`).
+
+The deterministic-merge contract mirrors :mod:`repro.obs.merge`: feed
+samples carry logical time, shards ship :meth:`to_dict` snapshots, and
+:func:`merge_tsdb` folds them in shard merge-order with a stable
+per-series sort, so a ``--workers N`` run reconstructs byte-identical
+history for every N.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Sample",
+    "Series",
+    "TimeSeriesDB",
+    "NullTSDB",
+    "QueryError",
+    "parse_duration",
+    "parse_query",
+    "tsdb_from_events",
+    "merge_tsdb",
+    "canonical_tsdb",
+]
+
+LabelsKey = Tuple[Tuple[str, str], ...]
+Sample = Tuple[float, float]  #: (logical time, value)
+
+#: Series names the registry snapshot must never shadow: these are fed
+#: as first-class samples (with deterministic merge semantics) and the
+#: registry copies would collide at the same (name, labels) key.
+_EVENT_STAT_SERIES = ("obs_events_emitted_total", "obs_events_dropped_total")
+
+#: Instant selectors only look back this far for their latest sample —
+#: a series that stopped reporting goes stale instead of answering
+#: forever (Prometheus's lookback delta, scaled to 20 s periods).
+DEFAULT_STALENESS_SECONDS = 600.0
+
+
+def _labels_key(labels: Optional[Dict[str, Any]]) -> LabelsKey:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Series:
+    """One named, labeled sample ring with deterministic downsampling."""
+
+    __slots__ = ("name", "labels", "source", "samples", "compactions")
+
+    def __init__(self, name: str, labels: LabelsKey, source: str = "feed") -> None:
+        self.name = name
+        self.labels = labels
+        self.source = source
+        self.samples: List[Sample] = []
+        self.compactions = 0
+
+    def append(self, t: float, value: float, retention: int) -> None:
+        self.samples.append((float(t), float(value)))
+        if len(self.samples) > retention:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Halve the resolution of the oldest half of the ring.
+
+        Deterministic stride-2 decimation: given the same append
+        sequence, every run compacts identically — the property the
+        worker-merge byte-identity tests rely on.
+        """
+        half = len(self.samples) // 2
+        self.samples = self.samples[0:half:2] + self.samples[half:]
+        self.compactions += 1
+
+    # ------------------------------------------------------------------
+    def latest(self, at: float, staleness: float) -> Optional[Sample]:
+        """The newest sample with ``t <= at`` and ``t > at - staleness``."""
+        for t, value in reversed(self.samples):
+            if t <= at:
+                if t > at - staleness:
+                    return (t, value)
+                return None
+        return None
+
+    def window(self, at: float, duration: float) -> List[Sample]:
+        """Samples with ``at - duration < t <= at``, oldest first."""
+        return [
+            (t, value)
+            for t, value in self.samples
+            if at - duration < t <= at
+        ]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "labels": [list(pair) for pair in self.labels],
+            "source": self.source,
+            "compactions": self.compactions,
+            "samples": [[t, value] for t, value in self.samples],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Series({self.name!r}, labels={dict(self.labels)!r}, "
+            f"n={len(self.samples)})"
+        )
+
+
+class TimeSeriesDB:
+    """The bounded telemetry-history store.
+
+    Parameters
+    ----------
+    retention:
+        Maximum samples per series; exceeding it triggers one
+        deterministic stride-2 compaction of the oldest half.
+    staleness:
+        Instant-selector lookback window in seconds.
+    record_snapshots:
+        When False the per-period :meth:`tick` becomes a no-op — shard
+        bundles in :mod:`repro.parallel` disable it because a shard's
+        registry holds partial counters and the parent reconstructs
+        the event-loss series at merge time instead.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        retention: int = 4096,
+        staleness: float = DEFAULT_STALENESS_SECONDS,
+        record_snapshots: bool = True,
+    ) -> None:
+        if retention < 8:
+            raise ValueError(f"retention must be >= 8 samples: {retention}")
+        self.retention = int(retention)
+        self.staleness = float(staleness)
+        self.record_snapshots = record_snapshots
+        self._series: Dict[Tuple[str, LabelsKey], Series] = {}
+        self._registry: Optional[Any] = None
+        self._events: Optional[Any] = None
+        self._last_tick = float("-inf")
+        self.samples_appended = 0
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def bind(self, registry: Optional[Any] = None, events: Optional[Any] = None) -> None:
+        """Attach the registry/event log :meth:`tick` snapshots read
+        (done once by :class:`~repro.obs.runtime.Instrumentation`)."""
+        if registry is not None:
+            self._registry = registry
+        if events is not None:
+            self._events = events
+
+    def append(
+        self,
+        name: str,
+        labels: Optional[Dict[str, Any]],
+        t: float,
+        value: float,
+        source: str = "feed",
+    ) -> None:
+        """Record one sample for ``name{labels}`` at logical time *t*."""
+        key = (name, _labels_key(labels))
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = Series(name, key[1], source=source)
+        series.append(t, value, self.retention)
+        self.samples_appended += 1
+
+    def tick(self, t: float) -> None:
+        """Per-period snapshot hook (live path): advance the watermark
+        and record the event-loss counters plus every counter/gauge
+        child of the bound registry at time *t*.
+
+        Called by the detector at the *start* of each observation
+        period's bookkeeping, so the sampled values describe the
+        pipeline state **before** that period's own emissions — the
+        exact semantics the parallel merge reconstructs by ticking
+        before re-emitting each period event.
+        """
+        if not self.record_snapshots or t <= self._last_tick:
+            return
+        self._last_tick = t
+        self._tick_events(t)
+        self._tick_registry(t)
+
+    def tick_events(self, t: float) -> None:
+        """Event-stats-only tick — what
+        :func:`repro.obs.merge.merge_event_groups` drives while
+        re-emitting shard events in grid order.  Registry snapshots are
+        deliberately *not* taken here: at merge time the parent
+        registry already holds end-of-run totals, and sampling those at
+        historical timestamps would fabricate history."""
+        if not self.record_snapshots or t <= self._last_tick:
+            return
+        self._last_tick = t
+        self._tick_events(t)
+
+    def _tick_events(self, t: float) -> None:
+        events = self._events
+        if events is None or not getattr(events, "enabled", False):
+            return
+        self.append(
+            "obs_events_emitted_total", None, t, float(events.events_emitted)
+        )
+        self.append(
+            "obs_events_dropped_total", None, t,
+            float(getattr(events, "dropped", 0)),
+        )
+
+    def _tick_registry(self, t: float) -> None:
+        registry = self._registry
+        if registry is None or not getattr(registry, "enabled", False):
+            return
+        for family in registry.collect():
+            if family.kind not in ("counter", "gauge"):
+                continue
+            name = family.name
+            if name.startswith("trace_span_") or name in _EVENT_STAT_SERIES:
+                continue
+            for sample in family.samples():
+                self.append(
+                    name, sample.labels, t, sample.value, source="registry"
+                )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def series(
+        self, name: Optional[str] = None, source: Optional[str] = None
+    ) -> List[Series]:
+        """Stored series in canonical (name, labels) order."""
+        selected = [
+            series
+            for series in self._series.values()
+            if (name is None or series.name == name)
+            and (source is None or series.source == source)
+        ]
+        selected.sort(key=lambda series: (series.name, series.labels))
+        return selected
+
+    def names(self) -> List[str]:
+        return sorted({series.name for series in self._series.values()})
+
+    def watermarks(self) -> List[float]:
+        """Every distinct sample time, ascending — the replay grid
+        :func:`repro.obs.alerts.replay_rules` evaluates over."""
+        times = {
+            t
+            for series in self._series.values()
+            for t, _value in series.samples
+        }
+        return sorted(times)
+
+    def last_time(self) -> Optional[float]:
+        newest = None
+        for series in self._series.values():
+            if series.samples:
+                t = series.samples[-1][0]
+                if newest is None or t > newest:
+                    newest = t
+        return newest
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def __repr__(self) -> str:
+        return (
+            f"TimeSeriesDB(series={len(self._series)}, "
+            f"samples={self.samples_appended}, retention={self.retention})"
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization / merge
+    # ------------------------------------------------------------------
+    def to_dict(self, include_registry: bool = True) -> Dict[str, Any]:
+        """The store as plain JSON-able dicts, series in canonical
+        order (the shard-shipping and test-comparison format)."""
+        return {
+            "retention": self.retention,
+            "series": [
+                series.to_dict()
+                for series in self.series()
+                if include_registry or series.source != "registry"
+            ],
+        }
+
+    def merge_from(self, snapshot: Dict[str, Any]) -> None:
+        """Fold one :meth:`to_dict` snapshot in (see :func:`merge_tsdb`)."""
+        for entry in snapshot.get("series", ()):
+            key_labels: LabelsKey = tuple(
+                (str(k), str(v)) for k, v in entry.get("labels", ())
+            )
+            key = (entry["name"], key_labels)
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = Series(
+                    entry["name"], key_labels, source=entry.get("source", "feed")
+                )
+            for t, value in entry.get("samples", ()):
+                series.append(float(t), float(value), self.retention)
+                self.samples_appended += 1
+            # Stable sort: new samples interleave by logical time, with
+            # earlier-merged shards winning ties — deterministic for a
+            # fixed merge order.
+            series.samples.sort(key=lambda sample: sample[0])
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(
+        self, expr: str, at: Optional[float] = None
+    ) -> List[Dict[str, Any]]:
+        """Evaluate a PromQL-lite expression as an instant vector.
+
+        Returns ``[{"labels": {...}, "value": v}, ...]`` sorted by
+        labels.  ``at`` defaults to the newest sample time in the
+        store (an empty store evaluates to an empty vector).
+        """
+        parsed = parse_query(expr)
+        if at is None:
+            at = self.last_time()
+            if at is None:
+                return []
+        return parsed.evaluate(self, float(at))
+
+
+class NullTSDB:
+    """The disabled default: absorbs samples, answers nothing."""
+
+    enabled = False
+    retention = 0
+    record_snapshots = False
+    samples_appended = 0
+
+    def bind(self, registry: Optional[Any] = None, events: Optional[Any] = None) -> None:
+        pass
+
+    def append(self, name, labels, t, value, source="feed") -> None:
+        pass
+
+    def tick(self, t: float) -> None:
+        pass
+
+    def tick_events(self, t: float) -> None:
+        pass
+
+    def series(self, name=None, source=None) -> List[Series]:
+        return []
+
+    def names(self) -> List[str]:
+        return []
+
+    def watermarks(self) -> List[float]:
+        return []
+
+    def last_time(self) -> None:
+        return None
+
+    def to_dict(self, include_registry: bool = True) -> Dict[str, Any]:
+        return {"retention": 0, "series": []}
+
+    def merge_from(self, snapshot: Dict[str, Any]) -> None:
+        pass
+
+    def query(self, expr: str, at: Optional[float] = None) -> List[Dict[str, Any]]:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+
+# ----------------------------------------------------------------------
+# PromQL-lite
+# ----------------------------------------------------------------------
+class QueryError(ValueError):
+    """A malformed or unsupported query expression."""
+
+
+_DURATION_RE = re.compile(r"^(\d+(?:\.\d+)?)(s|m|h)?$")
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:"
+    r"(?P<number>\d+(?:\.\d+)?)"
+    r"|(?P<name>[A-Za-z_:][A-Za-z0-9_:]*)"
+    r"|(?P<string>\"(?:[^\"\\]|\\.)*\")"
+    r"|(?P<op>!=|>=|<=|==|[><*/+\-{}\[\](),=])"
+    r")"
+)
+
+
+def parse_duration(text: str) -> float:
+    """``"30"``/``"30s"``/``"5m"``/``"1h"`` → seconds."""
+    match = _DURATION_RE.match(text.strip())
+    if not match:
+        raise QueryError(f"invalid duration: {text!r}")
+    value = float(match.group(1))
+    unit = match.group(2) or "s"
+    return value * {"s": 1.0, "m": 60.0, "h": 3600.0}[unit]
+
+
+def _tokenize(expr: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    position = 0
+    while position < len(expr):
+        match = _TOKEN_RE.match(expr, position)
+        if match is None or match.end() == position:
+            remainder = expr[position:].strip()
+            if not remainder:
+                break
+            raise QueryError(f"cannot parse query near {remainder!r}")
+        position = match.end()
+        for kind in ("number", "name", "string", "op"):
+            text = match.group(kind)
+            if text is not None:
+                tokens.append((kind, text))
+                break
+    return tokens
+
+
+class _Matcher:
+    __slots__ = ("label", "op", "value")
+
+    def __init__(self, label: str, op: str, value: str) -> None:
+        self.label = label
+        self.op = op
+        self.value = value
+
+    def matches(self, labels: LabelsKey) -> bool:
+        actual = dict(labels).get(self.label)
+        if self.op == "=":
+            return actual == self.value
+        return actual != self.value
+
+
+class _Selector:
+    __slots__ = ("name", "matchers")
+
+    def __init__(self, name: str, matchers: Sequence[_Matcher]) -> None:
+        self.name = name
+        self.matchers = tuple(matchers)
+
+    def select(self, tsdb: TimeSeriesDB) -> List[Series]:
+        return [
+            series
+            for series in tsdb.series(self.name)
+            if all(matcher.matches(series.labels) for matcher in self.matchers)
+        ]
+
+
+_RANGE_FUNCS: Dict[str, Callable[[List[Sample], float], Optional[float]]] = {}
+
+
+def _range_func(name: str):
+    def register(fn):
+        _RANGE_FUNCS[name] = fn
+        return fn
+
+    return register
+
+
+@_range_func("rate")
+def _rate(samples: List[Sample], duration: float) -> Optional[float]:
+    if len(samples) < 2:
+        return None
+    (t0, v0), (t1, v1) = samples[0], samples[-1]
+    if t1 <= t0:
+        return None
+    return (v1 - v0) / (t1 - t0)
+
+
+@_range_func("increase")
+def _increase(samples: List[Sample], duration: float) -> Optional[float]:
+    if len(samples) < 2:
+        return None
+    return samples[-1][1] - samples[0][1]
+
+
+@_range_func("avg_over_time")
+def _avg(samples: List[Sample], duration: float) -> Optional[float]:
+    if not samples:
+        return None
+    return sum(value for _t, value in samples) / len(samples)
+
+
+@_range_func("max_over_time")
+def _max(samples: List[Sample], duration: float) -> Optional[float]:
+    if not samples:
+        return None
+    return max(value for _t, value in samples)
+
+
+@_range_func("min_over_time")
+def _min(samples: List[Sample], duration: float) -> Optional[float]:
+    if not samples:
+        return None
+    return min(value for _t, value in samples)
+
+
+@_range_func("sum_over_time")
+def _sum(samples: List[Sample], duration: float) -> Optional[float]:
+    if not samples:
+        return None
+    return sum(value for _t, value in samples)
+
+
+@_range_func("count_over_time")
+def _count(samples: List[Sample], duration: float) -> Optional[float]:
+    if not samples:
+        return None
+    return float(len(samples))
+
+
+@_range_func("last_over_time")
+def _last(samples: List[Sample], duration: float) -> Optional[float]:
+    if not samples:
+        return None
+    return samples[-1][1]
+
+
+_COMPARATORS: Dict[str, Callable[[float, float], bool]] = {
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+
+class Query:
+    """A parsed PromQL-lite expression."""
+
+    __slots__ = ("expr", "func", "selector", "duration", "cmp", "threshold")
+
+    def __init__(
+        self,
+        expr: str,
+        func: Optional[str],
+        selector: _Selector,
+        duration: Optional[float],
+        cmp: Optional[str],
+        threshold: Optional[float],
+    ) -> None:
+        self.expr = expr
+        self.func = func
+        self.selector = selector
+        self.duration = duration
+        self.cmp = cmp
+        self.threshold = threshold
+
+    def evaluate(self, tsdb: TimeSeriesDB, at: float) -> List[Dict[str, Any]]:
+        results: List[Dict[str, Any]] = []
+        for series in self.selector.select(tsdb):
+            if self.func is not None:
+                assert self.duration is not None
+                value = _RANGE_FUNCS[self.func](
+                    series.window(at, self.duration), self.duration
+                )
+            else:
+                sample = series.latest(at, tsdb.staleness)
+                value = None if sample is None else sample[1]
+            if value is None:
+                continue
+            if self.cmp is not None and not _COMPARATORS[self.cmp](
+                value, self.threshold
+            ):
+                continue
+            results.append({"labels": dict(series.labels), "value": value})
+        return results
+
+
+class _Parser:
+    def __init__(self, expr: str) -> None:
+        self.expr = expr
+        self.tokens = _tokenize(expr)
+        self.position = 0
+
+    def peek(self) -> Optional[Tuple[str, str]]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def take(self, kind: Optional[str] = None, text: Optional[str] = None) -> str:
+        token = self.peek()
+        if token is None:
+            raise QueryError(f"unexpected end of query: {self.expr!r}")
+        if kind is not None and token[0] != kind:
+            raise QueryError(
+                f"expected {kind}, got {token[1]!r} in {self.expr!r}"
+            )
+        if text is not None and token[1] != text:
+            raise QueryError(
+                f"expected {text!r}, got {token[1]!r} in {self.expr!r}"
+            )
+        self.position += 1
+        return token[1]
+
+    def accept(self, text: str) -> bool:
+        token = self.peek()
+        if token is not None and token[1] == text:
+            self.position += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    def parse(self) -> Query:
+        func: Optional[str] = None
+        duration: Optional[float] = None
+        name = self.take(kind="name")
+        if name in _RANGE_FUNCS:
+            func = name
+            self.take(text="(")
+            selector = self.parse_selector()
+            self.take(text="[")
+            duration = self.parse_range_duration()
+            self.take(text="]")
+            self.take(text=")")
+        else:
+            selector = self.parse_selector(name=name)
+        cmp: Optional[str] = None
+        threshold: Optional[float] = None
+        token = self.peek()
+        if token is not None and token[1] in _COMPARATORS:
+            cmp = self.take()[:]
+            threshold = self.parse_arithmetic()
+        if self.peek() is not None:
+            raise QueryError(
+                f"trailing tokens after expression: {self.expr!r}"
+            )
+        return Query(self.expr, func, selector, duration, cmp, threshold)
+
+    def parse_selector(self, name: Optional[str] = None) -> _Selector:
+        if name is None:
+            name = self.take(kind="name")
+        matchers: List[_Matcher] = []
+        if self.accept("{"):
+            while not self.accept("}"):
+                label = self.take(kind="name")
+                op = self.take(kind="op")
+                if op not in ("=", "!="):
+                    raise QueryError(
+                        f"unsupported label matcher {op!r} in {self.expr!r}"
+                    )
+                raw = self.take(kind="string")
+                value = raw[1:-1].replace('\\"', '"').replace("\\\\", "\\")
+                matchers.append(_Matcher(label, op, value))
+                self.accept(",")
+        return _Selector(name, matchers)
+
+    def parse_range_duration(self) -> float:
+        number = self.take(kind="number")
+        token = self.peek()
+        unit = ""
+        if token is not None and token[0] == "name" and token[1] in ("s", "m", "h"):
+            unit = self.take()
+        return parse_duration(number + unit)
+
+    def parse_arithmetic(self) -> float:
+        """A constant left-associative product/sum — enough for rule
+        thresholds like ``0.8 * 1.05``."""
+        value = float(self.take(kind="number"))
+        while True:
+            token = self.peek()
+            if token is None or token[1] not in ("*", "/", "+", "-"):
+                return value
+            op = self.take()
+            rhs = float(self.take(kind="number"))
+            if op == "*":
+                value *= rhs
+            elif op == "/":
+                value /= rhs
+            elif op == "+":
+                value += rhs
+            else:
+                value -= rhs
+
+
+def parse_query(expr: str) -> Query:
+    """Parse one PromQL-lite expression (raises :class:`QueryError`)."""
+    if not expr or not expr.strip():
+        raise QueryError("empty query expression")
+    return _Parser(expr).parse()
+
+
+# ----------------------------------------------------------------------
+# Offline reconstruction and merge helpers
+# ----------------------------------------------------------------------
+def tsdb_from_events(
+    events: Iterable[Dict[str, Any]],
+    retention: int = 4096,
+) -> TimeSeriesDB:
+    """Rebuild a detector TSDB from an events JSONL stream.
+
+    Every ``period`` event becomes one sample per detector series
+    (ΔSYN, X_n, y_n, alarm, degraded), stamped with the period's end
+    time; the event's own ``seq`` reconstructs the
+    ``obs_events_emitted_total`` watermark exactly as the live tick
+    recorded it (drop counts are not recoverable from a JSONL file —
+    whatever was dropped is precisely what is not in it)."""
+    tsdb = TimeSeriesDB(retention=retention)
+    last_tick = float("-inf")
+    for event in events:
+        if event.get("event") != "period":
+            continue
+        agent = str(event.get("agent", "unknown"))
+        t = float(event.get("end_time", 0.0))
+        if "seq" in event and t > last_tick:
+            last_tick = t
+            tsdb.append(
+                "obs_events_emitted_total", None, t, float(event["seq"])
+            )
+        labels = {"agent": agent}
+        syn = float(event.get("syn", 0))
+        synack = float(event.get("synack", 0))
+        tsdb.append("syndog_delta", labels, t, syn - synack)
+        tsdb.append("syndog_x_n", labels, t, float(event.get("x", 0.0)))
+        tsdb.append(
+            "syndog_cusum", labels, t, float(event.get("statistic", 0.0))
+        )
+        tsdb.append(
+            "syndog_alarm_active", labels, t,
+            1.0 if event.get("alarm") else 0.0,
+        )
+        tsdb.append(
+            "syndog_degraded", labels, t,
+            1.0 if event.get("degraded") else 0.0,
+        )
+    return tsdb
+
+
+def merge_tsdb(
+    target: TimeSeriesDB, snapshots: Iterable[Dict[str, Any]]
+) -> TimeSeriesDB:
+    """Fold shard TSDB snapshots into *target*, **in the given order**
+    (the engine passes shard merge-order, making float-for-float output
+    deterministic for every worker count)."""
+    for snapshot in snapshots:
+        target.merge_from(snapshot)
+    return target
+
+
+def canonical_tsdb(tsdb: Any) -> Dict[str, Any]:
+    """The byte-comparable projection of a TSDB: feed samples only.
+
+    Registry-snapshot series (``source == "registry"``) describe the
+    recording bundle — a sharded run records them per worker or not at
+    all — so equivalence tests compare everything else.
+    """
+    return tsdb.to_dict(include_registry=False)

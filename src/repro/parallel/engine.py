@@ -47,10 +47,13 @@ from ..obs.merge import (
     Snapshot,
     merge_event_groups,
     merge_snapshot,
+    merge_tsdb_snapshots,
     registry_snapshot,
+    tsdb_snapshot,
 )
 from ..obs.metrics import MetricsRegistry
 from ..obs.recorder import FlightRecorder
+from ..obs.tsdb import TimeSeriesDB
 from ..obs.runtime import (
     NULL_INSTRUMENTATION,
     Instrumentation,
@@ -101,10 +104,13 @@ class ObsCapture:
     recorder: bool = False
     recorder_capacity: int = 120
     recorder_post_periods: int = 5
+    tsdb: bool = False
+    tsdb_retention: int = 4096
 
     @classmethod
     def from_instrumentation(cls, obs: Instrumentation) -> "ObsCapture":
         recorder = obs.recorder.enabled
+        tsdb = obs.tsdb.enabled
         return cls(
             metrics=obs.registry.enabled,
             events=obs.events.enabled,
@@ -115,11 +121,13 @@ class ObsCapture:
             recorder_post_periods=(
                 obs.recorder.post_alarm_periods if recorder else 5
             ),
+            tsdb=tsdb,
+            tsdb_retention=(obs.tsdb.retention if tsdb else 4096),
         )
 
     @property
     def any(self) -> bool:
-        return self.metrics or self.events or self.recorder
+        return self.metrics or self.events or self.recorder or self.tsdb
 
     def build(self) -> Tuple[Instrumentation, Optional[MemorySink]]:
         """A fresh shard-private bundle (and its memory sink, when
@@ -136,11 +144,21 @@ class ObsCapture:
                 post_alarm_periods=self.recorder_post_periods,
                 events=events,
             )
+        # Shard stores keep only the detector feed: a shard's registry
+        # holds partial counters and its unbounded sink never drops, so
+        # per-period snapshots are the parent's to reconstruct at merge
+        # time (record_snapshots=False).
+        tsdb: Optional[TimeSeriesDB] = None
+        if self.tsdb:
+            tsdb = TimeSeriesDB(
+                retention=self.tsdb_retention, record_snapshots=False
+            )
         return (
             Instrumentation(
                 registry=MetricsRegistry() if self.metrics else None,
                 events=events,
                 recorder=recorder,
+                tsdb=tsdb,
             ),
             sink,
         )
@@ -160,6 +178,9 @@ class ShardResult:
     events: Tuple[Tuple[int, Tuple[Dict[str, Any], ...]], ...] = ()
     #: Flight-recorder alarm contexts completed during the shard.
     contexts: Tuple[Dict[str, Any], ...] = ()
+    #: Snapshot of the shard's time-series store (feed samples only;
+    #: None when history is not captured).
+    tsdb: Optional[Dict[str, Any]] = None
 
 
 # ----------------------------------------------------------------------
@@ -256,6 +277,7 @@ def _execute_shard(
         contexts=(
             tuple(obs.recorder.contexts) if capture.recorder else ()
         ),
+        tsdb=tsdb_snapshot(obs.tsdb) if capture.tsdb else None,
     )
 
 
@@ -312,11 +334,25 @@ def _merge_into_parent(
             snapshot = by_shard[shard_index].registry
             if snapshot:
                 merge_snapshot(obs.registry, snapshot)
+    if capture.tsdb:
+        merge_tsdb_snapshots(
+            obs.tsdb,
+            (
+                by_shard[shard_index].tsdb
+                for shard_index in plan.merge_order()
+                if by_shard[shard_index].tsdb is not None
+            ),
+        )
     if capture.events:
         groups: List[Tuple[int, Tuple[Dict[str, Any], ...]]] = []
         for result in by_shard.values():
             groups.extend(result.events)
-        merge_event_groups(obs.events, groups)
+        # The event replay also reconstructs the parent's event-loss
+        # watermark series (drops happen here, against the parent's
+        # bounded sinks — exactly where a serial run dropped).
+        merge_event_groups(
+            obs.events, groups, tsdb=obs.tsdb if capture.tsdb else None
+        )
     if capture.recorder:
         for shard_index in plan.merge_order():
             for context in by_shard[shard_index].contexts:
@@ -353,7 +389,8 @@ def run_plan(
             )
     else:
         _run_sharded(
-            plan, worker_fn, workers, capture, crash_points, by_shard
+            plan, worker_fn, workers, capture, crash_points, by_shard,
+            registry=obs.registry if obs.registry.enabled else None,
         )
 
     _merge_into_parent(obs, plan, by_shard, capture)
@@ -371,6 +408,7 @@ def _run_sharded(
     capture: ObsCapture,
     crash_points: Tuple[Tuple[int, int, int], ...],
     by_shard: Dict[int, ShardResult],
+    registry: Optional[Any] = None,
 ) -> None:
     """Pull shards through a bounded pool of single-shard processes."""
     ctx = _mp_context()
@@ -399,6 +437,17 @@ def _run_sharded(
             for process in running.values():
                 process.terminate()
             raise WorkerCrashError(shard_index, failures[shard_index])
+        if registry is not None:
+            # Registered lazily, on the first actual reschedule: an
+            # always-present zero would leak into exports serial runs
+            # never write.  Scheduling accidents are host facts, so the
+            # name is excluded from byte-identity projections (see
+            # merge._is_deterministic_name) but feeds the
+            # worker_retries builtin alert rule live.
+            registry.counter(
+                "parallel_worker_retries_total",
+                "Crashed worker shards rescheduled by the engine",
+            ).inc()
         launch(shard_index)  # the one reschedule
 
     try:

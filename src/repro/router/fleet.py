@@ -265,6 +265,7 @@ class Federation:
             self._m_fed_restarts = None
             self._g_fed_down = None
         self._events = self._obs.events if self._obs.events.enabled else None
+        self._tsdb = self._obs.tsdb if self._obs.tsdb.enabled else None
 
     # ------------------------------------------------------------------
     # Membership
@@ -287,6 +288,16 @@ class Federation:
             self._bus.append(member_alarm)
             if self._m_fed_alarms is not None:
                 self._m_fed_alarms.labels(network_name).inc()
+            if self._tsdb is not None:
+                # Fleet-level alarm history: the member's CUSUM value at
+                # the moment its alarm crossed, on the event's logical
+                # clock — queryable per network.
+                self._tsdb.append(
+                    "federation_alarm_statistic",
+                    {"network": network_name},
+                    event.time,
+                    event.statistic,
+                )
             if self._events is not None:
                 self._events.emit(
                     "federation_alarm",

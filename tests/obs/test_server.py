@@ -72,7 +72,7 @@ class TestHealthEndpoint:
         status, _, body = get(server.url + "/healthz")
         health = json.loads(body)
         assert status == 200
-        assert health["status"] == "ok"
+        assert health["status"] == "alarming"  # honest, not hard-coded ok
         assert health["uptime_seconds"] >= 0.0
         assert health["periods_observed"] == 12
         assert health["alarms_active"] == 1
@@ -81,6 +81,53 @@ class TestHealthEndpoint:
         assert agent["periods"] == 12
         assert health["events_emitted"] == obs.events.events_emitted
         assert health["events_dropped"] == 0
+
+    def test_quiet_run_is_ok(self, live):
+        obs, server = live
+        dog = SynDog(obs=obs, name="router-a")
+        for _ in range(3):
+            dog.observe_period(100, 100)
+        health = json.loads(get(server.url + "/healthz")[2])
+        assert health["status"] == "ok"
+        assert health["alerts_firing"] == []
+        assert health["alerts_pending"] == []
+
+    def test_event_drops_degrade_health(self):
+        obs = enabled_instrumentation(max_memory_events=2)
+        with ObsServer(obs) as server:
+            dog = SynDog(obs=obs, name="router-a")
+            for _ in range(5):
+                dog.observe_period(100, 100)
+            health = json.loads(get(server.url + "/healthz")[2])
+            assert health["status"] == "degraded"
+            assert health["events_dropped"] > 0
+
+    def test_degraded_periods_degrade_health(self):
+        obs = enabled_instrumentation()
+        with ObsServer(obs) as server:
+            dog = SynDog(obs=obs, name="router-a")
+            for _ in range(3):
+                dog.observe_period(100, 100)
+            dog.observe_missing_period()
+            health = json.loads(get(server.url + "/healthz")[2])
+            assert health["status"] == "degraded"
+            assert health["degraded_periods"] == 1
+            assert health["agents"]["router-a"]["degraded_periods"] == 1
+
+    def test_firing_alert_is_alarming(self):
+        from repro.obs.alerts import AlertRule
+
+        obs = enabled_instrumentation(
+            alert_rules=[AlertRule("wide_delta", "syndog_delta > 10")]
+        )
+        with ObsServer(obs) as server:
+            dog = SynDog(obs=obs, name="router-a")
+            for _ in range(3):
+                dog.observe_period(100, 80)  # delta 20, no CUSUM alarm
+            health = json.loads(get(server.url + "/healthz")[2])
+            assert health["alarms_active"] == 0
+            assert health["alerts_firing"] == ["wide_delta"]
+            assert health["status"] == "alarming"
 
 
 class TestEventsEndpoint:
@@ -111,6 +158,150 @@ class TestEventsEndpoint:
             payload = json.loads(body)
             assert payload["events"] == []
             assert "note" in payload
+
+
+class TestQueryEndpoint:
+    def test_query_evaluates_over_live_history(self, live):
+        obs, server = live
+        dog = SynDog(obs=obs, name="router-a")
+        for _ in range(5):
+            dog.observe_period(100, 100)
+        _, headers, body = get(
+            server.url + "/query?expr=count_over_time(syndog_cusum%5B10m%5D)"
+        )
+        assert headers["Content-Type"].startswith("application/json")
+        payload = json.loads(body)
+        assert payload["expr"] == "count_over_time(syndog_cusum[10m])"
+        assert payload["at"] == 100.0
+        assert payload["result"] == [
+            {"labels": {"agent": "router-a"}, "value": 5.0}
+        ]
+        assert payload["count"] == 1
+
+    def test_explicit_at_parameter(self, live):
+        obs, server = live
+        dog = SynDog(obs=obs, name="router-a")
+        for _ in range(5):
+            dog.observe_period(100, 100)
+        payload = json.loads(
+            get(server.url + "/query?expr=syndog_x_n&at=40")[2]
+        )
+        assert payload["at"] == 40.0
+
+    def test_missing_expr_is_400_with_json_body(self, live):
+        _, server = live
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get(server.url + "/query")
+        assert excinfo.value.code == 400
+        assert "expr" in json.loads(excinfo.value.read())["error"]
+
+    def test_malformed_expr_is_400_with_json_body(self, live):
+        _, server = live
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get(server.url + "/query?expr=rate(nope")
+        assert excinfo.value.code == 400
+        assert "error" in json.loads(excinfo.value.read())
+
+    def test_bad_at_is_400(self, live):
+        _, server = live
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get(server.url + "/query?expr=syndog_x_n&at=bogus")
+        assert excinfo.value.code == 400
+
+    def test_disabled_tsdb_is_503(self):
+        obs = enabled_instrumentation(tsdb=False)
+        with ObsServer(obs) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                get(server.url + "/query?expr=syndog_x_n")
+            assert excinfo.value.code == 503
+
+
+class TestAlertsEndpoint:
+    def test_live_alert_document(self):
+        from repro.obs.alerts import AlertRule
+
+        obs = enabled_instrumentation(
+            alert_rules=[AlertRule("hot", "syndog_cusum > 1.05")]
+        )
+        with ObsServer(obs) as server:
+            dog = SynDog(obs=obs, name="router-a")
+            for _ in range(12):
+                dog.observe_period(100, 100)
+            dog.observe_period(5000, 100)
+            payload = json.loads(get(server.url + "/alerts")[2])
+            assert payload["enabled"] is True
+            assert payload["firing"] == ["hot"]
+            assert payload["states"]["hot"]["state"] == "firing"
+            assert [t["to"] for t in payload["transitions"]] == ["firing"]
+
+    def test_without_alert_manager_reports_disabled(self, live):
+        _, server = live
+        payload = json.loads(get(server.url + "/alerts")[2])
+        assert payload == {"enabled": False}
+
+
+class TestHeadRequests:
+    def test_head_matches_get_without_body(self, live):
+        obs, server = live
+        dog = SynDog(obs=obs, name="router-a")
+        dog.observe_period(100, 100)
+        for route in ("/metrics", "/healthz", "/events", "/alerts",
+                      "/query?expr=syndog_x_n", "/"):
+            request = urllib.request.Request(
+                server.url + route, method="HEAD"
+            )
+            with urllib.request.urlopen(request, timeout=5) as response:
+                assert response.status == 200
+                assert int(response.headers["Content-Length"]) > 0
+                assert response.read() == b""
+
+    def test_head_propagates_error_statuses(self, live):
+        _, server = live
+        request = urllib.request.Request(
+            server.url + "/nope", method="HEAD"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=5)
+        assert excinfo.value.code == 404
+
+
+class TestConcurrentScrapes:
+    def test_scrapes_race_live_ingestion(self, live):
+        """Scrape every endpoint repeatedly while the detector ingests
+        on another thread: every response stays well-formed and the
+        request counter (lock-guarded) matches the request count."""
+        import threading
+
+        obs, server = live
+        dog = SynDog(obs=obs, name="router-a")
+        # Prime one period on this thread so every metric family and
+        # labeled child exists before the scrape/ingest race begins.
+        dog.observe_period(100, 100)
+        stop = threading.Event()
+
+        def ingest():
+            while not stop.is_set():
+                dog.observe_period(100, 100)
+
+        feeder = threading.Thread(target=ingest, daemon=True)
+        feeder.start()
+        try:
+            requests = 0
+            for _ in range(10):
+                status, _, body = get(server.url + "/metrics")
+                assert status == 200
+                parse_prometheus_text(body.decode("utf-8"))
+                health = json.loads(get(server.url + "/healthz")[2])
+                assert health["status"] in ("ok", "degraded", "alarming")
+                payload = json.loads(
+                    get(server.url + "/query?expr=syndog_cusum")[2]
+                )
+                assert payload["count"] in (0, 1)
+                requests += 3
+        finally:
+            stop.set()
+            feeder.join(timeout=5)
+        assert server.requests_served == requests
 
 
 class TestServerLifecycle:

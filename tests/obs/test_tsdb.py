@@ -1,0 +1,304 @@
+"""The telemetry history store and its PromQL-lite query engine."""
+
+import pytest
+
+from repro.core.syndog import SynDog
+from repro.obs.events import EventLog, MemorySink
+from repro.obs.runtime import enabled_instrumentation
+from repro.obs.tsdb import (
+    NullTSDB,
+    QueryError,
+    TimeSeriesDB,
+    canonical_tsdb,
+    merge_tsdb,
+    parse_duration,
+    parse_query,
+    tsdb_from_events,
+)
+
+
+def feed(tsdb, name, samples, labels=None):
+    for t, value in samples:
+        tsdb.append(name, labels, t, value)
+
+
+class TestStore:
+    def test_series_keyed_by_name_and_labels(self):
+        tsdb = TimeSeriesDB()
+        tsdb.append("y", {"agent": "a"}, 20.0, 1.0)
+        tsdb.append("y", {"agent": "b"}, 20.0, 2.0)
+        tsdb.append("y", {"agent": "a"}, 40.0, 3.0)
+        assert len(tsdb) == 2
+        (series_a, series_b) = tsdb.series("y")
+        assert series_a.samples == [(20.0, 1.0), (40.0, 3.0)]
+        assert series_b.samples == [(20.0, 2.0)]
+        assert tsdb.names() == ["y"]
+        assert tsdb.last_time() == 40.0
+
+    def test_watermarks_are_distinct_sorted_times(self):
+        tsdb = TimeSeriesDB()
+        feed(tsdb, "a", [(40.0, 1.0), (20.0, 1.0)])
+        feed(tsdb, "b", [(20.0, 2.0), (60.0, 2.0)])
+        assert tsdb.watermarks() == [20.0, 40.0, 60.0]
+
+    def test_retention_triggers_deterministic_compaction(self):
+        tsdb = TimeSeriesDB(retention=8)
+        feed(tsdb, "y", [(float(i), float(i)) for i in range(9)])
+        (series,) = tsdb.series("y")
+        assert series.compactions == 1
+        # Stride-2 over the oldest half [0..3]: keep 0, 2; tail intact.
+        assert [t for t, _ in series.samples] == [
+            0.0, 2.0, 4.0, 5.0, 6.0, 7.0, 8.0,
+        ]
+
+    def test_compaction_is_reproducible(self):
+        def build():
+            tsdb = TimeSeriesDB(retention=16)
+            feed(tsdb, "y", [(float(i), float(i % 7)) for i in range(100)])
+            return tsdb.to_dict()
+
+        assert build() == build()
+
+    def test_minimum_retention_enforced(self):
+        with pytest.raises(ValueError):
+            TimeSeriesDB(retention=4)
+
+    def test_null_tsdb_absorbs_everything(self):
+        null = NullTSDB()
+        null.append("y", None, 1.0, 2.0)
+        null.tick(1.0)
+        assert len(null) == 0
+        assert null.query("y") == []
+        assert null.watermarks() == []
+        assert not null.enabled
+
+
+class TestTicks:
+    def test_tick_snapshots_registry_and_event_stats(self):
+        obs = enabled_instrumentation()
+        obs.registry.counter("widgets_total", "help").inc(3)
+        obs.events.emit("ping")
+        obs.tsdb.tick(20.0)
+        names = obs.tsdb.names()
+        assert "widgets_total" in names
+        assert "obs_events_emitted_total" in names
+        (widgets,) = obs.tsdb.series("widgets_total")
+        assert widgets.source == "registry"
+        (emitted,) = obs.tsdb.series("obs_events_emitted_total")
+        assert emitted.source == "feed"
+        assert emitted.samples == [(20.0, 1.0)]
+
+    def test_tick_watermark_ignores_rewinds(self):
+        obs = enabled_instrumentation()
+        obs.events.emit("ping")
+        obs.tsdb.tick(40.0)
+        obs.tsdb.tick(20.0)  # replayed earlier logical time: ignored
+        (emitted,) = obs.tsdb.series("obs_events_emitted_total")
+        assert [t for t, _ in emitted.samples] == [40.0]
+
+    def test_tick_events_skips_registry(self):
+        tsdb = TimeSeriesDB()
+        events = EventLog(MemorySink())
+        events.emit("ping")
+        tsdb.bind(events=events)
+        tsdb.tick_events(20.0)
+        assert tsdb.names() == [
+            "obs_events_dropped_total", "obs_events_emitted_total",
+        ]
+
+    def test_snapshots_disabled_makes_ticks_noops(self):
+        tsdb = TimeSeriesDB(record_snapshots=False)
+        events = EventLog(MemorySink())
+        events.emit("ping")
+        tsdb.bind(events=events)
+        tsdb.tick(20.0)
+        tsdb.tick_events(20.0)
+        assert len(tsdb) == 0
+
+    def test_canonical_projection_excludes_registry_series(self):
+        obs = enabled_instrumentation()
+        obs.registry.counter("widgets_total", "help").inc()
+        obs.events.emit("ping")
+        obs.tsdb.tick(20.0)
+        names = {entry["name"] for entry in canonical_tsdb(obs.tsdb)["series"]}
+        assert "widgets_total" not in names
+        assert "obs_events_emitted_total" in names
+
+
+class TestDetectorFeed:
+    def test_syndog_feeds_per_period_series(self):
+        obs = enabled_instrumentation()
+        dog = SynDog(obs=obs, name="router-a")
+        for _ in range(12):
+            dog.observe_period(100, 100)
+        dog.observe_period(5000, 100)
+        for name in (
+            "syndog_delta", "syndog_x_n", "syndog_cusum",
+            "syndog_alarm_active", "syndog_degraded",
+        ):
+            (series,) = obs.tsdb.series(name)
+            assert series.labels == (("agent", "router-a"),)
+            assert len(series.samples) == 13
+        (cusum,) = obs.tsdb.series("syndog_cusum")
+        assert cusum.samples[-1][1] > 1.05
+        (alarm,) = obs.tsdb.series("syndog_alarm_active")
+        assert alarm.samples[-1][1] == 1.0
+
+    def test_disabled_bundle_records_nothing(self):
+        dog = SynDog(name="router-a")
+        dog.observe_period(100, 100)
+        assert dog._tsdb is None
+
+
+class TestQueryParsing:
+    def test_bare_selector(self):
+        query = parse_query("syndog_cusum")
+        assert query.func is None and query.cmp is None
+
+    def test_full_grammar(self):
+        query = parse_query(
+            'max_over_time(syndog_cusum{agent="a",shard!="9"}[5m])'
+            " > 0.8 * 1.05"
+        )
+        assert query.func == "max_over_time"
+        assert query.duration == 300.0
+        assert query.cmp == ">"
+        assert query.threshold == pytest.approx(0.84)
+
+    def test_durations(self):
+        assert parse_duration("30") == 30.0
+        assert parse_duration("30s") == 30.0
+        assert parse_duration("5m") == 300.0
+        assert parse_duration("1h") == 3600.0
+
+    @pytest.mark.parametrize("expr", [
+        "",
+        "   ",
+        "((",
+        "rate(syndog_cusum)",          # missing range
+        "rate(syndog_cusum[5m]",       # unclosed call
+        "syndog_cusum{agent=~\"a\"}",  # unsupported matcher
+        "syndog_cusum > ",             # dangling comparison
+        "syndog_cusum 5",              # trailing tokens
+        "bogus_func(syndog_cusum[5m])",
+    ])
+    def test_malformed_expressions_raise(self, expr):
+        with pytest.raises(QueryError):
+            parse_query(expr)
+
+
+class TestQueryEvaluation:
+    def build(self):
+        tsdb = TimeSeriesDB()
+        feed(tsdb, "y", [(20.0 * i, float(i)) for i in range(1, 6)],
+             labels={"agent": "a"})
+        feed(tsdb, "y", [(20.0 * i, 10.0 * i) for i in range(1, 6)],
+             labels={"agent": "b"})
+        return tsdb
+
+    def test_instant_selector_defaults_to_last_time(self):
+        tsdb = self.build()
+        result = tsdb.query("y")
+        assert result == [
+            {"labels": {"agent": "a"}, "value": 5.0},
+            {"labels": {"agent": "b"}, "value": 50.0},
+        ]
+
+    def test_label_matchers_filter_series(self):
+        tsdb = self.build()
+        assert tsdb.query('y{agent="a"}') == [
+            {"labels": {"agent": "a"}, "value": 5.0}
+        ]
+        assert tsdb.query('y{agent!="a"}') == [
+            {"labels": {"agent": "b"}, "value": 50.0}
+        ]
+
+    def test_staleness_hides_dead_series(self):
+        tsdb = TimeSeriesDB(staleness=100.0)
+        feed(tsdb, "y", [(20.0, 1.0)])
+        assert tsdb.query("y", at=100.0) != []
+        assert tsdb.query("y", at=500.0) == []
+
+    def test_range_functions(self):
+        tsdb = self.build()
+        at = 100.0
+        value = lambda expr: {
+            tuple(entry["labels"].items()): entry["value"]
+            for entry in tsdb.query(expr, at=at)
+        }[(("agent", "a"),)]
+        assert value("max_over_time(y[100s])") == 5.0
+        assert value("min_over_time(y[100s])") == 1.0
+        assert value("sum_over_time(y[100s])") == 15.0
+        assert value("avg_over_time(y[100s])") == 3.0
+        assert value("count_over_time(y[100s])") == 5.0
+        assert value("last_over_time(y[100s])") == 5.0
+        assert value("increase(y[100s])") == 4.0
+        assert value("rate(y[100s])") == pytest.approx(4.0 / 80.0)
+
+    def test_comparison_filters_vector(self):
+        tsdb = self.build()
+        assert tsdb.query("y > 3 * 2") == [
+            {"labels": {"agent": "b"}, "value": 50.0}
+        ]
+        assert tsdb.query("y > 100") == []
+
+    def test_window_excludes_left_edge(self):
+        tsdb = TimeSeriesDB()
+        feed(tsdb, "y", [(0.0, 100.0), (20.0, 1.0), (40.0, 2.0)])
+        (result,) = tsdb.query("max_over_time(y[40s])", at=40.0)
+        assert result["value"] == 2.0
+
+    def test_empty_store_evaluates_empty(self):
+        assert TimeSeriesDB().query("y") == []
+
+
+class TestOfflineReconstruction:
+    def test_tsdb_from_events_round_trips_detector_series(self):
+        obs = enabled_instrumentation()
+        dog = SynDog(obs=obs, name="router-a")
+        for _ in range(12):
+            dog.observe_period(100, 100)
+        dog.observe_period(5000, 100)
+        sink = obs.memory_events()
+        rebuilt = tsdb_from_events(sink.events)
+        for name in ("syndog_delta", "syndog_x_n", "syndog_cusum",
+                     "syndog_alarm_active", "syndog_degraded"):
+            (live,) = obs.tsdb.series(name)
+            (offline,) = rebuilt.series(name)
+            assert offline.samples == live.samples
+        # The emitted watermark is rebuilt from event seq numbers.
+        (live_emitted,) = obs.tsdb.series("obs_events_emitted_total")
+        (rebuilt_emitted,) = rebuilt.series("obs_events_emitted_total")
+        assert rebuilt_emitted.samples == live_emitted.samples
+
+    def test_non_period_events_are_ignored(self):
+        rebuilt = tsdb_from_events([{"event": "alarm", "time": 20.0}])
+        assert len(rebuilt) == 0
+
+
+class TestMerge:
+    def test_merge_reconstructs_interleaved_history(self):
+        whole = TimeSeriesDB()
+        feed(whole, "y", [(20.0 * i, float(i)) for i in range(1, 9)])
+
+        shard_a, shard_b = TimeSeriesDB(), TimeSeriesDB()
+        feed(shard_a, "y", [(20.0 * i, float(i)) for i in range(1, 9, 2)])
+        feed(shard_b, "y", [(20.0 * i, float(i)) for i in range(2, 9, 2)])
+        merged = merge_tsdb(
+            TimeSeriesDB(), [shard_a.to_dict(), shard_b.to_dict()]
+        )
+        assert canonical_tsdb(merged) == canonical_tsdb(whole)
+
+    def test_merge_order_breaks_ties_deterministically(self):
+        shard_a, shard_b = TimeSeriesDB(), TimeSeriesDB()
+        shard_a.append("y", None, 20.0, 1.0)
+        shard_b.append("y", None, 20.0, 2.0)
+        first = merge_tsdb(
+            TimeSeriesDB(), [shard_a.to_dict(), shard_b.to_dict()]
+        )
+        second = merge_tsdb(
+            TimeSeriesDB(), [shard_a.to_dict(), shard_b.to_dict()]
+        )
+        assert first.to_dict() == second.to_dict()
+        (series,) = first.series("y")
+        assert series.samples == [(20.0, 1.0), (20.0, 2.0)]

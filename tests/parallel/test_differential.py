@@ -21,13 +21,14 @@ import pytest
 
 from repro.attack.ddos import DDoSCampaign
 from repro.experiments.campaign import simulate_campaign
-from repro.experiments.chaos import run_chaos_campaign
+from repro.experiments.chaos import chaos_alerts_document, run_chaos_campaign
 from repro.experiments.export import campaign_result_to_dict, sensitivity_cells_to_dict
 from repro.experiments.runner import run_detection_sweep
 from repro.experiments.sensitivity import sweep_parameters
 from repro.faults.schedule import get_schedule
 from repro.obs.merge import canonical_events, render_deterministic
 from repro.obs.runtime import enabled_instrumentation
+from repro.obs.tsdb import canonical_tsdb
 from repro.packet.addresses import IPv4Address
 from repro.trace.profiles import get_profile
 
@@ -51,6 +52,7 @@ def observable_state(obs):
         "metrics": render_deterministic(obs.registry),
         "events": memory_events(obs),
         "contexts": list(obs.recorder.contexts),
+        "tsdb": canonical_tsdb(obs.tsdb),
     }
 
 
@@ -116,6 +118,56 @@ class TestChaosDifferential:
         assert parallel_state["metrics"] == serial_state["metrics"]
         assert parallel_state["events"] == serial_state["events"]
         assert parallel_state["contexts"] == serial_state["contexts"]
+        assert parallel_state["tsdb"] == serial_state["tsdb"]
+
+
+def run_alerting_chaos(workers):
+    """A chaos scenario tuned so the builtin rules both fire and
+    resolve: the flood drives y_n over the 0.8·N watermark and back
+    down before the trace ends, and a tiny memory bound forces event
+    drops mid-run."""
+    obs = enabled_instrumentation(max_memory_events=24)
+    report = run_chaos_campaign(
+        site="auckland",
+        seed=42,
+        schedule=get_schedule("lossy-crash"),
+        rate=3.0,
+        attack_start=360.0,
+        attack_duration=200.0,
+        duration=1200.0,
+        obs=obs,
+        workers=workers,
+    )
+    doc = chaos_alerts_document(obs)
+    return json.dumps(doc, indent=2, sort_keys=True), report
+
+
+class TestAlertsDifferential:
+    def test_chaos_alerts_document_byte_identical_with_fire_and_resolve(self):
+        serial_doc, serial_report = run_alerting_chaos(workers=1)
+        parallel_doc, parallel_report = run_alerting_chaos(workers=WORKERS)
+        assert parallel_doc == serial_doc
+        assert parallel_report.to_dict() == serial_report.to_dict()
+
+        doc = json.loads(serial_doc)
+        lifecycle = {}
+        for transition in doc["transitions"]:
+            lifecycle.setdefault(transition["rule"], []).append(
+                transition["to"]
+            )
+        # The near-threshold watermark alert fires during the flood and
+        # resolves once the 5m window slides past the decay.
+        assert "firing" in lifecycle["cusum_near_threshold"]
+        assert "resolved" in lifecycle["cusum_near_threshold"]
+        # The bounded sink overflows mid-run and the drop-rate alert
+        # fires; close() resolves it at the final watermark.
+        assert "firing" in lifecycle["events_dropping"]
+        assert "resolved" in lifecycle["events_dropping"]
+        # The lossy-crash schedule produces degraded periods too.
+        assert "firing" in lifecycle["degraded_periods"]
+        # The replayed document is closed: nothing is left dangling.
+        assert doc["closed"] is True
+        assert doc["firing"] == []
 
 
 class TestSweepDifferential:

@@ -446,3 +446,219 @@ class TestChaos:
     def test_chaos_unknown_schedule_rejected(self):
         with pytest.raises(SystemExit):
             main(["chaos", "--schedule", "no-such-schedule"])
+
+    def test_chaos_alerts_out_byte_identical_across_workers(
+        self, tmp_path, capsys
+    ):
+        """The acceptance bar: the replayed alerts document fires AND
+        resolves the builtin rules, byte-identically for every
+        ``--workers N``."""
+        import json
+
+        docs = {}
+        for workers in (1, 2):
+            path = tmp_path / f"alerts_w{workers}.json"
+            code = main([
+                "chaos", "--seed", "42", "--schedule", "lossy-crash",
+                "--rate", "3.0", "--attack-start", "360",
+                "--attack-duration", "200", "--duration", "1200",
+                "--max-memory-events", "24",
+                "--workers", str(workers),
+                "--alerts-out", str(path),
+            ])
+            assert code == EXIT_OK
+            docs[workers] = path.read_bytes()
+        assert docs[1] == docs[2]
+        document = json.loads(docs[1])
+        fired = {
+            transition["rule"]
+            for transition in document["transitions"]
+            if transition["to"] == "firing"
+        }
+        resolved = {
+            transition["rule"]
+            for transition in document["transitions"]
+            if transition["to"] == "resolved"
+        }
+        assert {"cusum_near_threshold", "events_dropping"} <= fired
+        assert {"cusum_near_threshold", "events_dropping"} <= resolved
+        assert "fired: " in capsys.readouterr().out
+
+
+class TestQueryCommand:
+    @pytest.fixture
+    def events_jsonl(self, background_csv, tmp_path):
+        mixed = tmp_path / "mixed.csv"
+        main([
+            "attack", "--counts", str(background_csv), "--rate", "5",
+            "--start", "360", "--out", str(mixed),
+        ])
+        events = tmp_path / "events.jsonl"
+        code = main([
+            "observe", "--trace", str(mixed),
+            "--events-out", str(events),
+        ])
+        assert code == EXIT_ALARM
+        return events
+
+    def test_offline_query_over_events(self, events_jsonl, capsys):
+        code = main([
+            "query", "max_over_time(syndog_cusum[5m])",
+            "--events", str(events_jsonl),
+        ])
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "result           : 1 series" in out
+        assert '{agent="syndog-' in out  # auto-named, counter is global
+
+    def test_offline_query_at_time(self, events_jsonl, capsys):
+        import json
+
+        code = main([
+            "query", "syndog_cusum", "--events", str(events_jsonl),
+            "--at", "400", "--json",
+        ])
+        assert code == EXIT_OK
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["at"] == 400.0
+        (entry,) = payload["result"]
+        assert entry["value"] > 1.05  # mid-flood, past the threshold
+
+    def test_malformed_expression_is_usage_error(
+        self, events_jsonl, capsys
+    ):
+        from repro.cli import EXIT_USAGE
+
+        code = main([
+            "query", "rate(nope", "--events", str(events_jsonl),
+        ])
+        assert code == EXIT_USAGE
+        assert "query:" in capsys.readouterr().err
+
+    def test_missing_events_file_is_usage_error(self, tmp_path, capsys):
+        from repro.cli import EXIT_USAGE
+
+        code = main([
+            "query", "syndog_cusum", "--events",
+            str(tmp_path / "nope.jsonl"),
+        ])
+        assert code == EXIT_USAGE
+        assert "no such events file" in capsys.readouterr().err
+
+    def test_query_against_live_server(self, events_jsonl, capsys):
+        import json
+
+        from repro.obs import enabled_instrumentation, read_jsonl
+        from repro.obs.server import ObsServer
+        from repro.obs.tsdb import tsdb_from_events
+
+        obs = enabled_instrumentation()
+        obs.tsdb.merge_from(
+            tsdb_from_events(read_jsonl(events_jsonl)).to_dict()
+        )
+        with ObsServer(obs) as server:
+            code = main([
+                "query", "max_over_time(syndog_cusum[5m])",
+                "--url", server.url, "--json",
+            ])
+        assert code == EXIT_OK
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 1
+
+
+class TestAlertsCommand:
+    @pytest.fixture
+    def events_jsonl(self, background_csv, tmp_path):
+        mixed = tmp_path / "mixed.csv"
+        main([
+            "attack", "--counts", str(background_csv), "--rate", "5",
+            "--start", "360", "--out", str(mixed),
+        ])
+        events = tmp_path / "events.jsonl"
+        code = main([
+            "observe", "--trace", str(mixed),
+            "--events-out", str(events),
+        ])
+        assert code == EXIT_ALARM
+        return events
+
+    def test_offline_replay_exits_alarm_when_rules_fired(
+        self, events_jsonl, capsys
+    ):
+        code = main(["alerts", "--events", str(events_jsonl)])
+        assert code == EXIT_ALARM
+        out = capsys.readouterr().out
+        assert "cusum_near_threshold" in out
+        assert "-> firing" in out
+
+    def test_offline_replay_is_deterministic_json(
+        self, events_jsonl, capsys
+    ):
+        outputs = []
+        for _ in range(2):
+            code = main([
+                "alerts", "--events", str(events_jsonl), "--json",
+            ])
+            assert code == EXIT_ALARM
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+
+    def test_custom_rules_file(self, events_jsonl, tmp_path, capsys):
+        import json
+
+        rules = tmp_path / "rules.json"
+        rules.write_text(json.dumps([
+            {"name": "never", "expr": "syndog_cusum > 10000"},
+        ]), encoding="utf-8")
+        code = main([
+            "alerts", "--events", str(events_jsonl),
+            "--rules", str(rules),
+        ])
+        assert code == EXIT_OK  # the rule never fired
+
+    def test_bad_rules_file_is_usage_error(
+        self, events_jsonl, tmp_path, capsys
+    ):
+        from repro.cli import EXIT_USAGE
+
+        rules = tmp_path / "rules.json"
+        rules.write_text('"nope"', encoding="utf-8")
+        code = main([
+            "alerts", "--events", str(events_jsonl),
+            "--rules", str(rules),
+        ])
+        assert code == EXIT_USAGE
+        assert "bad rules file" in capsys.readouterr().err
+
+
+class TestObserveAlertsAndTrace:
+    def test_observe_with_live_alerts(self, background_csv, tmp_path, capsys):
+        mixed = tmp_path / "mixed.csv"
+        main([
+            "attack", "--counts", str(background_csv), "--rate", "5",
+            "--start", "360", "--out", str(mixed),
+        ])
+        code = main(["observe", "--trace", str(mixed), "--alerts"])
+        assert code == EXIT_ALARM
+        out = capsys.readouterr().out
+        assert "alerts           : 5 rules" in out
+        assert "alerts fired     : cusum_near_threshold" in out
+
+    def test_observe_trace_out_writes_chrome_trace(
+        self, background_csv, tmp_path
+    ):
+        import json
+
+        trace = tmp_path / "trace.json"
+        code = main([
+            "observe", "--trace", str(background_csv),
+            "--trace-out", str(trace),
+        ])
+        assert code == EXIT_OK
+        document = json.loads(trace.read_text())
+        assert document["displayTimeUnit"] == "ms"
+        names = {event["name"] for event in document["traceEvents"]}
+        assert "observe.run" in names
+        for event in document["traceEvents"]:
+            assert event["ph"] == "X"
+            assert event["dur"] >= 0.0
