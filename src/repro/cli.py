@@ -9,7 +9,8 @@ actually touch::
     repro-syndog detect   --pcap-out out.pcap --pcap-in in.pcap
     repro-syndog observe  --trace mixed.csv --metrics-out metrics.prom \
                           --events-out events.jsonl --serve 9100 --alerts
-    repro-syndog report   events.jsonl --format markdown
+    repro-syndog report   events.jsonl --format markdown --profile
+    repro-syndog profile  --mode cost-model --flame-out prof.folded
     repro-syndog query    'max_over_time(syndog_cusum[5m])' --events events.jsonl
     repro-syndog alerts   --events events.jsonl --json
     repro-syndog chaos    --seed 42 --schedule lossy-crash --out report.json
@@ -223,8 +224,59 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--min-alarm-periods", type=int, default=2,
                         help="alarm spans clearing in fewer periods "
                              "count as false alarms (default 2)")
+    report.add_argument("--profile", action="store_true",
+                        help="append the per-stage cost section folded "
+                             "from the log's profile events")
     report.add_argument("--out", metavar="PATH",
                         help="write the report here instead of stdout")
+
+    # ------------------------------------------------------------- profile
+    profile = sub.add_parser(
+        "profile",
+        help="profile the packet pipeline per stage over a small "
+             "deterministic campaign; export flamegraph/callgrind",
+    )
+    profile.add_argument("--mode", choices=("cost-model", "timers"),
+                         default="cost-model",
+                         help="cost-model: deterministic fixed per-op "
+                              "costs (byte-identical at any --workers); "
+                              "timers: real wall/CPU/alloc measurements")
+    profile.add_argument("--site", choices=sorted(SITE_PROFILES),
+                         default="auckland")
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--networks", type=int, default=2,
+                         help="stub networks driven through the pipeline")
+    profile.add_argument("--duration", type=float, default=None,
+                         help="seconds of synthetic trace per network "
+                              "(default 60)")
+    profile.add_argument("--workers", type=int, default=1, metavar="N",
+                         help="worker processes sharding the networks "
+                              "(cost-model profiles are byte-identical "
+                              "for every N)")
+    profile.add_argument("--sample-every", type=int, default=64,
+                         metavar="K",
+                         help="timers mode: time 1 of every K calls on "
+                              "per-packet stages (default 64)")
+    profile.add_argument("--json", metavar="PATH",
+                         help="write the canonical profile document "
+                              "(sorted keys; the CI byte-diff format)")
+    profile.add_argument("--flame-out", metavar="PATH",
+                         help="write folded stacks for flamegraph.pl / "
+                              "speedscope / inferno")
+    profile.add_argument("--callgrind-out", metavar="PATH",
+                         help="write callgrind format for kcachegrind / "
+                              "qcachegrind")
+    profile.add_argument("--events-out", metavar="PATH",
+                         help="JSONL event stream (carries the profile "
+                              "event for repro report --profile)")
+    profile.add_argument("--baseline", metavar="JSON",
+                         help="per-stage ns/packet baseline "
+                              "(BENCH_profile.json); exit 2 when any "
+                              "stage regresses past the tolerance")
+    profile.add_argument("--baseline-tolerance", type=float, default=1.5,
+                         metavar="X",
+                         help="allowed ns/packet multiple of the "
+                              "baseline (default 1.5)")
 
     # --------------------------------------------------------------- table
     table = sub.add_parser("table", help="regenerate a paper table (1, 2 or 3)")
@@ -1001,7 +1053,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     report = analyze_files(
         args.events, min_alarm_periods=args.min_alarm_periods
     )
-    rendered = render_report(report, fmt=args.format)
+    rendered = render_report(report, fmt=args.format, profile=args.profile)
     if args.out:
         from pathlib import Path
 
@@ -1012,6 +1064,97 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return EXIT_ALARM if report.detection_count else EXIT_OK
 
 
+def _load_profile_baseline(path: str) -> dict:
+    """Read a per-stage ns/packet baseline: either a full
+    BENCH_profile.json document (``{"stages": [...]}``) or a bare
+    ``{stage: ns_per_packet}`` mapping."""
+    import json
+    from pathlib import Path
+
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if isinstance(data, dict) and "stages" in data:
+        return {
+            row["stage"]: float(row["ns_per_packet"])
+            for row in data["stages"]
+        }
+    return {stage: float(value) for stage, value in data.items()}
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Per-stage cost attribution over the canonical pipeline workload."""
+    from .experiments.profiling import (
+        DEFAULT_PROFILE_DURATION,
+        run_profile_campaign,
+    )
+    from .obs import enabled_instrumentation
+    from .obs.profiler import (
+        write_callgrind,
+        write_folded,
+        write_profile_json,
+    )
+
+    site = get_profile(args.site)
+    obs = enabled_instrumentation(
+        profiler=args.mode,
+        profiler_sample_every=args.sample_every,
+        events_path=args.events_out,
+    )
+    outcomes = run_profile_campaign(
+        site,
+        networks=args.networks,
+        base_seed=args.seed,
+        duration=(args.duration if args.duration is not None
+                  else DEFAULT_PROFILE_DURATION),
+        obs=obs,
+        workers=args.workers,
+    )
+    document = obs.profiler.to_dict()
+    obs.finalize()
+    total_packets = sum(outcome["packets"] for outcome in outcomes)
+    print(f"profiled         : {len(outcomes)} networks, "
+          f"{total_packets} packets ({site.name}, mode {args.mode})")
+    print(f"{'stage':<16} {'calls':>9} {'packets':>9} "
+          f"{'ns/call':>12} {'ns/packet':>12} {'total ms':>10}")
+    for row in document["stages"]:
+        print(f"{row['stage']:<16} {row['calls']:>9} {row['packets']:>9} "
+              f"{row['ns_per_call']:>12.1f} {row['ns_per_packet']:>12.1f} "
+              f"{row['ns_total'] / 1e6:>10.3f}")
+    if args.json:
+        write_profile_json(document, args.json)
+        print(f"profile          : JSON -> {args.json}")
+    if args.flame_out:
+        stacks = write_folded(document, args.flame_out)
+        print(f"flamegraph       : {stacks} folded stacks -> "
+              f"{args.flame_out}")
+    if args.callgrind_out:
+        stages = write_callgrind(document, args.callgrind_out)
+        print(f"callgrind        : {stages} stages -> {args.callgrind_out}")
+    if args.events_out:
+        print(f"events           : JSONL -> {args.events_out}")
+    if args.baseline:
+        try:
+            baseline = _load_profile_baseline(args.baseline)
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            print(f"profile: bad baseline file: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        regressions = []
+        for row in document["stages"]:
+            budget = baseline.get(row["stage"])
+            if budget is None:
+                continue
+            allowed = budget * args.baseline_tolerance
+            verdict = "ok" if row["ns_per_packet"] <= allowed else "REGRESSED"
+            print(f"baseline         : {row['stage']:<16} "
+                  f"{row['ns_per_packet']:.1f} vs {budget:.1f} ns/packet "
+                  f"(allowed {allowed:.1f}) {verdict}")
+            if verdict != "ok":
+                regressions.append(row["stage"])
+        if regressions:
+            print(f"REGRESSION       : {', '.join(sorted(regressions))}")
+            return EXIT_ALARM
+    return EXIT_OK
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "campaign": _cmd_campaign,
@@ -1019,6 +1162,7 @@ _COMMANDS = {
     "detect": _cmd_detect,
     "observe": _cmd_observe,
     "report": _cmd_report,
+    "profile": _cmd_profile,
     "query": _cmd_query,
     "alerts": _cmd_alerts,
     "chaos": _cmd_chaos,

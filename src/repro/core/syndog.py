@@ -211,6 +211,13 @@ class SynDog:
         self._recorder = obs.recorder if obs.recorder.enabled else None
         self._tsdb = obs.tsdb if obs.tsdb.enabled else None
         self._alerts = obs.alerts if obs.alerts.enabled else None
+        # Per-period stage: always timed in timers mode (sample_every=1)
+        # — period cadence is t0 = 20 s, clocks here are cheap.
+        self._prof_cusum = (
+            obs.profiler.stage("cusum.step", sample_every=1)
+            if obs.profiler.enabled
+            else None
+        )
 
     # ------------------------------------------------------------------
     # Count-level ingestion (trace-driven experiments)
@@ -279,10 +286,21 @@ class SynDog:
         degraded: bool,
     ) -> DetectionRecord:
         period_index, start_time = self._period_coordinates(start_time)
-        x = self.normalizer.observe(
-            syn_count, synack_count, alarm_active=self.cusum.alarm
-        )
-        state = self.cusum.update(x)
+        prof = self._prof_cusum
+        if prof is None:
+            x = self.normalizer.observe(
+                syn_count, synack_count, alarm_active=self.cusum.alarm
+            )
+            state = self.cusum.update(x)
+        else:
+            # One "cusum.step" = normalization (Δ_n → X_n) + CUSUM
+            # update, attributed per period.
+            token = prof.begin()
+            x = self.normalizer.observe(
+                syn_count, synack_count, alarm_active=self.cusum.alarm
+            )
+            state = self.cusum.update(x)
+            prof.end(token, packets=1)
         record = DetectionRecord(
             period_index=period_index,
             start_time=start_time,

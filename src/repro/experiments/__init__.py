@@ -3,6 +3,7 @@ detection/false-alarm metrics, and regenerators for every table and
 figure in the paper's evaluation (Section 4)."""
 
 from .campaign import CampaignResult, NetworkOutcome, simulate_campaign
+from .profiling import ProfileTask, profile_network, run_profile_campaign
 from .chaos import ChaosArm, ChaosReport, render_chaos_report, run_chaos_campaign
 from .sensitivity import SensitivityCell, recommend_parameters, sweep_parameters
 from .streaming import (

@@ -47,6 +47,10 @@ Modules
     Declarative alert rules over the history store:
     pending→firing→resolved lifecycle, builtin watch-the-watchers
     rules, live evaluation and deterministic replay.
+``profiler``
+    Hot-path per-stage cost attribution (wall/CPU time, packets,
+    bytes, allocations) with a deterministic cost-model mode and
+    folded-stack / callgrind exports.
 """
 
 from .alerts import (
@@ -54,6 +58,7 @@ from .alerts import (
     AlertRule,
     NullAlertManager,
     builtin_rules,
+    profiler_rules,
     replay_rules,
     rules_from_dicts,
     rules_from_file,
@@ -77,6 +82,7 @@ from .events import (
 from .exporters import (
     chrome_trace,
     export_event_stats,
+    export_profiler,
     export_tracer,
     parse_prometheus_text,
     registry_to_dicts,
@@ -105,6 +111,22 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
     NullRegistry,
+)
+from .profiler import (
+    COST_MODEL,
+    PIPELINE_STAGES,
+    NullProfiler,
+    Profiler,
+    StageCost,
+    StageHandle,
+    callgrind_format,
+    folded_stacks,
+    merge_stage_rows,
+    parse_callgrind,
+    parse_folded,
+    write_callgrind,
+    write_folded,
+    write_profile_json,
 )
 from .recorder import FlightRecorder, NullFlightRecorder
 from .runtime import (
@@ -182,9 +204,26 @@ __all__ = [
     "AlertManager",
     "NullAlertManager",
     "builtin_rules",
+    "profiler_rules",
     "rules_from_dicts",
     "rules_from_file",
     "replay_rules",
+    # profiler
+    "Profiler",
+    "NullProfiler",
+    "StageHandle",
+    "StageCost",
+    "COST_MODEL",
+    "PIPELINE_STAGES",
+    "merge_stage_rows",
+    "folded_stacks",
+    "parse_folded",
+    "write_folded",
+    "callgrind_format",
+    "parse_callgrind",
+    "write_callgrind",
+    "write_profile_json",
+    "export_profiler",
     # recorder
     "FlightRecorder",
     "NullFlightRecorder",

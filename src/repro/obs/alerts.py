@@ -48,6 +48,7 @@ __all__ = [
     "AlertManager",
     "NullAlertManager",
     "builtin_rules",
+    "profiler_rules",
     "rules_from_dicts",
     "rules_from_file",
     "replay_rules",
@@ -415,6 +416,7 @@ def builtin_rules(
     watermark: float = 0.8,
     window: str = "5m",
     for_periods: int = 2,
+    profile_baseline: Optional[Dict[str, Any]] = None,
 ) -> List[AlertRule]:
     """The standard watch-the-watchers rule set.
 
@@ -422,7 +424,23 @@ def builtin_rules(
     ``parameters.threshold``); the near-threshold rule pages when y_n's
     recent maximum exceeds ``watermark * N`` — i.e. *before* an alarm,
     while there is still time to look.
+
+    ``profile_baseline`` (a ``BENCH_profile.json`` document or a bare
+    ``{stage: ns_per_packet}`` mapping) additionally arms the per-stage
+    overhead-regression rules from :func:`profiler_rules`.
     """
+    rules = _builtin_core_rules(threshold, watermark, window, for_periods)
+    if profile_baseline:
+        rules.extend(profiler_rules(profile_baseline))
+    return rules
+
+
+def _builtin_core_rules(
+    threshold: float,
+    watermark: float,
+    window: str,
+    for_periods: int,
+) -> List[AlertRule]:
     return [
         AlertRule(
             name="cusum_near_threshold",
@@ -475,6 +493,55 @@ def builtin_rules(
             ),
         ),
     ]
+
+
+def profiler_rules(
+    baseline: Dict[str, Any],
+    tolerance: float = 1.5,
+    window: str = "10m",
+    for_periods: int = 2,
+) -> List[AlertRule]:
+    """Per-stage overhead-regression rules over the profiler's series.
+
+    *baseline* is either a ``BENCH_profile.json`` document (its
+    ``stages`` rows carry ``ns_per_packet``) or a bare
+    ``{stage: ns_per_packet}`` mapping.  One rule per stage fires when
+    the live ``stage_ns_per_packet{stage=...}`` (fed by the TSDB's
+    per-period profiler snapshot) stays above ``tolerance`` times the
+    baseline — the standing perf telemetry that catches a hot-path
+    regression stage by stage instead of as one blurred end-to-end
+    number.
+    """
+    costs: Dict[str, float] = {}
+    for row in baseline.get("stages", []) if "stages" in baseline else []:
+        costs[str(row["stage"])] = float(row["ns_per_packet"])
+    if not costs:
+        costs = {
+            str(stage): float(value)
+            for stage, value in baseline.items()
+            if isinstance(value, (int, float))
+        }
+    rules = []
+    for stage in sorted(costs):
+        budget = costs[stage] * tolerance
+        slug = stage.replace(".", "_")
+        rules.append(
+            AlertRule(
+                name=f"stage_overhead_{slug}",
+                expr=(
+                    f'min_over_time(stage_ns_per_packet{{stage="{stage}"}}'
+                    f"[{window}]) > {budget!r}"
+                ),
+                for_periods=for_periods,
+                severity="warn",
+                description=(
+                    f"pipeline stage {stage} has cost more than "
+                    f"{tolerance:g}x its committed baseline "
+                    f"({costs[stage]:g} ns/packet) over the last {window}"
+                ),
+            )
+        )
+    return rules
 
 
 def rules_from_dicts(raw: Iterable[Dict[str, Any]]) -> List[AlertRule]:

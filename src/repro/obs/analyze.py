@@ -16,7 +16,13 @@ run from that stream alone — no trace, no detector, no pickle:
   than ``min_alarm_periods`` periods are transient threshold grazes,
   not sustained floods (a real attack holds the statistic up for its
   whole duration);
-* ASCII-sparkline **CUSUM traces** for eyeballing a run in a terminal.
+* ASCII-sparkline **CUSUM traces** for eyeballing a run in a terminal;
+* optional **per-stage cost attribution**: runs profiled with
+  :mod:`repro.obs.profiler` leave a ``profile`` event behind at
+  finalize; ``render_report(..., profile=True)`` (the ``repro report
+  --profile`` flag) folds every profile event in the log into one
+  per-stage cost table via
+  :func:`~repro.obs.profiler.merge_stage_rows`.
 
 Multiple JSONL files analyze into one report (a fleet of runs); agent
 keys are prefixed with the file stem when names would collide.
@@ -137,6 +143,24 @@ class EventsReport:
     by_kind: Dict[str, int]
     sources: Tuple[str, ...]
     min_alarm_periods: int
+    #: Raw ``profile`` event payloads (one per profiled run in the log).
+    profiles: Tuple[Dict[str, Any], ...] = ()
+
+    def merged_profile(self) -> Optional[Dict[str, Any]]:
+        """Fold every profile event into one per-stage cost document
+        (None when the log carries no profile events)."""
+        if not self.profiles:
+            return None
+        from .profiler import merge_stage_rows
+
+        modes = sorted({
+            str(doc.get("mode")) for doc in self.profiles if doc.get("mode")
+        })
+        return {
+            "runs": len(self.profiles),
+            "modes": modes,
+            "stages": merge_stage_rows(self.profiles),
+        }
 
     @property
     def spans(self) -> List[AlarmSpan]:
@@ -177,6 +201,7 @@ class EventsReport:
                 name: timeline.to_dict()
                 for name, timeline in sorted(self.agents.items())
             },
+            "profile": self.merged_profile(),
         }
 
 
@@ -198,11 +223,18 @@ def analyze_events(
     by_kind: Dict[str, int] = {}
     agents: Dict[str, AgentTimeline] = {}
     open_spans: Dict[str, Dict[str, Any]] = {}
+    profiles: List[Dict[str, Any]] = []
 
     ordered = sorted(events, key=lambda event: event.get("seq", 0))
     for event in ordered:
         kind = event.get("event", "?")
         by_kind[kind] = by_kind.get(kind, 0) + 1
+        if kind == "profile":
+            profiles.append({
+                key: value for key, value in event.items()
+                if key not in ("event", "seq", "t")
+            })
+            continue
         if kind == "alarm_context":
             name = event.get("agent", DEFAULT_AGENT)
             timeline = agents.setdefault(name, AgentTimeline(agent=name))
@@ -268,6 +300,7 @@ def analyze_events(
         by_kind=by_kind,
         sources=(source,),
         min_alarm_periods=min_alarm_periods,
+        profiles=tuple(profiles),
     )
 
 
@@ -315,6 +348,7 @@ def analyze_files(
         return reports[0]
     merged_agents: Dict[str, AgentTimeline] = {}
     by_kind: Dict[str, int] = {}
+    profiles: List[Dict[str, Any]] = []
     total = 0
     for path, report in zip(paths, reports):
         stem = Path(path).stem
@@ -322,6 +356,7 @@ def analyze_files(
             merged_agents[f"{stem}:{name}"] = timeline
         for kind, count in report.by_kind.items():
             by_kind[kind] = by_kind.get(kind, 0) + count
+        profiles.extend(report.profiles)
         total += report.events_total
     return EventsReport(
         agents=merged_agents,
@@ -329,23 +364,75 @@ def analyze_files(
         by_kind=by_kind,
         sources=tuple(str(path) for path in paths),
         min_alarm_periods=min_alarm_periods,
+        profiles=tuple(profiles),
     )
 
 
 # ----------------------------------------------------------------------
 # Rendering
 # ----------------------------------------------------------------------
-def render_report(report: EventsReport, fmt: str = "text") -> str:
-    """Render as ``text`` (terminal), ``markdown`` or ``json``."""
+def render_report(
+    report: EventsReport, fmt: str = "text", profile: bool = False
+) -> str:
+    """Render as ``text`` (terminal), ``markdown`` or ``json``.
+
+    ``profile=True`` appends a per-stage cost section folded from the
+    log's ``profile`` events (JSON always carries it under the
+    ``profile`` key; text/markdown add it only on request).
+    """
     if fmt == "json":
         return json.dumps(report.to_dict(), indent=2)
     if fmt == "markdown":
-        return _render_markdown(report)
+        return _render_markdown(report, profile=profile)
     if fmt == "text":
-        return _render_text(report)
+        return _render_text(report, profile=profile)
     raise ValueError(
         f"unknown report format {fmt!r}; pick one of {REPORT_FORMATS}"
     )
+
+
+def _profile_text_lines(report: EventsReport) -> List[str]:
+    merged = report.merged_profile()
+    lines = ["", "per-stage cost attribution"]
+    if merged is None:
+        lines.append("  no profile events in the log "
+                     "(run with the profiler enabled)")
+        return lines
+    lines[-1] += (
+        f" ({merged['runs']} profiled run(s), "
+        f"mode {', '.join(merged['modes']) or '?'})"
+    )
+    header = (f"  {'stage':<16} {'calls':>9} {'packets':>9} "
+              f"{'ns/call':>12} {'ns/packet':>12} {'total ms':>10}")
+    lines.append(header)
+    for row in merged["stages"]:
+        lines.append(
+            f"  {row['stage']:<16} {row['calls']:>9} {row['packets']:>9} "
+            f"{row['ns_per_call']:>12.1f} {row['ns_per_packet']:>12.1f} "
+            f"{row['ns_total'] / 1e6:>10.3f}"
+        )
+    return lines
+
+
+def _profile_markdown_lines(report: EventsReport) -> List[str]:
+    merged = report.merged_profile()
+    lines = ["", "## Per-stage cost attribution", ""]
+    if merged is None:
+        lines.append("No profile events in the log.")
+        return lines
+    lines.append(f"- profiled runs: **{merged['runs']}** "
+                 f"(mode: {', '.join(merged['modes']) or '?'})")
+    lines.append("")
+    lines.append("| stage | calls | packets | ns/call | ns/packet "
+                 "| total ms |")
+    lines.append("|---|---:|---:|---:|---:|---:|")
+    for row in merged["stages"]:
+        lines.append(
+            f"| `{row['stage']}` | {row['calls']} | {row['packets']} "
+            f"| {row['ns_per_call']:.1f} | {row['ns_per_packet']:.1f} "
+            f"| {row['ns_total'] / 1e6:.3f} |"
+        )
+    return lines
 
 
 def _span_line(span: AlarmSpan) -> str:
@@ -363,7 +450,7 @@ def _span_line(span: AlarmSpan) -> str:
     )
 
 
-def _render_text(report: EventsReport) -> str:
+def _render_text(report: EventsReport, profile: bool = False) -> str:
     # Local import: repro.experiments pulls in the whole experiment
     # harness, which obs must not require at import time.
     from ..experiments.report import sparkline
@@ -411,10 +498,12 @@ def _render_text(report: EventsReport) -> str:
                 f"  flight recorder: {timeline.alarm_contexts} "
                 f"alarm_context event(s)"
             )
+    if profile:
+        lines.extend(_profile_text_lines(report))
     return "\n".join(lines)
 
 
-def _render_markdown(report: EventsReport) -> str:
+def _render_markdown(report: EventsReport, profile: bool = False) -> str:
     from ..experiments.report import sparkline
 
     lines: List[str] = ["# Detection report", ""]
@@ -450,4 +539,6 @@ def _render_markdown(report: EventsReport) -> str:
         lines.append("")
         for span in sorted(spans, key=lambda s: s.raised_time):
             lines.append(f"- `{span.agent}` {_span_line(span)}")
+    if profile:
+        lines.extend(_profile_markdown_lines(report))
     return "\n".join(lines)

@@ -34,6 +34,7 @@ __all__ = [
     "registry_to_dicts",
     "export_tracer",
     "export_event_stats",
+    "export_profiler",
     "summarize_histograms",
     "chrome_trace",
     "write_chrome_trace",
@@ -257,6 +258,41 @@ def export_event_stats(events: Any, registry: MetricsRegistry) -> None:
         "Events dropped by bounded sinks (silent loss made visible)",
     )
     dropped.inc(getattr(events, "dropped", 0) - dropped.value)
+
+
+# ----------------------------------------------------------------------
+# Profiler → registry
+# ----------------------------------------------------------------------
+def export_profiler(profiler: Any, registry: MetricsRegistry) -> None:
+    """Fold the profiler's per-stage attribution into *registry* as
+    ``profile_stage_ns_total`` / ``_calls_total`` / ``_packets_total``
+    families labeled by stage, so one scrape carries the cost profile.
+    Idempotent, like :func:`export_tracer`.  Like ``trace_span_*``,
+    these families are excluded from the deterministic projection in
+    :mod:`repro.obs.merge` (timers-mode nanoseconds are wall clock)."""
+    rows = profiler.stage_documents()
+    if not rows:
+        return
+    ns = registry.counter(
+        "profile_stage_ns_total",
+        "Attributed nanoseconds per pipeline stage",
+        ("stage",),
+    )
+    calls = registry.counter(
+        "profile_stage_calls_total", "Calls per pipeline stage", ("stage",)
+    )
+    packets = registry.counter(
+        "profile_stage_packets_total",
+        "Packets attributed per pipeline stage",
+        ("stage",),
+    )
+    for row in rows:
+        child = ns.labels(row["stage"])
+        child.inc(row["ns_total"] - child.value)  # idempotent re-export
+        child = calls.labels(row["stage"])
+        child.inc(row["calls"] - child.value)
+        child = packets.labels(row["stage"])
+        child.inc(row["packets"] - child.value)
 
 
 # ----------------------------------------------------------------------

@@ -176,10 +176,14 @@ def _is_deterministic_name(name: str) -> bool:
     # reschedules) — facts about the host, like wall time, not about
     # the workload — so they are excluded from byte-identity the same
     # way timings are.
+    # profile_stage_* families carry timers-mode wall nanoseconds; the
+    # profiler's own deterministic artifact is the cost-model document
+    # (repro.obs.profiler), not the registry fold.
     return (
         "_seconds" not in name
         and not name.startswith("trace_span_")
         and not name.startswith("parallel_worker_")
+        and not name.startswith("profile_stage_")
     )
 
 

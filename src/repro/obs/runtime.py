@@ -29,8 +29,14 @@ from typing import Any, Iterator, Optional, Union
 
 from .alerts import AlertManager, NullAlertManager
 from .events import EventLog, JsonlSink, MemorySink, NullEventLog
-from .exporters import export_event_stats, export_tracer, write_prometheus
+from .exporters import (
+    export_event_stats,
+    export_profiler,
+    export_tracer,
+    write_prometheus,
+)
 from .metrics import MetricsRegistry, NullRegistry
+from .profiler import NullProfiler, Profiler
 from .recorder import FlightRecorder, NullFlightRecorder
 from .tracing import NullTracer, Tracer
 from .tsdb import NullTSDB, TimeSeriesDB
@@ -58,6 +64,7 @@ class Instrumentation:
         recorder: Optional[Any] = None,
         tsdb: Optional[Any] = None,
         alerts: Optional[Any] = None,
+        profiler: Optional[Any] = None,
     ) -> None:
         self.registry = registry if registry is not None else NullRegistry()
         self.tracer = tracer if tracer is not None else NullTracer()
@@ -67,6 +74,7 @@ class Instrumentation:
         )
         self.tsdb = tsdb if tsdb is not None else NullTSDB()
         self.alerts = alerts if alerts is not None else NullAlertManager()
+        self.profiler = profiler if profiler is not None else NullProfiler()
         # A live recorder handed in without its own event log emits
         # alarm contexts into the bundle's (when that one is live).
         if (
@@ -79,7 +87,11 @@ class Instrumentation:
         # alert manager queries the store and annotates firings with
         # event-log / flight-recorder context.
         if self.tsdb.enabled:
-            self.tsdb.bind(registry=self.registry, events=self.events)
+            self.tsdb.bind(
+                registry=self.registry,
+                events=self.events,
+                profiler=self.profiler if self.profiler.enabled else None,
+            )
         if self.alerts.enabled:
             self.alerts.bind(
                 tsdb=self.tsdb,
@@ -95,6 +107,7 @@ class Instrumentation:
             or self.events.enabled
             or self.recorder.enabled
             or self.tsdb.enabled
+            or self.profiler.enabled
         )
 
     def finalize(self, metrics_path: Optional[Union[str, Any]] = None) -> int:
@@ -108,9 +121,16 @@ class Instrumentation:
         # Close live alerts before the event log: end-of-stream
         # resolutions must still reach the JSONL sinks.
         self.alerts.close()
+        # The profile document rides the event stream so offline
+        # forensics (``repro report --profile``) can attribute cost
+        # without a live server.
+        if self.profiler.enabled and self.events.enabled:
+            self.events.emit("profile", **self.profiler.to_dict())
         if self.registry.enabled:
             if self.tracer.enabled:
                 export_tracer(self.tracer, self.registry)
+            if self.profiler.enabled:
+                export_profiler(self.profiler, self.registry)
             export_event_stats(self.events, self.registry)
         if metrics_path is not None and self.registry.enabled:
             samples = write_prometheus(self.registry, metrics_path)
@@ -131,6 +151,7 @@ class Instrumentation:
             "agents": self.recorder.status(),
             "tsdb_series": len(self.tsdb),
             "alerts_firing": self.alerts.firing(),
+            "profile_stages": len(self.profiler),
         }
 
     def memory_events(self) -> Optional[MemorySink]:
@@ -164,6 +185,8 @@ def enabled_instrumentation(
     tsdb: bool = True,
     tsdb_retention: int = 4096,
     alert_rules: Optional[Any] = None,
+    profiler: Optional[str] = None,
+    profiler_sample_every: int = 64,
 ) -> Instrumentation:
     """A fully live bundle: real registry, real tracer, event log with
     a JSONL sink at *events_path* (when given) and/or an in-memory sink
@@ -171,7 +194,11 @@ def enabled_instrumentation(
     its pre-alarm detector-state window, and a bounded telemetry
     history store (``tsdb=False`` opts out).  Passing *alert_rules* (a
     sequence of :class:`~repro.obs.alerts.AlertRule`) additionally arms
-    live alert evaluation every observation period."""
+    live alert evaluation every observation period.  Passing *profiler*
+    (``"timers"`` or ``"cost-model"``) arms per-stage cost attribution
+    (see :mod:`repro.obs.profiler`); it is off by default because,
+    unlike the rest of the bundle, its hot-path handles live inside the
+    packet loop."""
     sinks = []
     if events_path is not None:
         sinks.append(JsonlSink(events_path))
@@ -194,6 +221,11 @@ def enabled_instrumentation(
         recorder=recorder,
         tsdb=TimeSeriesDB(retention=tsdb_retention) if tsdb else None,
         alerts=AlertManager(rules=alert_rules) if alert_rules else None,
+        profiler=(
+            Profiler(mode=profiler, sample_every=profiler_sample_every)
+            if profiler
+            else None
+        ),
     )
 
 

@@ -27,10 +27,33 @@ only — with three endpoints:
 ``GET /alerts``
     The alert manager's full document — rules, lifecycle states and
     the transition history (:mod:`repro.obs.alerts`).
+``GET /profile``
+    The hot-path profiler's per-stage cost document
+    (:mod:`repro.obs.profiler`); 503 when profiling is off.
 
 The server never mutates detector state and holds no locks against the
 detection path: scrapes read the live counters (safe under the GIL for
 these single-attribute reads) so a scrape can never stall ingestion.
+
+Lock order
+----------
+Route handlers may hold at most two server-side locks, acquired in a
+single fixed order:
+
+1. ``_registry_lock`` — guards handlers that *fold into or render* the
+   shared registry/profiler (``/metrics``'s scrape-time exports,
+   ``/profile``'s document derivation).  With three concurrent reader
+   routes, two scrapes folding ``trace_span_*`` or ``profile_stage_*``
+   into the registry at once would interleave family mutation; one
+   shared lock serializes them.  It is *server-side only*: ingestion
+   threads never take it, so the detection path still cannot stall.
+2. ``_requests_lock`` — a leaf-level counter guard (``requests_served``).
+   It is only ever held around a single increment/read and **never**
+   while acquiring ``_registry_lock``.
+
+Any new route that mutates shared obs state must take
+``_registry_lock`` first and must not call back into a handler that
+takes it again.
 
 Usage::
 
@@ -50,7 +73,12 @@ from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from .events import MemorySink
-from .exporters import export_event_stats, export_tracer, render_prometheus
+from .exporters import (
+    export_event_stats,
+    export_profiler,
+    export_tracer,
+    render_prometheus,
+)
 from .tsdb import QueryError
 
 __all__ = ["ObsServer", "PROMETHEUS_CONTENT_TYPE"]
@@ -84,6 +112,10 @@ class ObsServer:
         # a bare += would race (read-modify-write is not atomic).
         self._requests_lock = threading.Lock()
         self._requests_served = 0
+        # Serializes registry/profiler folds across handler threads —
+        # see "Lock order" in the module docstring.  Acquired before
+        # (never while holding) _requests_lock.
+        self._registry_lock = threading.Lock()
 
     @property
     def requests_served(self) -> int:
@@ -158,11 +190,29 @@ class ObsServer:
         registry = self.obs.registry
         if not getattr(registry, "enabled", False):
             return None
-        tracer = self.obs.tracer
-        if getattr(tracer, "enabled", False):
-            export_tracer(tracer, registry)
-        export_event_stats(self.obs.events, registry)
-        return render_prometheus(registry)
+        # Scrape-time folds mutate the registry; _registry_lock keeps
+        # two concurrent scrapes (or a scrape racing /profile) from
+        # interleaving family mutation.  See the module's lock order.
+        with self._registry_lock:
+            tracer = self.obs.tracer
+            if getattr(tracer, "enabled", False):
+                export_tracer(tracer, registry)
+            profiler = getattr(self.obs, "profiler", None)
+            if profiler is not None and getattr(profiler, "enabled", False):
+                export_profiler(profiler, registry)
+            export_event_stats(self.obs.events, registry)
+            return render_prometheus(registry)
+
+    def profile_document(self) -> Optional[Dict[str, Any]]:
+        """The ``/profile`` JSON document, or None when profiling is
+        off.  Document derivation reads every stage handle; the shared
+        registry lock keeps it consistent with a racing ``/metrics``
+        fold of the same counts."""
+        profiler = getattr(self.obs, "profiler", None)
+        if profiler is None or not getattr(profiler, "enabled", False):
+            return None
+        with self._registry_lock:
+            return profiler.to_dict()
 
     def health(self) -> Dict[str, Any]:
         """The ``/healthz`` JSON document, with a derived ``status``:
@@ -324,6 +374,14 @@ def _build_handler(server: ObsServer):
                     self._send_json(200, payload)
                 elif route == "/alerts":
                     self._send_json(200, server.alerts_document())
+                elif route == "/profile":
+                    payload = server.profile_document()
+                    if payload is None:
+                        self._send_json(
+                            503, {"error": "profiler disabled"}
+                        )
+                        return
+                    self._send_json(200, payload)
                 elif route == "/":
                     self._send_json(
                         200,
@@ -335,6 +393,7 @@ def _build_handler(server: ObsServer):
                                 "/events",
                                 "/query",
                                 "/alerts",
+                                "/profile",
                             ],
                         },
                     )

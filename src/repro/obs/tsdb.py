@@ -183,19 +183,27 @@ class TimeSeriesDB:
         self._series: Dict[Tuple[str, LabelsKey], Series] = {}
         self._registry: Optional[Any] = None
         self._events: Optional[Any] = None
+        self._profiler: Optional[Any] = None
         self._last_tick = float("-inf")
         self.samples_appended = 0
 
     # ------------------------------------------------------------------
     # Ingestion
     # ------------------------------------------------------------------
-    def bind(self, registry: Optional[Any] = None, events: Optional[Any] = None) -> None:
-        """Attach the registry/event log :meth:`tick` snapshots read
-        (done once by :class:`~repro.obs.runtime.Instrumentation`)."""
+    def bind(
+        self,
+        registry: Optional[Any] = None,
+        events: Optional[Any] = None,
+        profiler: Optional[Any] = None,
+    ) -> None:
+        """Attach the registry/event log/profiler :meth:`tick` snapshots
+        read (done once by :class:`~repro.obs.runtime.Instrumentation`)."""
         if registry is not None:
             self._registry = registry
         if events is not None:
             self._events = events
+        if profiler is not None:
+            self._profiler = profiler
 
     def append(
         self,
@@ -229,6 +237,7 @@ class TimeSeriesDB:
         self._last_tick = t
         self._tick_events(t)
         self._tick_registry(t)
+        self._tick_profiler(t)
 
     def tick_events(self, t: float) -> None:
         """Event-stats-only tick — what
@@ -268,6 +277,31 @@ class TimeSeriesDB:
                 self.append(
                     name, sample.labels, t, sample.value, source="registry"
                 )
+
+    def _tick_profiler(self, t: float) -> None:
+        """Per-period snapshot of the bound profiler's per-stage cost:
+        ``stage_ns_total`` / ``stage_calls_total`` / ``stage_ns_per_packet``
+        labeled by stage — the series the per-stage regression alert
+        rules (:func:`repro.obs.alerts.profiler_rules`) evaluate.
+        ``source="profile"`` series are, like registry snapshots,
+        excluded from the deterministic shard-shipping projection."""
+        profiler = self._profiler
+        if profiler is None or not getattr(profiler, "enabled", False):
+            return
+        for row in profiler.stage_documents():
+            labels = {"stage": row["stage"]}
+            self.append(
+                "stage_ns_total", labels, t,
+                float(row["ns_total"]), source="profile",
+            )
+            self.append(
+                "stage_calls_total", labels, t,
+                float(row["calls"]), source="profile",
+            )
+            self.append(
+                "stage_ns_per_packet", labels, t,
+                float(row["ns_per_packet"]), source="profile",
+            )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -321,13 +355,19 @@ class TimeSeriesDB:
     # ------------------------------------------------------------------
     def to_dict(self, include_registry: bool = True) -> Dict[str, Any]:
         """The store as plain JSON-able dicts, series in canonical
-        order (the shard-shipping and test-comparison format)."""
+        order (the shard-shipping and test-comparison format).
+
+        ``include_registry=False`` also excludes profiler snapshot
+        series (``source == "profile"``): both describe the recording
+        bundle rather than the detection run, and timers-mode stage
+        nanoseconds are wall clock."""
         return {
             "retention": self.retention,
             "series": [
                 series.to_dict()
                 for series in self.series()
-                if include_registry or series.source != "registry"
+                if include_registry
+                or series.source not in ("registry", "profile")
             ],
         }
 
@@ -379,7 +419,12 @@ class NullTSDB:
     record_snapshots = False
     samples_appended = 0
 
-    def bind(self, registry: Optional[Any] = None, events: Optional[Any] = None) -> None:
+    def bind(
+        self,
+        registry: Optional[Any] = None,
+        events: Optional[Any] = None,
+        profiler: Optional[Any] = None,
+    ) -> None:
         pass
 
     def append(self, name, labels, t, value, source="feed") -> None:

@@ -52,6 +52,7 @@ from ..obs.merge import (
     tsdb_snapshot,
 )
 from ..obs.metrics import MetricsRegistry
+from ..obs.profiler import Profiler
 from ..obs.recorder import FlightRecorder
 from ..obs.tsdb import TimeSeriesDB
 from ..obs.runtime import (
@@ -106,11 +107,15 @@ class ObsCapture:
     recorder_post_periods: int = 5
     tsdb: bool = False
     tsdb_retention: int = 4096
+    profiler: bool = False
+    profiler_mode: str = "cost-model"
+    profiler_sample_every: int = 64
 
     @classmethod
     def from_instrumentation(cls, obs: Instrumentation) -> "ObsCapture":
         recorder = obs.recorder.enabled
         tsdb = obs.tsdb.enabled
+        profiler = obs.profiler.enabled
         return cls(
             metrics=obs.registry.enabled,
             events=obs.events.enabled,
@@ -123,11 +128,21 @@ class ObsCapture:
             ),
             tsdb=tsdb,
             tsdb_retention=(obs.tsdb.retention if tsdb else 4096),
+            profiler=profiler,
+            profiler_mode=(
+                obs.profiler.mode if profiler else "cost-model"
+            ),
+            profiler_sample_every=(
+                obs.profiler.sample_every if profiler else 64
+            ),
         )
 
     @property
     def any(self) -> bool:
-        return self.metrics or self.events or self.recorder or self.tsdb
+        return (
+            self.metrics or self.events or self.recorder or self.tsdb
+            or self.profiler
+        )
 
     def build(self) -> Tuple[Instrumentation, Optional[MemorySink]]:
         """A fresh shard-private bundle (and its memory sink, when
@@ -153,12 +168,22 @@ class ObsCapture:
             tsdb = TimeSeriesDB(
                 retention=self.tsdb_retention, record_snapshots=False
             )
+        # A shard profiler accumulates raw stage counts only; derived
+        # documents and tsdb stage series are the parent's business
+        # (the shard tsdb above never ticks).
+        profiler: Optional[Profiler] = None
+        if self.profiler:
+            profiler = Profiler(
+                mode=self.profiler_mode,
+                sample_every=self.profiler_sample_every,
+            )
         return (
             Instrumentation(
                 registry=MetricsRegistry() if self.metrics else None,
                 events=events,
                 recorder=recorder,
                 tsdb=tsdb,
+                profiler=profiler,
             ),
             sink,
         )
@@ -181,6 +206,8 @@ class ShardResult:
     #: Snapshot of the shard's time-series store (feed samples only;
     #: None when history is not captured).
     tsdb: Optional[Dict[str, Any]] = None
+    #: Raw per-stage profiler counts (None when profiling is off).
+    profiler: Optional[Dict[str, Dict[str, int]]] = None
 
 
 # ----------------------------------------------------------------------
@@ -278,6 +305,9 @@ def _execute_shard(
             tuple(obs.recorder.contexts) if capture.recorder else ()
         ),
         tsdb=tsdb_snapshot(obs.tsdb) if capture.tsdb else None,
+        profiler=(
+            obs.profiler.to_snapshot() if capture.profiler else None
+        ),
     )
 
 
@@ -328,7 +358,19 @@ def _merge_into_parent(
     by_shard: Dict[int, ShardResult],
     capture: ObsCapture,
 ) -> None:
-    """Fold every shard's observability into the parent bundle."""
+    """Fold every shard's observability into the parent bundle.
+
+    The whole fold is itself a profiled stage (``merge.fold``): one
+    call per :func:`run_plan` merge, with every item folded counted as
+    a unit of work.  Both are pure functions of the plan — the stage's
+    counts stay worker-invariant.
+    """
+    prof = (
+        obs.profiler.stage("merge.fold", sample_every=1)
+        if obs.profiler.enabled
+        else None
+    )
+    token = None if prof is None else prof.begin()
     if capture.metrics:
         for shard_index in plan.merge_order():
             snapshot = by_shard[shard_index].registry
@@ -358,6 +400,14 @@ def _merge_into_parent(
             for context in by_shard[shard_index].contexts:
                 obs.recorder.contexts.append(context)
                 obs.recorder.contexts_emitted += 1
+    if capture.profiler and obs.profiler.enabled:
+        for shard_index in plan.merge_order():
+            snapshot = by_shard[shard_index].profiler
+            if snapshot:
+                obs.profiler.merge_from(snapshot)
+    if prof is not None:
+        items = sum(len(result.results) for result in by_shard.values())
+        prof.end(token, packets=items)
 
 
 def run_plan(

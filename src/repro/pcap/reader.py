@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import io
 from pathlib import Path
-from typing import BinaryIO, Iterator, List, Optional, Tuple, Union
+from typing import Any, BinaryIO, Iterator, List, Optional, Tuple, Union
 
 from ..packet.packet import Packet
 from .format import (
@@ -56,7 +56,7 @@ class PcapReader:
         or None when the stream ended cleanly (so far).
     """
 
-    def __init__(self, stream: BinaryIO) -> None:
+    def __init__(self, stream: BinaryIO, obs: Optional[Any] = None) -> None:
         self._stream = stream
         self._owns_stream = False
         header_bytes = stream.read(GLOBAL_HEADER_LENGTH)
@@ -69,12 +69,23 @@ class PcapReader:
         self.records_read = 0
         self.skipped_records = 0
         self.truncation: Optional[PcapTruncatedError] = None
+        # Profiler stage handle, bound once (repro.obs hot-path
+        # contract): None unless an Instrumentation bundle with a live
+        # profiler is passed explicitly — pcap parsing has no implicit
+        # process-wide obs lookup, matching the reader's stateless feel.
+        self._prof_parse = (
+            obs.profiler.stage("pcap.parse")
+            if obs is not None and obs.profiler.enabled
+            else None
+        )
 
     @classmethod
-    def open(cls, path: Union[str, Path]) -> "PcapReader":
+    def open(
+        cls, path: Union[str, Path], obs: Optional[Any] = None
+    ) -> "PcapReader":
         stream = Path(path).open("rb")
         try:
-            reader = cls(stream)
+            reader = cls(stream, obs=obs)
         except Exception:
             stream.close()
             raise
@@ -89,7 +100,12 @@ class PcapReader:
         iterator stops cleanly at the last complete record and the
         error is kept on :attr:`truncation` for inspection.
         """
+        prof = self._prof_parse
         while True:
+            # begin() is None on untimed iterations (and always in
+            # cost-model mode); tokens on EOF/truncation paths are
+            # simply dropped — only complete records are attributed.
+            token = None if prof is None else prof.begin()
             record_offset = self._offset
             header_bytes = self._stream.read(RECORD_HEADER_LENGTH)
             if not header_bytes:
@@ -124,6 +140,8 @@ class PcapReader:
                 self.truncation = error
                 return
             self.records_read += 1
+            if prof is not None:
+                prof.end(token, packets=1, nbytes=len(captured))
             yield record.timestamp(self.header.nanosecond), captured
 
     def iter_packets(

@@ -266,6 +266,13 @@ class Federation:
             self._g_fed_down = None
         self._events = self._obs.events if self._obs.events.enabled else None
         self._tsdb = self._obs.tsdb if self._obs.tsdb.enabled else None
+        # Coarse per-feed stage: one "federation.feed" call covers one
+        # member replay, so it is always timed in timers mode.
+        self._prof_feed = (
+            self._obs.profiler.stage("federation.feed", sample_every=1)
+            if self._obs.profiler.enabled
+            else None
+        )
 
     # ------------------------------------------------------------------
     # Membership
@@ -359,14 +366,20 @@ class Federation:
         propagates after the crash is recorded.
         """
         router, agent = self.member(name)
+        prof = self._prof_feed
+        token = None if prof is None else prof.begin()
         try:
             processed = router.replay(outbound, inbound)
         except Exception as error:
+            # The crashed replay's token is dropped: only completed
+            # feeds are attributed, mirroring the packet counter below.
             self._note_crash(name, error)
             if self.auto_restart:
                 self.restart_member(name)
                 return 0
             raise
+        if prof is not None:
+            prof.end(token, packets=processed)
         self._checkpoints[name] = agent.detector.checkpoint()
         if self._m_fed_packets is not None:
             self._m_fed_packets.labels(name).inc(processed)

@@ -1,0 +1,91 @@
+"""The profiling workload: every pipeline stage exercised, and the
+cost-model document byte-identical across worker counts."""
+
+from repro.core.parameters import DEFAULT_PARAMETERS
+from repro.experiments.profiling import (
+    ProfileTask,
+    profile_network,
+    run_profile_campaign,
+)
+from repro.obs import enabled_instrumentation
+from repro.obs.profiler import PIPELINE_STAGES, write_profile_json
+from repro.trace.profiles import get_profile
+
+SITE = get_profile("auckland")
+
+
+def campaign_document(workers, mode="cost-model", sample_every=64):
+    obs = enabled_instrumentation(
+        profiler=mode, profiler_sample_every=sample_every
+    )
+    outcomes = run_profile_campaign(
+        SITE, networks=2, base_seed=7, duration=25.0,
+        obs=obs, workers=workers,
+    )
+    return outcomes, obs.profiler.to_dict()
+
+
+class TestProfileNetwork:
+    def test_summary_shape_and_determinism(self):
+        task = ProfileTask(
+            network_id=3, profile=SITE, seed=11, duration=25.0,
+            parameters=DEFAULT_PARAMETERS,
+        )
+        first = profile_network(task)
+        second = profile_network(task)
+        assert first == second
+        assert first["network_id"] == 3
+        assert first["packets"] == first["outbound"] + first["inbound"]
+        assert first["packets"] > 0
+
+
+class TestCostModelByteIdentity:
+    def test_workers_1_vs_2_documents_are_byte_identical(self, tmp_path):
+        _, doc1 = campaign_document(workers=1)
+        _, doc2 = campaign_document(workers=2)
+        path1 = tmp_path / "w1.json"
+        path2 = tmp_path / "w2.json"
+        write_profile_json(doc1, path1)
+        write_profile_json(doc2, path2)
+        assert path1.read_bytes() == path2.read_bytes()
+
+    def test_every_pipeline_stage_is_exercised(self):
+        _, document = campaign_document(workers=1)
+        by_stage = {row["stage"]: row for row in document["stages"]}
+        for stage in PIPELINE_STAGES:
+            assert stage in by_stage, f"stage {stage} never ran"
+            assert by_stage[stage]["calls"] > 0
+
+    def test_outcomes_match_across_workers(self):
+        outcomes1, _ = campaign_document(workers=1)
+        outcomes2, _ = campaign_document(workers=2)
+        assert outcomes1 == outcomes2
+
+    def test_merge_fold_counts_are_plan_invariants(self):
+        _, document = campaign_document(workers=1)
+        (fold,) = [
+            row for row in document["stages"] if row["stage"] == "merge.fold"
+        ]
+        assert fold["calls"] == 1  # one run_plan merge
+        assert fold["packets"] == 2  # one item folded per network
+
+
+class TestTimersMode:
+    def test_every_stage_gets_timed(self):
+        _, document = campaign_document(
+            workers=1, mode="timers", sample_every=8
+        )
+        by_stage = {row["stage"]: row for row in document["stages"]}
+        for stage in PIPELINE_STAGES:
+            row = by_stage[stage]
+            assert row["timed_calls"] >= 1, f"stage {stage} never timed"
+            assert row["ns_total"] > 0
+
+    def test_timers_survive_worker_sharding(self):
+        _, document = campaign_document(
+            workers=2, mode="timers", sample_every=8
+        )
+        by_stage = {row["stage"]: row for row in document["stages"]}
+        # Shard-side clocks ship home in the snapshot fold.
+        assert by_stage["classify"]["timed_calls"] >= 1
+        assert by_stage["merge.fold"]["timed_calls"] == 1

@@ -240,6 +240,80 @@ class TestAlertsEndpoint:
         assert payload == {"enabled": False}
 
 
+class TestProfileEndpoint:
+    def test_profiler_disabled_is_503(self, live):
+        _, server = live
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get(server.url + "/profile")
+        assert excinfo.value.code == 503
+        assert "profiler" in json.loads(excinfo.value.read())["error"]
+
+    def test_live_profile_document(self):
+        obs = enabled_instrumentation(profiler="cost-model")
+        with ObsServer(obs) as server:
+            obs.profiler.stage("classify").add()
+            obs.profiler.stage("classify").add()
+            _, headers, body = get(server.url + "/profile")
+            assert headers["Content-Type"].startswith("application/json")
+            payload = json.loads(body)
+            assert payload["mode"] == "cost-model"
+            (row,) = payload["stages"]
+            assert row["stage"] == "classify"
+            assert row["calls"] == 2
+            # Scrape again mid-run: live state, not a final export.
+            obs.profiler.stage("classify").add()
+            payload = json.loads(get(server.url + "/profile")[2])
+            assert payload["stages"][0]["calls"] == 3
+
+    def test_metrics_scrape_exports_profile_counters(self):
+        obs = enabled_instrumentation(profiler="cost-model")
+        with ObsServer(obs) as server:
+            obs.profiler.stage("classify").add()
+            _, _, body = get(server.url + "/metrics")
+            samples = parse_prometheus_text(body.decode("utf-8"))
+            as_map = {
+                (name, tuple(sorted(labels.items()))): value
+                for name, labels, value in samples
+            }
+            key = ("profile_stage_calls_total", (("stage", "classify"),))
+            assert as_map[key] == 1.0
+
+    def test_profile_scrapes_race_live_ingestion(self):
+        """Mirror the scrape-race contract for /profile: hammer the
+        endpoint while packets flow through a profiled detector on
+        another thread; every response stays a well-formed document."""
+        import threading
+
+        obs = enabled_instrumentation(profiler="cost-model")
+        with ObsServer(obs) as server:
+            dog = SynDog(obs=obs, name="router-a")
+            dog.observe_period(100, 100)
+            stop = threading.Event()
+
+            def ingest():
+                while not stop.is_set():
+                    dog.observe_period(100, 100)
+
+            feeder = threading.Thread(target=ingest, daemon=True)
+            feeder.start()
+            try:
+                requests = 0
+                for _ in range(10):
+                    payload = json.loads(get(server.url + "/profile")[2])
+                    assert payload["mode"] == "cost-model"
+                    (row,) = payload["stages"]
+                    assert row["stage"] == "cusum.step"
+                    assert row["calls"] >= 1
+                    status, _, body = get(server.url + "/metrics")
+                    assert status == 200
+                    parse_prometheus_text(body.decode("utf-8"))
+                    requests += 2
+            finally:
+                stop.set()
+                feeder.join(timeout=5)
+            assert server.requests_served == requests
+
+
 class TestHeadRequests:
     def test_head_matches_get_without_body(self, live):
         obs, server = live
@@ -249,6 +323,18 @@ class TestHeadRequests:
                       "/query?expr=syndog_x_n", "/"):
             request = urllib.request.Request(
                 server.url + route, method="HEAD"
+            )
+            with urllib.request.urlopen(request, timeout=5) as response:
+                assert response.status == 200
+                assert int(response.headers["Content-Length"]) > 0
+                assert response.read() == b""
+
+    def test_head_profile_with_profiler_enabled(self):
+        obs = enabled_instrumentation(profiler="cost-model")
+        with ObsServer(obs) as server:
+            obs.profiler.stage("classify").add()
+            request = urllib.request.Request(
+                server.url + "/profile", method="HEAD"
             )
             with urllib.request.urlopen(request, timeout=5) as response:
                 assert response.status == 200
@@ -311,7 +397,9 @@ class TestServerLifecycle:
             get(server.url + "/nope")
         assert excinfo.value.code == 404
         _, _, body = get(server.url + "/")
-        assert "/metrics" in json.loads(body)["endpoints"]
+        endpoints = json.loads(body)["endpoints"]
+        assert "/metrics" in endpoints
+        assert "/profile" in endpoints
 
     def test_ephemeral_port_resolved_and_stop_idempotent(self):
         obs = enabled_instrumentation()

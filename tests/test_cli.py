@@ -662,3 +662,117 @@ class TestObserveAlertsAndTrace:
         for event in document["traceEvents"]:
             assert event["ph"] == "X"
             assert event["dur"] >= 0.0
+
+
+class TestProfileCommand:
+    def test_cost_model_run_with_exports(self, tmp_path, capsys):
+        import json
+
+        prof_json = tmp_path / "prof.json"
+        folded = tmp_path / "prof.folded"
+        callgrind = tmp_path / "prof.callgrind"
+        code = main([
+            "profile", "--mode", "cost-model", "--networks", "1",
+            "--seed", "7", "--duration", "25",
+            "--json", str(prof_json), "--flame-out", str(folded),
+            "--callgrind-out", str(callgrind),
+        ])
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "mode cost-model" in out
+        assert "pcap.parse" in out
+        document = json.loads(prof_json.read_text())
+        assert document["mode"] == "cost-model"
+        from repro.obs.profiler import parse_callgrind, parse_folded
+
+        stacks = parse_folded(folded.read_text())
+        assert "syndog;pcap;parse" in stacks
+        parsed = parse_callgrind(callgrind.read_text())
+        assert "classify" in parsed["stages"]
+
+    def test_cost_model_json_byte_identical_across_workers(self, tmp_path):
+        w1 = tmp_path / "w1.json"
+        w2 = tmp_path / "w2.json"
+        base = [
+            "profile", "--mode", "cost-model", "--networks", "2",
+            "--seed", "7", "--duration", "25",
+        ]
+        assert main(base + ["--workers", "1", "--json", str(w1)]) == EXIT_OK
+        assert main(base + ["--workers", "2", "--json", str(w2)]) == EXIT_OK
+        assert w1.read_bytes() == w2.read_bytes()
+
+    def test_timers_mode_runs(self, capsys):
+        code = main([
+            "profile", "--mode", "timers", "--networks", "1",
+            "--duration", "25", "--sample-every", "8",
+        ])
+        assert code == EXIT_OK
+        assert "mode timers" in capsys.readouterr().out
+
+    def test_baseline_regression_exits_alarm(self, tmp_path, capsys):
+        import json
+
+        baseline = tmp_path / "base.json"
+        baseline.write_text(json.dumps({"pcap.parse": 1.0}))
+        code = main([
+            "profile", "--mode", "cost-model", "--networks", "1",
+            "--duration", "25", "--baseline", str(baseline),
+        ])
+        assert code == EXIT_ALARM
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out
+        assert "REGRESSION       : pcap.parse" in out
+
+    def test_baseline_within_tolerance_is_ok(self, tmp_path, capsys):
+        code = main([
+            "profile", "--mode", "cost-model", "--networks", "1",
+            "--seed", "7", "--duration", "25",
+            "--json", str(tmp_path / "prof.json"),
+        ])
+        assert code == EXIT_OK
+        code = main([
+            "profile", "--mode", "cost-model", "--networks", "1",
+            "--seed", "7", "--duration", "25",
+            "--baseline", str(tmp_path / "prof.json"),
+        ])
+        assert code == EXIT_OK
+        assert "REGRESSED" not in capsys.readouterr().out
+
+    def test_bad_baseline_file_is_usage_error(self, tmp_path, capsys):
+        from repro.cli import EXIT_USAGE
+
+        baseline = tmp_path / "base.json"
+        baseline.write_text("not json")
+        code = main([
+            "profile", "--mode", "cost-model", "--networks", "1",
+            "--duration", "25", "--baseline", str(baseline),
+        ])
+        assert code == EXIT_USAGE
+        assert "bad baseline file" in capsys.readouterr().err
+
+    def test_events_out_feeds_report_profile(self, tmp_path, capsys):
+        events = tmp_path / "prof.events.jsonl"
+        code = main([
+            "profile", "--mode", "cost-model", "--networks", "1",
+            "--seed", "7", "--duration", "25",
+            "--events-out", str(events),
+        ])
+        assert code == EXIT_OK
+        capsys.readouterr()
+        code = main(["report", str(events), "--profile"])
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "per-stage cost attribution" in out
+        assert "pcap.parse" in out
+
+    def test_report_without_profile_flag_omits_section(
+        self, tmp_path, capsys
+    ):
+        events = tmp_path / "prof.events.jsonl"
+        main([
+            "profile", "--mode", "cost-model", "--networks", "1",
+            "--duration", "25", "--events-out", str(events),
+        ])
+        capsys.readouterr()
+        assert main(["report", str(events)]) == EXIT_OK
+        assert "per-stage cost" not in capsys.readouterr().out
