@@ -209,6 +209,41 @@ def build_parser() -> argparse.ArgumentParser:
     alerts.add_argument("--json", action="store_true",
                         help="print the full alerts document as JSON")
 
+    # --------------------------------------------------------------- fleet
+    fleet = sub.add_parser(
+        "fleet",
+        help="fleet telemetry rollup: population counters, quantile "
+             "digests over detector state and top-K suspect tables "
+             "(O(K) however large the fleet; exit 2 when any agent "
+             "is alarming)",
+    )
+    fleet_source = fleet.add_mutually_exclusive_group(required=True)
+    fleet_source.add_argument("--url", metavar="URL",
+                              help="base URL of a live telemetry server "
+                                   "(GET /fleet)")
+    fleet_source.add_argument("--events", metavar="JSONL",
+                              help="events JSONL from observe "
+                                   "--events-out (offline rebuild)")
+    fleet_source.add_argument("--synthetic", type=int, metavar="N",
+                              help="roll up an N-agent deterministic "
+                                   "synthetic fleet (benchmarks, CI "
+                                   "byte-identity checks)")
+    fleet.add_argument("--seed", type=int, default=0,
+                       help="synthetic fleet seed (default 0)")
+    fleet.add_argument("--workers", type=int, default=1,
+                       help="shard the synthetic rollup across worker "
+                            "processes; the merged document is "
+                            "byte-identical at any count (default 1)")
+    fleet.add_argument("--k", type=int, default=8,
+                       help="suspect-table size K (default 8)")
+    fleet.add_argument("--serve", type=int, metavar="PORT",
+                       help="with --synthetic: serve the fleet on a "
+                            "live telemetry server (/fleet, /healthz)")
+    fleet.add_argument("--hold", type=float, default=None, metavar="SECONDS",
+                       help="keep the --serve server up this long")
+    fleet.add_argument("--json", action="store_true",
+                       help="print the rollup document as JSON")
+
     # -------------------------------------------------------------- report
     report = sub.add_parser(
         "report",
@@ -811,6 +846,140 @@ def _cmd_alerts(args: argparse.Namespace) -> int:
     return EXIT_ALARM if fired else EXIT_OK
 
 
+def _render_fleet_text(doc: dict) -> str:
+    """Human view of a fleet rollup document."""
+    agents = doc.get("agents", {})
+    lines = [
+        f"fleet            : {agents.get('total', 0)} agents "
+        f"(ok {agents.get('ok', 0)}, degraded {agents.get('degraded', 0)}, "
+        f"alarming {agents.get('alarming', 0)}, down {agents.get('down', 0)})",
+        f"quorum           : {agents.get('quorum', 1.0):.4f}",
+        f"alarm fraction   : {agents.get('alarm_fraction', 0.0):.4f}",
+    ]
+    watermark = doc.get("watermark")
+    lines.append(
+        "watermark        : "
+        + ("-" if watermark is None else f"t = {watermark:g}s")
+    )
+    digests = doc.get("digests", {})
+    if digests:
+        lines.append(f"{'digest':<18} {'p50':>10} {'p90':>10} {'p99':>10} "
+                     f"{'max':>10}")
+        for metric in sorted(digests):
+            digest = digests[metric]
+            quantiles = digest.get("quantiles", {})
+
+            def _cell(value):
+                return "-" if value is None else f"{value:.4g}"
+
+            lines.append(
+                f"  {metric:<16} {_cell(quantiles.get('p50')):>10} "
+                f"{_cell(quantiles.get('p90')):>10} "
+                f"{_cell(quantiles.get('p99')):>10} "
+                f"{_cell(digest.get('max')):>10}"
+            )
+    titles = {
+        "alarms": "most alarming (alarm count)",
+        "cusum": "highest CUSUM",
+        "degraded": "most degraded (periods)",
+    }
+    for ranking in sorted(doc.get("top", {})):
+        entries = doc["top"][ranking].get("entries", [])
+        if not entries:
+            continue
+        lines.append(f"top suspects     : {titles.get(ranking, ranking)}")
+        for entry in entries:
+            error = entry.get("error", 0.0)
+            lines.append(
+                f"  {entry['agent']:<24} {entry['weight']:>10g}"
+                + ("" if not error else f"  (±{error:g})")
+            )
+    return "\n".join(lines)
+
+
+def _synthetic_fleet_document(
+    n: int, seed: int, k: int, workers: int
+) -> dict:
+    """Shard the synthetic fleet through the WorkPlan engine and fold
+    the shard rollups home — the same merge path a sharded federation
+    uses, byte-identical at any worker count."""
+    from .obs.merge import merge_rollup_snapshots
+    from .obs.rollup import synthetic_shard_rollup
+    from .parallel import WorkPlan, run_plan
+
+    chunk = 256  # fixed chunking: the grid never depends on --workers
+    tasks = [
+        (seed, start, min(start + chunk, n), k)
+        for start in range(0, n, chunk)
+    ]
+    snapshots = run_plan(
+        WorkPlan.partition(tasks), synthetic_shard_rollup, workers=workers
+    )
+    return merge_rollup_snapshots(snapshots, k=k).to_dict()
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    """Fleet summary: live /fleet scrape, offline events rebuild, or a
+    sharded synthetic fleet (the O(K)-document demonstration)."""
+    import json
+
+    if args.serve is not None and args.synthetic is None:
+        print("fleet: --serve requires --synthetic", file=sys.stderr)
+        return EXIT_USAGE
+    if args.url:
+        try:
+            doc = _fetch_json(_server_url(args.url, "/fleet"))
+        except (OSError, ValueError) as exc:
+            print(f"fleet: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+    elif args.events:
+        from pathlib import Path
+
+        from .obs.events import read_jsonl
+        from .obs.rollup import rollup_from_events
+
+        if not Path(args.events).exists():
+            print(f"fleet: no such events file: {args.events}",
+                  file=sys.stderr)
+            return EXIT_USAGE
+        doc = rollup_from_events(read_jsonl(args.events), k=args.k).to_dict()
+    else:
+        if args.synthetic < 0:
+            print(f"fleet: --synthetic must be >= 0: {args.synthetic}",
+                  file=sys.stderr)
+            return EXIT_USAGE
+        doc = _synthetic_fleet_document(
+            args.synthetic, seed=args.seed, k=args.k, workers=args.workers
+        )
+        if args.serve is not None:
+            from .obs import enabled_instrumentation
+            from .obs.rollup import synthetic_fleet_states
+
+            obs = enabled_instrumentation(memory_events=True)
+            for state in synthetic_fleet_states(args.synthetic,
+                                                seed=args.seed):
+                if state.down:
+                    continue  # a down agent's tape never got a snapshot
+                obs.recorder.record(state.name, {
+                    "period_index": 0,
+                    "end_time": 20.0,
+                    "syn": state.delta,
+                    "synack": 0.0,
+                    "x": state.x,
+                    "statistic": state.cusum,
+                    "alarm": state.alarm,
+                    "degraded": state.degraded_periods > 0,
+                })
+            with _serving(obs, args.serve, hold=args.hold or 0.0):
+                pass
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(_render_fleet_text(doc))
+    alarming = (doc.get("agents") or {}).get("alarming", 0)
+    return EXIT_ALARM if alarming else EXIT_OK
+
+
 def _cmd_table(args: argparse.Namespace) -> int:
     if args.number == 1:
         from .experiments.tables import table1
@@ -1165,6 +1334,7 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "query": _cmd_query,
     "alerts": _cmd_alerts,
+    "fleet": _cmd_fleet,
     "chaos": _cmd_chaos,
     "sensitivity": _cmd_sensitivity,
     "table": _cmd_table,

@@ -51,6 +51,10 @@ Modules
     Hot-path per-stage cost attribution (wall/CPU time, packets,
     bytes, allocations) with a deterministic cost-model mode and
     folded-stack / callgrind exports.
+``rollup``
+    Fleet-scale telemetry: mergeable fixed-bucket quantile digests,
+    Space-Saving top-K suspect rankings and population counters —
+    the O(K) ``/fleet`` document and the ``repro fleet`` backend.
 """
 
 from .alerts import (
@@ -96,12 +100,14 @@ from .merge import (
     canonical_events,
     deterministic_families,
     merge_event_groups,
+    merge_rollup_snapshots,
     merge_snapshot,
     merge_snapshots,
     merge_tsdb_snapshots,
     merged_registry,
     registry_snapshot,
     render_deterministic,
+    rollup_snapshot,
     tsdb_snapshot,
 )
 from .metrics import (
@@ -129,6 +135,17 @@ from .profiler import (
     write_profile_json,
 )
 from .recorder import FlightRecorder, NullFlightRecorder
+from .rollup import (
+    DEFAULT_TOP_K,
+    AgentState,
+    FleetRollup,
+    QuantileDigest,
+    SpaceSavingTopK,
+    rollup_from_events,
+    states_from_events,
+    states_from_recorder,
+    synthetic_fleet_states,
+)
 from .runtime import (
     NULL_INSTRUMENTATION,
     Instrumentation,
@@ -191,6 +208,18 @@ __all__ = [
     "merge_event_groups",
     "tsdb_snapshot",
     "merge_tsdb_snapshots",
+    "rollup_snapshot",
+    "merge_rollup_snapshots",
+    # rollup
+    "FleetRollup",
+    "QuantileDigest",
+    "SpaceSavingTopK",
+    "AgentState",
+    "DEFAULT_TOP_K",
+    "states_from_recorder",
+    "states_from_events",
+    "rollup_from_events",
+    "synthetic_fleet_states",
     # tsdb
     "TimeSeriesDB",
     "NullTSDB",

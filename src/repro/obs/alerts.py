@@ -48,6 +48,7 @@ __all__ = [
     "AlertManager",
     "NullAlertManager",
     "builtin_rules",
+    "fleet_rules",
     "profiler_rules",
     "rules_from_dicts",
     "rules_from_file",
@@ -417,6 +418,7 @@ def builtin_rules(
     window: str = "5m",
     for_periods: int = 2,
     profile_baseline: Optional[Dict[str, Any]] = None,
+    fleet: bool = True,
 ) -> List[AlertRule]:
     """The standard watch-the-watchers rule set.
 
@@ -428,11 +430,79 @@ def builtin_rules(
     ``profile_baseline`` (a ``BENCH_profile.json`` document or a bare
     ``{stage: ns_per_packet}`` mapping) additionally arms the per-stage
     overhead-regression rules from :func:`profiler_rules`.
+
+    ``fleet`` (default True) appends the fleet-level rules from
+    :func:`fleet_rules`; they watch the ``fleet_*`` rollup series a
+    :class:`~repro.router.fleet.Federation` emits and stay inactive on
+    single-agent runs, where those series never exist.
     """
     rules = _builtin_core_rules(threshold, watermark, window, for_periods)
+    if fleet:
+        rules.extend(fleet_rules(threshold, watermark=watermark, window=window))
     if profile_baseline:
         rules.extend(profiler_rules(profile_baseline))
     return rules
+
+
+def fleet_rules(
+    threshold: float = 1.05,
+    min_quorum: float = 0.9,
+    max_alarm_fraction: float = 0.5,
+    watermark: float = 0.8,
+    window: str = "5m",
+    for_periods: int = 1,
+) -> List[AlertRule]:
+    """Fleet-level rules over the rollup series
+    (:mod:`repro.obs.rollup` via :class:`~repro.router.fleet.Federation`).
+
+    These watch the *reduction*, not the agents: evaluating them is
+    O(1) in fleet size because the federation already folded the fleet
+    into the ``fleet_*`` samples.  ``fleet_cusum_p99_near_threshold``
+    is the fleet analogue of ``cusum_near_threshold`` — it pages when
+    the 99th-percentile CUSUM across agents approaches the alarm
+    threshold N, i.e. when a broad slice of the fleet (not one noisy
+    agent) is trending toward alarm.
+    """
+    return [
+        AlertRule(
+            name="fleet_quorum_low",
+            expr=f"last_over_time(fleet_quorum[{window}]) < {min_quorum!r}",
+            for_periods=for_periods,
+            severity="page",
+            description=(
+                f"less than {min_quorum * 100:.0f}% of federation members "
+                "are alive — absence of alarms is not evidence of health"
+            ),
+        ),
+        AlertRule(
+            name="fleet_alarm_fraction_high",
+            expr=(
+                f"last_over_time(fleet_alarm_fraction[{window}]) > "
+                f"{max_alarm_fraction!r}"
+            ),
+            for_periods=for_periods,
+            severity="page",
+            description=(
+                f"more than {max_alarm_fraction * 100:.0f}% of the fleet "
+                "is alarming at once — a coordinated flood or a "
+                "systematic false-positive source"
+            ),
+        ),
+        AlertRule(
+            name="fleet_cusum_p99_near_threshold",
+            expr=(
+                f"max_over_time(fleet_cusum_p99[{window}]) > "
+                f"{watermark!r} * {threshold!r}"
+            ),
+            for_periods=for_periods,
+            severity="warn",
+            description=(
+                "the fleet's 99th-percentile CUSUM is within "
+                f"{(1 - watermark) * 100:.0f}% of the alarm threshold — "
+                "a fleet-wide drift, not a single hot agent"
+            ),
+        ),
+    ]
 
 
 def _builtin_core_rules(

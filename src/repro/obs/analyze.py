@@ -22,7 +22,12 @@ run from that stream alone — no trace, no detector, no pickle:
   finalize; ``render_report(..., profile=True)`` (the ``repro report
   --profile`` flag) folds every profile event in the log into one
   per-stage cost table via
-  :func:`~repro.obs.profiler.merge_stage_rows`.
+  :func:`~repro.obs.profiler.merge_stage_rows`;
+* a **fleet rollup**: the same mergeable digest document ``repro
+  fleet`` and the ``/fleet`` endpoint serve — population counters,
+  per-metric quantile digests and top-K suspect lists — replayed from
+  the log via :func:`~repro.obs.rollup.rollup_from_events`, so a
+  report over a 10^4-agent log still summarizes the fleet in O(K).
 
 Multiple JSONL files analyze into one report (a fleet of runs); agent
 keys are prefixed with the file stem when names would collide.
@@ -145,6 +150,9 @@ class EventsReport:
     min_alarm_periods: int
     #: Raw ``profile`` event payloads (one per profiled run in the log).
     profiles: Tuple[Dict[str, Any], ...] = ()
+    #: Fleet rollup document (:meth:`FleetRollup.to_dict`) replayed
+    #: from the log; None when the log carries no period events.
+    fleet: Optional[Dict[str, Any]] = None
 
     def merged_profile(self) -> Optional[Dict[str, Any]]:
         """Fold every profile event into one per-stage cost document
@@ -202,6 +210,7 @@ class EventsReport:
                 for name, timeline in sorted(self.agents.items())
             },
             "profile": self.merged_profile(),
+            "fleet": self.fleet,
         }
 
 
@@ -294,6 +303,12 @@ def analyze_events(
     for name, state in open_spans.items():
         agents[name].spans.append(_close_span(name, state, min_alarm_periods))
 
+    fleet: Optional[Dict[str, Any]] = None
+    if by_kind.get("period"):
+        from .rollup import rollup_from_events
+
+        fleet = rollup_from_events(ordered).to_dict()
+
     return EventsReport(
         agents=agents,
         events_total=len(ordered),
@@ -301,6 +316,7 @@ def analyze_events(
         sources=(source,),
         min_alarm_periods=min_alarm_periods,
         profiles=tuple(profiles),
+        fleet=fleet,
     )
 
 
@@ -358,6 +374,12 @@ def analyze_files(
             by_kind[kind] = by_kind.get(kind, 0) + count
         profiles.extend(report.profiles)
         total += report.events_total
+    fleets = [report.fleet for report in reports if report.fleet is not None]
+    fleet: Optional[Dict[str, Any]] = None
+    if fleets:
+        from .merge import merge_rollup_snapshots
+
+        fleet = merge_rollup_snapshots(fleets).to_dict()
     return EventsReport(
         agents=merged_agents,
         events_total=total,
@@ -365,6 +387,7 @@ def analyze_files(
         sources=tuple(str(path) for path in paths),
         min_alarm_periods=min_alarm_periods,
         profiles=tuple(profiles),
+        fleet=fleet,
     )
 
 
@@ -435,6 +458,70 @@ def _profile_markdown_lines(report: EventsReport) -> List[str]:
     return lines
 
 
+def _fleet_text_lines(report: EventsReport) -> List[str]:
+    doc = report.fleet
+    if doc is None:
+        return []
+    counts = doc.get("agents", {})
+    lines = ["", "fleet rollup"]
+    lines.append(
+        f"  agents {counts.get('total', 0)} "
+        f"(ok={counts.get('ok', 0)} degraded={counts.get('degraded', 0)} "
+        f"alarming={counts.get('alarming', 0)} down={counts.get('down', 0)})"
+        f", quorum {counts.get('quorum', 1.0):.3f}"
+        f", alarm fraction {counts.get('alarm_fraction', 0.0):.4f}"
+    )
+    cusum = doc.get("digests", {}).get("cusum", {}).get("quantiles", {})
+    p99 = cusum.get("p99")
+    if p99 is not None:
+        lines.append(f"  cusum p50/p99: {cusum.get('p50', 0.0):.3f} / "
+                     f"{p99:.3f}")
+    for ranking, summary in sorted(doc.get("top", {}).items()):
+        entries = summary.get("entries", [])
+        if not entries:
+            continue
+        shown = ", ".join(
+            f"{entry['agent']}={entry['weight']:g}" for entry in entries[:5]
+        )
+        lines.append(f"  top {ranking}: {shown}")
+    return lines
+
+
+def _fleet_markdown_lines(report: EventsReport) -> List[str]:
+    doc = report.fleet
+    if doc is None:
+        return []
+    counts = doc.get("agents", {})
+    lines = ["", "## Fleet rollup", ""]
+    lines.append(
+        f"- agents: **{counts.get('total', 0)}** "
+        f"(ok={counts.get('ok', 0)}, degraded={counts.get('degraded', 0)}, "
+        f"alarming={counts.get('alarming', 0)}, down={counts.get('down', 0)})"
+    )
+    lines.append(f"- quorum: **{counts.get('quorum', 1.0):.3f}**, "
+                 f"alarm fraction: {counts.get('alarm_fraction', 0.0):.4f}")
+    cusum = doc.get("digests", {}).get("cusum", {}).get("quantiles", {})
+    if cusum.get("p99") is not None:
+        lines.append(f"- cusum p50/p99: {cusum.get('p50', 0.0):.3f} / "
+                     f"{cusum['p99']:.3f}")
+    top = {
+        name: summary.get("entries", [])
+        for name, summary in sorted(doc.get("top", {}).items())
+        if summary.get("entries")
+    }
+    if top:
+        lines.append("")
+        lines.append("| ranking | top agents (weight) |")
+        lines.append("|---|---|")
+        for ranking, entries in top.items():
+            shown = ", ".join(
+                f"`{entry['agent']}` ({entry['weight']:g})"
+                for entry in entries[:5]
+            )
+            lines.append(f"| {ranking} | {shown} |")
+    return lines
+
+
 def _span_line(span: AlarmSpan) -> str:
     clear = (
         f"cleared t={span.cleared_time:.0f}s (held "
@@ -498,6 +585,7 @@ def _render_text(report: EventsReport, profile: bool = False) -> str:
                 f"  flight recorder: {timeline.alarm_contexts} "
                 f"alarm_context event(s)"
             )
+    lines.extend(_fleet_text_lines(report))
     if profile:
         lines.extend(_profile_text_lines(report))
     return "\n".join(lines)
@@ -539,6 +627,7 @@ def _render_markdown(report: EventsReport, profile: bool = False) -> str:
         lines.append("")
         for span in sorted(spans, key=lambda s: s.raised_time):
             lines.append(f"- `{span.agent}` {_span_line(span)}")
+    lines.extend(_fleet_markdown_lines(report))
     if profile:
         lines.extend(_profile_markdown_lines(report))
     return "\n".join(lines)

@@ -49,6 +49,8 @@ __all__ = [
     "merge_event_groups",
     "tsdb_snapshot",
     "merge_tsdb_snapshots",
+    "rollup_snapshot",
+    "merge_rollup_snapshots",
     "NONDETERMINISTIC_EVENT_FIELDS",
 ]
 
@@ -290,3 +292,32 @@ def merge_tsdb_snapshots(
     for snapshot in snapshots:
         tsdb.merge_from(snapshot)
     return tsdb
+
+
+# ----------------------------------------------------------------------
+# Fleet rollups
+# ----------------------------------------------------------------------
+def rollup_snapshot(rollup: Any) -> Dict[str, Any]:
+    """A shard's fleet rollup as a plain mergeable dict
+    (:meth:`repro.obs.rollup.FleetRollup.to_dict`)."""
+    return rollup.to_dict()
+
+
+def merge_rollup_snapshots(
+    snapshots: Iterable[Dict[str, Any]], k: Optional[int] = None
+) -> Any:
+    """Fold shard rollup snapshots into one fleet rollup, **in the
+    given order**.  Counter and bucket folds are exact integer sums
+    (order-free); float ``sum`` sidecars and over-K top-K truncation
+    follow merge order, which the engine fixes to
+    :meth:`WorkPlan.merge_order` — worker-count-independent — so the
+    merged document is byte-identical at any ``--workers``."""
+    from .rollup import FleetRollup
+
+    materialized = list(snapshots)
+    if k is None:
+        k = int(materialized[0]["k"]) if materialized else None
+    target = FleetRollup() if k is None else FleetRollup(k=k)
+    for snapshot in materialized:
+        target.merge_snapshot(snapshot)
+    return target

@@ -250,7 +250,9 @@ class Histogram(_Family):
         Returns None for an empty histogram.  Observations above the
         highest bucket cannot be interpolated; quantiles landing there
         return the highest finite bound — the estimate Prometheus
-        itself gives for the +Inf bucket.
+        itself gives for the +Inf bucket — or None when the histogram
+        has no finite bound at all (a bare ``(+Inf,)`` bucket list),
+        never ``inf`` itself.
         """
         self._require_unlabeled()
         if not 0.0 <= q <= 1.0:
@@ -267,8 +269,11 @@ class Histogram(_Family):
             if bucket_count and target <= cumulative:
                 if bound == math.inf:
                     # An explicit +Inf bucket: fall back to the bound
-                    # below it (nothing to interpolate toward).
-                    return self.buckets[i - 1] if i > 0 else 0.0
+                    # below it (nothing to interpolate toward).  With
+                    # no finite bound at all the histogram knows
+                    # nothing about magnitudes — say so with None
+                    # rather than inventing 0.0.
+                    return self.buckets[i - 1] if i > 0 else None
                 if i > 0:
                     lower = self.buckets[i - 1]
                 elif bound > 0:

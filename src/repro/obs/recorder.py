@@ -185,6 +185,15 @@ class FlightRecorder:
         tape = self._tapes.get(agent)
         return list(tape.ring) if tape is not None else []
 
+    def last_snapshots(self) -> Dict[str, Snapshot]:
+        """Each agent's most recent trajectory point (full snapshot),
+        the fleet-rollup builder's source for delta and X_n."""
+        return {
+            agent: tape.last
+            for agent, tape in sorted(self._tapes.items())
+            if tape.last is not None
+        }
+
     def status(self) -> Dict[str, Dict[str, Any]]:
         """Live per-agent state for health endpoints and summaries."""
         report: Dict[str, Dict[str, Any]] = {}
@@ -231,6 +240,9 @@ class NullFlightRecorder:
 
     def window(self, agent: str) -> List[Snapshot]:
         return []
+
+    def last_snapshots(self) -> Dict[str, Snapshot]:
+        return {}
 
     def status(self) -> Dict[str, Dict[str, Any]]:
         return {}

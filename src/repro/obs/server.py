@@ -13,7 +13,11 @@ only — with three endpoints:
     scrape time, exactly as ``finalize`` would write them.
 ``GET /healthz``
     A JSON liveness probe: uptime, events emitted/dropped, and — via
-    the flight recorder — per-agent period counts and alarm state.
+    the flight recorder — a bounded per-status ``summary`` (counts of
+    ok/degraded/alarming agents plus quorum, O(1) in fleet size).  The
+    full per-agent map is included only while the fleet is at or below
+    ``healthz_agents_limit``; above it the document reports
+    ``agents_omitted`` instead, so a 10^6-agent probe stays small.
     ``status`` is honest: ``alarming`` when any agent's alarm is up or
     an alert rule is firing, ``degraded`` on event drops / degraded
     periods / pending alerts, ``ok`` otherwise.
@@ -30,6 +34,12 @@ only — with three endpoints:
 ``GET /profile``
     The hot-path profiler's per-stage cost document
     (:mod:`repro.obs.profiler`); 503 when profiling is off.
+``GET /fleet``
+    The fleet telemetry rollup (:mod:`repro.obs.rollup`) built from
+    the flight recorder's live per-agent state: population counters,
+    quantile digests over delta/X_n/CUSUM/degraded-periods, and the
+    top-K suspect rankings.  The document is O(K·buckets) — its size
+    does not grow with the fleet.  503 when the recorder is off.
 
 The server never mutates detector state and holds no locks against the
 detection path: scrapes read the live counters (safe under the GIL for
@@ -66,6 +76,7 @@ Usage::
 from __future__ import annotations
 
 import json
+import math
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -79,12 +90,24 @@ from .exporters import (
     export_tracer,
     render_prometheus,
 )
+from .rollup import DEFAULT_TOP_K, FleetRollup, states_from_recorder
 from .tsdb import QueryError
 
-__all__ = ["ObsServer", "PROMETHEUS_CONTENT_TYPE"]
+__all__ = [
+    "ObsServer",
+    "DEFAULT_HEALTHZ_AGENTS_LIMIT",
+    "MAX_EVENT_TAIL",
+    "PROMETHEUS_CONTENT_TYPE",
+]
 
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 DEFAULT_EVENT_TAIL = 100
+#: Upper bound on ``/events?n=K``: a tail request beyond any sink's
+#: retention is a client error, not an invitation to build a huge list.
+MAX_EVENT_TAIL = 100_000
+#: Fleet-size cutoff above which ``/healthz`` omits the per-agent map
+#: (the bounded ``summary`` block is always present).
+DEFAULT_HEALTHZ_AGENTS_LIMIT = 100
 
 
 class ObsServer:
@@ -100,9 +123,13 @@ class ObsServer:
         obs: Any,
         host: str = "127.0.0.1",
         port: int = 0,
+        fleet_top_k: int = DEFAULT_TOP_K,
+        healthz_agents_limit: int = DEFAULT_HEALTHZ_AGENTS_LIMIT,
     ) -> None:
         self.obs = obs
         self.host = host
+        self.fleet_top_k = fleet_top_k
+        self.healthz_agents_limit = healthz_agents_limit
         self._requested_port = port
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
@@ -243,7 +270,22 @@ class ObsServer:
             status = "degraded"
         else:
             status = "ok"
-        return {
+        # The bounded fleet summary: O(1) in fleet size, present at any
+        # scale.  The full per-agent map only ships below the cutoff —
+        # above it, /fleet is the O(K) view and /healthz stays a probe.
+        degraded_agents = sum(
+            1
+            for row in agents.values()
+            if not row["alarm"] and row.get("degraded_periods", 0)
+        )
+        summary = {
+            "agents_total": len(agents),
+            "ok": len(agents) - alarms_active - degraded_agents,
+            "degraded": degraded_agents,
+            "alarming": alarms_active,
+            "quorum": 1.0,  # recorder tapes only exist for live agents
+        }
+        document: Dict[str, Any] = {
             "status": status,
             "uptime_seconds": round(self.uptime_seconds, 3),
             "started_unix": self._started_unix,
@@ -259,8 +301,43 @@ class ObsServer:
             "degraded_periods": degraded_periods,
             "alerts_firing": firing,
             "alerts_pending": pending,
-            "agents": agents,
+            "summary": summary,
         }
+        if len(agents) <= self.healthz_agents_limit:
+            document["agents"] = agents
+        else:
+            document["agents_omitted"] = len(agents)
+        return document
+
+    def fleet_document(self) -> Optional[Dict[str, Any]]:
+        """The ``/fleet`` JSON document — the O(K·buckets) rollup of
+        the flight recorder's live per-agent state — or None when the
+        recorder is disabled (the handler maps it to a 503).
+
+        Building the rollup reads every tape once (O(agents) work per
+        scrape, like ``status()``), but the *document* stays O(K): four
+        fixed-bucket digests, three ≤K-entry suspect rankings, one
+        counter block.  The fold happens under ``_registry_lock`` per
+        the documented order: the recorder is shared obs state and a
+        scrape must not interleave with another handler's fold.
+        """
+        recorder = getattr(self.obs, "recorder", None)
+        if recorder is None or not getattr(recorder, "enabled", False):
+            return None
+        with self._registry_lock:
+            states = states_from_recorder(recorder)
+            snapshots = recorder.last_snapshots()
+        watermark = None
+        for snapshot in snapshots.values():
+            end_time = snapshot.get("end_time")
+            if end_time is not None and (
+                watermark is None or float(end_time) > watermark
+            ):
+                watermark = float(end_time)
+        rollup = FleetRollup.from_states(
+            states, k=self.fleet_top_k, watermark=watermark
+        )
+        return rollup.to_dict()
 
     def events_tail(
         self, n: int = DEFAULT_EVENT_TAIL, kind: Optional[str] = None
@@ -382,6 +459,14 @@ def _build_handler(server: ObsServer):
                         )
                         return
                     self._send_json(200, payload)
+                elif route == "/fleet":
+                    payload = server.fleet_document()
+                    if payload is None:
+                        self._send_json(
+                            503, {"error": "flight recorder disabled"}
+                        )
+                        return
+                    self._send_json(200, payload)
                 elif route == "/":
                     self._send_json(
                         200,
@@ -394,6 +479,7 @@ def _build_handler(server: ObsServer):
                                 "/query",
                                 "/alerts",
                                 "/profile",
+                                "/fleet",
                             ],
                         },
                     )
@@ -424,6 +510,10 @@ def _parse_events_query(
         raise ValueError(f"n must be an integer: {raw_n!r}") from None
     if n < 0:
         raise ValueError(f"n must be >= 0: {n}")
+    if n > MAX_EVENT_TAIL:
+        # An absurd tail (n=10^18) would otherwise allocate a huge
+        # slice in the handler thread; no sink retains that much.
+        raise ValueError(f"n must be <= {MAX_EVENT_TAIL}: {n}")
     kind = query.get("kind", [None])[-1]
     return n, kind
 
@@ -438,6 +528,11 @@ def _parse_query_params(
     if raw_at is None:
         return expr, None
     try:
-        return expr, float(raw_at)
+        at = float(raw_at)
     except ValueError:
         raise ValueError(f"at must be a number: {raw_at!r}") from None
+    if math.isnan(at) or math.isinf(at):
+        # float() happily parses "nan"/"inf", but an evaluation instant
+        # must be a real point on the logical clock.
+        raise ValueError(f"at must be finite: {raw_at!r}")
+    return expr, at

@@ -788,10 +788,20 @@ def tsdb_from_events(
     time; the event's own ``seq`` reconstructs the
     ``obs_events_emitted_total`` watermark exactly as the live tick
     recorded it (drop counts are not recoverable from a JSONL file —
-    whatever was dropped is precisely what is not in it)."""
+    whatever was dropped is precisely what is not in it).  A
+    ``fleet_rollup`` event (:meth:`repro.router.fleet.Federation`)
+    re-appends its ``fleet_*`` samples verbatim, so the fleet alert
+    rules replay offline exactly as they evaluated live."""
     tsdb = TimeSeriesDB(retention=retention)
     last_tick = float("-inf")
     for event in events:
+        if event.get("event") == "fleet_rollup":
+            t = float(event.get("time", 0.0))
+            series = event.get("series") or {}
+            for name in series:
+                if str(name).startswith("fleet_"):
+                    tsdb.append(str(name), None, t, float(series[name]))
+            continue
         if event.get("event") != "period":
             continue
         agent = str(event.get("agent", "unknown"))

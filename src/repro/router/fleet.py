@@ -23,6 +23,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..core.parameters import DEFAULT_PARAMETERS, SynDogParameters
 from ..core.syndog import SynDog
+from ..obs.rollup import DEFAULT_TOP_K, AgentState, FleetRollup
 from ..obs.runtime import Instrumentation, resolve_instrumentation
 from ..packet.addresses import IPv4Network
 from ..packet.packet import Packet
@@ -220,9 +221,14 @@ class Federation:
         on_alarm: Optional[Callable[[MemberAlarm], None]] = None,
         obs: Optional[Instrumentation] = None,
         auto_restart: bool = False,
+        fleet_top_k: int = DEFAULT_TOP_K,
     ) -> None:
         self.parameters = parameters
         self.on_alarm = on_alarm
+        #: Suspect-table size for fleet rollups (``fleet_*`` series and
+        #: the ``/fleet`` document stay O(K) regardless of fleet size).
+        self.fleet_top_k = fleet_top_k
+        self._last_rollup: Optional[FleetRollup] = None
         #: Supervisor policy: when True a member that crashes mid-feed
         #: is immediately restarted from its last checkpoint instead of
         #: staying down until :meth:`restart_member` is called.
@@ -421,6 +427,7 @@ class Federation:
                 except Exception as error:
                     errors[name] = error
                     processed[name] = 0
+            self._emit_fleet_rollup()
             if errors:
                 raise FederationFeedError(errors, processed)
             return processed
@@ -491,6 +498,10 @@ class Federation:
                 self.restart_member(name)
             else:
                 errors[name] = error
+        # The rollup is computed by the parent over the reinstalled
+        # member state — identical to the serial path's, so the emitted
+        # fleet_* samples are byte-identical at any worker count.
+        self._emit_fleet_rollup()
         if errors:
             raise FederationFeedError(errors, processed)
         return processed
@@ -536,10 +547,86 @@ class Federation:
 
     def finish(self, end_time: Optional[float] = None) -> None:
         """Close trailing observation periods on every member still up
-        (a crashed member has no live period to close)."""
+        (a crashed member has no live period to close), then emit the
+        final fleet rollup over the flushed state."""
         for name, (_router, agent) in self._members.items():
             if name not in self._down:
                 agent.finish(end_time=end_time)
+        self._emit_fleet_rollup()
+
+    # ------------------------------------------------------------------
+    # Fleet rollup (repro.obs.rollup)
+    # ------------------------------------------------------------------
+    def agent_states(self) -> List[AgentState]:
+        """Every member's current detector state as rollup input rows,
+        in sorted-name order.  A down member contributes its last known
+        state (stale by definition) flagged ``down``."""
+        states: List[AgentState] = []
+        for name, (_router, agent) in sorted(self._members.items()):
+            detector = agent.detector
+            record = detector.records[-1] if detector.records else None
+            states.append(
+                AgentState(
+                    name=name,
+                    delta=(
+                        float(record.syn_count - record.synack_count)
+                        if record is not None
+                        else 0.0
+                    ),
+                    x=record.x if record is not None else 0.0,
+                    cusum=detector.statistic,
+                    degraded_periods=sum(
+                        1 for r in detector.records if r.degraded
+                    ),
+                    alarms=len(agent.alarm_events),
+                    alarm=detector.alarm,
+                    down=name in self._down,
+                )
+            )
+        return states
+
+    def rollup(self, k: Optional[int] = None) -> FleetRollup:
+        """The fleet's current telemetry rollup — O(K·buckets) however
+        many members are enrolled."""
+        watermark = None
+        for _name, (_router, agent) in self._members.items():
+            records = agent.detector.records
+            if records:
+                end_time = records[-1].end_time
+                if watermark is None or end_time > watermark:
+                    watermark = end_time
+        return FleetRollup.from_states(
+            self.agent_states(),
+            k=self.fleet_top_k if k is None else k,
+            watermark=watermark,
+        )
+
+    @property
+    def last_rollup(self) -> Optional[FleetRollup]:
+        """The most recent rollup emitted by ``feed_all``/``finish``."""
+        return self._last_rollup
+
+    def _emit_fleet_rollup(self) -> None:
+        """Fold the fleet into one digest and publish it: ``fleet_*``
+        feed samples into the TSDB (the series the fleet alert rules
+        watch) and one ``fleet_rollup`` event into the log, both at the
+        fleet's period watermark — logical detector time, so the
+        emission is deterministic and replayable."""
+        rollup = self.rollup()
+        self._last_rollup = rollup
+        if not self._members or rollup.watermark is None:
+            return  # no member has closed a period yet: nothing to stamp
+        t = rollup.watermark
+        if self._tsdb is not None:
+            for name, value in rollup.fleet_series():
+                self._tsdb.append(name, None, t, value)
+        if self._events is not None:
+            self._events.emit(
+                "fleet_rollup",
+                time=t,
+                agents=rollup.counts["total"],
+                series={name: value for name, value in rollup.fleet_series()},
+            )
 
     # ------------------------------------------------------------------
     # Supervision

@@ -212,6 +212,16 @@ class TestBuiltinsAndReplay:
         assert names == {
             "cusum_near_threshold", "events_dropping", "degraded_periods",
             "worker_crashes", "worker_retries",
+            "fleet_quorum_low", "fleet_alarm_fraction_high",
+            "fleet_cusum_p99_near_threshold",
+        }
+
+    def test_builtin_rules_without_fleet_are_the_core_set(self):
+        rules = builtin_rules(threshold=1.05, fleet=False)
+        names = {rule.name for rule in rules}
+        assert names == {
+            "cusum_near_threshold", "events_dropping", "degraded_periods",
+            "worker_crashes", "worker_retries",
         }
 
     def test_builtin_near_threshold_watermark_scales_with_n(self):

@@ -230,5 +230,32 @@ class TestHistogramQuantile:
         histogram.observe(-2.0)
         assert histogram.quantile(0.5) == -1.0
 
+    def test_explicit_inf_bucket_reports_last_finite_bound(self):
+        # Mass landing in an explicit +Inf bucket has nothing to
+        # interpolate toward: the estimate is the highest finite bound,
+        # never inf itself.
+        import math
+
+        histogram = Histogram("h", buckets=(1.0, 2.0, math.inf))
+        histogram.observe(50.0)
+        value = histogram.quantile(0.99)
+        assert value == 2.0
+        assert math.isfinite(value)
+
+    def test_bare_inf_bucket_list_reports_none(self):
+        # A histogram with no finite bound knows nothing about
+        # magnitudes — it must say so with None, not invent 0.0 or inf.
+        import math
+
+        histogram = Histogram("h", buckets=(math.inf,))
+        histogram.observe(50.0)
+        assert histogram.quantile(0.5) is None
+        assert histogram.quantile(0.99) is None
+
+    def test_empty_histogram_with_inf_bucket_is_still_none(self):
+        import math
+
+        assert Histogram("h", buckets=(1.0, math.inf)).quantile(0.5) is None
+
     def test_null_registry_quantile_is_none(self):
         assert NullRegistry().histogram("h").quantile(0.5) is None

@@ -151,6 +151,14 @@ class TestEventsEndpoint:
             get(server.url + "/events?n=bogus")
         assert excinfo.value.code == 400
 
+    def test_negative_and_absurd_n_are_400(self, live):
+        _, server = live
+        for query in ("n=-1", "n=999999999999"):
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                get(server.url + "/events?" + query)
+            assert excinfo.value.code == 400, query
+            assert "error" in json.loads(excinfo.value.read())
+
     def test_without_memory_sink_responds_with_note(self):
         obs = enabled_instrumentation(memory_events=False)
         with ObsServer(obs) as server:
@@ -208,6 +216,13 @@ class TestQueryEndpoint:
             get(server.url + "/query?expr=syndog_x_n&at=bogus")
         assert excinfo.value.code == 400
 
+    def test_non_finite_at_is_400(self, live):
+        _, server = live
+        for raw in ("nan", "inf", "-inf"):
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                get(server.url + f"/query?expr=syndog_x_n&at={raw}")
+            assert excinfo.value.code == 400, raw
+
     def test_disabled_tsdb_is_503(self):
         obs = enabled_instrumentation(tsdb=False)
         with ObsServer(obs) as server:
@@ -238,6 +253,82 @@ class TestAlertsEndpoint:
         _, server = live
         payload = json.loads(get(server.url + "/alerts")[2])
         assert payload == {"enabled": False}
+
+
+class TestFleetEndpoint:
+    def test_live_fleet_document(self, live):
+        obs, server = live
+        for name in ("router-a", "router-b", "router-c"):
+            dog = SynDog(obs=obs, name=name)
+            for _ in range(11):
+                dog.observe_period(100, 100)
+        flood = SynDog(obs=obs, name="router-z")
+        for _ in range(11):
+            flood.observe_period(100, 100)
+        flood.observe_period(5000, 100)
+        _, headers, body = get(server.url + "/fleet")
+        assert headers["Content-Type"].startswith("application/json")
+        doc = json.loads(body)
+        assert doc["agents"]["total"] == 4
+        assert doc["agents"]["alarming"] == 1
+        assert doc["watermark"] is not None
+        top = {e["agent"] for e in doc["top"]["cusum"]["entries"]}
+        assert "router-z" in top
+        assert doc["digests"]["cusum"]["quantiles"]["p99"] is not None
+
+    def test_fleet_document_stays_o_of_k(self):
+        # 50 agents vs 5 agents: same key structure, top lists bounded
+        # by K — the document grows with K, not fleet size.
+        def shape(value):
+            if isinstance(value, dict):
+                return {key: shape(value[key]) for key in sorted(value)}
+            if isinstance(value, list):
+                return "list"
+            return "leaf"
+
+        docs = []
+        for count in (5, 50):
+            obs = enabled_instrumentation(recorder_post_periods=2)
+            with ObsServer(obs, fleet_top_k=4) as server:
+                for i in range(count):
+                    dog = SynDog(obs=obs, name=f"router-{i:03d}")
+                    dog.observe_period(100, 100)
+                docs.append(json.loads(get(server.url + "/fleet")[2]))
+        small, large = docs
+        assert shape(small) == shape(large)
+        for summary in large["top"].values():
+            assert len(summary["entries"]) <= 4
+
+    def test_without_recorder_is_503(self):
+        obs = enabled_instrumentation(flight_recorder=False)
+        with ObsServer(obs) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                get(server.url + "/fleet")
+            assert excinfo.value.code == 503
+            assert "recorder" in json.loads(excinfo.value.read())["error"]
+
+
+class TestHealthzSummary:
+    def test_summary_block_is_always_present(self, live):
+        obs, server = live
+        dog = SynDog(obs=obs, name="router-a")
+        for _ in range(3):
+            dog.observe_period(100, 100)
+        health = json.loads(get(server.url + "/healthz")[2])
+        assert health["summary"]["agents_total"] == 1
+        assert health["summary"]["ok"] == 1
+        assert "agents" in health
+
+    def test_per_agent_map_omitted_above_cutoff(self):
+        obs = enabled_instrumentation(recorder_post_periods=2)
+        with ObsServer(obs, healthz_agents_limit=3) as server:
+            for i in range(5):
+                dog = SynDog(obs=obs, name=f"router-{i}")
+                dog.observe_period(100, 100)
+            health = json.loads(get(server.url + "/healthz")[2])
+            assert "agents" not in health
+            assert health["agents_omitted"] == 5
+            assert health["summary"]["agents_total"] == 5
 
 
 class TestProfileEndpoint:

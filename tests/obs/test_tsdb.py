@@ -289,6 +289,55 @@ class TestMerge:
         )
         assert canonical_tsdb(merged) == canonical_tsdb(whole)
 
+    def test_merge_disjoint_agent_label_sets_unions_series(self):
+        # Two shards that each own different agents: the merge is the
+        # union, sample-exact, and no shard's series leaks into
+        # another's label set.
+        shard_a, shard_b = TimeSeriesDB(), TimeSeriesDB()
+        feed(shard_a, "syndog_cusum", [(20.0, 0.1), (40.0, 0.2)],
+             labels={"agent": "a1"})
+        feed(shard_a, "syndog_cusum", [(20.0, 0.3)], labels={"agent": "a2"})
+        feed(shard_b, "syndog_cusum", [(20.0, 0.7), (40.0, 1.1)],
+             labels={"agent": "b1"})
+        merged = merge_tsdb(
+            TimeSeriesDB(), [shard_a.to_dict(), shard_b.to_dict()]
+        )
+        by_agent = {
+            dict(series.labels)["agent"]: series.samples
+            for series in merged.series("syndog_cusum")
+        }
+        assert sorted(by_agent) == ["a1", "a2", "b1"]
+        assert by_agent["a1"] == [(20.0, 0.1), (40.0, 0.2)]
+        assert by_agent["a2"] == [(20.0, 0.3)]
+        assert by_agent["b1"] == [(20.0, 0.7), (40.0, 1.1)]
+
+    def test_merge_partially_overlapping_agent_label_sets(self):
+        # One agent visible from both shards (handoff mid-run): its
+        # series interleaves by time; agents unique to one shard come
+        # through untouched.  Merge must equal the serial feed.
+        whole = TimeSeriesDB()
+        feed(whole, "syndog_cusum", [(20.0, 0.1), (40.0, 0.2), (60.0, 0.5)],
+             labels={"agent": "shared"})
+        feed(whole, "syndog_cusum", [(20.0, 0.9)], labels={"agent": "only-a"})
+        feed(whole, "syndog_cusum", [(40.0, 1.3)], labels={"agent": "only-b"})
+
+        shard_a, shard_b = TimeSeriesDB(), TimeSeriesDB()
+        feed(shard_a, "syndog_cusum", [(20.0, 0.1), (40.0, 0.2)],
+             labels={"agent": "shared"})
+        feed(shard_a, "syndog_cusum", [(20.0, 0.9)], labels={"agent": "only-a"})
+        feed(shard_b, "syndog_cusum", [(60.0, 0.5)], labels={"agent": "shared"})
+        feed(shard_b, "syndog_cusum", [(40.0, 1.3)], labels={"agent": "only-b"})
+        merged = merge_tsdb(
+            TimeSeriesDB(), [shard_a.to_dict(), shard_b.to_dict()]
+        )
+        assert canonical_tsdb(merged) == canonical_tsdb(whole)
+        # And merge order across shards does not change the outcome
+        # when sample times are distinct.
+        flipped = merge_tsdb(
+            TimeSeriesDB(), [shard_b.to_dict(), shard_a.to_dict()]
+        )
+        assert canonical_tsdb(flipped) == canonical_tsdb(whole)
+
     def test_merge_order_breaks_ties_deterministically(self):
         shard_a, shard_b = TimeSeriesDB(), TimeSeriesDB()
         shard_a.append("y", None, 20.0, 1.0)

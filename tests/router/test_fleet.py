@@ -102,3 +102,78 @@ class TestFederation:
         incident = federation.incident()
         suspect_macs = {host.mac for _network, host in incident.suspects}
         assert {mac_a, mac_b} <= suspect_macs
+
+
+class TestFleetRollup:
+    def build_and_feed(self, obs=None, workers=1):
+        from repro.obs.runtime import enabled_instrumentation
+
+        federation = Federation(
+            obs=obs or enabled_instrumentation(), fleet_top_k=4
+        )
+        for name, stub in NETWORKS.items():
+            federation.add_network(name, stub)
+        flood_mac = MACAddress.parse("02:bd:00:00:00:77")
+        traffic = {
+            name: member_traffic(
+                stub, seed=70 + index,
+                flooded=(name == "dorms"), mac=flood_mac,
+            )
+            for index, (name, stub) in enumerate(sorted(NETWORKS.items()))
+        }
+        federation.feed_all(
+            {
+                name: (trace.outbound, trace.inbound)
+                for name, trace in traffic.items()
+            },
+            workers=workers,
+        )
+        return federation
+
+    def test_rollup_reflects_member_detector_state(self):
+        federation = self.build_and_feed()
+        federation.finish(end_time=1200.0)
+        rollup = federation.rollup()
+        assert rollup.counts["total"] == len(NETWORKS)
+        assert rollup.counts["alarming"] >= 1
+        assert rollup.counts["down"] == 0
+        assert rollup.quorum == 1.0
+        assert rollup.watermark is not None
+        top = {e["agent"] for e in rollup.top["cusum"].top()}
+        assert "dorms" in top
+
+    def test_feed_all_emits_fleet_series_and_event(self):
+        from repro.obs.runtime import enabled_instrumentation
+
+        obs = enabled_instrumentation()
+        federation = self.build_and_feed(obs=obs)
+        assert federation.last_rollup is not None
+        (total,) = obs.tsdb.series("fleet_agents_total")
+        assert total.samples[-1][1] == float(len(NETWORKS))
+        (quorum,) = obs.tsdb.series("fleet_quorum")
+        assert quorum.samples[-1][1] == 1.0
+        assert obs.tsdb.series("fleet_cusum_p99")
+        sink = obs.memory_events()
+        fleet_events = [
+            e for e in sink.events if e.get("event") == "fleet_rollup"
+        ]
+        assert fleet_events
+        assert fleet_events[-1]["agents"] == len(NETWORKS)
+
+    def test_down_member_degrades_quorum_in_rollup(self):
+        federation = self.build_and_feed()
+        federation._note_crash("library", RuntimeError("boom"))
+        rollup = federation.rollup()
+        assert rollup.counts["down"] == 1
+        assert rollup.quorum == pytest.approx(2.0 / 3.0)
+
+    def test_sharded_feed_all_emits_identical_rollup(self):
+        from repro.obs.merge import rollup_snapshot
+
+        serial = self.build_and_feed(workers=1)
+        sharded = self.build_and_feed(workers=2)
+        assert serial.last_rollup is not None
+        assert sharded.last_rollup is not None
+        assert rollup_snapshot(serial.last_rollup) == rollup_snapshot(
+            sharded.last_rollup
+        )

@@ -641,7 +641,7 @@ class TestObserveAlertsAndTrace:
         code = main(["observe", "--trace", str(mixed), "--alerts"])
         assert code == EXIT_ALARM
         out = capsys.readouterr().out
-        assert "alerts           : 5 rules" in out
+        assert "alerts           : 8 rules" in out
         assert "alerts fired     : cusum_near_threshold" in out
 
     def test_observe_trace_out_writes_chrome_trace(
@@ -776,3 +776,78 @@ class TestProfileCommand:
         capsys.readouterr()
         assert main(["report", str(events)]) == EXIT_OK
         assert "per-stage cost" not in capsys.readouterr().out
+
+
+class TestFleet:
+    def test_synthetic_fleet_json_document(self, capsys):
+        import json
+
+        from repro.cli import EXIT_USAGE
+
+        code = main([
+            "fleet", "--synthetic", "500", "--seed", "7", "--json",
+        ])
+        assert code in (EXIT_OK, EXIT_ALARM)
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["agents"]["total"] == 500
+        assert doc["k"] == 8
+        for summary in doc["top"].values():
+            assert len(summary["entries"]) <= 8
+
+    def test_worker_count_does_not_change_the_document(self, capsys):
+        code_1 = main([
+            "fleet", "--synthetic", "400", "--seed", "3",
+            "--workers", "1", "--json",
+        ])
+        out_1 = capsys.readouterr().out
+        code_2 = main([
+            "fleet", "--synthetic", "400", "--seed", "3",
+            "--workers", "2", "--json",
+        ])
+        out_2 = capsys.readouterr().out
+        assert code_1 == code_2
+        assert out_1 == out_2  # byte-identical, the PR's core invariant
+
+    def test_text_rendering_has_digest_and_suspect_tables(self, capsys):
+        code = main(["fleet", "--synthetic", "300", "--seed", "1"])
+        assert code in (EXIT_OK, EXIT_ALARM)
+        out = capsys.readouterr().out
+        assert "fleet" in out
+        assert "p99" in out
+        assert "highest CUSUM" in out
+
+    def test_events_replay_matches_rollup_from_events(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        events = tmp_path / "fleet.events.jsonl"
+        rows = [
+            {"event": "period", "agent": "a", "period_index": 0,
+             "end_time": 20.0, "syn": 150, "synack": 100, "x": 0.5,
+             "statistic": 1.2, "alarm": True},
+            {"event": "period", "agent": "b", "period_index": 0,
+             "end_time": 20.0, "syn": 100, "synack": 100, "x": 0.0,
+             "statistic": 0.0, "alarm": False},
+        ]
+        events.write_text(
+            "\n".join(json.dumps(row) for row in rows) + "\n"
+        )
+        code = main(["fleet", "--events", str(events), "--json"])
+        assert code == EXIT_ALARM  # agent a is alarming
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["agents"]["total"] == 2
+        assert doc["agents"]["alarming"] == 1
+        assert doc["watermark"] == 20.0
+
+    def test_missing_events_file_is_usage_error(self, capsys):
+        from repro.cli import EXIT_USAGE
+
+        code = main(["fleet", "--events", "/nonexistent/nope.jsonl"])
+        assert code == EXIT_USAGE
+
+    def test_negative_synthetic_count_is_usage_error(self, capsys):
+        from repro.cli import EXIT_USAGE
+
+        code = main(["fleet", "--synthetic", "-5"])
+        assert code == EXIT_USAGE
