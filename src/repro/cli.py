@@ -14,6 +14,9 @@ actually touch::
     repro-syndog query    'max_over_time(syndog_cusum[5m])' --events events.jsonl
     repro-syndog alerts   --events events.jsonl --json
     repro-syndog chaos    --seed 42 --schedule lossy-crash --out report.json
+    repro-syndog respond  --seed 7 --rate 200 --out respond.json \
+                          --timeline-out timeline.json --events-out ev.jsonl
+    repro-syndog respond  --replay ev.jsonl --timeline-out replayed.json
     repro-syndog campaign --networks 1000 --workers 4 --json campaign.json
     repro-syndog sensitivity --site auckland --workers 4
     repro-syndog table    2
@@ -408,6 +411,74 @@ def build_parser() -> argparse.ArgumentParser:
                        help="bound on the in-memory event sink (small "
                             "bounds exercise drop accounting and the "
                             "events_dropping alert)")
+
+    # ------------------------------------------------------------- respond
+    respond = sub.add_parser(
+        "respond",
+        help="closed-loop detect->respond campaign: unmitigated vs "
+             "playbook-mitigated flood, with recovery and collateral "
+             "verdicts",
+    )
+    respond.add_argument("--seed", type=int, default=7,
+                         help="root seed: same seed + playbook = "
+                              "byte-identical report")
+    respond.add_argument("--rate", type=float, default=200.0,
+                         help="flood SYN/s aimed at the victim")
+    respond.add_argument("--client-rate", type=float, default=15.0,
+                         help="legitimate connection attempts per second")
+    respond.add_argument("--duration", type=float, default=300.0,
+                         help="total scenario length (s)")
+    respond.add_argument("--attack-start", type=float, default=60.0,
+                         help="flood onset (s)")
+    respond.add_argument("--attack-duration", type=float, default=120.0,
+                         help="flood duration (s)")
+    respond.add_argument("--period", type=float, default=5.0,
+                         help="detector observation period t0 (s)")
+    respond.add_argument("--backlog", type=int, default=256,
+                         help="victim listen-queue capacity")
+    respond.add_argument("--playbook", metavar="PATH",
+                         help="playbook file (JSON or YAML-lite; default: "
+                              "the built-in block-and-shield playbook)")
+    respond.add_argument("--flaky", type=int, default=0, metavar="N",
+                         help="inject N deterministic actuator failures "
+                              "per action kind (exercises retry/backoff)")
+    respond.add_argument("--recovery-factor", type=float, default=2.0,
+                         help="pass bar: mitigated handshake completion "
+                              "over the attack window must be at least "
+                              "this multiple of the unmitigated arm's")
+    respond.add_argument("--alert-cut", type=float, default=50.0,
+                         help="syndog_delta threshold for the syn_flood "
+                              "alert rule driving the engine")
+    respond.add_argument("--workers", type=int, default=None, metavar="N",
+                         help="worker processes sharding the two arms "
+                              "(default: all cores; the report is "
+                              "byte-identical for every N)")
+    respond.add_argument("--out", metavar="PATH",
+                         help="write the campaign report as "
+                              "deterministic JSON")
+    respond.add_argument("--timeline-out", metavar="PATH",
+                         help="write the mitigation timeline document as "
+                              "deterministic JSON (byte-identical to an "
+                              "offline --replay of the events JSONL)")
+    respond.add_argument("--events-out", metavar="PATH",
+                         help="append obs events as JSONL (the replayable "
+                              "record of every response transition)")
+    respond.add_argument("--metrics-out", metavar="PATH",
+                         help="write response/defense metrics in "
+                              "Prometheus text-exposition format")
+    respond.add_argument("--serve", type=int, metavar="PORT",
+                         help="serve live telemetry (/metrics /healthz "
+                              "/events /query /alerts) on PORT for the "
+                              "run's duration (0 picks a free port)")
+    respond.add_argument("--hold", type=float, default=None, metavar="S",
+                         help="with --serve: keep the server up S seconds "
+                              "after the campaign so scrapers can read "
+                              "the finished run")
+    respond.add_argument("--replay", metavar="EVENTS",
+                         help="offline mode: rebuild the mitigation "
+                              "timeline document from an events JSONL "
+                              "written by a previous run (no simulation; "
+                              "byte-identical to its --timeline-out)")
 
     # --------------------------------------------------------- sensitivity
     sensitivity = sub.add_parser(
@@ -1086,6 +1157,99 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return EXIT_OK if report.within_envelope else EXIT_DEGRADED
 
 
+def _cmd_respond(args: argparse.Namespace) -> int:
+    """Closed-loop response campaign: run the unmitigated and the
+    playbook-mitigated arms of the same flood, print the recovery
+    verdict, and persist the deterministic report/timeline artifacts.
+    With ``--replay`` no simulation runs: the timeline document is
+    rebuilt purely from a previous run's events JSONL."""
+    import json
+    from pathlib import Path
+
+    from .experiments.respond import (
+        render_respond_report,
+        run_respond_campaign,
+        timeline_document,
+    )
+
+    if args.replay:
+        from .defense.response import timeline_from_events
+        from .obs.events import read_jsonl
+
+        try:
+            events = list(read_jsonl(args.replay))
+        except OSError as exc:
+            print(f"respond: cannot read events: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        document = timeline_document(timeline_from_events(events))
+        rendered = json.dumps(document, indent=2, sort_keys=True) + "\n"
+        if args.timeline_out:
+            Path(args.timeline_out).write_text(rendered, encoding="utf-8")
+            print(f"timeline         : JSON -> {args.timeline_out}  "
+                  f"(replayed {document['count']} entries from "
+                  f"{args.replay})")
+        else:
+            print(rendered, end="")
+        return EXIT_OK
+
+    playbook = None
+    if args.playbook:
+        from .defense.response import Playbook
+
+        try:
+            playbook = Playbook.from_file(args.playbook)
+        except (OSError, ValueError) as exc:
+            print(f"respond: bad playbook: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+
+    from .obs import enabled_instrumentation
+
+    obs = enabled_instrumentation(
+        events_path=args.events_out,
+        memory_events=args.serve is not None,
+    )
+    with _serving(obs, args.serve, hold=args.hold):
+        report = run_respond_campaign(
+            seed=args.seed,
+            rate=args.rate,
+            client_rate=args.client_rate,
+            duration=args.duration,
+            attack_start=args.attack_start,
+            attack_duration=args.attack_duration,
+            period=args.period,
+            backlog_capacity=args.backlog,
+            playbook=playbook,
+            alert_cut=args.alert_cut,
+            actuator_failures=args.flaky,
+            recovery_factor=args.recovery_factor,
+            obs=obs,
+            workers=args.workers,
+        )
+        print(render_respond_report(report))
+        if args.out:
+            # sort_keys + no timestamps: same seed + playbook must give
+            # byte-identical files at every --workers N (CI diffs them).
+            Path(args.out).write_text(
+                json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+            print(f"report           : JSON -> {args.out}")
+        if args.timeline_out:
+            document = timeline_document(report.mitigated["timeline"])
+            Path(args.timeline_out).write_text(
+                json.dumps(document, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+            print(f"timeline         : JSON -> {args.timeline_out}  "
+                  f"({document['count']} entries)")
+        samples = obs.finalize(args.metrics_out)
+        if args.metrics_out:
+            print(f"metrics          : {samples} samples -> {args.metrics_out}")
+        if args.events_out:
+            print(f"events           : JSONL -> {args.events_out}")
+    return EXIT_OK if report.passed else EXIT_DEGRADED
+
+
 def _cmd_theory(args: argparse.Namespace) -> int:
     parameters = DEFAULT_PARAMETERS
     k_bar = args.k_bar
@@ -1336,6 +1500,7 @@ _COMMANDS = {
     "alerts": _cmd_alerts,
     "fleet": _cmd_fleet,
     "chaos": _cmd_chaos,
+    "respond": _cmd_respond,
     "sensitivity": _cmd_sensitivity,
     "table": _cmd_table,
     "figure": _cmd_figure,

@@ -1,10 +1,23 @@
 """Victim-side and source-side defense baselines the paper contrasts
 with SYN-dog: SYN cookies [3], Synkill [24], SYN proxying [6, 19], and
-RFC 2267 ingress filtering [11]."""
+RFC 2267 ingress filtering [11] — plus the closed-loop response engine
+that drives them from firing alerts (:mod:`repro.defense.response`)."""
 
 from .ingress import IngressFilter, SpoofObservation
 from .ratelimit import EgressSynLimiter, TokenBucket
 from .proxy import SynProxy
+from .response import (
+    ActionFailure,
+    ActionSpec,
+    FlakyActuator,
+    Playbook,
+    PlaybookRule,
+    ResponseEngine,
+    RouterActuator,
+    VictimActuator,
+    parse_yaml_lite,
+    timeline_from_events,
+)
 from .syncookies import SynCookieServer, encode_cookie, validate_cookie
 from .synkill import AddressClass, SynkillMonitor
 
@@ -19,4 +32,14 @@ __all__ = [
     "validate_cookie",
     "AddressClass",
     "SynkillMonitor",
+    "ActionFailure",
+    "ActionSpec",
+    "Playbook",
+    "PlaybookRule",
+    "ResponseEngine",
+    "VictimActuator",
+    "RouterActuator",
+    "FlakyActuator",
+    "parse_yaml_lite",
+    "timeline_from_events",
 ]

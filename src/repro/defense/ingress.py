@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..obs.runtime import Instrumentation, resolve_instrumentation
 from ..packet.addresses import IPv4Network, MACAddress
 from ..packet.packet import Packet
 
@@ -42,6 +43,7 @@ class IngressFilter:
         stub_network: IPv4Network,
         enforce: bool = False,
         max_log: int = 100_000,
+        obs: Optional[Instrumentation] = None,
     ) -> None:
         if max_log <= 0:
             raise ValueError(f"max_log must be positive: {max_log}")
@@ -51,6 +53,16 @@ class IngressFilter:
         self.observations: List[SpoofObservation] = []
         self.packets_checked = 0
         self.packets_dropped = 0
+        obs = resolve_instrumentation(obs)
+        self._m_blocked = (
+            obs.registry.counter(
+                "defense_ingress_blocked_total",
+                "Spoofed-source packets dropped by ingress filtering "
+                "(enforce mode only)",
+            )
+            if obs.registry.enabled
+            else None
+        )
 
     def check(self, packet: Packet) -> bool:
         """Validate one outbound packet; True = forward, False = drop."""
@@ -68,6 +80,8 @@ class IngressFilter:
             )
         if self.enforce:
             self.packets_dropped += 1
+            if self._m_blocked is not None:
+                self._m_blocked.inc()
             return False
         return True
 

@@ -20,6 +20,7 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
+from ..obs.runtime import Instrumentation, resolve_instrumentation
 from ..packet.addresses import IPv4Address
 from ..packet.packet import Packet, make_ack, make_syn, make_syn_ack
 from ..tcpsim.backlog import ConnectionKey
@@ -57,6 +58,7 @@ class SynProxy:
         pending_capacity: int = 4096,
         pending_timeout: float = 10.0,
         rng: Optional[random.Random] = None,
+        obs: Optional[Instrumentation] = None,
     ) -> None:
         if pending_capacity <= 0:
             raise ValueError(f"capacity must be positive: {pending_capacity}")
@@ -75,6 +77,17 @@ class SynProxy:
         self.pending_overflow = 0
         self.handshakes_verified = 0
         self.peak_pending = 0
+        self.frames_rejected = 0
+        obs = resolve_instrumentation(obs)
+        self._m_handshakes = (
+            obs.registry.counter(
+                "defense_syn_proxy_handshakes_total",
+                "Client handshakes the SYN proxy verified and "
+                "re-originated toward the server",
+            )
+            if obs.registry.enabled
+            else None
+        )
 
     @property
     def pending_count(self) -> int:
@@ -85,6 +98,25 @@ class SynProxy:
         if segment is None:
             return None
         return (int(packet.src_ip), segment.src_port, segment.dst_port)
+
+    def receive_wire(self, raw: bytes, timestamp: float = 0.0) -> bool:
+        """Wire-level ingestion: decode an Ethernet frame and hand it to
+        :meth:`receive_from_client`.
+
+        Floods and faulty capture paths deliver garbage — truncated
+        frames, corrupted headers (see :mod:`repro.faults.models`) — and
+        an inline defense that raises on malformed input is itself a
+        denial-of-service vector.  Undecodable frames are counted in
+        ``frames_rejected`` and swallowed (True: nothing to forward);
+        frames that decode to non-TCP or garbled segments fall through
+        to the normal no-op path.
+        """
+        try:
+            packet = Packet.decode_frame(raw, timestamp=timestamp)
+        except ValueError:
+            self.frames_rejected += 1
+            return True
+        return self.receive_from_client(packet)
 
     def receive_from_client(self, packet: Packet) -> bool:
         """Handle a wide-area packet.  Returns True when consumed."""
@@ -149,6 +181,8 @@ class SynProxy:
         del self._pending[key]
         self.verified[key] = self.scheduler.now
         self.handshakes_verified += 1
+        if self._m_handshakes is not None:
+            self._m_handshakes.inc()
         self.to_server(
             make_syn(
                 timestamp=self.scheduler.now,

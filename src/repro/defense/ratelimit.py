@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from ..obs.runtime import Instrumentation, resolve_instrumentation
 from ..packet.classify import PacketClass, classify_packet
 from ..packet.packet import Packet
 
@@ -41,9 +42,14 @@ class TokenBucket:
 
     def consume(self, now: float, tokens: float = 1.0) -> bool:
         if now < self._last_time:
-            raise ValueError(
-                f"time went backwards: {now} < {self._last_time}"
-            )
+            # Non-monotonic clocks are a fact of life the fault model
+            # reproduces (FaultKind.CLOCK_SKEW can move packet
+            # timestamps backwards).  Refilling from a negative elapsed
+            # would destroy tokens, and raising would take the whole
+            # forwarding path down with it — so clamp: a skewed
+            # timestamp counts as "no time has passed" and the
+            # monotone high-water mark is kept.
+            now = self._last_time
         self._tokens = min(
             self.burst, self._tokens + (now - self._last_time) * self.rate
         )
@@ -68,12 +74,26 @@ class EgressSynLimiter:
     truth) how many of those were legitimate.
     """
 
-    def __init__(self, rate: float, burst: Optional[float] = None) -> None:
+    def __init__(
+        self,
+        rate: float,
+        burst: Optional[float] = None,
+        obs: Optional[Instrumentation] = None,
+    ) -> None:
         self.bucket = TokenBucket(
             rate=rate, burst=burst if burst is not None else max(rate, 1.0)
         )
         self.syns_seen = 0
         self.syns_dropped = 0
+        obs = resolve_instrumentation(obs)
+        self._m_drops = (
+            obs.registry.counter(
+                "defense_limiter_drops_total",
+                "Outbound SYNs clipped by the egress token bucket",
+            )
+            if obs.registry.enabled
+            else None
+        )
 
     def check(self, packet: Packet) -> bool:
         if classify_packet(packet) is not PacketClass.SYN:
@@ -82,6 +102,8 @@ class EgressSynLimiter:
         if self.bucket.consume(packet.timestamp):
             return True
         self.syns_dropped += 1
+        if self._m_drops is not None:
+            self._m_drops.inc()
         return False
 
     @property

@@ -22,6 +22,7 @@ import random
 import struct
 from typing import Callable, Dict, Optional
 
+from ..obs.runtime import Instrumentation, resolve_instrumentation
 from ..packet.addresses import IPv4Address
 from ..packet.packet import Packet, make_syn_ack
 from ..tcpsim.backlog import ConnectionKey
@@ -93,6 +94,7 @@ class SynCookieServer:
         port: int = 80,
         rng: Optional[random.Random] = None,
         secret: Optional[bytes] = None,
+        obs: Optional[Instrumentation] = None,
     ) -> None:
         self.scheduler = scheduler
         self.address = address
@@ -105,12 +107,38 @@ class SynCookieServer:
         self.synacks_sent = 0
         self.acks_validated = 0
         self.acks_rejected = 0
+        self.frames_rejected = 0
+        obs = resolve_instrumentation(obs)
+        if obs.registry.enabled:
+            validations = obs.registry.counter(
+                "defense_cookie_validations_total",
+                "Handshake-ACK cookie checks by outcome",
+                ("result",),
+            )
+            self._m_validated = validations.labels("validated")
+            self._m_rejected = validations.labels("rejected")
+        else:
+            self._m_validated = None
+            self._m_rejected = None
 
     def _key_for(self, packet: Packet) -> Optional[ConnectionKey]:
         segment = packet.tcp
         if segment is None:
             return None
         return (int(packet.src_ip), segment.src_port, segment.dst_port)
+
+    def receive_wire(self, raw: bytes, timestamp: float = 0.0) -> None:
+        """Wire-level ingestion with the same degrade-don't-raise
+        contract as :meth:`SynProxy.receive_wire`: undecodable frames
+        (truncation, header corruption) are counted in
+        ``frames_rejected`` and dropped; garbled-but-decodable packets
+        fall through :meth:`receive`'s normal rejection paths."""
+        try:
+            packet = Packet.decode_frame(raw, timestamp=timestamp)
+        except ValueError:
+            self.frames_rejected += 1
+            return
+        self.receive(packet)
 
     def receive(self, packet: Packet) -> None:
         segment = packet.tcp
@@ -156,8 +184,12 @@ class SynCookieServer:
         ):
             self.acks_validated += 1
             self.established[key] = self.scheduler.now
+            if self._m_validated is not None:
+                self._m_validated.inc()
         else:
             self.acks_rejected += 1
+            if self._m_rejected is not None:
+                self._m_rejected.inc()
 
     @property
     def half_open_count(self) -> int:

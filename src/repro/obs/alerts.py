@@ -163,6 +163,7 @@ class AlertManager:
         self.transitions: List[Dict[str, Any]] = []
         self.rule_errors: Dict[str, str] = {}
         self.contexts: Deque[Dict[str, Any]] = deque(maxlen=_CONTEXT_RETENTION)
+        self._subscribers: List[Any] = []
         for rule in rules:
             self.add_rule(rule)
 
@@ -180,6 +181,16 @@ class AlertManager:
             self._events = events
         if recorder is not None:
             self._recorder = recorder
+
+    def subscribe(self, callback: Any) -> None:
+        """Register ``callback(transition_dict)``, invoked synchronously
+        on every lifecycle transition (:meth:`evaluate` and
+        :meth:`close` alike) — the hook a
+        :class:`~repro.defense.response.ResponseEngine` attaches to.
+        Callbacks must not re-enter the manager."""
+        if not callable(callback):
+            raise TypeError(f"subscriber must be callable: {callback!r}")
+        self._subscribers.append(callback)
 
     def add_rule(self, rule: AlertRule) -> None:
         if rule.name in self._states:
@@ -317,6 +328,8 @@ class AlertManager:
             )
         if to == "firing":
             self._capture_context(rule, t, value)
+        for callback in self._subscribers:
+            callback(record)
         return record
 
     def _capture_context(
@@ -385,6 +398,9 @@ class NullAlertManager:
         return []
 
     def bind(self, tsdb=None, events=None, recorder=None) -> None:
+        pass
+
+    def subscribe(self, callback: Any) -> None:
         pass
 
     def add_rule(self, rule: AlertRule) -> None:

@@ -20,9 +20,14 @@ from ..packet.packet import Packet
 from ..traceback.locator import LocalizationReport, SourceLocator
 from .leafrouter import LeafRouter
 
-__all__ = ["SynDogAgent", "AlarmEvent"]
+__all__ = ["SynDogAgent", "AlarmEvent", "AGENT_ALARM_RULE"]
 
 AlarmCallback = Callable[["AlarmEvent"], None]
+
+#: The alert name a router-attached agent reports its alarms under when
+#: driving a :class:`~repro.defense.response.ResponseEngine` directly
+#: (no AlertManager in between) — playbooks bind rules to this name.
+AGENT_ALARM_RULE = "syndog_alarm"
 
 
 @dataclass(frozen=True)
@@ -54,6 +59,12 @@ class SynDogAgent:
         Optional prebuilt :class:`SynDog` — what a supervisor passes
         when restarting a crashed agent from its last checkpoint, so
         the change-point test resumes instead of resetting.
+    response_engine:
+        Optional :class:`~repro.defense.response.ResponseEngine`.  When
+        given, the agent feeds it a ``firing`` transition under
+        :data:`AGENT_ALARM_RULE` at the first alarm (and steps it), and
+        a ``resolved`` transition on :meth:`acknowledge_alarm` — the
+        direct-drive wiring for deployments without an AlertManager.
     """
 
     def __init__(
@@ -65,6 +76,7 @@ class SynDogAgent:
         start_time: float = 0.0,
         obs: Optional[Instrumentation] = None,
         detector: Optional[SynDog] = None,
+        response_engine: Optional[object] = None,
     ) -> None:
         self.router = router
         obs = resolve_instrumentation(obs)
@@ -81,6 +93,7 @@ class SynDogAgent:
         self.locator = SourceLocator(inventory=router.inventory)
         self.alarm_events: List[AlarmEvent] = []
         self._responded = False
+        self.response_engine = response_engine
         # Tap the interfaces: outbound SYNs, inbound SYN/ACKs.
         router.outbound.attach(self._observe_outbound)
         router.inbound.attach(self._observe_inbound)
@@ -127,6 +140,17 @@ class SynDogAgent:
                     len(localization.hosts) if localization is not None else 0
                 ),
             )
+        if self.response_engine is not None:
+            self.response_engine.on_transition(
+                {
+                    "rule": AGENT_ALARM_RULE,
+                    "severity": "page",
+                    "to": "firing",
+                    "t": record.end_time,
+                    "value": record.statistic,
+                }
+            )
+            self.response_engine.step(record.end_time)
         if self.on_alarm is not None:
             self.on_alarm(event)
 
@@ -149,11 +173,28 @@ class SynDogAgent:
         """On-demand localization from the evidence gathered so far."""
         return self.locator.locate_from_filter(self.router.ingress_filter)
 
-    def acknowledge_alarm(self, deactivate_filter: bool = False) -> None:
+    def acknowledge_alarm(
+        self, deactivate_filter: bool = False, t: Optional[float] = None
+    ) -> None:
         """Operator acknowledgement: re-arm detection and (optionally)
         lift the ingress filter once the flooding host is dealt with.
-        Alarm history is kept for the incident record."""
+        Alarm history is kept for the incident record.  A wired
+        response engine sees the alarm as resolved at *t* (defaults to
+        the last alarm time) and rolls its actions back."""
         self.detector.clear_alarm()
         self._responded = False
         if deactivate_filter:
             self.router.ingress_filter.enforce = False
+        if self.response_engine is not None:
+            if t is None:
+                t = self.alarm_events[-1].time if self.alarm_events else 0.0
+            self.response_engine.on_transition(
+                {
+                    "rule": AGENT_ALARM_RULE,
+                    "severity": "page",
+                    "to": "resolved",
+                    "t": t,
+                    "value": 0.0,
+                }
+            )
+            self.response_engine.step(t)

@@ -163,6 +163,17 @@ class VictimNetwork:
         self._latencies: List[float] = []
         self._backlog_peak = 0
         self._rst_responders: Dict[int, RstResponder] = {}
+        #: Active mitigation hook: called after ``tap_inbound`` for every
+        #: packet arriving at the victim's network; returning False drops
+        #: the packet at the leaf router (a blocklist or rate limiter
+        #: installed by :class:`~repro.defense.response.ResponseEngine`).
+        self.inbound_filter: Optional[Callable[[Packet], bool]] = None
+        self.filtered_inbound = 0
+        #: Active mitigation hook on the victim's outbound interface:
+        #: returning True consumes the packet (e.g. a SYN proxy
+        #: completing its back-end handshake leg).
+        self.outbound_interceptor: Optional[Callable[[Packet], bool]] = None
+        self._attempt_log: List[Tuple[float, int]] = []
 
     # ------------------------------------------------------------------
     # Wiring
@@ -170,6 +181,9 @@ class VictimNetwork:
     def _deliver_to_victim(self, packet: Packet) -> None:
         if self.tap_inbound is not None:
             self.tap_inbound(packet)
+        if self.inbound_filter is not None and not self.inbound_filter(packet):
+            self.filtered_inbound += 1
+            return
         if self.server_receiver is not None and self.server_receiver(packet):
             return
         self.server.receive(packet)
@@ -178,6 +192,10 @@ class VictimNetwork:
     def _deliver_from_victim(self, packet: Packet) -> None:
         if self.tap_outbound is not None:
             self.tap_outbound(packet)
+        if self.outbound_interceptor is not None and self.outbound_interceptor(
+            packet
+        ):
+            return
         destination = int(packet.dst_ip)
         client = self.clients.get(destination)
         if client is not None:
@@ -189,6 +207,15 @@ class VictimNetwork:
             return
         # Unreachable spoofed address: the SYN/ACK vanishes, exactly the
         # behaviour the flood relies on.
+
+    def swap_server(self, server) -> object:
+        """Replace the victim server endpoint mid-run and return the old
+        one — how the response engine flips the victim to SYN cookies
+        (and back) while the simulation is live.  The replacement must
+        expose the ``receive``/``half_open_count``/``housekeeping``
+        interface of :class:`~repro.tcpsim.endpoint.ServerEndpoint`."""
+        old, self.server = self.server, server
+        return old
 
     # ------------------------------------------------------------------
     # Load generation
@@ -216,7 +243,11 @@ class VictimNetwork:
 
             def attempt() -> None:
                 self._client_attempts += 1
-                self._spawn_client().connect(self.victim_address)
+                client = self._spawn_client()
+                self._attempt_log.append(
+                    (self.scheduler.now, int(client.address))
+                )
+                client.connect(self.victim_address)
 
             self.scheduler.schedule(time, attempt)
             time += self.rng.expovariate(self.client_rate)
@@ -242,6 +273,19 @@ class VictimNetwork:
                 lambda captured=packet: self.to_victim.send(captured),
             )
 
+    def attempt_outcomes(self) -> List[Tuple[float, bool]]:
+        """``(attempt_time, succeeded)`` for every legitimate connection
+        attempt, in attempt order — the raw material for the phase-
+        bucketed handshake completion rates the respond campaign
+        reports.  Meaningful after :meth:`run` returns."""
+        outcomes: List[Tuple[float, bool]] = []
+        for time, address in self._attempt_log:
+            client = self.clients.get(address)
+            outcomes.append(
+                (time, client is not None and len(client.established) > 0)
+            )
+        return outcomes
+
     # ------------------------------------------------------------------
     # Experiment driver
     # ------------------------------------------------------------------
@@ -265,7 +309,9 @@ class VictimNetwork:
         sweep_interval = 1.0
         time = sweep_interval
         while time < duration + 30.0:
-            self.scheduler.schedule(time, self.server.housekeeping)
+            # Late-bound: ``swap_server`` may replace the endpoint while
+            # the simulation runs, and the sweep must follow it.
+            self.scheduler.schedule(time, lambda: self.server.housekeeping())
             time += sweep_interval
         # Drain: run past the end so in-flight handshakes resolve.
         self.scheduler.run_until(duration + 30.0)

@@ -26,11 +26,15 @@ class TestTokenBucket:
         assert bucket.consume(100.0)
         assert not bucket.consume(100.0)
 
-    def test_monotonic_time_enforced(self):
+    def test_non_monotonic_time_clamped(self):
+        # A skewed clock must neither raise (an inline defense that
+        # crashes on bad timestamps is itself a DoS vector) nor refill:
+        # time going backwards counts as no time passing at all.
         bucket = TokenBucket(rate=1.0, burst=1.0)
-        bucket.consume(5.0)
-        with pytest.raises(ValueError):
-            bucket.consume(4.0)
+        assert bucket.consume(5.0)
+        assert not bucket.consume(4.0)
+        assert bucket.tokens == 0.0
+        assert bucket.consume(6.0)  # refills from t=5, not t=4
 
     def test_validation(self):
         with pytest.raises(ValueError):

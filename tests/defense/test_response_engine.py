@@ -1,0 +1,278 @@
+"""Response-engine tests: playbook parsing (JSON and YAML-lite), the
+apply/retry/TTL/cooldown/abort lifecycle, and timeline replay from
+recorded events."""
+
+import pytest
+
+from repro.defense.response import (
+    ActionFailure,
+    ActionSpec,
+    Actuator,
+    FlakyActuator,
+    Playbook,
+    ResponseEngine,
+    parse_yaml_lite,
+    timeline_from_events,
+)
+from repro.obs import enabled_instrumentation
+from repro.obs.events import MemorySink
+
+ALERT = "syn_flood"
+
+YAML_PLAYBOOK = """\
+# Block the flood sources, shield the victim.
+name: block-and-shield
+cooldown_periods: 2
+rules:
+  - alert: syn_flood
+    actions:
+      - kind: block_prefixes
+        ttl_periods: 60
+        max_retries: 3
+        backoff_periods: 1
+        max_collateral_fraction: 0.25
+        params:
+          top_k: 4
+          min_score: 200.0
+      - kind: syn_cookies
+        max_retries: 1
+"""
+
+JSON_PLAYBOOK = """\
+{
+  "name": "block-and-shield",
+  "cooldown_periods": 2,
+  "rules": [
+    {
+      "alert": "syn_flood",
+      "actions": [
+        {"kind": "block_prefixes", "ttl_periods": 60, "max_retries": 3,
+         "backoff_periods": 1, "max_collateral_fraction": 0.25,
+         "params": {"top_k": 4, "min_score": 200.0}},
+        {"kind": "syn_cookies", "max_retries": 1}
+      ]
+    }
+  ]
+}
+"""
+
+
+class ScriptedActuator(Actuator):
+    """Records every apply/revert and reports a settable collateral."""
+
+    def __init__(self):
+        self.applied = []
+        self.reverted = []
+        self.collateral_value = 0.0
+
+    def apply(self, spec):
+        self.applied.append(spec.kind)
+
+    def revert(self, spec):
+        self.reverted.append(spec.kind)
+
+    def collateral(self, spec):
+        return self.collateral_value
+
+
+def simple_playbook(**action_fields):
+    fields = {"kind": "block_prefixes"}
+    fields.update(action_fields)
+    return Playbook.from_dict({
+        "name": "test",
+        "cooldown_periods": 2,
+        "rules": [{"alert": ALERT, "actions": [fields]}],
+    })
+
+
+def fire(engine, t, to="firing", rule=ALERT):
+    engine.on_transition(
+        {"rule": rule, "severity": "page", "to": to, "t": t, "value": 1.0}
+    )
+
+
+def outcomes(engine):
+    return [(e["kind"], e["outcome"], e["attempt"]) for e in engine.timeline]
+
+
+class TestPlaybookParsing:
+    def test_yaml_lite_matches_json(self):
+        assert (
+            Playbook.from_text(YAML_PLAYBOOK).to_dict()
+            == Playbook.from_text(JSON_PLAYBOOK).to_dict()
+        )
+
+    def test_yaml_lite_scalars(self):
+        doc = parse_yaml_lite(
+            'a: 1\nb: 2.5\nc: true\nd: null\ne: "quoted: text"\nf: plain\n'
+        )
+        assert doc == {
+            "a": 1, "b": 2.5, "c": True, "d": None,
+            "e": "quoted: text", "f": "plain",
+        }
+
+    def test_yaml_lite_rejects_tabs(self):
+        with pytest.raises(ValueError):
+            parse_yaml_lite("a:\n\tb: 1\n")
+
+    def test_unknown_action_field_rejected(self):
+        with pytest.raises(ValueError):
+            ActionSpec.from_dict({"kind": "block_prefixes", "bogus": 1})
+
+    def test_duplicate_alert_rejected(self):
+        with pytest.raises(ValueError):
+            Playbook.from_dict({
+                "name": "dup",
+                "rules": [
+                    {"alert": ALERT, "actions": [{"kind": "a"}]},
+                    {"alert": ALERT, "actions": [{"kind": "b"}]},
+                ],
+            })
+
+    def test_round_trip_through_file(self, tmp_path):
+        path = tmp_path / "playbook.yaml"
+        path.write_text(YAML_PLAYBOOK, encoding="utf-8")
+        assert Playbook.from_file(str(path)).name == "block-and-shield"
+
+
+class TestEngineLifecycle:
+    def test_apply_then_rollback_on_resolution(self):
+        actuator = ScriptedActuator()
+        engine = ResponseEngine(simple_playbook(), actuator)
+        fire(engine, 5.0)
+        engine.step(5.0)
+        assert actuator.applied == ["block_prefixes"]
+        assert engine.active_actions == [f"{ALERT}/block_prefixes"]
+        fire(engine, 10.0, to="resolved")
+        engine.step(10.0)
+        assert actuator.reverted == ["block_prefixes"]
+        assert engine.active_actions == []
+        assert outcomes(engine) == [
+            ("block_prefixes", "applied", 1),
+            ("block_prefixes", "rolled_back", 0),
+        ]
+
+    def test_retry_with_backoff_then_success(self):
+        actuator = FlakyActuator(ScriptedActuator(), failures=1)
+        engine = ResponseEngine(
+            simple_playbook(max_retries=3, backoff_periods=1), actuator
+        )
+        fire(engine, 5.0)
+        engine.step(5.0)
+        engine.step(10.0)
+        assert outcomes(engine) == [
+            ("block_prefixes", "retry", 1),
+            ("block_prefixes", "applied", 2),
+        ]
+
+    def test_retries_exhausted_is_terminal_failure(self):
+        actuator = FlakyActuator(ScriptedActuator(), failures=10)
+        engine = ResponseEngine(simple_playbook(max_retries=1), actuator)
+        fire(engine, 5.0)
+        for t in (5.0, 10.0, 15.0, 20.0):
+            engine.step(t)
+        assert outcomes(engine) == [
+            ("block_prefixes", "retry", 1),
+            ("block_prefixes", "failed", 2),
+        ]
+        assert engine.active_actions == []
+
+    def test_ttl_expiry_rolls_back(self):
+        actuator = ScriptedActuator()
+        engine = ResponseEngine(simple_playbook(ttl_periods=2), actuator)
+        fire(engine, 5.0)
+        engine.step(5.0)
+        engine.step(10.0)
+        assert engine.active_actions  # one period in: still active
+        engine.step(15.0)
+        assert engine.active_actions == []
+        assert outcomes(engine)[-1] == ("block_prefixes", "expired", 0)
+        assert actuator.reverted == ["block_prefixes"]
+
+    def test_cooldown_suppresses_then_defers_reapply(self):
+        actuator = ScriptedActuator()
+        engine = ResponseEngine(simple_playbook(), actuator)
+        fire(engine, 5.0)
+        engine.step(5.0)
+        fire(engine, 10.0, to="resolved")
+        engine.step(10.0)  # rollback starts the 2-period cooldown
+        fire(engine, 15.0)
+        engine.step(15.0)  # inside cooldown: suppressed + deferred
+        assert outcomes(engine)[-1] == ("block_prefixes", "suppressed", 0)
+        engine.step(20.0)  # cooldown over, alert still firing: re-apply
+        assert outcomes(engine)[-1] == ("block_prefixes", "applied", 1)
+        assert actuator.applied == ["block_prefixes", "block_prefixes"]
+
+    def test_deferred_apply_cancelled_when_alert_resolves(self):
+        actuator = ScriptedActuator()
+        engine = ResponseEngine(simple_playbook(), actuator)
+        fire(engine, 5.0)
+        engine.step(5.0)
+        fire(engine, 10.0, to="resolved")
+        engine.step(10.0)
+        fire(engine, 15.0)
+        engine.step(15.0)  # suppressed + deferred
+        fire(engine, 20.0, to="resolved")
+        engine.step(20.0)
+        engine.step(25.0)  # cooldown over but alert resolved: nothing
+        assert actuator.applied == ["block_prefixes"]
+
+    def test_collateral_safety_valve_aborts(self):
+        actuator = ScriptedActuator()
+        engine = ResponseEngine(
+            simple_playbook(max_collateral_fraction=0.1), actuator
+        )
+        fire(engine, 5.0)
+        actuator.collateral_value = 0.5
+        engine.step(5.0)
+        assert outcomes(engine) == [
+            ("block_prefixes", "applied", 1),
+            ("block_prefixes", "aborted", 0),
+        ]
+        assert engine.aborted == 1
+        assert engine.timeline[-1]["collateral"] == 0.5
+        assert engine.peak_collateral == 0.5
+        assert actuator.reverted == ["block_prefixes"]
+
+    def test_finish_cancels_retries_and_rolls_back(self):
+        actuator = ScriptedActuator()
+        engine = ResponseEngine(simple_playbook(), actuator)
+        fire(engine, 5.0)
+        engine.step(5.0)
+        engine.finish(30.0)
+        assert engine.active_actions == []
+        assert outcomes(engine)[-1] == ("block_prefixes", "rolled_back", 0)
+        assert engine.to_dict()["outcomes"] == {"applied": 1, "rolled_back": 1}
+
+
+class TestTimelineReplay:
+    def test_timeline_rebuilt_from_events_verbatim(self):
+        obs = enabled_instrumentation()
+        actuator = ScriptedActuator()
+        engine = ResponseEngine(
+            simple_playbook(max_collateral_fraction=0.1), actuator, obs=obs
+        )
+        fire(engine, 5.0)
+        engine.step(5.0)
+        actuator.collateral_value = 0.4
+        engine.step(10.0)  # aborts -> emits response_aborted
+        engine.finish(15.0)
+        sink = next(
+            s for s in obs.events.sinks() if isinstance(s, MemorySink)
+        )
+        assert timeline_from_events(sink.events) == engine.timeline
+        assert any(
+            e["event"] == "response_aborted" for e in sink.events
+        )
+
+    def test_response_metrics_counted(self):
+        obs = enabled_instrumentation()
+        engine = ResponseEngine(
+            simple_playbook(), ScriptedActuator(), obs=obs
+        )
+        fire(engine, 5.0)
+        engine.step(5.0)
+        engine.finish(10.0)
+        counter = obs.registry.get("response_actions_total")
+        assert counter.labels("block_prefixes", "applied").value == 1.0
+        assert counter.labels("block_prefixes", "rolled_back").value == 1.0
