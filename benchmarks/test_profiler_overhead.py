@@ -207,10 +207,19 @@ def test_profile_baseline_artifact():
     obs = enabled_instrumentation(
         profiler="timers", profiler_sample_every=8
     )
+    # Both ingestion arms on one profiler: the columnar fastpath
+    # (fastpath.parse / fastpath.classify) and the per-packet object
+    # oracle (pcap.parse / classify / sniff.update / federation.feed),
+    # so the committed baseline covers every stage in PIPELINE_STAGES.
     outcomes = run_profile_campaign(
         get_profile("auckland"), networks=2, base_seed=7,
-        duration=60.0, obs=obs, workers=1,
+        duration=60.0, obs=obs, workers=1, fastpath=True,
     )
+    oracle_outcomes = run_profile_campaign(
+        get_profile("auckland"), networks=2, base_seed=7,
+        duration=60.0, obs=obs, workers=1, fastpath=False,
+    )
+    assert oracle_outcomes == outcomes
     document = obs.profiler.to_dict()
     by_stage = {row["stage"]: row for row in document["stages"]}
     for stage in PIPELINE_STAGES:

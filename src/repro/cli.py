@@ -120,6 +120,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="serve live telemetry (/metrics /healthz "
                              "/events) on PORT for the run's duration "
                              "(0 picks a free port)")
+    detect.add_argument("--fastpath", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="pcap input: columnar batched pipeline "
+                             "(default); --no-fastpath keeps the "
+                             "per-packet object pipeline, the "
+                             "differential oracle — results are "
+                             "byte-identical either way")
 
     # ------------------------------------------------------------- observe
     observe = sub.add_parser(
@@ -165,6 +172,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the span profile as Chrome "
                               "trace-event JSON (chrome://tracing, "
                               "Perfetto)")
+    observe.add_argument("--fastpath", action=argparse.BooleanOptionalAction,
+                         default=True,
+                         help="pcap input: columnar batched pipeline "
+                              "(default); --no-fastpath keeps the "
+                              "per-packet object oracle")
 
     # --------------------------------------------------------------- query
     query = sub.add_parser(
@@ -315,6 +327,13 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="X",
                          help="allowed ns/packet multiple of the "
                               "baseline (default 1.5)")
+    profile.add_argument("--fastpath", action=argparse.BooleanOptionalAction,
+                         default=True,
+                         help="profile the columnar ingestion arm "
+                              "(fastpath.parse/fastpath.classify; "
+                              "default) or, with --no-fastpath, the "
+                              "per-packet object arm (pcap.parse/"
+                              "federation.feed/classify/sniff.update)")
 
     # --------------------------------------------------------------- table
     table = sub.add_parser("table", help="regenerate a paper table (1, 2 or 3)")
@@ -362,6 +381,13 @@ def build_parser() -> argparse.ArgumentParser:
                           help="serve live telemetry (/metrics /healthz "
                                "/events) on PORT for the run's duration "
                                "(0 picks a free port)")
+    campaign.add_argument("--fastpath", action=argparse.BooleanOptionalAction,
+                          default=True,
+                          help="accepted for symmetry with detect/"
+                               "profile; the campaign simulates at "
+                               "count level, which has no per-packet "
+                               "parse to batch, so both settings run "
+                               "the same code")
 
     # --------------------------------------------------------------- chaos
     from .faults.schedule import BUILTIN_SCHEDULES, DEFAULT_SCHEDULE
@@ -638,7 +664,8 @@ def _cmd_detect(args: argparse.Namespace) -> int:
             from .experiments.streaming import detect_from_pcaps
 
             result, dog = detect_from_pcaps(
-                args.pcap_out, args.pcap_in, parameters=parameters, obs=obs
+                args.pcap_out, args.pcap_in, parameters=parameters, obs=obs,
+                fastpath=args.fastpath,
             )
     if obs is not None:
         samples = obs.finalize(args.metrics_out)
@@ -717,7 +744,7 @@ def _cmd_observe(args: argparse.Namespace) -> int:
             with obs.tracer.span("observe.run"):
                 result, dog = detect_from_pcaps(
                     args.pcap_out, args.pcap_in, parameters=parameters,
-                    obs=obs,
+                    obs=obs, fastpath=args.fastpath,
                 )
     events_emitted = obs.events.events_emitted
     run_seconds = obs.tracer.total_seconds("observe.run")
@@ -1440,6 +1467,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
                   else DEFAULT_PROFILE_DURATION),
         obs=obs,
         workers=args.workers,
+        fastpath=args.fastpath,
     )
     document = obs.profiler.to_dict()
     obs.finalize()

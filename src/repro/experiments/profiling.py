@@ -64,13 +64,20 @@ PROFILE_STUB_NETWORK = "152.2.0.0/16"
 @dataclass(frozen=True)
 class ProfileTask:
     """One network's profiling workload — a plain, picklable grid item
-    for :mod:`repro.parallel` (mirrors campaign.NetworkTask)."""
+    for :mod:`repro.parallel` (mirrors campaign.NetworkTask).
+
+    ``fastpath`` selects the ingestion arm: the columnar batched
+    pipeline (default; stages ``fastpath.parse`` / ``fastpath.classify``
+    / ``cusum.step``) or the per-packet object pipeline (the
+    differential oracle; stages ``pcap.parse`` / ``federation.feed`` /
+    ``classify`` / ``sniff.update`` / ``cusum.step``)."""
 
     network_id: int
     profile: SiteProfile
     seed: int
     duration: float
     parameters: SynDogParameters
+    fastpath: bool = True
 
 
 def profile_network(
@@ -79,21 +86,55 @@ def profile_network(
 ) -> Dict[str, Any]:
     """Drive one network's traffic through the full packet pipeline,
     instrumenting via *obs*.  A pure function of the task, shared by
-    the inline and sharded paths."""
+    the inline and sharded paths.
+
+    The two arms produce the *same outcome dict* for the same task —
+    the fastpath is byte-identical to the object pipeline on decoded
+    packet counts and alarm transitions — they differ only in which
+    profiler stages the work is attributed to."""
     obs = resolve_instrumentation(obs)
     trace = generate_packet_trace(
         task.profile, seed=task.seed, duration=task.duration
     )
+    outbound_image = packets_to_pcap_bytes(trace.outbound)
+    inbound_image = packets_to_pcap_bytes(trace.inbound)
+    if task.fastpath:
+        from ..core.syndog import SynDog
+        from ..fastpath.pipeline import (
+            _drive_detector,
+            _merge_columns,
+            _periodize,
+            scan_capture,
+        )
+
+        out_cols = scan_capture(outbound_image, obs=obs)
+        in_cols = scan_capture(inbound_image, obs=obs)
+        detector = SynDog(parameters=task.parameters, obs=obs)
+        merged = _merge_columns(out_cols, in_cols)
+        grid = _periodize(merged, task.parameters.observation_period)
+        _drive_detector(detector, merged, grid, stop_at_first_alarm=False)
+        # The federation bus records the agent's *first* alarm during the
+        # feed (the trailing flush never relays); mirror that so the two
+        # arms return the same outcome dict.
+        fed_records = detector.records[: grid.closed_periods]
+        alarms = 1 if any(record.alarm for record in fed_records) else 0
+        return {
+            "network_id": task.network_id,
+            "packets": out_cols.decoded + in_cols.decoded,
+            "outbound": out_cols.decoded,
+            "inbound": in_cols.decoded,
+            "alarms": alarms,
+        }
     # Round-trip through the pcap layer so parsing is part of the
     # profile — the reader is the pipeline's real ingress.
     outbound = list(
         PcapReader(
-            io.BytesIO(packets_to_pcap_bytes(trace.outbound)), obs=obs
+            io.BytesIO(outbound_image), obs=obs
         ).iter_packets(strict=False)
     )
     inbound = list(
         PcapReader(
-            io.BytesIO(packets_to_pcap_bytes(trace.inbound)), obs=obs
+            io.BytesIO(inbound_image), obs=obs
         ).iter_packets(strict=False)
     )
     name = f"net-{task.network_id}"
@@ -122,6 +163,7 @@ def run_profile_campaign(
     parameters: SynDogParameters = DEFAULT_PARAMETERS,
     obs: Optional[Instrumentation] = None,
     workers: Optional[int] = 1,
+    fastpath: bool = True,
 ) -> List[Dict[str, Any]]:
     """Profile *networks* independent stub networks and return their
     per-network summaries in grid order.
@@ -129,6 +171,11 @@ def run_profile_campaign(
     Always executes through :func:`~repro.parallel.run_plan` — never a
     separate serial loop — so the profiler's stage counts (and hence
     the cost-model profile document) are identical at any ``workers``.
+
+    ``fastpath`` picks which ingestion arm every task profiles; the
+    outcome dicts are identical either way (the columnar path is
+    byte-identical to the object oracle), only the stage attribution
+    differs.
     """
     obs = resolve_instrumentation(obs)
     tasks = [
@@ -138,6 +185,7 @@ def run_profile_campaign(
             seed=base_seed * 100_003 + network_id,
             duration=duration,
             parameters=parameters,
+            fastpath=fastpath,
         )
         for network_id in range(networks)
     ]

@@ -79,6 +79,7 @@ def counts_from_pcaps(
     inbound_path: PathLike,
     period: float = 20.0,
     name: str = "pcap",
+    fastpath: bool = True,
 ):
     """Aggregate two interface capture files into a
     :class:`~repro.trace.events.CountTrace`, streaming (O(1) memory).
@@ -86,7 +87,18 @@ def counts_from_pcaps(
     The bridge from *any* real capture to the count-level experiment
     machinery: calibrate profiles against it, replay it through the
     tables, or feed it to the detector offline.
+
+    ``fastpath=True`` (default) routes through the columnar pipeline
+    (:mod:`repro.fastpath`); ``fastpath=False`` keeps the per-packet
+    object pipeline, which is retained permanently as the differential
+    oracle — the two produce byte-identical counts.
     """
+    if fastpath:
+        from ..fastpath.pipeline import counts_from_pcaps_fast
+
+        return counts_from_pcaps_fast(
+            outbound_path, inbound_path, period=period, name=name
+        )
     from ..core.sniffer import CountExchange
     from ..trace.events import CountTrace, TraceMetadata
 
@@ -126,12 +138,31 @@ def detect_from_pcaps(
     parameters: SynDogParameters = DEFAULT_PARAMETERS,
     stop_at_first_alarm: bool = False,
     obs: Optional[Instrumentation] = None,
+    fastpath: bool = True,
 ) -> Tuple[DetectionResult, SynDog]:
     """Run SYN-dog over two interface capture files in constant memory.
 
     Returns the detection result together with the detector (whose live
     K̄ and Eq. 8 floor the caller may want to report).
+
+    ``fastpath=True`` (default) runs the columnar batched pipeline
+    (:mod:`repro.fastpath`): pcap records are parsed into parallel
+    arrays, classified with vectorized passes, and the detector is fed
+    per-period count deltas.  ``fastpath=False`` keeps the per-packet
+    object pipeline — the permanent differential oracle.  The two paths
+    produce byte-identical per-period counts, detection records and
+    metric totals (``tests/fastpath`` enforces this).
     """
+    if fastpath:
+        from ..fastpath.pipeline import detect_from_pcaps_fast
+
+        return detect_from_pcaps_fast(
+            outbound_path,
+            inbound_path,
+            parameters=parameters,
+            stop_at_first_alarm=stop_at_first_alarm,
+            obs=obs,
+        )
     detector = SynDog(parameters=parameters, obs=obs)
     with PcapReader.open(outbound_path) as outbound_reader, \
             PcapReader.open(inbound_path) as inbound_reader:

@@ -1,0 +1,58 @@
+"""Columnar fast path: batched parse → classify → count pipeline.
+
+The object pipeline walks ~5 µs/packet through ``Packet`` objects; this
+package parses pcap record blocks straight into parallel numpy arrays
+(timestamps, capture lengths, class codes), runs the paper's 3-step
+classification as vectorized passes over the flag/length columns, and
+feeds :class:`~repro.core.syndog.SynDog` per-period (SYN, SYN/ACK)
+count deltas — downstream normalization, CUSUM, TSDB series, alerts and
+the per-period profiler stage are untouched.
+
+The object pipeline is retained permanently as the *differential
+oracle*: per-period counts, classifier rejection/quarantine statistics
+and detection results are byte-identical between the two paths on every
+scenario, including fault-injected captures
+(``tests/fastpath/test_differential.py`` pins the contract down).
+"""
+
+from .columns import (
+    DEFAULT_BLOCK_BYTES,
+    ColumnarPcapReader,
+    RecordBlock,
+)
+from .classify import (
+    CLASS_FIN,
+    CLASS_NON_TCP,
+    CLASS_RST,
+    CLASS_SKIP,
+    CLASS_SYN,
+    CLASS_SYN_ACK,
+    CLASS_TCP_OTHER,
+    classify_block,
+)
+from .pipeline import (
+    DirectionColumns,
+    counts_from_pcaps_fast,
+    detect_from_pcap_images,
+    detect_from_pcaps_fast,
+    scan_capture,
+)
+
+__all__ = [
+    "DEFAULT_BLOCK_BYTES",
+    "ColumnarPcapReader",
+    "RecordBlock",
+    "CLASS_SKIP",
+    "CLASS_NON_TCP",
+    "CLASS_SYN",
+    "CLASS_SYN_ACK",
+    "CLASS_RST",
+    "CLASS_FIN",
+    "CLASS_TCP_OTHER",
+    "classify_block",
+    "DirectionColumns",
+    "scan_capture",
+    "detect_from_pcap_images",
+    "detect_from_pcaps_fast",
+    "counts_from_pcaps_fast",
+]

@@ -1,0 +1,180 @@
+"""Vectorized packet classification over record columns.
+
+The paper's 3-step test (Section 2) as boolean-mask passes over a
+:class:`~repro.fastpath.columns.RecordBlock`'s byte buffer, producing a
+class code and a rejection-step code per record.  Semantics replicate
+the object pipeline *exactly* — the decoded-``Packet`` route through
+``Packet.decode_frame`` / ``Packet.decode_ip`` + ``classify_packet`` /
+``explain_packet`` — not the looser raw-bytes classifier, because the
+object path is the differential oracle:
+
+* frame decode failures (short frame, non-IPv4 ethertype, short or
+  non-v4 or options-bearing IP header, ``total_length`` below 20) →
+  ``CLASS_SKIP``, the records ``iter_packets`` counts in
+  ``skipped_records`` and never shows the sniffers;
+* decoded but not first-fragment TCP → ``CLASS_NON_TCP`` with the same
+  step (``non-tcp-protocol`` / ``fragment``) ``explain_packet`` names;
+* TCP whose payload — clipped to ``min(total_length, captured)`` like
+  ``IPv4Packet.decode`` — is too short or has a bad data offset →
+  ``CLASS_NON_TCP`` with step ``truncated-flags`` (the quarantine path);
+* surviving records get the flag-bit class with ``TCPSegment.kind``'s
+  exact precedence (RST > SYN/ACK > SYN > FIN > other).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..packet.classify import ClassifierStats, PacketClass, RejectionStep
+from .columns import RecordBlock
+
+__all__ = [
+    "CLASS_SKIP",
+    "CLASS_NON_TCP",
+    "CLASS_SYN",
+    "CLASS_SYN_ACK",
+    "CLASS_RST",
+    "CLASS_FIN",
+    "CLASS_TCP_OTHER",
+    "STEP_NONE",
+    "STEP_NON_TCP_PROTOCOL",
+    "STEP_FRAGMENT",
+    "STEP_TRUNCATED_FLAGS",
+    "CLASS_CODE_TO_PACKET_CLASS",
+    "STEP_CODE_TO_REJECTION",
+    "classify_block",
+    "accumulate_stats",
+]
+
+# Class codes (uint8 column alphabet).  SKIP marks records that fail to
+# decode into a Packet at all — they never reach the classifier or the
+# sniffers in the object pipeline.
+CLASS_SKIP = 0
+CLASS_NON_TCP = 1
+CLASS_SYN = 2
+CLASS_SYN_ACK = 3
+CLASS_RST = 4
+CLASS_FIN = 5
+CLASS_TCP_OTHER = 6
+
+# Rejection-step codes.  Only the three steps reachable on *decoded*
+# packets appear (``explain_packet`` can never return NOT_IPV4/BAD_IHL:
+# such frames already failed to decode and were skipped upstream).
+STEP_NONE = 0
+STEP_NON_TCP_PROTOCOL = 1
+STEP_FRAGMENT = 2
+STEP_TRUNCATED_FLAGS = 3
+
+CLASS_CODE_TO_PACKET_CLASS: Dict[int, PacketClass] = {
+    CLASS_NON_TCP: PacketClass.NON_TCP,
+    CLASS_SYN: PacketClass.SYN,
+    CLASS_SYN_ACK: PacketClass.SYN_ACK,
+    CLASS_RST: PacketClass.RST,
+    CLASS_FIN: PacketClass.FIN,
+    CLASS_TCP_OTHER: PacketClass.TCP_OTHER,
+}
+
+STEP_CODE_TO_REJECTION: Dict[int, RejectionStep] = {
+    STEP_NON_TCP_PROTOCOL: RejectionStep.NON_TCP_PROTOCOL,
+    STEP_FRAGMENT: RejectionStep.FRAGMENT,
+    STEP_TRUNCATED_FLAGS: RejectionStep.TRUNCATED_FLAGS,
+}
+
+_ETHERNET_HEADER = 14
+_IP_HEADER = 20
+_TCP_HEADER = 20
+
+
+def classify_block(
+    block: RecordBlock, ethernet: bool
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Classify every record in *block*; returns (codes, steps) uint8
+    columns aligned with the block's records.
+
+    ``ethernet`` selects the link layer (LINKTYPE_ETHERNET strips a
+    14-byte header and requires ethertype 0x0800; LINKTYPE_RAW decodes
+    the captured bytes as IP directly).
+    """
+    n = int(block.offsets.size)
+    codes = np.zeros(n, dtype=np.uint8)
+    steps = np.zeros(n, dtype=np.uint8)
+    if n == 0:
+        return codes, steps
+    u8 = np.frombuffer(block.buffer, dtype=np.uint8)
+    last = len(u8) - 1
+
+    def g(idx: np.ndarray) -> np.ndarray:
+        # Clipped gather: out-of-range lanes are masked off by the
+        # validity flags below, the clip just keeps the load legal.
+        return u8[np.minimum(idx, last)]
+
+    off = block.offsets
+    cap = block.caplens
+    if ethernet:
+        ok = cap >= _ETHERNET_HEADER
+        ethertype = (g(off + 12).astype(np.int32) << 8) | g(off + 13)
+        ok &= ethertype == 0x0800
+        ip_off = off + _ETHERNET_HEADER
+        ip_len = cap - _ETHERNET_HEADER
+    else:
+        ok = np.ones(n, dtype=bool)
+        ip_off = off
+        ip_len = cap
+    # Step 1a equivalent (IPv4Header.decode): intact fixed header,
+    # version 4, IHL exactly 5, total_length >= 20.
+    ok &= ip_len >= _IP_HEADER
+    version_ihl = g(ip_off)
+    ok &= (version_ihl >> 4) == 4
+    ok &= (version_ihl & 0x0F) == 5
+    total_length = (g(ip_off + 2).astype(np.int64) << 8) | g(ip_off + 3)
+    ok &= total_length >= _IP_HEADER
+    codes[ok] = CLASS_NON_TCP
+    # Step 1b: protocol 6 and first fragment.
+    protocol = g(ip_off + 9)
+    fragment = ((g(ip_off + 6).astype(np.int32) & 0x1F) << 8) | g(ip_off + 7)
+    tcp_protocol = ok & (protocol == 6)
+    steps[ok & (protocol != 6)] = STEP_NON_TCP_PROTOCOL
+    is_tcp = tcp_protocol & (fragment == 0)
+    steps[tcp_protocol & (fragment != 0)] = STEP_FRAGMENT
+    # Step 2: the payload IPv4Packet.decode hands to TCPSegment.decode
+    # is clipped to min(total_length, captured IP bytes); the segment
+    # decodes iff it holds a full 20-byte header and a sane data offset.
+    payload_len = np.minimum(total_length, ip_len) - _IP_HEADER
+    tcp_off = ip_off + _IP_HEADER
+    data_offset = (g(tcp_off + 12).astype(np.int64) >> 4) * 4
+    tcp_ok = (
+        is_tcp
+        & (payload_len >= _TCP_HEADER)
+        & (data_offset >= _TCP_HEADER)
+        & (data_offset <= payload_len)
+    )
+    steps[is_tcp & ~tcp_ok] = STEP_TRUNCATED_FLAGS
+    # Step 3: the six flag bits, with TCPSegment.kind's precedence.
+    flags = g(tcp_off + 13) & 0x3F
+    tcp_class = np.full(n, CLASS_TCP_OTHER, dtype=np.uint8)
+    tcp_class[(flags & 0x01) != 0] = CLASS_FIN
+    syn = (flags & 0x02) != 0
+    ack = (flags & 0x10) != 0
+    tcp_class[syn & ~ack] = CLASS_SYN
+    tcp_class[syn & ack] = CLASS_SYN_ACK
+    tcp_class[(flags & 0x04) != 0] = CLASS_RST
+    codes[tcp_ok] = tcp_class[tcp_ok]
+    return codes, steps
+
+
+def accumulate_stats(
+    stats: ClassifierStats, codes: np.ndarray, steps: np.ndarray
+) -> ClassifierStats:
+    """Fold one batch of class/step codes into *stats*, exactly as a
+    :class:`~repro.packet.classify.PacketClassifier` fed the decoded
+    packets one at a time would.  SKIP lanes (undecodable records)
+    contribute nothing — they never reach the classifier."""
+    class_counts = np.bincount(codes, minlength=7)
+    for code, packet_class in CLASS_CODE_TO_PACKET_CLASS.items():
+        stats.counts[packet_class] += int(class_counts[code])
+    step_counts = np.bincount(steps, minlength=4)
+    for code, step in STEP_CODE_TO_REJECTION.items():
+        stats.rejections[step] += int(step_counts[code])
+    return stats

@@ -110,7 +110,9 @@ class StageCost(NamedTuple):
 #: The canonical pipeline stages, in pipeline order.
 PIPELINE_STAGES: Tuple[str, ...] = (
     "pcap.parse",
+    "fastpath.parse",
     "classify",
+    "fastpath.classify",
     "sniff.update",
     "cusum.step",
     "federation.feed",
@@ -121,6 +123,11 @@ PIPELINE_STAGES: Tuple[str, ...] = (
 #: committed cost-model document changes — treat as part of the format.
 COST_MODEL: Dict[str, StageCost] = {
     "pcap.parse": StageCost(per_call_ns=400, per_packet_ns=0, per_byte_ns=2, allocs_per_call=4),
+    # Columnar stages run once per record *block*, not per packet: a
+    # large per-call constant plus a small per-packet slope mirrors the
+    # measured batched shape (BENCH_throughput.json).
+    "fastpath.parse": StageCost(per_call_ns=20000, per_packet_ns=30, per_byte_ns=0, allocs_per_call=12),
+    "fastpath.classify": StageCost(per_call_ns=30000, per_packet_ns=60, per_byte_ns=0, allocs_per_call=40),
     "classify": StageCost(per_call_ns=150, per_packet_ns=0, per_byte_ns=0, allocs_per_call=1),
     "sniff.update": StageCost(per_call_ns=250, per_packet_ns=0, per_byte_ns=0, allocs_per_call=0),
     "cusum.step": StageCost(per_call_ns=1500, per_packet_ns=0, per_byte_ns=0, allocs_per_call=6),

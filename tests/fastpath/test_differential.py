@@ -1,0 +1,340 @@
+"""Differential suite: the columnar fastpath versus the object oracle.
+
+Every test runs the same capture bytes through both pipelines and
+asserts byte-identity — per-period counts, classifier rejection and
+quarantine statistics, DetectionResult, checkpoints, reader counters
+and metric totals.  Scenarios cover all builtin site profiles, a
+flash-crowd mix, a SYN flood, and every builtin fault schedule plus
+heavier direct frame damage.
+"""
+
+from __future__ import annotations
+
+import io
+import random
+
+import pytest
+
+from repro.core.parameters import DEFAULT_PARAMETERS
+from repro.experiments.streaming import counts_from_pcaps, detect_from_pcaps
+from repro.fastpath.pipeline import scan_capture
+from repro.faults import BUILTIN_SCHEDULES, FaultInjector
+from repro.faults.models import (
+    corrupt_header,
+    truncate_frame,
+    truncate_pcap_image,
+)
+from repro.obs.runtime import enabled_instrumentation
+from repro.pcap.writer import PcapWriter, packets_to_pcap_bytes
+from repro.trace.profiles import SITE_PROFILES
+from repro.trace.synthetic import generate_packet_trace, make_syn, make_syn_ack
+
+from ._oracle import (
+    assert_capture_equivalent,
+    assert_detection_identical,
+    metric_totals,
+    object_detect,
+)
+
+
+def _site_images(site: str, seed: int = 7, duration: float = 240.0):
+    trace = generate_packet_trace(SITE_PROFILES[site], seed=seed, duration=duration)
+    return (
+        packets_to_pcap_bytes(trace.outbound),
+        packets_to_pcap_bytes(trace.inbound),
+    )
+
+
+def _faulty_images(schedule_name: str, seed: int, site: str = "unc"):
+    """Serialize a site trace through the fault injector's packet, wire
+    and capture surfaces — the same composition the chaos harness uses."""
+    trace = generate_packet_trace(
+        SITE_PROFILES[site], seed=seed, duration=240.0
+    )
+    injector = FaultInjector(BUILTIN_SCHEDULES[schedule_name], seed=seed)
+
+    def build(packets):
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer)
+        for packet in injector.apply_to_packets(packets):
+            writer.write_raw(
+                packet.timestamp,
+                injector.apply_to_wire(packet.encode_frame()),
+            )
+        return injector.apply_to_pcap(buffer.getvalue())
+
+    return build(list(trace.outbound)), build(list(trace.inbound))
+
+
+class TestSiteProfiles:
+    @pytest.mark.parametrize("site", sorted(SITE_PROFILES))
+    def test_every_builtin_profile_is_byte_identical(self, site):
+        outbound, inbound = _site_images(site)
+        assert_capture_equivalent(outbound)
+        assert_capture_equivalent(inbound)
+        assert_detection_identical(outbound, inbound)
+
+    def test_counts_from_pcaps_identical(self, tmp_path):
+        outbound, inbound = _site_images("harvard")
+        out_path = tmp_path / "out.pcap"
+        in_path = tmp_path / "in.pcap"
+        out_path.write_bytes(outbound)
+        in_path.write_bytes(inbound)
+        oracle = counts_from_pcaps(out_path, in_path, fastpath=False)
+        fast = counts_from_pcaps(out_path, in_path, fastpath=True)
+        assert fast.counts == oracle.counts
+        assert fast.period == oracle.period
+        assert fast.metadata == oracle.metadata
+
+    def test_detect_from_pcaps_dispatch(self, tmp_path):
+        outbound, inbound = _site_images("lbl")
+        out_path = tmp_path / "out.pcap"
+        in_path = tmp_path / "in.pcap"
+        out_path.write_bytes(outbound)
+        in_path.write_bytes(inbound)
+        oracle_result, _ = detect_from_pcaps(out_path, in_path, fastpath=False)
+        fast_result, _ = detect_from_pcaps(out_path, in_path, fastpath=True)
+        assert fast_result == oracle_result
+
+
+class TestTrafficMixes:
+    def test_flashcrowd_mix(self):
+        """A legitimate surge: every extra SYN is answered, interleaved
+        across both captures."""
+        trace = generate_packet_trace(
+            SITE_PROFILES["auckland"], seed=3, duration=240.0
+        )
+        rng = random.Random(99)
+        surge_out = list(trace.outbound)
+        surge_in = list(trace.inbound)
+        for i in range(4000):
+            t = 60.0 + i * 0.03 + rng.random() * 0.01
+            client = f"152.2.{rng.randrange(256)}.{rng.randrange(1, 255)}"
+            server = f"10.9.{rng.randrange(256)}.{rng.randrange(1, 255)}"
+            surge_out.append(make_syn(t, client, server, seq=i))
+            surge_in.append(make_syn_ack(t + 0.002, server, client, seq=i))
+        surge_out.sort(key=lambda p: p.timestamp)
+        surge_in.sort(key=lambda p: p.timestamp)
+        outbound = packets_to_pcap_bytes(surge_out)
+        inbound = packets_to_pcap_bytes(surge_in)
+        assert_capture_equivalent(outbound)
+        assert_capture_equivalent(inbound)
+        oracle_result, fast_result = assert_detection_identical(
+            outbound, inbound
+        )
+        # Negative control: the answered surge must not alarm.
+        assert not oracle_result.alarmed
+
+    def test_syn_flood_alarms_identically(self):
+        outbound = packets_to_pcap_bytes(
+            [make_syn(i * 0.05, "152.2.1.1", "10.0.0.1") for i in range(6000)]
+        )
+        inbound = packets_to_pcap_bytes(
+            [
+                make_syn_ack(i * 0.5 + 0.01, "10.0.0.1", "152.2.1.1")
+                for i in range(80)
+            ]
+        )
+        for stop in (False, True):
+            oracle_result, fast_result = assert_detection_identical(
+                outbound, inbound, stop_at_first_alarm=stop
+            )
+            assert oracle_result.alarmed
+
+
+class TestFaultScenarios:
+    @pytest.mark.parametrize("schedule", sorted(BUILTIN_SCHEDULES))
+    def test_every_builtin_schedule(self, schedule):
+        outbound, inbound = _faulty_images(schedule, seed=11)
+        assert_capture_equivalent(outbound)
+        assert_capture_equivalent(inbound)
+        assert_detection_identical(outbound, inbound)
+
+    def test_heavy_frame_damage(self):
+        """Beyond the builtin schedules: aggressive truncation and
+        header corruption on most frames, plus a mid-record capture cut."""
+        trace = generate_packet_trace(
+            SITE_PROFILES["unc"], seed=23, duration=240.0
+        )
+        rng = random.Random(5)
+
+        def damage(packets, cut):
+            buffer = io.BytesIO()
+            writer = PcapWriter(buffer)
+            for packet in packets:
+                raw = packet.encode_frame()
+                roll = rng.random()
+                if roll < 0.3:
+                    raw = truncate_frame(raw, rng)
+                elif roll < 0.6:
+                    raw = corrupt_header(raw, rng)
+                writer.write_raw(packet.timestamp, raw)
+            image = buffer.getvalue()
+            return truncate_pcap_image(image, cut) if cut else image
+
+        outbound = damage(list(trace.outbound), cut=0.83)
+        inbound = damage(list(trace.inbound), cut=0.0)
+        out_cols = assert_capture_equivalent(outbound)
+        assert_capture_equivalent(inbound)
+        # The cut capture must actually exercise the tolerant-truncation
+        # path, and the damage must hit the quarantine accounting.
+        assert out_cols.truncation is not None
+        assert out_cols.classifier_stats().quarantined > 0
+        assert_detection_identical(outbound, inbound)
+
+    def test_reordered_captures_use_exact_merge(self):
+        from repro.faults.models import reorder_stream
+
+        trace = generate_packet_trace(
+            SITE_PROFILES["lbl"], seed=2, duration=240.0
+        )
+        rng = random.Random(17)
+        outbound = packets_to_pcap_bytes(
+            reorder_stream(trace.outbound, rng, probability=0.5, window=8)
+        )
+        inbound = packets_to_pcap_bytes(
+            reorder_stream(trace.inbound, rng, probability=0.5, window=8)
+        )
+        for stop in (False, True):
+            assert_detection_identical(
+                outbound, inbound, stop_at_first_alarm=stop
+            )
+
+
+class TestBoundarySplits:
+    """Satellite fix check: quarantine stats and per-period counts must
+    be invariant to where record blocks split — including a batch split
+    across a period boundary mid-block."""
+
+    def _images_with_quarantine(self):
+        rng = random.Random(31)
+        packets = []
+        # Three periods of traffic; every 5th frame is damaged so
+        # quarantine rejections land in every period.
+        for i in range(900):
+            t = i * 0.07  # crosses the 20 s boundary mid-stream
+            packets.append(make_syn(t, "152.2.1.1", "10.0.0.1", seq=i))
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer)
+        for i, packet in enumerate(packets):
+            raw = packet.encode_frame()
+            if i % 5 == 0:
+                raw = raw[: 14 + 20 + rng.randrange(0, 19)]  # cut inside TCP
+            writer.write_raw(packet.timestamp, raw)
+        outbound = buffer.getvalue()
+        inbound = packets_to_pcap_bytes(
+            [
+                make_syn_ack(i * 0.11, "10.0.0.1", "152.2.1.1")
+                for i in range(500)
+            ]
+        )
+        return outbound, inbound
+
+    def test_block_size_invariance(self):
+        outbound, inbound = self._images_with_quarantine()
+        reference = scan_capture(outbound)
+        reference_stats = reference.classifier_stats()
+        assert reference_stats.quarantined > 0
+        # 70 bytes ≈ one record per block: every period boundary is
+        # split across blocks; 997 is a deliberately unaligned stride.
+        for block_bytes in (70, 997, 4096, 1 << 22):
+            cols = scan_capture(outbound, block_bytes=block_bytes)
+            stats = cols.classifier_stats()
+            assert stats.counts == reference_stats.counts
+            assert stats.rejections == reference_stats.rejections
+            assert stats.quarantined == reference_stats.quarantined
+            assert cols.records_read == reference.records_read
+            assert cols.skipped_records == reference.skipped_records
+            assert_detection_identical(
+                outbound, inbound, block_bytes=block_bytes
+            )
+
+    def test_matches_oracle_at_every_block_size(self):
+        outbound, inbound = self._images_with_quarantine()
+        assert_capture_equivalent(outbound)
+        for block_bytes in (70, 997):
+            cols = scan_capture(outbound, block_bytes=block_bytes)
+            oracle = scan_capture(outbound)
+            assert cols.timestamps.tolist() == oracle.timestamps.tolist()
+            assert cols.codes.tolist() == oracle.codes.tolist()
+            assert cols.steps.tolist() == oracle.steps.tolist()
+
+
+class TestMetricsParity:
+    def test_counter_totals_identical(self):
+        outbound, inbound = _site_images("harvard", seed=5, duration=200.0)
+        snapshots = {}
+        for fastpath in (False, True):
+            obs = enabled_instrumentation()
+            if fastpath:
+                from repro.fastpath.pipeline import detect_from_pcap_images
+
+                detect_from_pcap_images(outbound, inbound, obs=obs)
+            else:
+                object_detect(outbound, inbound, obs=obs)
+            snapshots[fastpath] = metric_totals(obs)
+        assert snapshots[True] == snapshots[False]
+
+    def test_counter_totals_identical_on_early_stop(self):
+        outbound = packets_to_pcap_bytes(
+            [make_syn(i * 0.05, "152.2.1.1", "10.0.0.1") for i in range(6000)]
+        )
+        inbound = packets_to_pcap_bytes(
+            [
+                make_syn_ack(i * 0.5 + 0.01, "10.0.0.1", "152.2.1.1")
+                for i in range(80)
+            ]
+        )
+        snapshots = {}
+        for fastpath in (False, True):
+            obs = enabled_instrumentation()
+            if fastpath:
+                from repro.fastpath.pipeline import detect_from_pcap_images
+
+                detect_from_pcap_images(
+                    outbound, inbound, obs=obs, stop_at_first_alarm=True
+                )
+            else:
+                object_detect(
+                    outbound, inbound, obs=obs, stop_at_first_alarm=True
+                )
+            snapshots[fastpath] = metric_totals(obs)
+        assert snapshots[True] == snapshots[False]
+
+
+class TestEdgeCases:
+    def test_empty_captures(self):
+        empty = packets_to_pcap_bytes([])
+        assert_capture_equivalent(empty)
+        assert_detection_identical(empty, empty)
+
+    def test_one_direction_empty(self):
+        outbound, _ = _site_images("lbl", seed=1, duration=120.0)
+        empty = packets_to_pcap_bytes([])
+        assert_detection_identical(outbound, empty)
+        assert_detection_identical(empty, outbound)
+
+    def test_raw_linktype_capture(self):
+        from repro.pcap.format import LINKTYPE_RAW
+
+        trace = generate_packet_trace(
+            SITE_PROFILES["lbl"], seed=9, duration=150.0
+        )
+        outbound = packets_to_pcap_bytes(trace.outbound, linktype=LINKTYPE_RAW)
+        inbound = packets_to_pcap_bytes(trace.inbound, linktype=LINKTYPE_RAW)
+        assert_capture_equivalent(outbound)
+        assert_capture_equivalent(inbound)
+        assert_detection_identical(outbound, inbound)
+
+    def test_nanosecond_and_big_endian_captures(self):
+        trace = generate_packet_trace(
+            SITE_PROFILES["lbl"], seed=4, duration=150.0
+        )
+        for nano in (False, True):
+            image = packets_to_pcap_bytes(trace.outbound, nanosecond=nano)
+            assert_capture_equivalent(image)
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer, byte_order=">")
+        for packet in trace.outbound:
+            writer.write_packet(packet)
+        assert_capture_equivalent(buffer.getvalue())

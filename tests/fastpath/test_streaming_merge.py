@@ -1,0 +1,148 @@
+"""Two-interface timestamp-merge equivalence.
+
+``experiments.streaming`` merges the interface captures lazily with
+``heapq.merge`` (ties outbound-first); the fastpath merges columns with
+a stable lexsort when both captures are time-sorted and an exact
+two-pointer replica of the heap when they are not.  These tests pin the
+two implementations to each other packet by packet — on identical
+captures, clock-skewed captures, and jittered (unsorted) captures.
+"""
+
+from __future__ import annotations
+
+import io
+import random
+
+import numpy as np
+
+from repro.experiments.streaming import merge_directional_streams
+from repro.fastpath.pipeline import _merge_columns, scan_capture
+from repro.faults.models import skew_timestamp
+from repro.pcap.reader import PcapReader
+from repro.pcap.writer import packets_to_pcap_bytes
+from repro.trace.profiles import SITE_PROFILES
+from repro.trace.synthetic import generate_packet_trace
+
+from ._oracle import assert_detection_identical
+
+
+def _oracle_merge(outbound_image: bytes, inbound_image: bytes):
+    merged = merge_directional_streams(
+        PcapReader(io.BytesIO(outbound_image)).iter_packets(strict=False),
+        PcapReader(io.BytesIO(inbound_image)).iter_packets(strict=False),
+    )
+    timestamps, lanes = [], []
+    for packet, is_outbound in merged:
+        timestamps.append(packet.timestamp)
+        lanes.append(is_outbound)
+    return timestamps, lanes
+
+
+def _fast_merge(outbound_image: bytes, inbound_image: bytes):
+    merged = _merge_columns(
+        scan_capture(outbound_image), scan_capture(inbound_image)
+    )
+    return merged.timestamps.tolist(), merged.outbound.tolist()
+
+
+def _assert_merges_equal(outbound_image: bytes, inbound_image: bytes):
+    oracle_ts, oracle_lanes = _oracle_merge(outbound_image, inbound_image)
+    fast_ts, fast_lanes = _fast_merge(outbound_image, inbound_image)
+    assert fast_ts == oracle_ts
+    assert fast_lanes == oracle_lanes
+
+
+def _site_images(seed: int = 7, duration: float = 240.0):
+    trace = generate_packet_trace(
+        SITE_PROFILES["harvard"], seed=seed, duration=duration
+    )
+    return list(trace.outbound), list(trace.inbound)
+
+
+class TestMergeEquivalence:
+    def test_identical_captures(self):
+        """Both interfaces carrying the same timestamps: every merge
+        step is a tie, so the outbound-first rule decides the whole
+        order — the harshest test of tie-breaking."""
+        outbound, _ = _site_images()
+        image = packets_to_pcap_bytes(outbound)
+        _assert_merges_equal(image, image)
+        assert_detection_identical(image, image)
+
+    def test_disjoint_and_interleaved_captures(self):
+        outbound, inbound = _site_images()
+        _assert_merges_equal(
+            packets_to_pcap_bytes(outbound), packets_to_pcap_bytes(inbound)
+        )
+
+    def test_skewed_clock_offset(self):
+        """A constant clock offset between the two capture hosts — each
+        capture stays sorted, so the lexsort path runs — must still
+        produce the oracle's exact interleaving."""
+        outbound, inbound = _site_images()
+        rng = random.Random(0)
+        for offset in (-7.5, -0.001, 0.001, 37.0):
+            skewed = [
+                packet.at(max(0.0, skew_timestamp(packet.timestamp, rng, offset=offset)))
+                for packet in inbound
+            ]
+            out_image = packets_to_pcap_bytes(outbound)
+            in_image = packets_to_pcap_bytes(skewed)
+            _assert_merges_equal(out_image, in_image)
+            assert_detection_identical(out_image, in_image)
+
+    def test_skewed_clock_jitter_unsorted(self):
+        """Jitter large enough to reorder neighbours forces the
+        two-pointer (head-vs-head) merge — the heapq degenerate case —
+        and must stay packet-exact."""
+        outbound, inbound = _site_images()
+        rng = random.Random(3)
+        jittered = [
+            packet.at(
+                max(0.0, skew_timestamp(packet.timestamp, rng, jitter=5.0))
+            )
+            for packet in inbound
+        ]
+        timestamps = [packet.timestamp for packet in jittered]
+        assert timestamps != sorted(timestamps)  # really unsorted
+        out_image = packets_to_pcap_bytes(outbound)
+        in_image = packets_to_pcap_bytes(jittered)
+        _assert_merges_equal(out_image, in_image)
+        assert_detection_identical(out_image, in_image)
+
+    def test_both_sides_unsorted(self):
+        outbound, inbound = _site_images(seed=11)
+        rng = random.Random(9)
+        shuffle_out = list(outbound)
+        rng.shuffle(shuffle_out)
+        shuffle_in = list(inbound)
+        rng.shuffle(shuffle_in)
+        out_image = packets_to_pcap_bytes(shuffle_out)
+        in_image = packets_to_pcap_bytes(shuffle_in)
+        _assert_merges_equal(out_image, in_image)
+        assert_detection_identical(out_image, in_image)
+
+    def test_lexsort_and_two_pointer_agree_on_sorted_input(self):
+        """On sorted inputs the two fastpath merge strategies must be
+        interchangeable (the lexsort is just the vectorized shortcut)."""
+        from repro.fastpath.pipeline import _two_pointer_merge
+
+        outbound, inbound = _site_images(seed=5)
+        out_cols = scan_capture(packets_to_pcap_bytes(outbound))
+        in_cols = scan_capture(packets_to_pcap_bytes(inbound))
+        ts = np.concatenate([out_cols.timestamps, in_cols.timestamps])
+        tag = np.zeros(ts.size, dtype=np.uint8)
+        tag[out_cols.decoded:] = 1
+        lexsort_order = np.lexsort((tag, ts))
+        two_pointer_order = _two_pointer_merge(
+            out_cols.timestamps, in_cols.timestamps
+        )
+        assert lexsort_order.tolist() == two_pointer_order.tolist()
+
+    def test_empty_sides(self):
+        outbound, _ = _site_images(seed=2, duration=120.0)
+        image = packets_to_pcap_bytes(outbound)
+        empty = packets_to_pcap_bytes([])
+        _assert_merges_equal(image, empty)
+        _assert_merges_equal(empty, image)
+        _assert_merges_equal(empty, empty)

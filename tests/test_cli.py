@@ -680,15 +680,27 @@ class TestProfileCommand:
         assert code == EXIT_OK
         out = capsys.readouterr().out
         assert "mode cost-model" in out
-        assert "pcap.parse" in out
+        # Default arm is the columnar fastpath.
+        assert "fastpath.parse" in out
         document = json.loads(prof_json.read_text())
         assert document["mode"] == "cost-model"
         from repro.obs.profiler import parse_callgrind, parse_folded
 
         stacks = parse_folded(folded.read_text())
-        assert "syndog;pcap;parse" in stacks
+        assert "syndog;fastpath;parse" in stacks
         parsed = parse_callgrind(callgrind.read_text())
-        assert "classify" in parsed["stages"]
+        assert "fastpath.classify" in parsed["stages"]
+
+    def test_no_fastpath_profiles_the_object_arm(self, capsys):
+        code = main([
+            "profile", "--mode", "cost-model", "--networks", "1",
+            "--seed", "7", "--duration", "25", "--no-fastpath",
+        ])
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "pcap.parse" in out
+        assert "classify" in out
+        assert "fastpath.parse" not in out
 
     def test_cost_model_json_byte_identical_across_workers(self, tmp_path):
         w1 = tmp_path / "w1.json"
@@ -713,7 +725,7 @@ class TestProfileCommand:
         import json
 
         baseline = tmp_path / "base.json"
-        baseline.write_text(json.dumps({"pcap.parse": 1.0}))
+        baseline.write_text(json.dumps({"fastpath.parse": 1.0}))
         code = main([
             "profile", "--mode", "cost-model", "--networks", "1",
             "--duration", "25", "--baseline", str(baseline),
@@ -721,7 +733,7 @@ class TestProfileCommand:
         assert code == EXIT_ALARM
         out = capsys.readouterr().out
         assert "REGRESSED" in out
-        assert "REGRESSION       : pcap.parse" in out
+        assert "REGRESSION       : fastpath.parse" in out
 
     def test_baseline_within_tolerance_is_ok(self, tmp_path, capsys):
         code = main([
@@ -763,7 +775,7 @@ class TestProfileCommand:
         assert code == EXIT_OK
         out = capsys.readouterr().out
         assert "per-stage cost attribution" in out
-        assert "pcap.parse" in out
+        assert "fastpath.parse" in out
 
     def test_report_without_profile_flag_omits_section(
         self, tmp_path, capsys
