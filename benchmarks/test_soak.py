@@ -1,0 +1,126 @@
+"""Long-horizon soak — the flat-memory and worker-independence contract.
+
+The soak harness exists so that "the detector can run for days" is a
+measured claim, not a hope: every bounded observability structure
+(TSDB after retention compaction, flight-recorder rings, alert state,
+event sinks) is sampled into ``obs_ledger_*`` series at every epoch
+boundary, and the per-simulated-day high-water marks of those series
+must stay flat.
+
+This bench runs two simulated days of continuous operation — 30
+epochs of synthesize -> detect -> checkpoint -> restore -> continue,
+with an attack window in every 5th epoch and a report-loss fault
+burst in every 5th (offset) — and gates:
+
+* **ledger flatness**: the worst relative high-water growth between
+  the first and last simulated day across gated ledger series stays
+  within ``max_ledger_growth`` (5%, the CI gate);
+* **continuity**: every restore continues bit-identically and every
+  attack window is detected;
+* **SLO verdicts**: all four builtin objectives finish ``ok``;
+* **worker independence**: the soak JSON at ``--workers`` 1 and 2 is
+  byte-identical — the same invariant the CI soak-smoke job diffs
+  end-to-end through the CLI;
+* **wall-clock cost**: simulated periods per wall second, tracked in
+  the artifact (informational, not gated — CI machines vary).
+
+Measurements land in ``BENCH_soak.json`` for the perf-regression
+telemetry and the CI ledger-flatness gate.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from conftest import emit
+
+from repro.experiments.soak import run_soak_campaign
+from repro.obs.runtime import enabled_instrumentation
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_soak.json"
+
+SIM_DAYS = 2
+PERIODS_PER_EPOCH = 288
+TSDB_RETENTION = 2048
+
+#: Budget: worst per-series relative growth of the ledger high-water
+#: mark between the first and last simulated day.  A leaking structure
+#: shows up here as steady growth; 5% is the CI gate.
+MAX_LEDGER_GROWTH = 0.05
+
+
+def _run(workers):
+    obs = enabled_instrumentation(
+        memory_events=True, tsdb_retention=TSDB_RETENTION
+    )
+    start = time.perf_counter()
+    report = run_soak_campaign(
+        sim_days=SIM_DAYS,
+        periods_per_epoch=PERIODS_PER_EPOCH,
+        obs=obs,
+        workers=workers,
+    )
+    seconds = time.perf_counter() - start
+    rendered = json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n"
+    return report, rendered, seconds
+
+
+def test_soak_ledger_flat_and_worker_independent():
+    report_w1, rendered_w1, seconds_w1 = _run(workers=1)
+    report_w2, rendered_w2, seconds_w2 = _run(workers=2)
+
+    total_periods = report_w1.total_periods
+    growth = report_w1.max_ledger_growth
+    flatness = report_w1.flatness
+
+    artifact = {
+        "bench": "soak",
+        "sim_days": SIM_DAYS,
+        "periods_per_epoch": PERIODS_PER_EPOCH,
+        "epochs": report_w1.epochs,
+        "total_periods": total_periods,
+        "tsdb_retention": TSDB_RETENTION,
+        "max_ledger_growth": growth,
+        "ledger_growth_budget": MAX_LEDGER_GROWTH,
+        "ledger_series": {
+            name: entry["growth"]
+            for name, entry in flatness["series"].items()
+            if entry["gated"]
+        },
+        "continuity_ok": report_w1.continuity_ok,
+        "restores": report_w1.restores,
+        "slo_verdict": report_w1.slo["verdict"],
+        "healthy": report_w1.healthy,
+        "workers_byte_identical": rendered_w1 == rendered_w2,
+        "periods_per_wall_second_w1": total_periods / seconds_w1,
+        "periods_per_wall_second_w2": total_periods / seconds_w2,
+    }
+    ARTIFACT.write_text(json.dumps(artifact, indent=2) + "\n")
+
+    emit(
+        f"Soak ({SIM_DAYS} simulated days, {report_w1.epochs} epochs, "
+        f"{total_periods} periods)\n"
+        f"  ledger growth : {growth:.4%} worst gated series "
+        f"(budget {MAX_LEDGER_GROWTH:.0%})\n"
+        f"  continuity    : {report_w1.restores} restores, "
+        f"ok={report_w1.continuity_ok}\n"
+        f"  slo verdict   : {report_w1.slo['verdict']}\n"
+        f"  throughput    : {total_periods / seconds_w1:,.0f} periods/s "
+        f"serial, {total_periods / seconds_w2:,.0f} periods/s w2\n"
+        f"  workers 1 vs 2: "
+        f"{'byte-identical' if rendered_w1 == rendered_w2 else 'DIVERGED'}\n"
+        f"  artifact      : {ARTIFACT}"
+    )
+
+    assert rendered_w1 == rendered_w2, "soak report depends on worker count"
+    assert report_w1.continuity_ok, (
+        f"restore continuity broke in epochs {report_w1.continuity_failures}"
+    )
+    assert report_w1.slo["verdict"] == "ok", (
+        f"soak SLO verdict: {report_w1.slo['verdict']}"
+    )
+    assert growth is not None and growth <= MAX_LEDGER_GROWTH, (
+        f"ledger high-water growth {growth} exceeds the "
+        f"{MAX_LEDGER_GROWTH:.0%} flat-memory budget"
+    )
+    assert report_w1.healthy

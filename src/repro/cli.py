@@ -14,6 +14,7 @@ actually touch::
     repro-syndog query    'max_over_time(syndog_cusum[5m])' --events events.jsonl
     repro-syndog alerts   --events events.jsonl --json
     repro-syndog chaos    --seed 42 --schedule lossy-crash --out report.json
+    repro-syndog soak     --sim-days 2 --workers 2 --out soak.json
     repro-syndog respond  --seed 7 --rate 200 --out respond.json \
                           --timeline-out timeline.json --events-out ev.jsonl
     repro-syndog respond  --replay ev.jsonl --timeline-out replayed.json
@@ -438,6 +439,52 @@ def build_parser() -> argparse.ArgumentParser:
                             "bounds exercise drop accounting and the "
                             "events_dropping alert)")
 
+    # ---------------------------------------------------------------- soak
+    soak = sub.add_parser(
+        "soak",
+        help="long-horizon soak: epochs of detect/checkpoint/restore "
+             "with fault bursts and attack windows, judged by SLO "
+             "burn rates and the resource ledger",
+    )
+    soak.add_argument("--seed", type=int, default=42,
+                      help="root seed: same seed + scenario = "
+                           "byte-identical report")
+    soak.add_argument("--site", choices=sorted(SITE_PROFILES),
+                      default="auckland")
+    soak.add_argument("--sim-days", type=int, default=2,
+                      help="simulated days of continuous operation")
+    soak.add_argument("--periods-per-epoch", type=int, default=288,
+                      help="observation periods per epoch; one epoch = "
+                           "one checkpoint/restore cycle and one work "
+                           "shard (epochs must divide a day evenly)")
+    soak.add_argument("--rate", type=float, default=5.0,
+                      help="flood SYN/s mixed into attack epochs")
+    soak.add_argument("--workers", type=int, default=None, metavar="N",
+                      help="worker processes sharding the epochs "
+                           "(default: all cores; the report is "
+                           "byte-identical for every N)")
+    soak.add_argument("--tsdb-retention", type=int, default=2048,
+                      metavar="N",
+                      help="per-series telemetry retention; the default "
+                           "reaches compaction equilibrium inside the "
+                           "first simulated day, so the ledger flatness "
+                           "gate measures steady state, not ramp-up")
+    soak.add_argument("--out", metavar="PATH",
+                      help="write the soak report as deterministic JSON")
+    soak.add_argument("--metrics-out", metavar="PATH",
+                      help="write soak metrics in Prometheus "
+                           "text-exposition format")
+    soak.add_argument("--events-out", metavar="PATH",
+                      help="also append structured events as JSONL")
+    soak.add_argument("--serve", type=int, metavar="PORT",
+                      help="serve live telemetry (/metrics /healthz "
+                           "/slo /query ...) on PORT for the run's "
+                           "duration (0 picks a free port)")
+    soak.add_argument("--hold", type=float, default=None, metavar="SECONDS",
+                      help="with --serve: keep the server up this long "
+                           "after the soak so scrapers can query the "
+                           "finished run's /slo and ledger history")
+
     # ------------------------------------------------------------- respond
     respond = sub.add_parser(
         "respond",
@@ -607,7 +654,7 @@ def _serving(
     server = ObsServer(obs, port=port)
     server.start()
     print(f"telemetry         : serving {server.url}"
-          f"  (/metrics /healthz /events /query /alerts)")
+          f"  (/metrics /healthz /events /query /alerts /slo)")
     try:
         yield
         if hold:
@@ -813,6 +860,27 @@ def _server_url(base: str, path: str, params: Optional[dict] = None) -> str:
     return url
 
 
+def _load_events_strict(command: str, path) -> Optional[list]:
+    """Load an events JSONL for offline forensics, refusing to limp
+    along on a log that cannot support any: a truncated/corrupt file
+    (e.g. the writer died mid-line) or an empty one yields a one-line
+    diagnostic on stderr and ``None`` — the caller exits 2, because for
+    a forensics command the broken log *is* the finding, and a clean
+    "0 events, all quiet" report would hide it."""
+    from .obs.events import read_jsonl
+
+    try:
+        events = read_jsonl(path)
+    except ValueError as exc:  # includes json.JSONDecodeError
+        print(f"{command}: truncated or corrupt events file {path}: {exc}",
+              file=sys.stderr)
+        return None
+    if not events:
+        print(f"{command}: empty events file: {path}", file=sys.stderr)
+        return None
+    return events
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     """Evaluate one PromQL-lite expression over recorded telemetry."""
     import json
@@ -831,14 +899,16 @@ def _cmd_query(args: argparse.Namespace) -> int:
     else:
         from pathlib import Path
 
-        from .obs.events import read_jsonl
         from .obs.tsdb import tsdb_from_events
 
         if not Path(args.events).exists():
             print(f"query: no such events file: {args.events}",
                   file=sys.stderr)
             return EXIT_USAGE
-        tsdb = tsdb_from_events(read_jsonl(args.events))
+        events = _load_events_strict("query", args.events)
+        if events is None:
+            return EXIT_ALARM
+        tsdb = tsdb_from_events(events)
         try:
             result = tsdb.query(args.expr, at=args.at)
         except QueryError as exc:
@@ -1184,6 +1254,52 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return EXIT_OK if report.within_envelope else EXIT_DEGRADED
 
 
+def _cmd_soak(args: argparse.Namespace) -> int:
+    """Long-horizon soak campaign: simulated days of synthesize ->
+    detect -> checkpoint -> restore -> continue, with periodic fault
+    bursts and attack windows, judged by multi-window SLO burn rates
+    and the resource ledger's memory-flatness verdict."""
+    import json
+
+    from .experiments.soak import render_soak_report, run_soak_campaign
+    from .obs import enabled_instrumentation
+
+    obs = enabled_instrumentation(
+        events_path=args.events_out,
+        tsdb_retention=args.tsdb_retention,
+    )
+    with _serving(obs, args.serve, hold=args.hold):
+        report = run_soak_campaign(
+            site=args.site,
+            seed=args.seed,
+            sim_days=args.sim_days,
+            periods_per_epoch=args.periods_per_epoch,
+            rate=args.rate,
+            obs=obs,
+            workers=args.workers,
+        )
+        print(render_soak_report(report))
+        if args.out:
+            from pathlib import Path
+
+            # sort_keys + no timestamps: the same seed and scenario
+            # must produce byte-identical files at any --workers N
+            # (CI diffs them).
+            Path(args.out).write_text(
+                json.dumps(report.to_dict(), indent=2, sort_keys=True)
+                + "\n",
+                encoding="utf-8",
+            )
+            print(f"report           : JSON -> {args.out}")
+        samples = obs.finalize(args.metrics_out)
+        if args.metrics_out:
+            print(f"metrics          : {samples} samples -> "
+                  f"{args.metrics_out}")
+        if args.events_out:
+            print(f"events           : JSONL -> {args.events_out}")
+    return EXIT_OK if report.healthy else EXIT_DEGRADED
+
+
 def _cmd_respond(args: argparse.Namespace) -> int:
     """Closed-loop response campaign: run the unmitigated and the
     playbook-mitigated arms of the same flood, print the recovery
@@ -1410,6 +1526,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
         if not Path(path).exists():
             print(f"report: no such events file: {path}", file=sys.stderr)
             return EXIT_USAGE
+        # Validate before analyzing: a truncated or empty log must be
+        # a loud exit-2 diagnostic, not a quiet "nothing happened".
+        if _load_events_strict("report", path) is None:
+            return EXIT_ALARM
     report = analyze_files(
         args.events, min_alarm_periods=args.min_alarm_periods
     )
@@ -1528,6 +1648,7 @@ _COMMANDS = {
     "alerts": _cmd_alerts,
     "fleet": _cmd_fleet,
     "chaos": _cmd_chaos,
+    "soak": _cmd_soak,
     "respond": _cmd_respond,
     "sensitivity": _cmd_sensitivity,
     "table": _cmd_table,

@@ -566,6 +566,7 @@ class SynDog:
         parameters: Optional[SynDogParameters] = None,
         obs: Optional[Instrumentation] = None,
         name: Optional[str] = None,
+        counted: bool = True,
     ) -> "SynDog":
         """Rebuild an agent from a :meth:`checkpoint` dict.
 
@@ -576,6 +577,12 @@ class SynDog:
         checkpointed values (parameters are always reconstructed from
         the checkpoint unless overridden, so a restart cannot silently
         change the test's configuration).
+
+        ``counted=False`` suppresses the
+        ``syndog_checkpoints_restored_total`` tick: the sharded
+        federation feed rebuilds healthy members from shipped
+        checkpoints as a transfer mechanism, and counting those would
+        make the continuity metric depend on ``--workers``.
         """
         version = state.get("version")
         if version != CHECKPOINT_VERSION:
@@ -585,6 +592,7 @@ class SynDog:
             )
         if parameters is None:
             parameters = SynDogParameters(**state["parameters"])
+        obs = resolve_instrumentation(obs)
         dog = cls(
             parameters=parameters,
             staleness_cap=int(state.get("staleness_cap", 3)),
@@ -602,6 +610,13 @@ class SynDog:
             None if last_counts is None else (int(last_counts[0]), int(last_counts[1]))
         )
         dog._consecutive_missing = int(state.get("consecutive_missing", 0))
+        if counted and obs.registry.enabled:
+            # Continuity accounting for /healthz: every restart that
+            # resumed from a checkpoint instead of starting cold.
+            obs.registry.counter(
+                "syndog_checkpoints_restored_total",
+                "Detector agents rebuilt from checkpoint state",
+            ).inc()
         return dog
 
     def clear_alarm(self) -> None:

@@ -435,6 +435,7 @@ def builtin_rules(
     for_periods: int = 2,
     profile_baseline: Optional[Dict[str, Any]] = None,
     fleet: bool = True,
+    slo: bool = False,
 ) -> List[AlertRule]:
     """The standard watch-the-watchers rule set.
 
@@ -451,12 +452,24 @@ def builtin_rules(
     :func:`fleet_rules`; they watch the ``fleet_*`` rollup series a
     :class:`~repro.router.fleet.Federation` emits and stay inactive on
     single-agent runs, where those series never exist.
+
+    ``slo`` appends the budget burn / exhaustion rules from
+    :func:`repro.obs.slo.slo_rules` over the builtin objectives.  Like
+    the fleet rules they page off indicator series
+    (``slo_burning{slo=...}`` / ``slo_budget_consumed{slo=...}``) and
+    stay inactive until an :class:`~repro.obs.slo.SLOEngine` records
+    them — the soak campaign's standing configuration.
     """
     rules = _builtin_core_rules(threshold, watermark, window, for_periods)
     if fleet:
         rules.extend(fleet_rules(threshold, watermark=watermark, window=window))
     if profile_baseline:
         rules.extend(profiler_rules(profile_baseline))
+    if slo:
+        # Local import: repro.obs.slo imports AlertRule from this module.
+        from .slo import slo_rules
+
+        rules.extend(slo_rules())
     return rules
 
 

@@ -27,7 +27,11 @@ run from that stream alone — no trace, no detector, no pickle:
   fleet`` and the ``/fleet`` endpoint serve — population counters,
   per-metric quantile digests and top-K suspect lists — replayed from
   the log via :func:`~repro.obs.rollup.rollup_from_events`, so a
-  report over a 10^4-agent log still summarizes the fleet in O(K).
+  report over a 10^4-agent log still summarizes the fleet in O(K);
+* a **soak summary**: logs left behind by ``repro soak`` carry one
+  ``soak_epoch`` event per epoch; the report folds them into a
+  continuous-operation section (epochs, restores, continuity
+  failures, detection hit rate, tracer span counts).
 
 Multiple JSONL files analyze into one report (a fleet of runs); agent
 keys are prefixed with the file stem when names would collide.
@@ -153,6 +157,52 @@ class EventsReport:
     #: Fleet rollup document (:meth:`FleetRollup.to_dict`) replayed
     #: from the log; None when the log carries no period events.
     fleet: Optional[Dict[str, Any]] = None
+    #: Raw ``soak_epoch`` event payloads (one per soak epoch in the log).
+    soaks: Tuple[Dict[str, Any], ...] = ()
+
+    def soak_summary(self) -> Optional[Dict[str, Any]]:
+        """Fold the log's ``soak_epoch`` events into one
+        continuous-operation summary (None when the log carries none)."""
+        if not self.soaks:
+            return None
+        attacks = [epoch for epoch in self.soaks if epoch.get("attack")]
+        detected = sum(1 for epoch in attacks if epoch.get("detected"))
+        latencies = [
+            epoch["latency_periods"] for epoch in attacks
+            if epoch.get("latency_periods") is not None
+        ]
+        span_counts: Dict[str, int] = {}
+        for epoch in self.soaks:
+            for name, count in (epoch.get("span_counts") or {}).items():
+                span_counts[name] = span_counts.get(name, 0) + int(count)
+        return {
+            "epochs": len(self.soaks),
+            "attack_epochs": len(attacks),
+            "fault_epochs": sum(
+                1 for epoch in self.soaks if epoch.get("fault")
+            ),
+            "detected": detected,
+            "missed": len(attacks) - detected,
+            "mean_latency_periods": (
+                round(sum(latencies) / len(latencies), 3)
+                if latencies else None
+            ),
+            "restores": sum(
+                int(epoch.get("restores", 0)) for epoch in self.soaks
+            ),
+            "continuity_failures": sum(
+                1 for epoch in self.soaks
+                if not epoch.get("continuity_ok", True)
+            ),
+            "false_alarms": sum(
+                int(epoch.get("false_alarms", 0)) for epoch in self.soaks
+            ),
+            "degraded_periods": sum(
+                int(epoch.get("degraded_periods", 0))
+                for epoch in self.soaks
+            ),
+            "span_counts": dict(sorted(span_counts.items())),
+        }
 
     def merged_profile(self) -> Optional[Dict[str, Any]]:
         """Fold every profile event into one per-stage cost document
@@ -211,6 +261,7 @@ class EventsReport:
             },
             "profile": self.merged_profile(),
             "fleet": self.fleet,
+            "soak": self.soak_summary(),
         }
 
 
@@ -233,6 +284,7 @@ def analyze_events(
     agents: Dict[str, AgentTimeline] = {}
     open_spans: Dict[str, Dict[str, Any]] = {}
     profiles: List[Dict[str, Any]] = []
+    soaks: List[Dict[str, Any]] = []
 
     ordered = sorted(events, key=lambda event: event.get("seq", 0))
     for event in ordered:
@@ -240,6 +292,12 @@ def analyze_events(
         by_kind[kind] = by_kind.get(kind, 0) + 1
         if kind == "profile":
             profiles.append({
+                key: value for key, value in event.items()
+                if key not in ("event", "seq", "t")
+            })
+            continue
+        if kind == "soak_epoch":
+            soaks.append({
                 key: value for key, value in event.items()
                 if key not in ("event", "seq", "t")
             })
@@ -317,6 +375,7 @@ def analyze_events(
         min_alarm_periods=min_alarm_periods,
         profiles=tuple(profiles),
         fleet=fleet,
+        soaks=tuple(soaks),
     )
 
 
@@ -365,6 +424,7 @@ def analyze_files(
     merged_agents: Dict[str, AgentTimeline] = {}
     by_kind: Dict[str, int] = {}
     profiles: List[Dict[str, Any]] = []
+    soaks: List[Dict[str, Any]] = []
     total = 0
     for path, report in zip(paths, reports):
         stem = Path(path).stem
@@ -373,6 +433,7 @@ def analyze_files(
         for kind, count in report.by_kind.items():
             by_kind[kind] = by_kind.get(kind, 0) + count
         profiles.extend(report.profiles)
+        soaks.extend(report.soaks)
         total += report.events_total
     fleets = [report.fleet for report in reports if report.fleet is not None]
     fleet: Optional[Dict[str, Any]] = None
@@ -388,6 +449,7 @@ def analyze_files(
         min_alarm_periods=min_alarm_periods,
         profiles=tuple(profiles),
         fleet=fleet,
+        soaks=tuple(soaks),
     )
 
 
@@ -522,6 +584,66 @@ def _fleet_markdown_lines(report: EventsReport) -> List[str]:
     return lines
 
 
+def _soak_text_lines(report: EventsReport) -> List[str]:
+    summary = report.soak_summary()
+    if summary is None:
+        return []
+    lines = ["", "soak (continuous operation)"]
+    lines.append(
+        f"  epochs {summary['epochs']} "
+        f"(attack={summary['attack_epochs']} "
+        f"fault={summary['fault_epochs']}), "
+        f"restores {summary['restores']}, "
+        f"continuity failures {summary['continuity_failures']}"
+    )
+    mean_latency = summary["mean_latency_periods"]
+    lines.append(
+        f"  detection {summary['detected']}/{summary['attack_epochs']} "
+        f"attack windows"
+        + (f", mean delay {mean_latency:g} periods"
+           if mean_latency is not None else "")
+        + f", false alarms {summary['false_alarms']}"
+        + f", degraded periods {summary['degraded_periods']}"
+    )
+    for name, count in summary["span_counts"].items():
+        lines.append(f"  span {name:<18} x{count}")
+    return lines
+
+
+def _soak_markdown_lines(report: EventsReport) -> List[str]:
+    summary = report.soak_summary()
+    if summary is None:
+        return []
+    lines = ["", "## Soak (continuous operation)", ""]
+    lines.append(
+        f"- epochs: **{summary['epochs']}** "
+        f"(attack={summary['attack_epochs']}, "
+        f"fault={summary['fault_epochs']})"
+    )
+    lines.append(
+        f"- restores: **{summary['restores']}**, continuity failures: "
+        f"**{summary['continuity_failures']}**"
+    )
+    mean_latency = summary["mean_latency_periods"]
+    lines.append(
+        f"- detection: **{summary['detected']}/"
+        f"{summary['attack_epochs']}** attack windows"
+        + (f", mean delay {mean_latency:g} periods"
+           if mean_latency is not None else "")
+    )
+    lines.append(
+        f"- false alarms: {summary['false_alarms']}, degraded periods: "
+        f"{summary['degraded_periods']}"
+    )
+    if summary["span_counts"]:
+        lines.append("")
+        lines.append("| span | count |")
+        lines.append("|---|---:|")
+        for name, count in summary["span_counts"].items():
+            lines.append(f"| `{name}` | {count} |")
+    return lines
+
+
 def _span_line(span: AlarmSpan) -> str:
     clear = (
         f"cleared t={span.cleared_time:.0f}s (held "
@@ -586,6 +708,7 @@ def _render_text(report: EventsReport, profile: bool = False) -> str:
                 f"alarm_context event(s)"
             )
     lines.extend(_fleet_text_lines(report))
+    lines.extend(_soak_text_lines(report))
     if profile:
         lines.extend(_profile_text_lines(report))
     return "\n".join(lines)
@@ -628,6 +751,7 @@ def _render_markdown(report: EventsReport, profile: bool = False) -> str:
         for span in sorted(spans, key=lambda s: s.raised_time):
             lines.append(f"- `{span.agent}` {_span_line(span)}")
     lines.extend(_fleet_markdown_lines(report))
+    lines.extend(_soak_markdown_lines(report))
     if profile:
         lines.extend(_profile_markdown_lines(report))
     return "\n".join(lines)

@@ -58,8 +58,11 @@ Snapshot = List[Dict[str, Any]]
 Event = Dict[str, Any]
 
 #: Event payload fields that carry wall-clock measurements and can
-#: never be identical between two runs.
-NONDETERMINISTIC_EVENT_FIELDS: Tuple[str, ...] = ("wall_seconds", "seconds")
+#: never be identical between two runs.  ``span_seconds`` is the soak
+#: epoch event's per-span wall-clock aggregate (repro.experiments.soak).
+NONDETERMINISTIC_EVENT_FIELDS: Tuple[str, ...] = (
+    "wall_seconds", "seconds", "span_seconds",
+)
 
 _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
 

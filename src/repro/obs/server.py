@@ -40,6 +40,12 @@ only — with three endpoints:
     quantile digests over delta/X_n/CUSUM/degraded-periods, and the
     top-K suspect rankings.  The document is O(K·buckets) — its size
     does not grow with the fleet.  503 when the recorder is off.
+``GET /slo?[at=T]``
+    Multi-window burn-rate evaluation of the built-in SLOs
+    (:mod:`repro.obs.slo`) against the bundle's telemetry history
+    store at instant ``T`` (default: the store's watermark): per-SLO
+    verdicts, budget consumption and per-window burn pairs.  503 when
+    the store is disabled, 400 on a non-finite ``at``.
 
 The server never mutates detector state and holds no locks against the
 detection path: scrapes read the live counters (safe under the GIL for
@@ -52,11 +58,13 @@ single fixed order:
 
 1. ``_registry_lock`` — guards handlers that *fold into or render* the
    shared registry/profiler (``/metrics``'s scrape-time exports,
-   ``/profile``'s document derivation).  With three concurrent reader
-   routes, two scrapes folding ``trace_span_*`` or ``profile_stage_*``
-   into the registry at once would interleave family mutation; one
-   shared lock serializes them.  It is *server-side only*: ingestion
-   threads never take it, so the detection path still cannot stall.
+   ``/profile``'s document derivation, ``/healthz``'s
+   ``checkpoints_restored`` read of the restore counter family).  With
+   three concurrent reader routes, two scrapes folding
+   ``trace_span_*`` or ``profile_stage_*`` into the registry at once
+   would interleave family mutation; one shared lock serializes them.
+   It is *server-side only*: ingestion threads never take it, so the
+   detection path still cannot stall.
 2. ``_requests_lock`` — a leaf-level counter guard (``requests_served``).
    It is only ever held around a single increment/read and **never**
    while acquiring ``_registry_lock``.
@@ -91,6 +99,7 @@ from .exporters import (
     render_prometheus,
 )
 from .rollup import DEFAULT_TOP_K, FleetRollup, states_from_recorder
+from .slo import SLOEngine
 from .tsdb import QueryError
 
 __all__ = [
@@ -270,6 +279,24 @@ class ObsServer:
             status = "degraded"
         else:
             status = "ok"
+        # Continuous-operation counters for the soak watchdog:
+        # uptime_periods is the longest per-agent observation streak,
+        # checkpoints_restored the lifetime restore count.  The counter
+        # family read happens under _registry_lock (documented order) —
+        # a racing /metrics fold mutates sibling families in the same
+        # registry dict.
+        uptime_periods = max(
+            (row["periods"] for row in agents.values()), default=0
+        )
+        checkpoints_restored = 0
+        registry = obs.registry
+        if getattr(registry, "enabled", False):
+            with self._registry_lock:
+                family = registry.get("syndog_checkpoints_restored_total")
+                if family is not None:
+                    checkpoints_restored = int(
+                        sum(sample.value for sample in family.samples())
+                    )
         # The bounded fleet summary: O(1) in fleet size, present at any
         # scale.  The full per-agent map only ships below the cutoff —
         # above it, /fleet is the O(K) view and /healthz stays a probe.
@@ -297,6 +324,8 @@ class ObsServer:
             "periods_observed": sum(
                 status["periods"] for status in agents.values()
             ),
+            "uptime_periods": uptime_periods,
+            "checkpoints_restored": checkpoints_restored,
             "alarms_active": alarms_active,
             "degraded_periods": degraded_periods,
             "alerts_firing": firing,
@@ -386,6 +415,19 @@ class ObsServer:
             "count": len(result),
         }
 
+    def slo_document(
+        self, at: Optional[float] = None
+    ) -> Optional[Dict[str, Any]]:
+        """The ``/slo`` JSON document — the built-in SLO set evaluated
+        as multi-window burn rates against the bundle's telemetry
+        history store — or None when the store is disabled (the handler
+        maps it to a 503).  Like ``/query``, the evaluation only reads
+        the TSDB, so no server-side lock is needed."""
+        tsdb = getattr(self.obs, "tsdb", None)
+        if tsdb is None or not getattr(tsdb, "enabled", False):
+            return None
+        return SLOEngine().evaluate(tsdb, at=at)
+
     def alerts_document(self) -> Dict[str, Any]:
         """The ``/alerts`` JSON document (``{"enabled": false}`` when
         no alert manager is armed)."""
@@ -467,6 +509,15 @@ def _build_handler(server: ObsServer):
                         )
                         return
                     self._send_json(200, payload)
+                elif route == "/slo":
+                    query = parse_qs(parts.query)
+                    payload = server.slo_document(at=_parse_at(query))
+                    if payload is None:
+                        self._send_json(
+                            503, {"error": "telemetry history disabled"}
+                        )
+                        return
+                    self._send_json(200, payload)
                 elif route == "/":
                     self._send_json(
                         200,
@@ -480,6 +531,7 @@ def _build_handler(server: ObsServer):
                                 "/alerts",
                                 "/profile",
                                 "/fleet",
+                                "/slo",
                             ],
                         },
                     )
@@ -518,15 +570,10 @@ def _parse_events_query(
     return n, kind
 
 
-def _parse_query_params(
-    query: Dict[str, list],
-) -> Tuple[str, Optional[float]]:
-    expr = query.get("expr", [None])[-1]
-    if not expr:
-        raise ValueError("missing required parameter: expr")
+def _parse_at(query: Dict[str, list]) -> Optional[float]:
     raw_at = query.get("at", [None])[-1]
     if raw_at is None:
-        return expr, None
+        return None
     try:
         at = float(raw_at)
     except ValueError:
@@ -535,4 +582,13 @@ def _parse_query_params(
         # float() happily parses "nan"/"inf", but an evaluation instant
         # must be a real point on the logical clock.
         raise ValueError(f"at must be finite: {raw_at!r}")
-    return expr, at
+    return at
+
+
+def _parse_query_params(
+    query: Dict[str, list],
+) -> Tuple[str, Optional[float]]:
+    expr = query.get("expr", [None])[-1]
+    if not expr:
+        raise ValueError("missing required parameter: expr")
+    return expr, _parse_at(query)

@@ -91,7 +91,10 @@ def _labels_key(labels: Optional[Dict[str, Any]]) -> LabelsKey:
 class Series:
     """One named, labeled sample ring with deterministic downsampling."""
 
-    __slots__ = ("name", "labels", "source", "samples", "compactions")
+    __slots__ = (
+        "name", "labels", "source", "samples", "compactions",
+        "points_dropped",
+    )
 
     def __init__(self, name: str, labels: LabelsKey, source: str = "feed") -> None:
         self.name = name
@@ -99,22 +102,31 @@ class Series:
         self.source = source
         self.samples: List[Sample] = []
         self.compactions = 0
+        self.points_dropped = 0
 
-    def append(self, t: float, value: float, retention: int) -> None:
+    def append(self, t: float, value: float, retention: int) -> int:
+        """Append one sample; returns how many points this append's
+        retention compaction dropped (0 when no compaction ran)."""
         self.samples.append((float(t), float(value)))
         if len(self.samples) > retention:
-            self._compact()
+            return self._compact()
+        return 0
 
-    def _compact(self) -> None:
+    def _compact(self) -> int:
         """Halve the resolution of the oldest half of the ring.
 
         Deterministic stride-2 decimation: given the same append
         sequence, every run compacts identically — the property the
-        worker-merge byte-identity tests rely on.
+        worker-merge byte-identity tests rely on.  Returns the number
+        of samples the decimation discarded.
         """
         half = len(self.samples) // 2
+        before = len(self.samples)
         self.samples = self.samples[0:half:2] + self.samples[half:]
+        dropped = before - len(self.samples)
         self.compactions += 1
+        self.points_dropped += dropped
+        return dropped
 
     # ------------------------------------------------------------------
     def latest(self, at: float, staleness: float) -> Optional[Sample]:
@@ -186,6 +198,12 @@ class TimeSeriesDB:
         self._profiler: Optional[Any] = None
         self._last_tick = float("-inf")
         self.samples_appended = 0
+        #: Store-wide retention accounting (the ``tsdb_compactions_total``
+        #: / ``tsdb_points_dropped_total`` counters the resource ledger
+        #: samples): how many stride-2 compactions have run across every
+        #: series, and how many samples those compactions discarded.
+        self.compactions_total = 0
+        self.points_dropped_total = 0
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -218,8 +236,11 @@ class TimeSeriesDB:
         series = self._series.get(key)
         if series is None:
             series = self._series[key] = Series(name, key[1], source=source)
-        series.append(t, value, self.retention)
+        dropped = series.append(t, value, self.retention)
         self.samples_appended += 1
+        if dropped:
+            self.compactions_total += 1
+            self.points_dropped_total += dropped
 
     def tick(self, t: float) -> None:
         """Per-period snapshot hook (live path): advance the watermark
@@ -322,6 +343,13 @@ class TimeSeriesDB:
     def names(self) -> List[str]:
         return sorted({series.name for series in self._series.values()})
 
+    def points_retained(self) -> int:
+        """Samples currently held across every series — the live
+        occupancy number the resource ledger tracks against retention
+        (``samples_appended`` only ever grows; this is the bounded
+        figure that must flatten out)."""
+        return sum(len(series.samples) for series in self._series.values())
+
     def watermarks(self) -> List[float]:
         """Every distinct sample time, ascending — the replay grid
         :func:`repro.obs.alerts.replay_rules` evaluates over."""
@@ -384,8 +412,11 @@ class TimeSeriesDB:
                     entry["name"], key_labels, source=entry.get("source", "feed")
                 )
             for t, value in entry.get("samples", ()):
-                series.append(float(t), float(value), self.retention)
+                dropped = series.append(float(t), float(value), self.retention)
                 self.samples_appended += 1
+                if dropped:
+                    self.compactions_total += 1
+                    self.points_dropped_total += dropped
             # Stable sort: new samples interleave by logical time, with
             # earlier-merged shards winning ties — deterministic for a
             # fixed merge order.
@@ -418,6 +449,8 @@ class NullTSDB:
     retention = 0
     record_snapshots = False
     samples_appended = 0
+    compactions_total = 0
+    points_dropped_total = 0
 
     def bind(
         self,
@@ -441,6 +474,9 @@ class NullTSDB:
 
     def names(self) -> List[str]:
         return []
+
+    def points_retained(self) -> int:
+        return 0
 
     def watermarks(self) -> List[float]:
         return []

@@ -107,7 +107,8 @@ def feed_member_task(
         obs=obs,
     )
     detector = SynDog.restore(
-        task.detector_state, obs=obs, name=task.router_name
+        task.detector_state, obs=obs, name=task.router_name,
+        counted=False,
     )
     agent = SynDogAgent(
         router,
@@ -521,7 +522,8 @@ class Federation:
             obs=self._obs,
         )
         detector = SynDog.restore(
-            outcome.detector_state, obs=self._obs, name=old_router.name
+            outcome.detector_state, obs=self._obs, name=old_router.name,
+            counted=False,
         )
         # Restore resumes at next_period_index with an empty history and
         # empty in-period counters (correct for a crash, where both are
